@@ -1,0 +1,101 @@
+(* Benchmark harness: regenerates every table and figure of the
+   reproduction (see EXPERIMENTS.md), then runs bechamel micro-benchmarks
+   on the protocol-critical data structures — quantifying the "overhead on
+   every message transmission and reception" claim at the CPU level. *)
+
+module Registry = Repro_experiments.Registry
+
+let microbenchmarks () =
+  let open Bechamel in
+  let vc_pair n =
+    let a = Vector_clock.create n and b = Vector_clock.create n in
+    for i = 0 to n - 1 do
+      Vector_clock.set a i (i * 3);
+      Vector_clock.set b i (i * 2)
+    done;
+    (a, b)
+  in
+  let bench_vc_compare n =
+    let a, b = vc_pair n in
+    Test.make ~name:(Printf.sprintf "vc-compare-n%d" n)
+      (Staged.stage (fun () -> ignore (Vector_clock.compare_causal a b)))
+  in
+  let bench_vc_deliverable n =
+    let a, b = vc_pair n in
+    Test.make ~name:(Printf.sprintf "vc-deliverable-n%d" n)
+      (Staged.stage (fun () ->
+           ignore (Vector_clock.deliverable ~sender:0 ~msg:a ~local:b)))
+  in
+  let bench_vc_merge n =
+    let a, b = vc_pair n in
+    Test.make ~name:(Printf.sprintf "vc-merge-n%d" n)
+      (Staged.stage (fun () ->
+           let c = Vector_clock.copy a in
+           Vector_clock.merge_into c b))
+  in
+  let bench_lamport =
+    let c = Lamport.create () in
+    Test.make ~name:"lamport-stamp"
+      (Staged.stage (fun () -> ignore (Lamport.stamp c ~node:0)))
+  in
+  let bench_dep_cache =
+    let module Dep_cache = Repro_statelevel.Dep_cache in
+    let counter = ref 0 in
+    Test.make ~name:"dep-cache-insert-lookup"
+      (Staged.stage (fun () ->
+           let c = Dep_cache.create () in
+           incr counter;
+           Dep_cache.insert c
+             { Dep_cache.key = "base"; item_version = !counter; value = 1.0;
+               deps = [] };
+           Dep_cache.insert c
+             { Dep_cache.key = "derived"; item_version = !counter; value = 2.0;
+               deps =
+                 [ { Dep_cache.dep_key = "base"; dep_version = !counter } ] };
+           ignore (Dep_cache.lookup c ~key:"derived")))
+  in
+  let bench_locks =
+    let module Lock_manager = Repro_txn.Lock_manager in
+    Test.make ~name:"lock-acquire-release"
+      (Staged.stage (fun () ->
+           let lm = Lock_manager.create () in
+           ignore (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Exclusive);
+           ignore (Lock_manager.release_all lm 1)))
+  in
+  let tests =
+    Test.make_grouped ~name:"protocol-structures"
+      [ bench_vc_compare 4; bench_vc_compare 64;
+        bench_vc_deliverable 4; bench_vc_deliverable 64;
+        bench_vc_merge 4; bench_vc_merge 64;
+        bench_lamport; bench_dep_cache; bench_locks ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let results = analyze (benchmark ()) in
+  print_endline "--- micro-benchmarks (per-operation cost) ----------------";
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        match Bechamel.Analyze.OLS.estimates result with
+        | Some [ est ] -> (name, est) :: acc
+        | Some _ | None -> acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "   %-44s %10.1f ns/op\n" name est)
+    rows;
+  print_newline ()
+
+let () =
+  Registry.run_everything Format.std_formatter;
+  microbenchmarks ()

@@ -1,0 +1,83 @@
+(* Command-line driver for the reproduction: list, run and inspect the
+   experiments of EXPERIMENTS.md. *)
+
+module Registry = Repro_experiments.Registry
+module Table = Repro_experiments.Table
+
+let list_experiments () =
+  Printf.printf "%-24s %-38s %s\n" "id" "description" "paper";
+  Printf.printf "%s\n" (String.make 96 '-');
+  List.iter
+    (fun e ->
+      Printf.printf "%-24s %-38s %s\n" e.Registry.id e.Registry.description
+        e.Registry.paper_ref)
+    Registry.all;
+  Printf.printf "\ndiagrams: %s\n"
+    (String.concat ", " (List.map fst Registry.diagrams));
+  0
+
+let run_experiment ids all =
+  if all then begin
+    Registry.run_everything Format.std_formatter;
+    0
+  end
+  else
+    match ids with
+    | [] ->
+      prerr_endline "no experiment id given (see `repro_cli list`, or use --all)";
+      1
+    | ids ->
+      let run_one id =
+        match Registry.find id with
+        | Some entry ->
+          List.iter Table.print (entry.Registry.run ());
+          true
+        | None ->
+          Printf.eprintf "unknown experiment %S (see `repro_cli list`)\n" id;
+          false
+      in
+      if List.for_all run_one ids then 0 else 1
+
+let show_diagram name =
+  match List.assoc_opt name Registry.diagrams with
+  | Some render ->
+    print_string (render ());
+    0
+  | None ->
+    Printf.eprintf "unknown diagram %S (one of: %s)\n" name
+      (String.concat ", " (List.map fst Registry.diagrams));
+    1
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List all experiments and diagrams." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_experiments $ const ())
+
+let run_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment and diagram.")
+  in
+  let doc = "Run experiments and print their tables." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiment $ ids $ all)
+
+let diagram_cmd =
+  let fig_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIG" ~doc:"Diagram id (fig1, fig2, fig3).")
+  in
+  let doc = "Render an event-diagram reproduction of a paper figure." in
+  Cmd.v (Cmd.info "diagram" ~doc) Term.(const show_diagram $ fig_arg)
+
+let () =
+  let doc =
+    "Reproduction of Cheriton & Skeen (SOSP 1993): the limitations of \
+     causally and totally ordered communication."
+  in
+  let info = Cmd.info "repro_cli" ~version:"1.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; diagram_cmd ]))

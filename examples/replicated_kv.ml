@@ -1,0 +1,61 @@
+(* Replicated key-value store example (Section 4.4).
+
+   The same client workload against two replication designs:
+   - Deceit-style: writes propagate by causal multicast, the client is
+     acknowledged after k remote acks (asynchrony vs durability knob);
+   - HARP-style: primary-copy transactions, two-phase commit over the
+     availability list, write-ahead logged.
+
+   Run with: dune exec examples/replicated_kv.exe *)
+
+module D = Repro_apps.Deceit_store
+module H = Repro_apps.Harp_store
+
+let print_deceit label (r : D.result) =
+  Printf.printf
+    "  %-28s acked %3d/%3d  latency %6.2fms (p99 %6.2fms)  %4.1f msgs/write  lost:%d consistent:%b\n"
+    label r.D.writes_acked r.D.writes_attempted
+    (r.D.ack_latency_mean_us /. 1000.0)
+    (r.D.ack_latency_p99_us /. 1000.0)
+    r.D.messages_per_write r.D.acked_lost_at_survivor r.D.replicas_consistent
+
+let print_harp label (r : H.result) =
+  Printf.printf
+    "  %-28s acked %3d/%3d  latency %6.2fms (p99 %6.2fms)  %4.1f msgs/write  lost:%d consistent:%b aborts:%d\n"
+    label r.H.writes_acked r.H.writes_attempted
+    (r.H.ack_latency_mean_us /. 1000.0)
+    (r.H.ack_latency_p99_us /. 1000.0)
+    r.H.messages_per_write r.H.acked_lost_at_survivor r.H.replicas_consistent
+    r.H.commit_aborts
+
+let () =
+  print_endline "Replicated store: 200 writes over 3 replicas";
+  print_endline "=============================================\n";
+
+  print_endline "Deceit-style (causal multicast, write-safety level k):";
+  List.iter
+    (fun k ->
+      print_deceit
+        (Printf.sprintf "k=%d%s" k (if k = 0 then " (async, not durable)" else ""))
+        (D.run { D.default_config with D.write_safety = k }))
+    [ 0; 1; 2 ];
+  print_deceit "k=1, replica crash"
+    (D.run
+       { D.default_config with
+         D.write_safety = 1; crash = Some (1, Sim_time.ms 300) });
+
+  print_endline "\nHARP-style (primary copy, 2PC, WAL):";
+  print_harp "healthy" (H.run H.default_config);
+  print_harp "replica crash"
+    (H.run { H.default_config with H.crash = Some (1, Sim_time.ms 300) });
+  print_harp "primary crash (failover)"
+    (H.run { H.default_config with H.crash = Some (0, Sim_time.ms 300) });
+
+  print_endline
+    "\nConclusion (Section 4.4): CATOCS buys asynchrony only at k=0, where a";
+  print_endline
+    "single failure can silently lose acknowledged writes (see the";
+  print_endline
+    "durability-gap experiment); the transactional design pays ~2 round";
+  print_endline
+    "trips but keeps every acknowledged write on every available replica."

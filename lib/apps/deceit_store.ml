@@ -1,0 +1,204 @@
+module Config = Repro_catocs.Config
+module Stack = Repro_catocs.Stack
+module Metrics = Repro_catocs.Metrics
+module Endpoint = Repro_catocs.Endpoint
+module Kv_store = Repro_txn.Kv_store
+
+type config = {
+  seed : int64;
+  servers : int;
+  writes : int;
+  write_interval : Sim_time.t;
+  write_safety : int;
+  latency : Net.latency;
+  crash : (int * Sim_time.t) option;
+}
+
+let default_config =
+  { seed = 1L; servers = 3; writes = 200; write_interval = Sim_time.ms 5;
+    write_safety = 1; latency = Net.Uniform (500, 5_000); crash = None }
+
+type msg =
+  | Client_write of { req : int; key : string; value : int }
+  | Update of { req : int; key : string; value : int; origin : Engine.pid }
+  | Update_ack of { req : int }
+  | Client_done of { req : int }
+
+type result = {
+  writes_attempted : int;
+  writes_acked : int;
+  ack_latency_mean_us : float;
+  ack_latency_p99_us : float;
+  messages_per_write : float;
+  acked_lost_at_survivor : int;
+  replicas_consistent : bool;
+  view_changes : int;
+}
+
+type pending_write = {
+  client : Engine.pid;
+  mutable acks : int;
+  mutable replied : bool;
+}
+
+let run config =
+  let net = Net.create ~latency:config.latency () in
+  let engine = Engine.create ~seed:config.seed ~net () in
+  let group_config = { Config.default with Config.ordering = Config.Causal } in
+  let stacks =
+    Stack.create_group ~engine ~config:group_config
+      ~names:(List.init config.servers (fun i -> Printf.sprintf "srv%d" i))
+      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+    |> Array.of_list
+  in
+  let stores = Array.init config.servers (fun _ -> Kv_store.create ()) in
+  let pending : (int, pending_write) Hashtbl.t = Hashtbl.create 64 in
+  let send_times : (int, Sim_time.t) Hashtbl.t = Hashtbl.create 64 in
+  let acked : (int, string * int) Hashtbl.t = Hashtbl.create 64 in
+  let latency = Stats.Summary.create () in
+  let maybe_reply stack p req =
+    if (not p.replied) && p.acks >= config.write_safety then begin
+      p.replied <- true;
+      (match Hashtbl.find_opt send_times req with
+       | Some t0 ->
+         Stats.Summary.add latency
+           (float_of_int (Sim_time.sub (Engine.now engine) t0))
+       | None -> ());
+      Stack.send_direct stack ~dst:p.client (Client_done { req })
+    end
+  in
+  Array.iteri
+    (fun i stack ->
+      Stack.set_callbacks stack
+        {
+          Stack.deliver =
+            (fun ~sender:_ payload ->
+              match payload with
+              | Update { req; key; value; origin } ->
+                ignore (Kv_store.put stores.(i) ~key value);
+                if origin <> Stack.self stack then
+                  Stack.send_direct stack ~dst:origin (Update_ack { req })
+              | Client_write _ | Update_ack _ | Client_done _ -> ());
+          view_change = (fun _ -> ());
+          member_failed = (fun _ -> ());
+          direct =
+            (fun ~src payload ->
+              match payload with
+              | Client_write { req; key; value } ->
+                Hashtbl.replace pending req
+                  { client = src; acks = 0; replied = false };
+                Stack.multicast stack
+                  (Update { req; key; value; origin = Stack.self stack });
+                (* k = 0 means reply as soon as the multicast is issued *)
+                (match Hashtbl.find_opt pending req with
+                 | Some p -> maybe_reply stack p req
+                 | None -> ())
+              | Update_ack { req } ->
+                (match Hashtbl.find_opt pending req with
+                 | Some p ->
+                   p.acks <- p.acks + 1;
+                   maybe_reply stack p req
+                 | None -> ())
+              | Update _ | Client_done _ -> ());
+        })
+    stacks;
+  (* the client: round-robin writes over the servers *)
+  let client_pid = Engine.spawn engine ~name:"client" (fun _ _ -> ()) in
+  let client =
+    Endpoint.create ~engine ~self:client_pid ~mode:Config.Bare
+      ~on_direct:(fun ~src:_ payload ->
+        match payload with
+        | Client_done { req } ->
+          (match Hashtbl.find_opt send_times req with
+           | Some _ ->
+             let key = Printf.sprintf "k%d" (req mod 40) in
+             Hashtbl.replace acked req (key, req)
+           | None -> ())
+        | Client_write _ | Update _ | Update_ack _ -> ())
+      ()
+  in
+  (match config.crash with
+   | Some (i, at) ->
+     Engine.at engine at (fun () -> Engine.crash engine (Stack.self stacks.(i)))
+   | None -> ());
+  (* primary-updater discipline: all writes of a key flow through one
+     server (Section 4.4: "CATOCS-based implementations typically enforce a
+     primary updater approach"); the client fails over on timeout *)
+  let rec issue req ~offset ~attempts =
+    if attempts < 2 * config.servers then begin
+      let base_target = req mod 40 mod config.servers in
+      let target = (base_target + offset) mod config.servers in
+      let target =
+        if Engine.is_alive engine (Stack.self stacks.(target)) then target
+        else (target + 1) mod config.servers
+      in
+      Endpoint.send_direct client ~dst:(Stack.self stacks.(target))
+        (Client_write { req; key = Printf.sprintf "k%d" (req mod 40); value = req });
+      Engine.after engine ~owner:client_pid (Sim_time.ms 600) (fun () ->
+          if not (Hashtbl.mem acked req) then
+            issue req ~offset:(offset + 1) ~attempts:(attempts + 1))
+    end
+  in
+  for req = 0 to config.writes - 1 do
+    Engine.at engine (Sim_time.add (Sim_time.ms 5) (req * config.write_interval))
+      (fun () ->
+        Hashtbl.replace send_times req (Engine.now engine);
+        issue req ~offset:0 ~attempts:0)
+  done;
+  let horizon =
+    Sim_time.add (config.writes * config.write_interval) (Sim_time.seconds 2)
+  in
+  Engine.run ~until:horizon engine;
+  (* survivors *)
+  let survivors =
+    Array.to_list (Array.mapi (fun i s -> (i, s)) stacks)
+    |> List.filter (fun (_, s) -> Engine.is_alive engine (Stack.self s))
+  in
+  (* an acked write is lost if a surviving replica's final value for its key
+     is older than the newest acked write of that key (overwrites by newer
+     acked writes are fine) *)
+  let newest_acked : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _req (key, value) ->
+      match Hashtbl.find_opt newest_acked key with
+      | Some v when v >= value -> ()
+      | Some _ | None -> Hashtbl.replace newest_acked key value)
+    acked;
+  let acked_lost = ref 0 in
+  Hashtbl.iter
+    (fun key value ->
+      let missing_somewhere =
+        List.exists
+          (fun (i, _) ->
+            match Kv_store.get stores.(i) ~key with
+            | Some v -> v < value
+            | None -> true)
+          survivors
+      in
+      if missing_somewhere then incr acked_lost)
+    newest_acked;
+  let consistent =
+    match survivors with
+    | [] -> true
+    | (first, _) :: rest ->
+      List.for_all
+        (fun (i, _) -> Kv_store.equal_content stores.(first) stores.(i))
+        rest
+  in
+  let total_msgs = Engine.messages_sent engine in
+  let view_changes =
+    Array.fold_left
+      (fun acc s -> max acc (Stack.metrics s).Metrics.view_changes)
+      0 stacks
+  in
+  { writes_attempted = config.writes;
+    writes_acked = Hashtbl.length acked;
+    ack_latency_mean_us =
+      (if Stats.Summary.count latency = 0 then 0.0 else Stats.Summary.mean latency);
+    ack_latency_p99_us =
+      (if Stats.Summary.count latency = 0 then 0.0
+       else Stats.Summary.percentile latency 0.99);
+    messages_per_write = float_of_int total_msgs /. float_of_int config.writes;
+    acked_lost_at_survivor = !acked_lost;
+    replicas_consistent = consistent;
+    view_changes }

@@ -1,0 +1,36 @@
+(** A Deceit-style replicated store (Section 4.4): writes propagate by causal
+    multicast; the client is acknowledged after [write_safety] (k) remote
+    acknowledgements.
+
+    k = 0 is fully asynchronous — and not durable: a write can be lost after
+    a single failure. k = n-1 is synchronous update of all replicas, "just
+    as with conventional RPC". The store exhibits the paper's asynchrony /
+    durability trade-off and the primary-updater restriction (each key is
+    written through one server at a time). *)
+
+type config = {
+  seed : int64;
+  servers : int;
+  writes : int;
+  write_interval : Sim_time.t;
+  write_safety : int;  (** k: remote acks awaited before the client reply *)
+  latency : Net.latency;
+  crash : (int * Sim_time.t) option;  (** crash server [i] at the given time *)
+}
+
+val default_config : config
+
+type result = {
+  writes_attempted : int;
+  writes_acked : int;
+  ack_latency_mean_us : float;
+  ack_latency_p99_us : float;
+  messages_per_write : float;
+  acked_lost_at_survivor : int;
+      (** writes acknowledged to the client yet missing from some surviving
+          replica at the end — the durability gap *)
+  replicas_consistent : bool;  (** all surviving replicas hold equal content *)
+  view_changes : int;
+}
+
+val run : config -> result

@@ -1,0 +1,109 @@
+module Config = Repro_catocs.Config
+module Stack = Repro_catocs.Stack
+module Wire = Repro_catocs.Wire
+module Transport = Repro_catocs.Transport
+module Rt_clock = Repro_statelevel.Rt_clock
+
+type config = {
+  seed : int64;
+  trials : int;
+  event_gap : Sim_time.t;
+  latency : Net.latency;
+  ordering : Config.ordering;
+  clock_accuracy_us : int;
+}
+
+let default_config =
+  { seed = 1L; trials = 200; event_gap = Sim_time.ms 6;
+    latency = Net.Uniform (500, 15_000); ordering = Config.Causal;
+    clock_accuracy_us = 1000 }
+
+type report = { trial : int; burning : bool; stamp : Sim_time.t; origin : int }
+
+type result = {
+  trials : int;
+  naive_anomalies : int;
+  timestamped_anomalies : int;
+  diagram : string option;
+}
+
+let pp_msg ppf r =
+  Format.fprintf ppf "%s(t%d)" (if r.burning then "FIRE" else "fire-out") r.trial
+
+let run ?(capture_diagram = false) config =
+  let net = Net.create ~latency:config.latency () in
+  let engine =
+    Engine.create ~seed:config.seed ~net
+      ~pp_msg:(Transport.pp_packet (Wire.pp pp_msg)) ()
+  in
+  if capture_diagram then Trace.set_enabled (Engine.trace engine) true;
+  let clock =
+    Rt_clock.create ~accuracy_us:config.clock_accuracy_us
+      (Rng.split (Engine.rng engine))
+  in
+  let group_config = { Config.default with Config.ordering = config.ordering } in
+  let stacks =
+    Stack.create_group ~engine ~config:group_config
+      ~names:[ "furnace-P"; "observer-Q"; "monitor-R" ]
+      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+  in
+  let furnace, observer, monitor =
+    match stacks with
+    | [ p; q; r ] -> (p, q, r)
+    | _ -> invalid_arg "Fire_alarm: expected exactly three group members"
+  in
+  (* Q's two views of the world *)
+  let naive : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let stamped : (int, bool Rt_clock.Stamped.v) Hashtbl.t = Hashtbl.create 64 in
+  Stack.set_callbacks observer
+    { Stack.null_callbacks with
+      Stack.deliver =
+        (fun ~sender:_ r ->
+          Hashtbl.replace naive r.trial r.burning;
+          let incoming =
+            { Rt_clock.Stamped.stamp = r.stamp; origin = r.origin; v = r.burning }
+          in
+          let merged =
+            Rt_clock.Stamped.merge (Hashtbl.find_opt stamped r.trial) incoming
+          in
+          Hashtbl.replace stamped r.trial merged) };
+  let report stack trial burning =
+    let origin = Stack.self stack in
+    let stamp = Rt_clock.read clock ~pid:origin ~now:(Engine.now engine) in
+    Stack.multicast stack { trial; burning; stamp; origin }
+  in
+  (* physical script per trial: fire (P), fire goes out (R observes through
+     the external world), fire restarts (P) *)
+  let trial_spacing = Sim_time.ms 80 in
+  for trial = 0 to config.trials - 1 do
+    let base = Sim_time.add (Sim_time.ms 5) (trial * trial_spacing) in
+    Engine.at engine base (fun () -> report furnace trial true);
+    Engine.at engine (Sim_time.add base config.event_gap) (fun () ->
+        report monitor trial false);
+    Engine.at engine (Sim_time.add base (2 * config.event_gap)) (fun () ->
+        report furnace trial true)
+  done;
+  let horizon =
+    Sim_time.add (config.trials * trial_spacing) (Sim_time.seconds 1)
+  in
+  Engine.run ~until:horizon engine;
+  (* ground truth: the fire is burning at the end of every trial *)
+  let naive_anomalies = ref 0 and timestamped_anomalies = ref 0 in
+  for trial = 0 to config.trials - 1 do
+    (match Hashtbl.find_opt naive trial with
+     | Some true -> ()
+     | Some false | None -> incr naive_anomalies);
+    match Hashtbl.find_opt stamped trial with
+    | Some { Rt_clock.Stamped.v = true; _ } -> ()
+    | Some _ | None -> incr timestamped_anomalies
+  done;
+  let diagram =
+    if capture_diagram then
+      Some
+        (Trace.render_diagram ~exclude_substrings:[ "gossip"; "ack" ] ~limit:60
+           (Engine.trace engine)
+           ~names:[| "furnace-P"; "observer-Q"; "monitor-R" |])
+    else None
+  in
+  { trials = config.trials; naive_anomalies = !naive_anomalies;
+    timestamped_anomalies = !timestamped_anomalies; diagram }

@@ -1,0 +1,36 @@
+(** The fire-alarm example (Figure 3): unrecognised causality through an
+    external channel.
+
+    A furnace process P detects a fire and multicasts "fire"; a monitor R
+    observes (through the physical world — the external channel) that the
+    fire went out and multicasts "fire out"; the fire then restarts and P
+    multicasts "fire" again. The second "fire" and the "fire out" are
+    concurrent under happens-before, so causal — or total — multicast may
+    deliver "fire out" last at an observer Q, which then wrongly concludes
+    the fire is out.
+
+    The state-level fix is a real-time timestamp on each report: the
+    observer keeps the freshest report, and clock-synchronisation accuracy
+    (sub-millisecond) is far finer than physical event spacing. *)
+
+type config = {
+  seed : int64;
+  trials : int;
+  event_gap : Sim_time.t;  (** physical time between fire / out / fire *)
+  latency : Net.latency;
+  ordering : Repro_catocs.Config.ordering;
+      (** the paper notes the anomaly survives total ordering too *)
+  clock_accuracy_us : int;
+}
+
+val default_config : config
+
+type result = {
+  trials : int;
+  naive_anomalies : int;
+      (** trials where Q's last-received report says the fire is out *)
+  timestamped_anomalies : int;  (** freshest-timestamp view (expected: 0) *)
+  diagram : string option;
+}
+
+val run : ?capture_diagram:bool -> config -> result

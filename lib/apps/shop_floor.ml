@@ -1,0 +1,153 @@
+module Config = Repro_catocs.Config
+module Stack = Repro_catocs.Stack
+module Wire = Repro_catocs.Wire
+module Transport = Repro_catocs.Transport
+module Endpoint = Repro_catocs.Endpoint
+module Versioned = Repro_statelevel.Versioned
+
+type config = {
+  seed : int64;
+  trials : int;
+  request_gap : Sim_time.t;
+  latency : Net.latency;
+}
+
+let default_config =
+  { seed = 1L; trials = 200; request_gap = Sim_time.ms 8;
+    latency = Net.Uniform (500, 12_000) }
+
+type result = {
+  trials : int;
+  naive_anomalies : int;
+  versioned_anomalies : int;
+  stale_rejected : int;
+  messages_sent : int;
+  diagram : string option;
+}
+
+type msg =
+  | Request of { lot : string; action : string }
+  | Db_update of { lot : string; action : string; reply_to : Engine.pid }
+  | Db_reply of { lot : string; action : string; version : int }
+  | Notify of { lot : string; action : string; version : int }
+
+let pp_msg ppf = function
+  | Request { lot; action } -> Format.fprintf ppf "req %s %s" action lot
+  | Db_update { lot; action; _ } -> Format.fprintf ppf "db<- %s %s" action lot
+  | Db_reply { lot; action; version } ->
+    Format.fprintf ppf "db-> %s %s v%d" action lot version
+  | Notify { lot; action; version } ->
+    Format.fprintf ppf "notify %s %s v%d" action lot version
+
+let run ?(capture_diagram = false) config =
+  let net = Net.create ~latency:config.latency () in
+  let engine =
+    Engine.create ~seed:config.seed ~net
+      ~pp_msg:(Transport.pp_packet (Wire.pp pp_msg)) ()
+  in
+  if capture_diagram then Trace.set_enabled (Engine.trace engine) true;
+  (* the group: two SFC instances plus the observing client workstation *)
+  let group_config = { Config.default with Config.ordering = Config.Causal } in
+  let stacks =
+    Stack.create_group ~engine ~config:group_config
+      ~names:[ "sfc1"; "sfc2"; "observer" ]
+      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+  in
+  let sfc1, sfc2, observer =
+    match stacks with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> invalid_arg "Shop_floor: expected exactly three group members"
+  in
+  (* the shared database: the hidden channel *)
+  let db_store : string Versioned.store = Versioned.create_store () in
+  let db_pid = Engine.spawn engine ~name:"database" (fun _ _ -> ()) in
+  let db_endpoint = ref None in
+  let db =
+    Endpoint.create ~engine ~self:db_pid ~mode:Config.Bare
+      ~on_direct:(fun ~src:_ payload ->
+        match payload with
+        | Db_update { lot; action; reply_to } ->
+          let version = Versioned.put db_store ~key:lot action in
+          (match !db_endpoint with
+           | Some e ->
+             Endpoint.send_direct e ~dst:reply_to (Db_reply { lot; action; version })
+           | None -> ())
+        | Request _ | Db_reply _ | Notify _ -> ())
+      ()
+  in
+  db_endpoint := Some db;
+  (* SFC behaviour: a request updates the database; the database reply
+     triggers the multicast notification *)
+  let wire_sfc stack =
+    Stack.set_callbacks stack
+      { Stack.null_callbacks with
+        Stack.direct =
+          (fun ~src:_ payload ->
+            match payload with
+            | Request { lot; action } ->
+              Stack.send_direct stack ~dst:db_pid
+                (Db_update { lot; action; reply_to = Stack.self stack })
+            | Db_reply { lot; action; version } ->
+              Stack.multicast stack (Notify { lot; action; version })
+            | Db_update _ | Notify _ -> ()) }
+  in
+  wire_sfc sfc1;
+  wire_sfc sfc2;
+  (* the observer keeps both views of the world *)
+  let naive : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let replica : string Versioned.replica = Versioned.create_replica () in
+  Stack.set_callbacks observer
+    { Stack.null_callbacks with
+      Stack.deliver =
+        (fun ~sender:_ payload ->
+          match payload with
+          | Notify { lot; action; version } ->
+            Hashtbl.replace naive lot action;
+            ignore (Versioned.apply replica ~key:lot action ~version)
+          | Request _ | Db_update _ | Db_reply _ -> ()) }
+  (* a client workstation issuing the request pairs *);
+  let client_pid = Engine.spawn engine ~name:"client" (fun _ _ -> ()) in
+  let client =
+    Endpoint.create ~engine ~self:client_pid ~mode:Config.Bare ()
+  in
+  let trial_spacing = Sim_time.ms 60 in
+  for i = 0 to config.trials - 1 do
+    let lot = Printf.sprintf "lot%04d" i in
+    let base = Sim_time.add (Sim_time.ms 5) (Sim_time.us (i * trial_spacing)) in
+    Engine.at engine base (fun () ->
+        Endpoint.send_direct client ~dst:(Stack.self sfc1)
+          (Request { lot; action = "start" }));
+    Engine.at engine (Sim_time.add base config.request_gap) (fun () ->
+        Endpoint.send_direct client ~dst:(Stack.self sfc2)
+          (Request { lot; action = "stop" }))
+  done;
+  let horizon =
+    Sim_time.add (Sim_time.us (config.trials * trial_spacing)) (Sim_time.seconds 1)
+  in
+  Engine.run ~until:horizon engine;
+  (* score both observer views against the database's final state *)
+  let naive_anomalies = ref 0 and versioned_anomalies = ref 0 in
+  List.iter
+    (fun lot ->
+      match Versioned.get db_store ~key:lot with
+      | None -> ()
+      | Some truth ->
+        (match Hashtbl.find_opt naive lot with
+         | Some seen when seen = truth.Versioned.value -> ()
+         | Some _ | None -> incr naive_anomalies);
+        (match Versioned.read replica ~key:lot with
+         | Some seen when seen.Versioned.value = truth.Versioned.value -> ()
+         | Some _ | None -> incr versioned_anomalies))
+    (Versioned.keys db_store);
+  let diagram =
+    if capture_diagram then
+      Some
+        (Trace.render_diagram ~exclude_substrings:[ "gossip"; "ack" ] ~limit:60
+           (Engine.trace engine)
+           ~names:[| "sfc1"; "sfc2"; "observer"; "database"; "client" |])
+    else None
+  in
+  { trials = config.trials; naive_anomalies = !naive_anomalies;
+    versioned_anomalies = !versioned_anomalies;
+    stale_rejected = Versioned.stale_rejected replica;
+    messages_sent = Engine.messages_sent engine; diagram }

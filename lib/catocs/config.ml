@@ -1,0 +1,30 @@
+type ordering = Fifo | Causal | Total_sequencer | Total_lamport
+
+type failure_detection =
+  | Oracle
+  | Heartbeat of { period : Sim_time.t; timeout : Sim_time.t }
+
+type transport_mode =
+  | Bare
+  | Reliable of { rto : Sim_time.t; max_retries : int }
+
+type t = {
+  ordering : ordering;
+  gossip_period : Sim_time.t;
+  transport : transport_mode;
+  failure_detection : failure_detection;
+  piggyback_history : bool;
+  payload_bytes : int;
+  track_graph : bool;
+}
+
+let default =
+  { ordering = Causal; gossip_period = Sim_time.ms 20; transport = Bare;
+    failure_detection = Oracle; piggyback_history = false;
+    payload_bytes = 256; track_graph = true }
+
+let ordering_name = function
+  | Fifo -> "fifo"
+  | Causal -> "causal"
+  | Total_sequencer -> "total-seq"
+  | Total_lamport -> "total-lamport"

@@ -1,0 +1,45 @@
+(** Configuration of a CATOCS process group. *)
+
+type ordering =
+  | Fifo  (** per-sender FIFO multicast (FBCAST) — the non-CATOCS baseline *)
+  | Causal  (** vector-clock causal multicast (CBCAST) *)
+  | Total_sequencer  (** causal + sequencer-assigned total order (ABCAST) *)
+  | Total_lamport  (** total order by Lamport timestamps, stability-released *)
+
+type failure_detection =
+  | Oracle
+      (** the simulator notifies every observer [detection_delay] after a
+          crash — the idealised, simultaneous detector *)
+  | Heartbeat of { period : Sim_time.t; timeout : Sim_time.t }
+      (** each member multicasts heartbeats; a peer silent for [timeout] is
+          suspected. Detection is per-observer (staggered), and with
+          message loss a {e live} member can be falsely suspected and
+          removed — it must re-join (see {!Stack.join}). *)
+
+type transport_mode =
+  | Bare  (** raw network: no acks; suitable for lossless configurations *)
+  | Reliable of { rto : Sim_time.t; max_retries : int }
+      (** positive ack + retransmission, FIFO reassembly *)
+
+type t = {
+  ordering : ordering;
+  gossip_period : Sim_time.t;
+      (** period of stability gossip; also drives Lamport-order progress *)
+  transport : transport_mode;
+  failure_detection : failure_detection;
+  piggyback_history : bool;
+      (** footnote 4 of Section 3.4: instead of delaying a dependent
+          message at the receiver, append the sender's unstable causal
+          predecessors to it so the receiver can fill its own gaps — at the
+          price of (significantly) larger messages *)
+  payload_bytes : int;  (** default accounting size of one payload *)
+  track_graph : bool;
+      (** maintain the shared active-causal-graph (Section 5 metrics);
+          costs memory at large scale *)
+}
+
+val default : t
+(** Causal ordering, 20ms gossip, bare transport, oracle failure detection,
+    256-byte payloads, graph tracking on. *)
+
+val ordering_name : ordering -> string

@@ -1,0 +1,40 @@
+type mode = Fifo_gap | Causal_full
+
+type 'a pending = { data : 'a Wire.data; arrived_at : Sim_time.t }
+
+type 'a t = { mode : mode; mutable queue : 'a pending list }
+(* The queue is kept in arrival order; scans are linear, which is fine at
+   the queue lengths the protocols produce (delivery normally drains it). *)
+
+let create mode = { mode; queue = [] }
+
+let add t pending = t.queue <- t.queue @ [ pending ]
+
+let length t = List.length t.queue
+
+let condition_holds t ~local (pending : 'a pending) =
+  let data = pending.data in
+  let sender = data.Wire.sender_rank in
+  let msg = data.Wire.vt in
+  match t.mode with
+  | Fifo_gap -> Vector_clock.get msg sender = Vector_clock.get local sender + 1
+  | Causal_full -> Vector_clock.deliverable ~sender ~msg ~local
+
+let take_deliverable t ~local =
+  let rec split_first acc = function
+    | [] -> None
+    | pending :: rest ->
+      if condition_holds t ~local pending then begin
+        t.queue <- List.rev_append acc rest;
+        Some pending
+      end
+      else split_first (pending :: acc) rest
+  in
+  split_first [] t.queue
+
+let drain t =
+  let all = t.queue in
+  t.queue <- [];
+  all
+
+let to_list t = t.queue

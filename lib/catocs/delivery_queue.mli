@@ -1,0 +1,30 @@
+(** The causal/FIFO delay queue: holds received multicasts until their
+    delivery condition against the local vector clock is satisfied.
+
+    This is the queue whose occupancy embodies "false causality delay"
+    (Section 3.4): a message sits here exactly when some message ordered
+    before it by happens-before has not yet arrived. Pure data structure —
+    no engine dependency — so invariants are property-testable. *)
+
+type mode =
+  | Fifo_gap  (** deliver when [vt(sender) = local(sender) + 1] only *)
+  | Causal_full  (** full Birman-Schiper-Stephenson condition *)
+
+type 'a pending = { data : 'a Wire.data; arrived_at : Sim_time.t }
+
+type 'a t
+
+val create : mode -> 'a t
+
+val add : 'a t -> 'a pending -> unit
+val length : 'a t -> int
+
+val take_deliverable : 'a t -> local:Vector_clock.t -> 'a pending option
+(** Remove and return one message whose delivery condition holds, oldest
+    arrival first among candidates (deterministic). The caller must merge the
+    message's timestamp into [local] before calling again. *)
+
+val drain : 'a t -> 'a pending list
+(** Remove and return everything (used when discarding at view change). *)
+
+val to_list : 'a t -> 'a pending list

@@ -1,0 +1,34 @@
+(** A network endpoint for one simulated process: owns the transport and
+    demultiplexes incoming wire messages to {e per-group} protocol handlers
+    and an application handler.
+
+    One endpoint exists per process; a process may belong to several
+    process groups (Section 5's "causal domains"), each registered under
+    its group id. Plain nodes (clients, shared databases — the paper's
+    "hidden channels") are endpoints with no registered groups. *)
+
+type 'a t
+
+val create :
+  engine:'a Wire.t Transport.packet Engine.t ->
+  self:Engine.pid ->
+  mode:Config.transport_mode ->
+  ?on_direct:(src:Engine.pid -> 'a -> unit) ->
+  unit ->
+  'a t
+(** Installs itself as the engine handler for [self]. *)
+
+val self : 'a t -> Engine.pid
+val engine : 'a t -> 'a Wire.t Transport.packet Engine.t
+
+val register_group :
+  'a t -> group:int -> (src:Engine.pid -> 'a Wire.proto -> unit) -> unit
+(** Route protocol messages of [group] to the given handler (replacing any
+    previous registration for that id). *)
+
+val send_proto : 'a t -> group:int -> dst:Engine.pid -> 'a Wire.proto -> unit
+val send_direct : 'a t -> dst:Engine.pid -> 'a -> unit
+
+val set_on_direct : 'a t -> (src:Engine.pid -> 'a -> unit) -> unit
+
+val packets_sent : 'a t -> int

@@ -1,0 +1,41 @@
+type view = { view_id : int; members : Engine.pid array }
+
+let make_view ~view_id members =
+  let arr = Array.of_list (List.sort_uniq Int.compare members) in
+  if Array.length arr = 0 then invalid_arg "Group.make_view: empty membership";
+  { view_id; members = arr }
+
+let size view = Array.length view.members
+
+let rank_of view pid =
+  let n = Array.length view.members in
+  let rec search i =
+    if i >= n then None
+    else if view.members.(i) = pid then Some i
+    else search (i + 1)
+  in
+  search 0
+
+let rank_of_exn view pid =
+  match rank_of view pid with
+  | Some r -> r
+  | None -> invalid_arg "Group.rank_of_exn: pid not in view"
+
+let member view rank = view.members.(rank)
+
+let mem view pid = rank_of view pid <> None
+
+let coordinator view = view.members.(0)
+
+let remove view pids ~new_view_id =
+  let survivors =
+    Array.to_list view.members |> List.filter (fun p -> not (List.mem p pids))
+  in
+  make_view ~view_id:new_view_id survivors
+
+let pp ppf view =
+  Format.fprintf ppf "view#%d{%a}" view.view_id
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list view.members)

@@ -1,0 +1,57 @@
+type 'a t = {
+  matrix : Matrix_clock.t;
+  buffer : (Wire.msg_id, 'a Wire.data) Hashtbl.t;
+  metrics : Metrics.t;
+  graph : Causality.t option;
+  mutable bytes : int;
+}
+
+let create ~group_size ~metrics ~graph =
+  { matrix = Matrix_clock.create group_size; buffer = Hashtbl.create 64;
+    metrics; graph; bytes = 0 }
+
+let note_sent_or_delivered t (data : 'a Wire.data) =
+  if not (Hashtbl.mem t.buffer data.Wire.msg_id) then begin
+    Hashtbl.add t.buffer data.Wire.msg_id data;
+    let bytes = Wire.buffered_bytes data in
+    t.bytes <- t.bytes + bytes;
+    Metrics.note_unstable_added t.metrics ~bytes
+  end;
+  Matrix_clock.update_row t.matrix data.Wire.sender_rank data.Wire.vt
+
+let release_stable t =
+  let stable_ids =
+    Hashtbl.fold
+      (fun id (data : 'a Wire.data) acc ->
+        let sender = data.Wire.sender_rank in
+        let seq = Vector_clock.get data.Wire.vt sender in
+        if Matrix_clock.stable t.matrix ~sender ~seq then (id, data) :: acc
+        else acc)
+      t.buffer []
+  in
+  let release (id, data) =
+    Hashtbl.remove t.buffer id;
+    let bytes = Wire.buffered_bytes data in
+    t.bytes <- t.bytes - bytes;
+    Metrics.note_unstable_removed t.metrics ~bytes;
+    match t.graph with
+    | Some graph -> Causality.remove_stable graph id
+    | None -> ()
+  in
+  List.iter release stable_ids
+
+let observe_vc t ~rank vc =
+  Matrix_clock.update_row t.matrix rank vc;
+  release_stable t
+
+let self_observe t ~rank vc = observe_vc t ~rank vc
+
+let unstable t =
+  Hashtbl.fold (fun _ data acc -> data :: acc) t.buffer []
+  |> List.sort (fun (a : 'a Wire.data) b ->
+         Int.compare a.Wire.msg_id b.Wire.msg_id)
+
+let unstable_count t = Hashtbl.length t.buffer
+let unstable_bytes t = t.bytes
+
+let matrix t = t.matrix

@@ -1,0 +1,38 @@
+(** Message-stability tracking and the unstable-message buffer.
+
+    A multicast is {e stable} once known to be received at every group
+    member; until then every member buffers it so the group can re-supply it
+    if the sender fails (atomic delivery, Section 2). Knowledge spreads via
+    the vector timestamps piggybacked on data messages and via periodic
+    gossip; a matrix clock summarises it.
+
+    Section 5's scaling claim is about precisely this buffer: its occupancy
+    is exported to {!Metrics} on every change. *)
+
+type 'a t
+
+val create :
+  group_size:int ->
+  metrics:Metrics.t ->
+  graph:Causality.t option ->
+  'a t
+
+val note_sent_or_delivered : 'a t -> 'a Wire.data -> unit
+(** Buffer a message (sender buffers its own multicasts immediately; members
+    buffer on delivery). Merges the message's timestamp into the origin's
+    matrix row. Idempotent per message id. *)
+
+val observe_vc : 'a t -> rank:int -> Vector_clock.t -> unit
+(** Merge a member's reported vector clock and release newly stable
+    messages. *)
+
+val self_observe : 'a t -> rank:int -> Vector_clock.t -> unit
+(** Update our own row (rank = self). *)
+
+val unstable : 'a t -> 'a Wire.data list
+(** Current unstable messages, ordered by message id (deterministic). *)
+
+val unstable_count : 'a t -> int
+val unstable_bytes : 'a t -> int
+
+val matrix : 'a t -> Matrix_clock.t

@@ -1,0 +1,829 @@
+type 'a callbacks = {
+  deliver : sender:Engine.pid -> 'a -> unit;
+  view_change : Group.view -> unit;
+  member_failed : Engine.pid -> unit;
+  direct : src:Engine.pid -> 'a -> unit;
+}
+
+let null_callbacks =
+  { deliver = (fun ~sender:_ _ -> ());
+    view_change = (fun _ -> ());
+    member_failed = (fun _ -> ());
+    direct = (fun ~src:_ _ -> ()) }
+
+type shared = {
+  group_id : int;
+  shared_config : Config.t;
+  graph : Causality.t option;
+  mutable next_msg_id : int;
+  id_index : (int * int * int, Wire.msg_id) Hashtbl.t;
+      (* (view_id, rank, per-sender seq) -> msg_id, for graph arcs *)
+}
+
+let next_group_id = ref 0
+
+let make_shared ?group_id (config : Config.t) =
+  let group_id =
+    match group_id with
+    | Some id -> id
+    | None -> incr next_group_id; !next_group_id
+  in
+  { group_id; shared_config = config;
+    graph = (if config.Config.track_graph then Some (Causality.create ()) else None);
+    next_msg_id = 0;
+    id_index = Hashtbl.create 256 }
+
+let shared_graph shared = shared.graph
+let group_id shared = shared.group_id
+
+type flush_state = {
+  new_view_id : int;
+  survivors : Engine.pid list;  (* flush participants: current live members *)
+  new_members : Engine.pid list;  (* survivors plus any admitted joiners *)
+  mutable flush_from : Engine.pid list;
+  mutable done_from : Engine.pid list;  (* coordinator only *)
+  mutable done_sent : bool;
+  started_at : Sim_time.t;
+}
+
+type join_state = {
+  mutable pending_view : (int * Engine.pid list) option;
+  mutable pending_state : (int * string) option;
+}
+
+type status = Normal | Flushing of flush_state | Joining of join_state
+
+type 'a t = {
+  engine : 'a Wire.t Transport.packet Engine.t;
+  shared : shared;
+  config : Config.t;
+  self : Engine.pid;
+  mutable callbacks : 'a callbacks;
+  metrics : Metrics.t;
+  lamport : Lamport.t;
+  delivered_ids : (Wire.msg_id, unit) Hashtbl.t;
+  mutable endpoint : 'a Endpoint.t option;  (* set right after creation *)
+  mutable view : Group.view;
+  mutable rank : int;
+  mutable vc : Vector_clock.t;
+  mutable queue : 'a Delivery_queue.t;
+  mutable seq_queue : 'a Total_order.Sequencer_queue.t;
+  mutable lamport_queue : 'a Total_order.Lamport_queue.t;
+  mutable stability : 'a Stability.t;
+  mutable next_global_seq : int;
+  mutable status : status;
+  mutable outbox : 'a list;
+  mutable failed_members : Engine.pid list;
+  mutable deferred_lamport_gossip : (int * int * int) list;
+      (* (rank, required per-sender seq, lamport time): a gossiped Lamport
+         time may only gate total-order release once every data message the
+         gossiper had sent has been delivered here, otherwise an in-flight
+         message with a smaller stamp could be overtaken *)
+  mutable future_proto : (int * 'a Wire.proto) list;
+      (* data/order messages from a view this member has not installed yet:
+         peers that finish the flush first may multicast in the new view
+         before our New_view arrives; dropping them would leave a permanent
+         causal gap *)
+  mutable replay_proto : 'a Wire.proto -> unit;
+      (* re-entry into the protocol handler, tied after its definition *)
+  mutable pending_joins : Engine.pid list;
+      (* join requests received during a flush, admitted in the next round *)
+  mutable trigger_pending_joins : unit -> unit;
+  mutable get_state : unit -> string;
+      (* application state snapshot handed to joiners (see
+         set_state_handlers) *)
+  mutable set_state : string -> unit;
+  mutable cancel_gossip : unit -> unit;
+  mutable ejected : bool;
+      (* removed from the group by its peers (crash, or false suspicion
+         under heartbeat detection): the stack is inert; re-join with a
+         fresh stack *)
+  mutable eject : unit -> unit;  (* tied after callbacks exist *)
+  last_seen : (Engine.pid, Sim_time.t) Hashtbl.t;
+      (* heartbeat detection: last protocol message per peer *)
+}
+
+let queue_mode (config : Config.t) =
+  match config.Config.ordering with
+  | Config.Fifo | Config.Total_lamport -> Delivery_queue.Fifo_gap
+  | Config.Causal | Config.Total_sequencer -> Delivery_queue.Causal_full
+
+let self t = t.self
+let shared_of t = t.shared
+let config_of t = t.config
+let view t = t.view
+let rank t = t.rank
+let metrics t = t.metrics
+let vector_clock t = t.vc
+let unstable_count t = Stability.unstable_count t.stability
+let unstable_bytes t = Stability.unstable_bytes t.stability
+let set_callbacks t callbacks = t.callbacks <- callbacks
+
+let pending_count t =
+  Delivery_queue.length t.queue
+  + List.length (Total_order.Sequencer_queue.pending_data t.seq_queue)
+  + List.length (Total_order.Lamport_queue.pending t.lamport_queue)
+
+let is_ejected t = t.ejected
+
+let is_flushing t =
+  match t.status with Normal -> false | Flushing _ | Joining _ -> true
+
+let endpoint t =
+  match t.endpoint with
+  | Some e -> e
+  | None -> invalid_arg "Stack: endpoint not initialised"
+
+let other_members t =
+  Array.to_list t.view.Group.members |> List.filter (fun p -> p <> t.self)
+
+let broadcast_proto t proto =
+  List.iter (fun dst -> Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst proto) (other_members t)
+
+(* --- graph bookkeeping (Section 5 active causal graph) ----------------- *)
+
+let register_in_graph t (data : 'a Wire.data) =
+  match t.shared.graph with
+  | None -> ()
+  | Some graph ->
+    let vt = data.Wire.vt in
+    let view_id = data.Wire.view_id in
+    let sender = data.Wire.sender_rank in
+    let deps = ref [] in
+    for r = 0 to Vector_clock.size vt - 1 do
+      let seq = if r = sender then Vector_clock.get vt r - 1 else Vector_clock.get vt r in
+      if seq > 0 then
+        match Hashtbl.find_opt t.shared.id_index (view_id, r, seq) with
+        | Some dep -> deps := dep :: !deps
+        | None -> ()
+    done;
+    Hashtbl.replace t.shared.id_index
+      (view_id, sender, Vector_clock.get vt sender)
+      data.Wire.msg_id;
+    Causality.add_message graph ~id:data.Wire.msg_id ~deps:!deps
+
+(* --- delivery ----------------------------------------------------------- *)
+
+let final_deliver t (pending : 'a Delivery_queue.pending) =
+  let data = pending.Delivery_queue.data in
+  if not (Hashtbl.mem t.delivered_ids data.Wire.msg_id) then begin
+    Hashtbl.add t.delivered_ids data.Wire.msg_id ();
+    t.metrics.Metrics.delivered <- t.metrics.Metrics.delivered + 1;
+    let now = Engine.now t.engine in
+    let wait = Sim_time.sub now pending.Delivery_queue.arrived_at in
+    Stats.Summary.add t.metrics.Metrics.delivery_delay_us (float_of_int wait);
+    Stats.Summary.add t.metrics.Metrics.transit_us
+      (float_of_int (Sim_time.sub now data.Wire.sent_at));
+    if wait > 0 then
+      t.metrics.Metrics.delayed_messages <- t.metrics.Metrics.delayed_messages + 1;
+    Trace.record (Engine.trace t.engine) now ~pid:t.self Trace.Deliver
+      (Format.asprintf "msg#%d" data.Wire.msg_id);
+    t.callbacks.deliver ~sender:data.Wire.origin data.Wire.payload
+  end
+
+let release_total_queues t =
+  (match t.config.Config.ordering with
+   | Config.Total_sequencer ->
+     let rec loop () =
+       match Total_order.Sequencer_queue.take_ready t.seq_queue with
+       | Some pending -> final_deliver t pending; loop ()
+       | None -> ()
+     in
+     loop ()
+   | Config.Total_lamport ->
+     (* our own logical clock bounds our own future stamps *)
+     Total_order.Lamport_queue.observe_time t.lamport_queue ~rank:t.rank
+       (Lamport.value t.lamport);
+     let rec loop () =
+       match Total_order.Lamport_queue.take_ready t.lamport_queue with
+       | Some pending -> final_deliver t pending; loop ()
+       | None -> ()
+     in
+     loop ()
+   | Config.Fifo | Config.Causal -> ())
+
+let sequencer_pid t = Group.member t.view 0
+
+let causal_deliver t (pending : 'a Delivery_queue.pending) =
+  let data = pending.Delivery_queue.data in
+  (* Advance only the sender's component: in Causal_full mode this equals a
+     full merge (the delivery condition guarantees vt(k) <= local(k) for
+     k <> sender); in Fifo_gap mode a full merge would overstate which
+     messages from third parties we have delivered. *)
+  let sender = data.Wire.sender_rank in
+  Vector_clock.set t.vc sender (Vector_clock.get data.Wire.vt sender);
+  Stability.note_sent_or_delivered t.stability data;
+  Stability.self_observe t.stability ~rank:t.rank t.vc;
+  match t.config.Config.ordering with
+  | Config.Fifo | Config.Causal -> final_deliver t pending
+  | Config.Total_sequencer ->
+    Total_order.Sequencer_queue.add_data t.seq_queue pending;
+    if t.self = sequencer_pid t then begin
+      let global_seq = t.next_global_seq in
+      t.next_global_seq <- global_seq + 1;
+      let order =
+        Wire.Seq_order
+          { view_id = t.view.Group.view_id; msg_id = data.Wire.msg_id; global_seq }
+      in
+      t.metrics.Metrics.control_messages <-
+        t.metrics.Metrics.control_messages + Group.size t.view - 1;
+      broadcast_proto t order;
+      Total_order.Sequencer_queue.add_order t.seq_queue
+        ~msg_id:data.Wire.msg_id ~global_seq
+    end
+  | Config.Total_lamport ->
+    (match data.Wire.meta with
+     | Wire.Lamport_meta stamp ->
+       Total_order.Lamport_queue.add t.lamport_queue pending ~stamp;
+       Total_order.Lamport_queue.observe_time t.lamport_queue
+         ~rank:data.Wire.sender_rank stamp.Lamport.time
+     | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta ->
+       (* a misconfigured peer; deliver FIFO to stay live *)
+       final_deliver t pending)
+
+let apply_deferred_gossip t =
+  let applicable, still_deferred =
+    List.partition
+      (fun (rank, required, _) -> Vector_clock.get t.vc rank >= required)
+      t.deferred_lamport_gossip
+  in
+  t.deferred_lamport_gossip <- still_deferred;
+  List.iter
+    (fun (rank, _, time) ->
+      Total_order.Lamport_queue.observe_time t.lamport_queue ~rank time)
+    applicable
+
+let drain_deliverables t =
+  let rec loop () =
+    match Delivery_queue.take_deliverable t.queue ~local:t.vc with
+    | Some pending ->
+      causal_deliver t pending;
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  apply_deferred_gossip t;
+  release_total_queues t
+
+let rec on_data t (data : 'a Wire.data) =
+  (* piggybacked predecessors are just data messages: feed them through the
+     same path (duplicates are dropped by the delivered-ids check) *)
+  List.iter (fun d -> on_data t d) data.Wire.piggyback;
+  t.metrics.Metrics.data_received <- t.metrics.Metrics.data_received + 1;
+  if data.Wire.view_id > t.view.Group.view_id then
+    t.future_proto <-
+      (data.Wire.view_id, Wire.Data data) :: t.future_proto
+  else if data.Wire.view_id = t.view.Group.view_id
+          && not (Hashtbl.mem t.delivered_ids data.Wire.msg_id)
+  then begin
+    (match data.Wire.meta with
+     | Wire.Lamport_meta stamp -> ignore (Lamport.observe t.lamport stamp.Lamport.time)
+     | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta -> ());
+    let pending =
+      { Delivery_queue.data; arrived_at = Engine.now t.engine }
+    in
+    Delivery_queue.add t.queue pending;
+    drain_deliverables t
+  end
+
+(* --- multicast ---------------------------------------------------------- *)
+
+let make_data t payload =
+  let msg_id = t.shared.next_msg_id in
+  t.shared.next_msg_id <- msg_id + 1;
+  let vt = Vector_clock.copy t.vc in
+  Vector_clock.tick vt t.rank;
+  let meta =
+    match t.config.Config.ordering with
+    | Config.Fifo -> Wire.Fifo_meta
+    | Config.Causal -> Wire.Causal_meta
+    | Config.Total_sequencer -> Wire.Seq_meta
+    | Config.Total_lamport -> Wire.Lamport_meta (Lamport.stamp t.lamport ~node:t.rank)
+  in
+  let piggyback =
+    if t.config.Config.piggyback_history then
+      (* footnote 4: carry our unstable causal predecessors so receivers
+         can fill gaps locally instead of waiting *)
+      List.map
+        (fun (d : 'a Wire.data) -> { d with Wire.piggyback = [] })
+        (Stability.unstable t.stability)
+    else []
+  in
+  { Wire.msg_id; origin = t.self; sender_rank = t.rank;
+    view_id = t.view.Group.view_id; vt; meta; payload;
+    payload_bytes = t.config.Config.payload_bytes;
+    sent_at = Engine.now t.engine; piggyback }
+
+let transmit t data ~recipients =
+  t.metrics.Metrics.multicasts_sent <- t.metrics.Metrics.multicasts_sent + 1;
+  let overhead_per_copy =
+    Wire.header_bytes data + (Wire.wire_bytes data - Wire.buffered_bytes data)
+  in
+  t.metrics.Metrics.header_bytes <-
+    t.metrics.Metrics.header_bytes + (overhead_per_copy * List.length recipients);
+  register_in_graph t data;
+  List.iter
+    (fun dst -> Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst (Wire.Data data))
+    recipients;
+  (* the local copy goes through the same receive path *)
+  on_data t data
+
+let do_multicast t payload = transmit t (make_data t payload) ~recipients:(other_members t)
+
+let multicast t payload =
+  if t.ejected then ()
+  else
+    match t.status with
+    | Normal -> do_multicast t payload
+    | Flushing _ | Joining _ -> t.outbox <- t.outbox @ [ payload ]
+
+let inject_partial_multicast t payload ~recipients =
+  let recipients = List.filter (fun p -> p <> t.self) recipients in
+  transmit t (make_data t payload) ~recipients
+
+let send_direct t ~dst payload = Endpoint.send_direct (endpoint t) ~dst payload
+
+(* --- gossip / stability -------------------------------------------------- *)
+
+let send_gossip t =
+  match t.status with
+  | Flushing _ | Joining _ -> ()
+  | Normal ->
+    let proto =
+      Wire.Gossip
+        { view_id = t.view.Group.view_id; rank = t.rank;
+          vc = Vector_clock.copy t.vc; lamport = Lamport.value t.lamport }
+    in
+    t.metrics.Metrics.control_messages <-
+      t.metrics.Metrics.control_messages + Group.size t.view - 1;
+    broadcast_proto t proto;
+    Stability.self_observe t.stability ~rank:t.rank t.vc
+
+let on_gossip t ~view_id ~rank ~vc ~lamport =
+  if view_id = t.view.Group.view_id then begin
+    Stability.observe_vc t.stability ~rank vc;
+    ignore (Lamport.observe t.lamport lamport);
+    let gossiper_sent = Vector_clock.get vc rank in
+    if Vector_clock.get t.vc rank >= gossiper_sent then
+      Total_order.Lamport_queue.observe_time t.lamport_queue ~rank lamport
+    else
+      t.deferred_lamport_gossip <-
+        (rank, gossiper_sent, lamport) :: t.deferred_lamport_gossip;
+    drain_deliverables t
+  end
+
+(* --- view change --------------------------------------------------------- *)
+
+let coordinator_of survivors = List.fold_left min max_int survivors
+
+let flush_complete t flush =
+  List.for_all
+    (fun p -> p = t.self || List.mem p flush.flush_from)
+    flush.survivors
+
+let maybe_finish_flush t flush =
+  if flush_complete t flush && not flush.done_sent then begin
+    flush.done_sent <- true;
+    let coordinator = coordinator_of flush.survivors in
+    if t.self = coordinator then
+      flush.done_from <- t.self :: flush.done_from
+    else begin
+      t.metrics.Metrics.control_messages <- t.metrics.Metrics.control_messages + 1;
+      t.metrics.Metrics.flush_messages <- t.metrics.Metrics.flush_messages + 1;
+      Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst:coordinator
+        (Wire.Flush_done { new_view_id = flush.new_view_id; from = t.self })
+    end
+  end
+
+let install_view t flush =
+  (* Anything still blocked is undeliverable in the old view: the flush
+     guaranteed every survivor holds the same message set, so dropping the
+     remainder is group-consistent. This drop IS the atomicity-without-
+     durability gap of Section 2. *)
+  let leftover_causal = Delivery_queue.drain t.queue in
+  let leftover_seq = Total_order.Sequencer_queue.pending_data t.seq_queue in
+  let leftover_lamport = Total_order.Lamport_queue.pending t.lamport_queue in
+  (* Sequencer/Lamport leftovers were causally delivered but unordered;
+     every survivor holds the identical set, so deliver them in msg-id /
+     stamp order (deterministic and identical everywhere). *)
+  List.iter (final_deliver t) leftover_seq;
+  List.iter (final_deliver t) leftover_lamport;
+  Total_order.Sequencer_queue.clear t.seq_queue;
+  Total_order.Lamport_queue.clear t.lamport_queue;
+  t.metrics.Metrics.dropped_at_view_change <-
+    t.metrics.Metrics.dropped_at_view_change + List.length leftover_causal;
+  (match t.shared.graph with
+   | Some graph ->
+     List.iter
+       (fun (d : 'a Wire.data) -> Causality.remove_stable graph d.Wire.msg_id)
+       (Stability.unstable t.stability)
+   | None -> ());
+  let old_members = Array.to_list t.view.Group.members in
+  if not (List.mem t.self flush.new_members) then begin
+    (* the agreed view excludes us: false suspicion or late recovery *)
+    t.status <- Normal;
+    t.eject ()
+  end
+  else begin
+  let new_view = Group.make_view ~view_id:flush.new_view_id flush.new_members in
+  let removed = List.filter (fun p -> not (Group.mem new_view p)) old_members in
+  t.view <- new_view;
+  t.rank <- Group.rank_of_exn new_view t.self;
+  t.vc <- Vector_clock.create (Group.size new_view);
+  t.queue <- Delivery_queue.create (queue_mode t.config);
+  t.seq_queue <- Total_order.Sequencer_queue.create ();
+  t.lamport_queue <- Total_order.Lamport_queue.create ~group_size:(Group.size new_view);
+  t.stability <-
+    Stability.create ~group_size:(Group.size new_view) ~metrics:t.metrics
+      ~graph:t.shared.graph;
+  t.next_global_seq <- 0;
+  t.deferred_lamport_gossip <- [];
+  t.status <- Normal;
+  t.metrics.Metrics.view_changes <- t.metrics.Metrics.view_changes + 1;
+  t.metrics.Metrics.suppressed_us <-
+    t.metrics.Metrics.suppressed_us
+    + Sim_time.sub (Engine.now t.engine) flush.started_at;
+  List.iter (fun p -> t.callbacks.member_failed p) removed;
+  t.callbacks.view_change new_view;
+  (* replay messages that arrived for this view before we installed it *)
+  let ready, later =
+    List.partition (fun (vid, _) -> vid = new_view.Group.view_id) t.future_proto
+  in
+  t.future_proto <-
+    List.filter (fun (vid, _) -> vid > new_view.Group.view_id) later;
+  List.iter (fun (_, proto) -> t.replay_proto proto) (List.rev ready);
+  let queued = t.outbox in
+  t.outbox <- [];
+  List.iter (fun payload -> do_multicast t payload) queued;
+  if t.pending_joins <> [] then
+    (* admit joiners that queued up during the flush in a fresh round *)
+    Engine.after t.engine ~owner:t.self (Sim_time.us 1) t.trigger_pending_joins
+  end
+
+(* Enter a flush round with an agreed survivor set. The round's initiator
+   computes the set; members that learn of the round from a Flush message
+   adopt the set carried in it, so staggered failure detection still
+   converges on one view. *)
+let begin_flush t ~new_view_id ~survivors ~new_members =
+  let flush =
+    { new_view_id; survivors; new_members; flush_from = [ t.self ];
+      done_from = []; done_sent = false; started_at = Engine.now t.engine }
+  in
+  t.status <- Flushing flush;
+  (* anyone the agreed set excludes is de facto failed *)
+  t.failed_members <-
+    List.sort_uniq Int.compare
+      (List.filter (fun p -> not (List.mem p survivors))
+         (Array.to_list t.view.Group.members)
+       @ t.failed_members);
+  let unstable = Stability.unstable t.stability in
+  let proto = Wire.Flush { new_view_id; survivors; unstable } in
+  let targets = List.filter (fun p -> p <> t.self) survivors in
+  t.metrics.Metrics.control_messages <-
+    t.metrics.Metrics.control_messages + List.length targets;
+  t.metrics.Metrics.flush_messages <-
+    t.metrics.Metrics.flush_messages + List.length targets;
+  List.iter
+    (fun dst ->
+      Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst proto)
+    targets;
+  (* a member left behind on a stale round (everyone else moved on without
+     it, e.g. after a false suspicion) must not hang forever *)
+  Engine.after t.engine ~owner:t.self (Sim_time.seconds 1) (fun () ->
+      match t.status with
+      | Flushing f when f == flush -> t.eject ()
+      | Flushing _ | Normal | Joining _ -> ());
+  match survivors with
+  | [ only ] when only = t.self ->
+    (* alone: no peers to flush with; install immediately *)
+    flush.done_sent <- true;
+    install_view t flush
+  | _ -> maybe_finish_flush t flush
+
+(* A view change covers both directions of membership: [failed] removes a
+   member (detected crash), [joined] admits new ones. The flush itself is
+   always between the current live members; joiners receive the new view
+   plus a state transfer once the flush completes. *)
+let start_view_change t ~failed ~joined =
+  (match failed with
+   | Some pid ->
+     if not (List.mem pid t.failed_members) then
+       t.failed_members <- pid :: t.failed_members
+   | None -> ());
+  let joined = joined @ t.pending_joins in
+  t.pending_joins <- [];
+  (* a recovered process may re-join under its old pid: admitting it
+     supersedes its failure record *)
+  t.failed_members <-
+    List.filter (fun p -> not (List.mem p joined)) t.failed_members;
+  let new_view_id =
+    match t.status with
+    | Normal | Joining _ -> t.view.Group.view_id + 1
+    | Flushing f -> f.new_view_id + 1
+  in
+  let survivors =
+    Array.to_list t.view.Group.members
+    |> List.filter (fun p -> not (List.mem p t.failed_members))
+  in
+  let new_members =
+    survivors
+    @ List.filter
+        (fun j -> (not (List.mem j survivors)) && not (List.mem j t.failed_members))
+        (List.sort_uniq Int.compare joined)
+  in
+  begin_flush t ~new_view_id ~survivors ~new_members
+
+let rec on_flush t ~src ~new_view_id ~survivors ~unstable =
+  (match t.status with
+   | Normal when new_view_id > t.view.Group.view_id ->
+     (* a peer started a view change we have no local trigger for (a join,
+        or a failure we have not detected yet): adopt its round *)
+     begin_flush t ~new_view_id ~survivors ~new_members:survivors
+   | Flushing f when new_view_id > f.new_view_id ->
+     (* the group moved on to a later round (another failure detected
+        elsewhere): restart on it *)
+     begin_flush t ~new_view_id ~survivors ~new_members:survivors
+   | Normal | Flushing _ | Joining _ -> ());
+  match t.status with
+  | Flushing flush when flush.new_view_id = new_view_id ->
+    List.iter (fun data -> on_data t data) unstable;
+    if not (List.mem src flush.flush_from) then
+      flush.flush_from <- src :: flush.flush_from;
+    maybe_finish_flush t flush;
+    (* the coordinator may already have everyone's done *)
+    (match t.status with
+     | Flushing f
+       when f.new_view_id = new_view_id
+            && t.self = coordinator_of f.survivors
+            && List.length f.done_from >= List.length f.survivors ->
+       broadcast_new_view t f
+     | Flushing _ | Normal | Joining _ -> ())
+  | Flushing _ | Normal | Joining _ -> ()
+
+and broadcast_new_view t flush =
+  let joiners =
+    List.filter (fun p -> not (List.mem p flush.survivors)) flush.new_members
+  in
+  (* install first so the state snapshot reflects every old-view delivery *)
+  install_view t flush;
+  let proto =
+    Wire.New_view { view_id = flush.new_view_id; members = flush.new_members }
+  in
+  let targets = List.filter (fun p -> p <> t.self) flush.new_members in
+  t.metrics.Metrics.control_messages <-
+    t.metrics.Metrics.control_messages + List.length targets;
+  t.metrics.Metrics.flush_messages <-
+    t.metrics.Metrics.flush_messages + List.length targets;
+  List.iter (fun dst -> Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst proto) targets;
+  (match joiners with
+   | [] -> ()
+   | _ :: _ ->
+     let state =
+       Wire.State_transfer
+         { view_id = flush.new_view_id; state = t.get_state () }
+     in
+     t.metrics.Metrics.control_messages <-
+       t.metrics.Metrics.control_messages + List.length joiners;
+     t.metrics.Metrics.flush_messages <-
+       t.metrics.Metrics.flush_messages + List.length joiners;
+     List.iter (fun dst -> Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst state) joiners)
+
+let on_flush_done t ~new_view_id ~from =
+  match t.status with
+  | Flushing flush
+    when flush.new_view_id = new_view_id
+         && t.self = coordinator_of flush.survivors ->
+    if not (List.mem from flush.done_from) then
+      flush.done_from <- from :: flush.done_from;
+    if List.length flush.done_from >= List.length flush.survivors then
+      broadcast_new_view t flush
+  | Flushing _ | Normal | Joining _ -> ()
+
+let install_join t join ~view_id ~members ~state =
+  ignore join;
+  let new_view = Group.make_view ~view_id members in
+  t.view <- new_view;
+  t.rank <- Group.rank_of_exn new_view t.self;
+  t.vc <- Vector_clock.create (Group.size new_view);
+  t.queue <- Delivery_queue.create (queue_mode t.config);
+  t.seq_queue <- Total_order.Sequencer_queue.create ();
+  t.lamport_queue <- Total_order.Lamport_queue.create ~group_size:(Group.size new_view);
+  t.stability <-
+    Stability.create ~group_size:(Group.size new_view) ~metrics:t.metrics
+      ~graph:t.shared.graph;
+  t.next_global_seq <- 0;
+  t.deferred_lamport_gossip <- [];
+  t.status <- Normal;
+  t.set_state state;
+  t.metrics.Metrics.view_changes <- t.metrics.Metrics.view_changes + 1;
+  t.callbacks.view_change new_view;
+  let ready, later =
+    List.partition (fun (vid, _) -> vid = view_id) t.future_proto
+  in
+  t.future_proto <- List.filter (fun (vid, _) -> vid > view_id) later;
+  List.iter (fun (_, proto) -> t.replay_proto proto) (List.rev ready);
+  let queued = t.outbox in
+  t.outbox <- [];
+  List.iter (fun payload -> do_multicast t payload) queued
+
+let maybe_install_join t join =
+  match (join.pending_view, join.pending_state) with
+  | Some (view_id, members), Some (state_view, state) when view_id = state_view ->
+    install_join t join ~view_id ~members ~state
+  | _ -> ()
+
+let on_new_view t ~view_id ~members =
+  if not (List.mem t.self members) then begin
+    (match t.status with Flushing _ -> t.status <- Normal | Normal | Joining _ -> ());
+    t.eject ()
+  end
+  else
+  match t.status with
+  | Flushing flush when flush.new_view_id = view_id ->
+    install_view t { flush with survivors = members; new_members = members }
+  | Joining join ->
+    (match join.pending_view with
+     | Some (existing, _) when existing >= view_id -> ()
+     | Some _ | None ->
+       join.pending_view <- Some (view_id, members);
+       maybe_install_join t join)
+  | Flushing _ | Normal -> ()
+
+let on_state_transfer t ~view_id ~state =
+  match t.status with
+  | Joining join ->
+    (match join.pending_state with
+     | Some (existing, _) when existing >= view_id -> ()
+     | Some _ | None ->
+       join.pending_state <- Some (view_id, state);
+       maybe_install_join t join)
+  | Flushing _ | Normal -> ()
+
+let on_join_request t ~joiner =
+  if Group.mem t.view joiner then ()
+  else begin
+    let coordinator = Group.coordinator t.view in
+    if t.self <> coordinator then
+      (* not ours to coordinate: forward *)
+      Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst:coordinator
+        (Wire.Join_request { joiner })
+    else
+      match t.status with
+      | Normal -> start_view_change t ~failed:None ~joined:[ joiner ]
+      | Flushing _ | Joining _ ->
+        if not (List.mem joiner t.pending_joins) then
+          t.pending_joins <- joiner :: t.pending_joins
+  end
+
+(* --- wiring -------------------------------------------------------------- *)
+
+let handle_proto t ~src (proto : 'a Wire.proto) =
+  if t.ejected then ()
+  else begin
+    if src >= 0 then Hashtbl.replace t.last_seen src (Engine.now t.engine);
+    match proto with
+  | Wire.Data data -> on_data t data
+  | Wire.Seq_order { view_id; msg_id; global_seq } ->
+    if view_id > t.view.Group.view_id then
+      t.future_proto <- (view_id, proto) :: t.future_proto
+    else if view_id = t.view.Group.view_id then begin
+      Total_order.Sequencer_queue.add_order t.seq_queue ~msg_id ~global_seq;
+      release_total_queues t
+    end
+  | Wire.Gossip { view_id; rank; vc; lamport } ->
+    on_gossip t ~view_id ~rank ~vc ~lamport
+  | Wire.Flush { new_view_id; survivors; unstable } ->
+    on_flush t ~src ~new_view_id ~survivors ~unstable
+  | Wire.Flush_done { new_view_id; from } -> on_flush_done t ~new_view_id ~from
+  | Wire.New_view { view_id; members } -> on_new_view t ~view_id ~members
+  | Wire.Join_request { joiner } -> on_join_request t ~joiner
+  | Wire.State_transfer { view_id; state } -> on_state_transfer t ~view_id ~state
+  end
+
+let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callbacks () =
+  let rank = Group.rank_of_exn view self in
+  let metrics = Metrics.create () in
+  let t =
+    { engine; shared; config; self; callbacks; metrics;
+      lamport = Lamport.create (); delivered_ids = Hashtbl.create 256;
+      endpoint = None; view; rank;
+      vc = Vector_clock.create (Group.size view);
+      queue = Delivery_queue.create (queue_mode config);
+      seq_queue = Total_order.Sequencer_queue.create ();
+      lamport_queue = Total_order.Lamport_queue.create ~group_size:(Group.size view);
+      stability =
+        Stability.create ~group_size:(Group.size view) ~metrics
+          ~graph:shared.graph;
+      next_global_seq = 0; status = Normal; outbox = [];
+      failed_members = []; deferred_lamport_gossip = []; future_proto = [];
+      replay_proto = (fun _ -> ()); pending_joins = [];
+      trigger_pending_joins = (fun () -> ());
+      get_state = (fun () -> ""); set_state = (fun _ -> ());
+      cancel_gossip = (fun () -> ()); ejected = false;
+      eject = (fun () -> ()); last_seen = Hashtbl.create 16 }
+  in
+  let endpoint =
+    match shared_endpoint with
+    | Some e -> e
+    | None ->
+      Endpoint.create ~engine ~self ~mode:config.Config.transport
+        ~on_direct:(fun ~src payload -> t.callbacks.direct ~src payload)
+        ()
+  in
+  Endpoint.register_group endpoint ~group:shared.group_id (fun ~src proto ->
+      handle_proto t ~src proto);
+  t.endpoint <- Some endpoint;
+  t.cancel_gossip <-
+    Engine.every engine ~owner:self ~period:config.Config.gossip_period
+      (fun () -> send_gossip t);
+  t.replay_proto <- (fun proto -> handle_proto t ~src:(-1) proto);
+  t.eject <-
+    (fun () ->
+      if not t.ejected then begin
+        t.ejected <- true;
+        t.cancel_gossip ();
+        (* the application learns it was expelled through its own failure
+           notification; it may re-join with a fresh stack *)
+        t.callbacks.member_failed t.self
+      end);
+  t.trigger_pending_joins <-
+    (fun () ->
+      match t.status with
+      | Normal
+        when t.pending_joins <> [] && t.self = Group.coordinator t.view ->
+        start_view_change t ~failed:None ~joined:[]
+      | Normal | Flushing _ | Joining _ -> ());
+  (match config.Config.failure_detection with
+   | Config.Oracle ->
+     Engine.on_failure engine (fun pid ->
+         if Engine.is_alive engine self && Group.mem t.view pid && pid <> self
+         then start_view_change t ~failed:(Some pid) ~joined:[])
+   | Config.Heartbeat { period; timeout } ->
+     (* the stability gossip doubles as the heartbeat; a peer silent past
+        the timeout is suspected. Detection is per-observer: peers learn of
+        the round from the Flush message and adopt its survivor set. *)
+     let created_at = Engine.now engine in
+     let check () =
+       if (not t.ejected) && Engine.is_alive engine self then begin
+         let now = Engine.now engine in
+         Array.iter
+           (fun peer ->
+             if peer <> self && not (List.mem peer t.failed_members) then begin
+               let last =
+                 Option.value ~default:created_at
+                   (Hashtbl.find_opt t.last_seen peer)
+               in
+               if Sim_time.sub now last > timeout then
+                 start_view_change t ~failed:(Some peer) ~joined:[]
+             end)
+           t.view.Group.members
+       end
+     in
+     let (_cancel : unit -> unit) =
+       Engine.every engine ~owner:self ~period check
+     in
+     ());
+  t
+
+let set_state_handlers t ~get ~set =
+  t.get_state <- get;
+  t.set_state <- set
+
+let join ?endpoint:shared_endpoint ~engine ~shared ~config ~self ~contact ~callbacks () =
+  let placeholder = Group.make_view ~view_id:(-1) [ self ] in
+  let t =
+    create ?endpoint:shared_endpoint ~engine ~shared ~config ~view:placeholder
+      ~self ~callbacks ()
+  in
+  let join_state = { pending_view = None; pending_state = None } in
+  t.status <- Joining join_state;
+  let request () =
+    Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst:contact (Wire.Join_request { joiner = self })
+  in
+  request ();
+  (* retry until admitted: the contact (or the join round) may fail *)
+  let rec retry () =
+    match t.status with
+    | Joining _ ->
+      request ();
+      Engine.after engine ~owner:self (Sim_time.ms 500) retry
+    | Normal | Flushing _ -> ()
+  in
+  Engine.after engine ~owner:self (Sim_time.ms 500) retry;
+  t
+
+let shutdown t =
+  t.cancel_gossip ();
+  t.callbacks <- null_callbacks
+
+let create_group ~engine ~config ~names ~make_callbacks =
+  let pids =
+    List.map (fun n -> Engine.spawn engine ~name:n (fun _ _ -> ())) names
+  in
+  let view = Group.make_view ~view_id:0 pids in
+  let shared = make_shared config in
+  List.map
+    (fun pid ->
+      create ~engine ~shared ~config ~view ~self:pid
+        ~callbacks:(make_callbacks pid) ())
+    pids

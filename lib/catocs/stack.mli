@@ -1,0 +1,138 @@
+(** One group member's CATOCS protocol instance.
+
+    A stack implements, per the configured {!Config.ordering}:
+
+    - FBCAST: per-sender FIFO multicast (the non-CATOCS baseline),
+    - CBCAST: vector-clock causal multicast with the
+      Birman-Schiper-Stephenson delivery condition,
+    - ABCAST: CBCAST plus a sequencer (the lowest-ranked member) assigning a
+      single total order,
+    - Lamport total order: delivery in timestamp order once stable.
+
+    All modes provide atomic ("all surviving members or none") delivery via
+    unstable-message buffering and a flush-based view-change protocol in the
+    virtual synchrony style: on failure notification members suppress
+    sending, exchange unstable messages, and install the next view only when
+    every survivor holds every message any survivor delivered. Delivery is
+    atomic but {e not durable} — exactly the Section 2 gap, which
+    {!inject_partial_multicast} exists to demonstrate.
+
+    View-change protocol note: flush rounds assume the flush control
+    messages themselves are not lost; configure [Reliable] transport when
+    running with message loss. *)
+
+type 'a callbacks = {
+  deliver : sender:Engine.pid -> 'a -> unit;
+  view_change : Group.view -> unit;
+      (** invoked after the new view is installed *)
+  member_failed : Engine.pid -> unit;
+      (** ordered failure notification: after all of the failed member's
+          surviving messages have been delivered *)
+  direct : src:Engine.pid -> 'a -> unit;
+      (** out-of-band point-to-point messages *)
+}
+
+val null_callbacks : 'a callbacks
+
+type shared
+(** Group-wide context: message-id allocation, the shared active causal
+    graph, and the id index used to materialise graph arcs. *)
+
+val make_shared : ?group_id:int -> Config.t -> shared
+(** Group ids default to a fresh id from a global counter; pass one only to
+    pin a stable identifier. *)
+
+val shared_graph : shared -> Causality.t option
+val group_id : shared -> int
+
+type 'a t
+
+val create :
+  ?endpoint:'a Endpoint.t ->
+  engine:'a Wire.t Transport.packet Engine.t ->
+  shared:shared ->
+  config:Config.t ->
+  view:Group.view ->
+  self:Engine.pid ->
+  callbacks:'a callbacks ->
+  unit ->
+  'a t
+(** [endpoint] lets several stacks (one per group) share one process's
+    endpoint — a process may belong to many groups; by default a fresh
+    endpoint is created and the stack is its only group. *)
+
+val create_group :
+  engine:'a Wire.t Transport.packet Engine.t ->
+  config:Config.t ->
+  names:string list ->
+  make_callbacks:(Engine.pid -> 'a callbacks) ->
+  'a t list
+(** Spawn one process per name, form the initial view over all of them, and
+    return their stacks (in name order). *)
+
+val multicast : 'a t -> 'a -> unit
+(** Multicast to the current view. During a flush, sends are queued and
+    transmitted once the new view is installed (send suppression). *)
+
+val send_direct : 'a t -> dst:Engine.pid -> 'a -> unit
+
+val set_callbacks : 'a t -> 'a callbacks -> unit
+
+val self : 'a t -> Engine.pid
+val shared_of : 'a t -> shared
+val config_of : 'a t -> Config.t
+val view : 'a t -> Group.view
+val rank : 'a t -> int
+val metrics : 'a t -> Metrics.t
+val vector_clock : 'a t -> Vector_clock.t
+val unstable_count : 'a t -> int
+val unstable_bytes : 'a t -> int
+val pending_count : 'a t -> int
+(** Messages currently blocked in ordering queues. *)
+
+val is_flushing : 'a t -> bool
+
+val is_ejected : 'a t -> bool
+(** True once the group removed this member (its crash was detected — or,
+    under heartbeat detection with loss, it was falsely suspected). An
+    ejected stack is inert; the process re-joins with a fresh stack. The
+    application is told through [member_failed] with its own pid. *)
+
+val inject_partial_multicast : 'a t -> 'a -> recipients:Engine.pid list -> unit
+(** Fault injection: perform a multicast whose network sends reach only
+    [recipients] (the local copy is still processed), modelling a sender
+    crash mid-multicast. Used by the durability-gap experiment. *)
+
+val set_state_handlers :
+  'a t -> get:(unit -> string) -> set:(string -> unit) -> unit
+(** Application-state transfer hooks for joins: [get] is called on the view
+    coordinator when a member is admitted (after all old-view deliveries,
+    so every member would produce the same snapshot); [set] is called on
+    the joiner before its first delivery in the new view. The encoding of
+    the string is the application's business. Defaults: empty snapshot,
+    ignored on receipt. *)
+
+val join :
+  ?endpoint:'a Endpoint.t ->
+  engine:'a Wire.t Transport.packet Engine.t ->
+  shared:shared ->
+  config:Config.t ->
+  self:Engine.pid ->
+  contact:Engine.pid ->
+  callbacks:'a callbacks ->
+  unit ->
+  'a t
+(** Ask to join an existing group through [contact] (any member). The
+    request is forwarded to the view coordinator, which runs a flush and
+    installs a view containing the joiner; the joiner receives the new view
+    and a state transfer, then starts delivering. The request retries every
+    500ms until admitted, so a crashed contact or an interrupted round is
+    survived. Multicasts issued while joining are queued and sent in the
+    first installed view. A process that crashed and recovered rejoins with
+    a {e fresh} stack via this function (its old stack is stale; see
+    {!shutdown}). *)
+
+val shutdown : 'a t -> unit
+(** Detach a stale stack: stops its gossip and makes it inert. Used when a
+    recovered process abandons its pre-crash stack to re-join with a new
+    one. *)

@@ -1,0 +1,101 @@
+module Sequencer_queue = struct
+  type 'a t = {
+    mutable next_release : int;
+    orders : (int, Wire.msg_id) Hashtbl.t;  (* global_seq -> msg *)
+    data : (Wire.msg_id, 'a Delivery_queue.pending) Hashtbl.t;
+  }
+
+  let create () =
+    { next_release = 0; orders = Hashtbl.create 32; data = Hashtbl.create 32 }
+
+  let add_data t pending =
+    Hashtbl.replace t.data pending.Delivery_queue.data.Wire.msg_id pending
+
+  let add_order t ~msg_id ~global_seq = Hashtbl.replace t.orders global_seq msg_id
+
+  let take_ready t =
+    match Hashtbl.find_opt t.orders t.next_release with
+    | None -> None
+    | Some msg_id ->
+      (match Hashtbl.find_opt t.data msg_id with
+       | None -> None  (* order known but data not yet causally delivered *)
+       | Some pending ->
+         Hashtbl.remove t.orders t.next_release;
+         Hashtbl.remove t.data msg_id;
+         t.next_release <- t.next_release + 1;
+         Some pending)
+
+  let pending_data t =
+    Hashtbl.fold (fun _ p acc -> p :: acc) t.data []
+    |> List.sort (fun a b ->
+           Int.compare a.Delivery_queue.data.Wire.msg_id
+             b.Delivery_queue.data.Wire.msg_id)
+
+  let clear t =
+    Hashtbl.reset t.orders;
+    Hashtbl.reset t.data
+end
+
+module Lamport_queue = struct
+  type 'a entry = { stamp : Lamport.stamp; pending : 'a Delivery_queue.pending }
+
+  type 'a t = {
+    mutable entries : 'a entry list;  (* sorted by stamp *)
+    latest_seen : int array;  (* per rank, -1 until first observation *)
+    active : bool array;
+  }
+
+  let create ~group_size =
+    { entries = []; latest_seen = Array.make group_size (-1);
+      active = Array.make group_size true }
+
+  let add t pending ~stamp =
+    let entry = { stamp; pending } in
+    let rec insert = function
+      | [] -> [ entry ]
+      | e :: rest ->
+        if Lamport.compare_stamp entry.stamp e.stamp < 0 then entry :: e :: rest
+        else e :: insert rest
+    in
+    t.entries <- insert t.entries
+
+  let observe_time t ~rank time =
+    if rank >= 0 && rank < Array.length t.latest_seen
+       && time > t.latest_seen.(rank)
+    then t.latest_seen.(rank) <- time
+
+  let deactivate_rank t rank =
+    if rank >= 0 && rank < Array.length t.active then t.active.(rank) <- false
+
+  (* A message stamped (T, node) can still be preceded by an unseen message
+     from rank r only if r's future or in-flight stamps can be below (T,
+     node). Given FIFO per-sender delivery, rank r is safe once observed at
+     a time strictly past T — or at exactly T when r >= node, because any
+     unseen stamp (T, r) would order after (T, node). *)
+  let rank_safe t ~time ~node rank =
+    let seen = t.latest_seen.(rank) in
+    seen > time || (seen = time && rank >= node)
+
+  let releasable t (stamp : Lamport.stamp) =
+    let n = Array.length t.latest_seen in
+    let ok = ref true in
+    for rank = 0 to n - 1 do
+      if t.active.(rank)
+         && not (rank_safe t ~time:stamp.Lamport.time ~node:stamp.Lamport.node rank)
+      then ok := false
+    done;
+    !ok
+
+  let take_ready t =
+    match t.entries with
+    | [] -> None
+    | entry :: rest ->
+      if releasable t entry.stamp then begin
+        t.entries <- rest;
+        Some entry.pending
+      end
+      else None
+
+  let pending t = List.map (fun e -> e.pending) t.entries
+  let clear t = t.entries <- []
+end

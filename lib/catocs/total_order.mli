@@ -1,0 +1,52 @@
+(** Total-order release queues.
+
+    {!Sequencer_queue} implements the receiver side of sequencer-based total
+    order (ABCAST): causally delivered messages are held until the
+    sequencer's order for them arrives and every earlier global sequence
+    number has been released.
+
+    {!Lamport_queue} implements decentralised total order by Lamport
+    timestamps: a message is released once its stamp is known to be minimal
+    — every group member has been observed at a later logical time. Progress
+    relies on gossip, which is precisely the Section 5 point that quiet
+    members stall totally ordered delivery. *)
+
+module Sequencer_queue : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val add_data : 'a t -> 'a Delivery_queue.pending -> unit
+  val add_order : 'a t -> msg_id:Wire.msg_id -> global_seq:int -> unit
+
+  val take_ready : 'a t -> 'a Delivery_queue.pending option
+  (** Next message in contiguous global-sequence order, if its data has
+      arrived. *)
+
+  val pending_data : 'a t -> 'a Delivery_queue.pending list
+  (** Data held without a released order yet (drained at view change). *)
+
+  val clear : 'a t -> unit
+end
+
+module Lamport_queue : sig
+  type 'a t
+
+  val create : group_size:int -> 'a t
+
+  val add : 'a t -> 'a Delivery_queue.pending -> stamp:Lamport.stamp -> unit
+
+  val observe_time : 'a t -> rank:int -> int -> unit
+  (** Record that [rank] has been seen at Lamport time [>= t] (from a data
+      message or gossip). *)
+
+  val deactivate_rank : 'a t -> int -> unit
+  (** Stop waiting on a failed member. *)
+
+  val take_ready : 'a t -> 'a Delivery_queue.pending option
+  (** The minimal-stamp message, if every active rank has been observed at a
+      strictly later time. *)
+
+  val pending : 'a t -> 'a Delivery_queue.pending list
+  val clear : 'a t -> unit
+end

@@ -1,0 +1,124 @@
+type 'w packet =
+  | Seg of { seq : int; payload : 'w }
+  | Raw of 'w
+  | Ack of { upto : int }
+
+type 'w send_channel = {
+  mutable next_seq : int;
+  unacked : (int, 'w * int) Hashtbl.t;  (* seq -> payload, attempts *)
+  mutable timer_armed : bool;
+}
+
+type 'w recv_channel = {
+  mutable next_expected : int;
+  out_of_order : (int, 'w) Hashtbl.t;
+}
+
+type 'w t = {
+  engine : 'w packet Engine.t;
+  self : Engine.pid;
+  mode : Config.transport_mode;
+  on_deliver : src:Engine.pid -> 'w -> unit;
+  senders : (Engine.pid, 'w send_channel) Hashtbl.t;
+  receivers : (Engine.pid, 'w recv_channel) Hashtbl.t;
+  mutable packets_sent : int;
+  mutable retransmissions : int;
+}
+
+let create ~engine ~self ~mode ~on_deliver =
+  { engine; self; mode; on_deliver; senders = Hashtbl.create 8;
+    receivers = Hashtbl.create 8; packets_sent = 0; retransmissions = 0 }
+
+let packets_sent t = t.packets_sent
+let retransmissions t = t.retransmissions
+
+let emit t ~dst packet =
+  t.packets_sent <- t.packets_sent + 1;
+  Engine.send t.engine ~src:t.self ~dst packet
+
+let sender_channel t dst =
+  match Hashtbl.find_opt t.senders dst with
+  | Some ch -> ch
+  | None ->
+    let ch = { next_seq = 0; unacked = Hashtbl.create 8; timer_armed = false } in
+    Hashtbl.add t.senders dst ch;
+    ch
+
+let receiver_channel t src =
+  match Hashtbl.find_opt t.receivers src with
+  | Some ch -> ch
+  | None ->
+    let ch = { next_expected = 0; out_of_order = Hashtbl.create 8 } in
+    Hashtbl.add t.receivers src ch;
+    ch
+
+let rec arm_retransmit t dst ch ~rto ~max_retries =
+  if not ch.timer_armed then begin
+    ch.timer_armed <- true;
+    Engine.after t.engine ~owner:t.self rto (fun () ->
+        ch.timer_armed <- false;
+        let pending =
+          Hashtbl.fold (fun seq (payload, attempts) acc ->
+              (seq, payload, attempts) :: acc)
+            ch.unacked []
+          |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+        in
+        let resend (seq, payload, attempts) =
+          if attempts >= max_retries then Hashtbl.remove ch.unacked seq
+          else begin
+            Hashtbl.replace ch.unacked seq (payload, attempts + 1);
+            t.retransmissions <- t.retransmissions + 1;
+            emit t ~dst (Seg { seq; payload })
+          end
+        in
+        List.iter resend pending;
+        if Hashtbl.length ch.unacked > 0 then
+          arm_retransmit t dst ch ~rto ~max_retries)
+  end
+
+let send t ~dst payload =
+  match t.mode with
+  | Config.Bare -> emit t ~dst (Raw payload)
+  | Config.Reliable { rto; max_retries } ->
+    let ch = sender_channel t dst in
+    let seq = ch.next_seq in
+    ch.next_seq <- seq + 1;
+    Hashtbl.replace ch.unacked seq (payload, 0);
+    emit t ~dst (Seg { seq; payload });
+    arm_retransmit t dst ch ~rto ~max_retries
+
+let handle_ack t src upto =
+  match Hashtbl.find_opt t.senders src with
+  | None -> ()
+  | Some ch ->
+    Hashtbl.iter
+      (fun seq _ -> if seq <= upto then Hashtbl.remove ch.unacked seq)
+      (Hashtbl.copy ch.unacked)
+
+let handle_seg t src seq payload =
+  let ch = receiver_channel t src in
+  if seq >= ch.next_expected && not (Hashtbl.mem ch.out_of_order seq) then
+    Hashtbl.add ch.out_of_order seq payload;
+  (* drain the contiguous prefix *)
+  let rec drain () =
+    match Hashtbl.find_opt ch.out_of_order ch.next_expected with
+    | None -> ()
+    | Some p ->
+      Hashtbl.remove ch.out_of_order ch.next_expected;
+      ch.next_expected <- ch.next_expected + 1;
+      t.on_deliver ~src p;
+      drain ()
+  in
+  drain ();
+  emit t ~dst:src (Ack { upto = ch.next_expected - 1 })
+
+let handle t (env : 'w packet Engine.envelope) =
+  match env.payload with
+  | Raw payload -> t.on_deliver ~src:env.src payload
+  | Seg { seq; payload } -> handle_seg t env.src seq payload
+  | Ack { upto } -> handle_ack t env.src upto
+
+let pp_packet pp_payload ppf = function
+  | Seg { seq; payload } -> Format.fprintf ppf "seg#%d(%a)" seq pp_payload payload
+  | Raw payload -> Format.fprintf ppf "%a" pp_payload payload
+  | Ack { upto } -> Format.fprintf ppf "ack<=%d" upto

@@ -1,0 +1,36 @@
+(** Point-to-point transport over the simulated network.
+
+    In [Bare] mode packets are forwarded as-is (the network may reorder but
+    the CATOCS delivery conditions tolerate that; loss would block delivery
+    forever, so lossy configurations should use [Reliable]).
+
+    In [Reliable] mode each peer pair runs a sequence-numbered channel with
+    cumulative acks, retransmission and in-order reassembly — a miniature
+    TCP, which is what the paper assumes for its "conventional transport
+    protocol ordering" alternative. *)
+
+type 'w packet =
+  | Seg of { seq : int; payload : 'w }
+  | Raw of 'w
+  | Ack of { upto : int }
+
+type 'w t
+
+val create :
+  engine:'w packet Engine.t ->
+  self:Engine.pid ->
+  mode:Config.transport_mode ->
+  on_deliver:(src:Engine.pid -> 'w -> unit) ->
+  'w t
+(** The caller must route the engine envelopes of [self] to {!handle}. *)
+
+val send : 'w t -> dst:Engine.pid -> 'w -> unit
+val handle : 'w t -> 'w packet Engine.envelope -> unit
+
+val packets_sent : 'w t -> int
+(** Total packets emitted including acks and retransmissions. *)
+
+val retransmissions : 'w t -> int
+
+val pp_packet :
+  (Format.formatter -> 'w -> unit) -> Format.formatter -> 'w packet -> unit

@@ -1,0 +1,64 @@
+type msg_id = int
+
+type order_meta =
+  | Fifo_meta
+  | Causal_meta
+  | Seq_meta
+  | Lamport_meta of Lamport.stamp
+
+type 'a data = {
+  msg_id : msg_id;
+  origin : Engine.pid;
+  sender_rank : int;
+  view_id : int;
+  vt : Vector_clock.t;
+  meta : order_meta;
+  payload : 'a;
+  payload_bytes : int;
+  sent_at : Sim_time.t;
+  piggyback : 'a data list;
+}
+
+type 'a proto =
+  | Data of 'a data
+  | Seq_order of { view_id : int; msg_id : msg_id; global_seq : int }
+  | Gossip of { view_id : int; rank : int; vc : Vector_clock.t; lamport : int }
+  | Flush of { new_view_id : int; survivors : Engine.pid list; unstable : 'a data list }
+  | Flush_done of { new_view_id : int; from : Engine.pid }
+  | New_view of { view_id : int; members : Engine.pid list }
+  | Join_request of { joiner : Engine.pid }
+  | State_transfer of { view_id : int; state : string }
+
+type 'a t =
+  | Proto of int * 'a proto
+  | Direct of 'a
+
+let header_bytes data =
+  match data.meta with
+  | Fifo_meta -> 8
+  | Causal_meta | Seq_meta -> 8 + Vector_clock.encoded_size_bytes data.vt
+  | Lamport_meta _ -> 16
+
+let buffered_bytes data = data.payload_bytes + header_bytes data
+
+let rec wire_bytes data =
+  buffered_bytes data
+  + List.fold_left (fun acc d -> acc + wire_bytes d) 0 data.piggyback
+
+let pp pp_payload ppf = function
+  | Proto (_, Data d) ->
+    Format.fprintf ppf "data#%d(from=%d,%a)" d.msg_id d.origin pp_payload d.payload
+  | Proto (_, Seq_order { msg_id; global_seq; _ }) ->
+    Format.fprintf ppf "order#%d=%d" msg_id global_seq
+  | Proto (_, Gossip { rank; _ }) -> Format.fprintf ppf "gossip(r%d)" rank
+  | Proto (_, Flush { new_view_id; survivors; unstable }) ->
+    Format.fprintf ppf "flush(v%d,|%d|,%d msgs)" new_view_id
+      (List.length survivors) (List.length unstable)
+  | Proto (_, Flush_done { new_view_id; from }) ->
+    Format.fprintf ppf "flush-done(v%d,p%d)" new_view_id from
+  | Proto (_, New_view { view_id; members }) ->
+    Format.fprintf ppf "new-view(v%d,|%d|)" view_id (List.length members)
+  | Proto (_, Join_request { joiner }) -> Format.fprintf ppf "join-req(p%d)" joiner
+  | Proto (_, State_transfer { view_id; state }) ->
+    Format.fprintf ppf "state(v%d,%dB)" view_id (String.length state)
+  | Direct payload -> Format.fprintf ppf "direct(%a)" pp_payload payload

@@ -1,0 +1,65 @@
+(** Wire format of the CATOCS stack.
+
+    An application instantiates the simulator engine at
+    ['a Wire.t Transport.packet]: protocol messages and out-of-band
+    ("hidden channel") application messages share the same network. *)
+
+type msg_id = int
+
+type order_meta =
+  | Fifo_meta
+      (** per-sender FIFO only; the timestamp is used solely for gap
+          detection and stability *)
+  | Causal_meta
+      (** full vector-clock causal delivery (CBCAST) *)
+  | Seq_meta
+      (** causal delivery plus sequencer-assigned total order (ABCAST) *)
+  | Lamport_meta of Lamport.stamp
+      (** total order by Lamport timestamp, released on stability *)
+
+type 'a data = {
+  msg_id : msg_id;
+  origin : Engine.pid;
+  sender_rank : int;  (** rank in the view the message was sent in *)
+  view_id : int;
+  vt : Vector_clock.t;  (** sender's vector timestamp at send *)
+  meta : order_meta;
+  payload : 'a;
+  payload_bytes : int;
+  sent_at : Sim_time.t;
+      (** original multicast instant (simulator convenience for end-to-end
+          latency metrics; survives flush re-sends) *)
+  piggyback : 'a data list;
+      (** causal predecessors appended by the sender (Section 3.4 footnote
+          4 variant); empty unless [Config.piggyback_history] *)
+}
+
+type 'a proto =
+  | Data of 'a data
+  | Seq_order of { view_id : int; msg_id : msg_id; global_seq : int }
+  | Gossip of { view_id : int; rank : int; vc : Vector_clock.t; lamport : int }
+  | Flush of { new_view_id : int; survivors : Engine.pid list; unstable : 'a data list }
+      (** flush round: re-multicast of the sender's unstable messages *)
+  | Flush_done of { new_view_id : int; from : Engine.pid }
+  | New_view of { view_id : int; members : Engine.pid list }
+  | Join_request of { joiner : Engine.pid }
+  | State_transfer of { view_id : int; state : string }
+
+type 'a t =
+  | Proto of int * 'a proto
+      (** protocol message of the given process group *)
+  | Direct of 'a  (** out-of-band point-to-point application message *)
+
+val header_bytes : 'a data -> int
+(** Ordering-header overhead this message carries on the wire, by meta kind:
+    FIFO costs a sequence number, causal/sequenced cost a full vector
+    timestamp, Lamport costs a scalar stamp. *)
+
+val buffered_bytes : 'a data -> int
+(** Bytes this message occupies in a stability buffer (payload + header),
+    excluding any piggybacked history. *)
+
+val wire_bytes : 'a data -> int
+(** Bytes on the wire including piggybacked predecessors. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

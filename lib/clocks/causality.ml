@@ -1,0 +1,70 @@
+type msg_id = int
+
+type node = { mutable preds : msg_id list; mutable succs : msg_id list }
+
+type t = {
+  nodes : (msg_id, node) Hashtbl.t;
+  mutable live_arcs : int;
+  mutable total_arcs : int;
+}
+
+let create () = { nodes = Hashtbl.create 64; live_arcs = 0; total_arcs = 0 }
+
+let add_message t ~id ~deps =
+  let node = { preds = []; succs = [] } in
+  Hashtbl.replace t.nodes id node;
+  let add_dep dep =
+    t.total_arcs <- t.total_arcs + 1;
+    match Hashtbl.find_opt t.nodes dep with
+    | None -> () (* dependency already stable: arc counted, not stored *)
+    | Some pred_node ->
+      node.preds <- dep :: node.preds;
+      pred_node.succs <- id :: pred_node.succs;
+      t.live_arcs <- t.live_arcs + 1
+  in
+  List.iter add_dep deps
+
+let remove_stable t id =
+  match Hashtbl.find_opt t.nodes id with
+  | None -> ()
+  | Some node ->
+    let detach_succ succ =
+      match Hashtbl.find_opt t.nodes succ with
+      | None -> ()
+      | Some s ->
+        s.preds <- List.filter (fun p -> p <> id) s.preds;
+        t.live_arcs <- t.live_arcs - 1
+    in
+    let detach_pred pred =
+      match Hashtbl.find_opt t.nodes pred with
+      | None -> ()
+      | Some p ->
+        p.succs <- List.filter (fun s -> s <> id) p.succs;
+        t.live_arcs <- t.live_arcs - 1
+    in
+    List.iter detach_succ node.succs;
+    List.iter detach_pred node.preds;
+    Hashtbl.remove t.nodes id
+
+let precedes t a b =
+  if a = b then false
+  else begin
+    let visited = Hashtbl.create 16 in
+    let rec reachable id =
+      if id = b then true
+      else if Hashtbl.mem visited id then false
+      else begin
+        Hashtbl.add visited id ();
+        match Hashtbl.find_opt t.nodes id with
+        | None -> false
+        | Some node -> List.exists reachable node.succs
+      end
+    in
+    reachable a
+  end
+
+let concurrent t a b = a <> b && (not (precedes t a b)) && not (precedes t b a)
+
+let live_nodes t = Hashtbl.length t.nodes
+let live_arcs t = t.live_arcs
+let total_arcs_added t = t.total_arcs

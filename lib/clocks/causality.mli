@@ -1,0 +1,32 @@
+(** The happens-before relation on messages, materialised as a DAG.
+
+    Section 5 of the paper reasons about the "active causal graph": nodes are
+    messages, arcs join potentially causally related messages, and nodes are
+    deleted once stable. This module maintains that graph so experiments can
+    measure its size and arc growth directly. *)
+
+type msg_id = int
+
+type t
+
+val create : unit -> t
+
+val add_message : t -> id:msg_id -> deps:msg_id list -> unit
+(** Register a message and the messages it directly (potentially causally)
+    depends on. Dependencies on already-removed (stable) messages are kept as
+    counted arcs but not traversed. *)
+
+val remove_stable : t -> msg_id -> unit
+(** Delete a node and its incident arcs (the message became stable). *)
+
+val precedes : t -> msg_id -> msg_id -> bool
+(** [precedes t a b] iff [a] happens-before [b] through live nodes. *)
+
+val concurrent : t -> msg_id -> msg_id -> bool
+
+val live_nodes : t -> int
+val live_arcs : t -> int
+(** Arcs whose both endpoints are live. *)
+
+val total_arcs_added : t -> int
+(** Cumulative arc count over the whole run, including removed ones. *)

@@ -1,0 +1,24 @@
+type t = Vector_clock.t array
+
+let create n = Array.init n (fun _ -> Vector_clock.create n)
+
+let size = Array.length
+
+let row t i = t.(i)
+
+let update_row t i vc = Vector_clock.merge_into t.(i) vc
+
+let min_component t s =
+  let best = ref max_int in
+  for i = 0 to Array.length t - 1 do
+    let v = Vector_clock.get t.(i) s in
+    if v < !best then best := v
+  done;
+  !best
+
+let stable t ~sender ~seq = min_component t sender >= seq
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Vector_clock.pp)
+    (Array.to_list t)

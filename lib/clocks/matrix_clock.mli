@@ -1,0 +1,27 @@
+(** Matrix clocks: each process's best knowledge of every group member's
+    vector clock. Row [i] is the vector clock this process believes member
+    [i] has observed.
+
+    Used for message-stability detection: a multicast numbered [k] from
+    sender [s] is stable once every row's component [s] is [>= k] — i.e.
+    every member is known to have received it (Section 5's "stable
+    messages"). *)
+
+type t
+
+val create : int -> t
+val size : t -> int
+
+val row : t -> int -> Vector_clock.t
+(** The live row (not a copy). *)
+
+val update_row : t -> int -> Vector_clock.t -> unit
+(** Merge new knowledge about a member's vector clock. *)
+
+val min_component : t -> int -> int
+(** [min_component t s] is the highest multicast index from sender [s] known
+    to be received by *all* members: messages up to this index are stable. *)
+
+val stable : t -> sender:int -> seq:int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** Vector clocks over a fixed-size process group.
+
+    Used by CBCAST both as per-process state and as per-message timestamps.
+    Index [i] counts multicasts initiated by group member [i]. *)
+
+type t
+
+type order = Before | After | Equal | Concurrent
+
+val create : int -> t
+(** [create n] is the zero vector for an [n]-member group. *)
+
+val copy : t -> t
+val size : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val tick : t -> int -> unit
+(** [tick t i] increments component [i] (a send event at member [i]). *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] takes the componentwise maximum into [dst]. *)
+
+val compare_causal : t -> t -> order
+(** Causal (partial-order) comparison. [Before] means the first vector
+    happens-before the second. *)
+
+val leq : t -> t -> bool
+(** Componentwise [<=]. *)
+
+val equal : t -> t -> bool
+
+val deliverable : sender:int -> msg:t -> local:t -> bool
+(** The Birman-Schiper-Stephenson causal delivery condition: a message
+    timestamped [msg] from [sender] is deliverable at a process with vector
+    [local] iff [msg.(sender) = local.(sender) + 1] and
+    [msg.(k) <= local.(k)] for all [k <> sender]. *)
+
+val missing_dependencies : sender:int -> msg:t -> local:t -> (int * int) list
+(** For diagnostics: components blocking delivery, as
+    [(member, required_count)] pairs. *)
+
+val encoded_size_bytes : t -> int
+(** Size of the timestamp on the wire (4 bytes per component); used by the
+    per-message overhead experiment. *)
+
+val to_list : t -> int list
+val of_list : int list -> t
+val pp : Format.formatter -> t -> unit

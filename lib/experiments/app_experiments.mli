@@ -1,0 +1,43 @@
+(** One table per application case study (Section 4 and the Appendix). *)
+
+val fig2_hidden_channel : unit -> Table.t
+(** Figure 2 / limitation 1: shop-floor anomaly rate, CATOCS naive view vs
+    versioned replica, over a request-gap sweep. *)
+
+val fig3_external_channel : unit -> Table.t
+(** Figure 3 / limitation 1: fire-alarm anomaly rate under causal {e and}
+    total order vs real-time timestamps. *)
+
+val fig4_trading : unit -> Table.t
+(** Figure 4 / limitation 3: false price crossings under causal and total
+    order vs the dependency-field cache. *)
+
+val netnews : unit -> Table.t
+(** Section 4.1: misordered displays and per-article costs across
+    fifo-naive, fifo+dep-cache and causal multicast. *)
+
+val replicated_data : unit -> Table.t
+(** Section 4.4: Deceit-style (write-safety k) vs HARP-style transactional
+    replication, without and with crashes. *)
+
+val predicate_detection : unit -> Table.t
+(** Section 4.2: consistent cuts — CATOCS-on-all-traffic vs
+    Chandy-Lamport markers. *)
+
+val rpc_deadlock : unit -> Table.t
+(** Appendix 9.2: van Renesse causal detection vs periodic wait-for. *)
+
+val drilling : unit -> Table.t
+(** Appendix 9.1: CATOCS distributed scheduling vs central controller. *)
+
+val serialization : unit -> Table.t
+(** Section 3 limitation 2: grouped operations (bank transfers) under
+    totally ordered per-operation multicast vs transactions. *)
+
+val linearizability : unit -> Table.t
+(** Section 4.4 read-any vs read-primary, verified with the linearizability
+    checker. *)
+
+val real_time : unit -> Table.t
+(** Section 4.6: oven-monitoring tracking error, CATOCS group vs
+    timestamped freshest-value, over a loss sweep. *)

@@ -1,0 +1,134 @@
+module Config = Repro_catocs.Config
+module Stack = Repro_catocs.Stack
+module Wire = Repro_catocs.Wire
+module Transport = Repro_catocs.Transport
+module Shop_floor = Repro_apps.Shop_floor
+module Fire_alarm = Repro_apps.Fire_alarm
+
+(* --- Figure 1 ------------------------------------------------------------- *)
+
+type fig1_outcome = {
+  diagram : string;
+  deliveries : (int * string list) list;  (* member index, delivery order *)
+}
+
+let fig1_run () =
+  let net = Net.create ~latency:(Net.Uniform (1_000, 3_000)) () in
+  let engine =
+    Engine.create ~seed:3L ~net
+      ~pp_msg:(Transport.pp_packet (Wire.pp Format.pp_print_string)) ()
+  in
+  Trace.set_enabled (Engine.trace engine) true;
+  let stacks =
+    Stack.create_group ~engine
+      ~config:{ Config.default with Config.ordering = Config.Causal }
+      ~names:[ "P"; "Q"; "R" ]
+      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+    |> Array.of_list
+  in
+  let p = stacks.(0) and q = stacks.(1) and r = stacks.(2) in
+  let deliveries = Array.make 3 [] in
+  Array.iteri
+    (fun i stack ->
+      Stack.set_callbacks stack
+        { Stack.null_callbacks with
+          Stack.deliver =
+            (fun ~sender:_ m ->
+              deliveries.(i) <- m :: deliveries.(i);
+              (* P reacts to m1 by sending m2: m1 happens-before m2 *)
+              if i = 0 && m = "m1" then Stack.multicast p "m2") })
+    stacks;
+  Engine.at engine (Sim_time.ms 1) (fun () -> Stack.multicast q "m1");
+  Engine.at engine (Sim_time.ms 8) (fun () -> Stack.multicast r "m3");
+  Engine.at engine (Sim_time.ms 9) (fun () -> Stack.multicast q "m4");
+  Engine.run ~until:(Sim_time.ms 18) engine;
+  { diagram =
+      Trace.render_diagram ~exclude_substrings:[ "gossip"; "ack" ] ~limit:80
+        (Engine.trace engine) ~names:[| "P"; "Q"; "R" |];
+    deliveries =
+      List.init 3 (fun i -> (i, List.rev deliveries.(i))) }
+
+let fig1_causal_order () = (fig1_run ()).diagram
+
+let index_of item list =
+  let rec scan i = function
+    | [] -> None
+    | x :: rest -> if x = item then Some i else scan (i + 1) rest
+  in
+  scan 0 list
+
+let fig1_table () =
+  let outcome = fig1_run () in
+  let before a b order =
+    match (index_of a order, index_of b order) with
+    | Some i, Some j -> i < j
+    | _ -> false
+  in
+  let everywhere f = List.for_all (fun (_, order) -> f order) outcome.deliveries in
+  let rows =
+    [ [ "m1 delivered before m2 at every process";
+        Table.cell_bool true;
+        Table.cell_bool (everywhere (before "m1" "m2")) ];
+      [ "m1 delivered before m4 at every process";
+        Table.cell_bool true;
+        Table.cell_bool (everywhere (before "m1" "m4")) ];
+      [ "all four messages delivered everywhere";
+        Table.cell_bool true;
+        Table.cell_bool
+          (everywhere (fun order -> List.length order = 4)) ];
+      [ "m3/m4 order may differ between processes (concurrent)";
+        "allowed";
+        (let orders =
+           List.map (fun (_, order) -> before "m3" "m4" order) outcome.deliveries
+         in
+         if List.for_all Fun.id orders || List.for_all not orders then
+           "same this run"
+         else "differs") ] ]
+  in
+  Table.make ~id:"fig1-causal-order"
+    ~title:"Figure 1 event diagram: causal delivery properties"
+    ~paper_ref:"Figure 1 / Section 2"
+    ~columns:[ "property"; "expected"; "observed" ]
+    rows
+
+(* --- Figures 2 and 3: seed-search for an anomalous run -------------------- *)
+
+let fig2_hidden_channel () =
+  let rec search seed =
+    if seed > 200 then "no anomalous seed found in range"
+    else begin
+      let config =
+        { Shop_floor.default_config with
+          Shop_floor.seed = Int64.of_int seed; trials = 1 }
+      in
+      let result = Shop_floor.run ~capture_diagram:true config in
+      if result.Shop_floor.naive_anomalies > 0 then
+        match result.Shop_floor.diagram with
+        | Some d ->
+          Printf.sprintf "(seed %d: observer's last notification contradicts the database)\n%s"
+            seed d
+        | None -> search (seed + 1)
+      else search (seed + 1)
+    end
+  in
+  search 1
+
+let fig3_external_channel () =
+  let rec search seed =
+    if seed > 200 then "no anomalous seed found in range"
+    else begin
+      let config =
+        { Fire_alarm.default_config with
+          Fire_alarm.seed = Int64.of_int seed; trials = 1 }
+      in
+      let result = Fire_alarm.run ~capture_diagram:true config in
+      if result.Fire_alarm.naive_anomalies > 0 then
+        match result.Fire_alarm.diagram with
+        | Some d ->
+          Printf.sprintf
+            "(seed %d: observer Q's last received report is \"fire out\")\n%s" seed d
+        | None -> search (seed + 1)
+      else search (seed + 1)
+    end
+  in
+  search 1

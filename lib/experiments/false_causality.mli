@@ -1,0 +1,23 @@
+(** E5 — Section 3.4: false causality delay.
+
+    A group where all traffic is semantically independent (each sender's
+    stream means nothing to the others), so {e any} delivery delay imposed
+    by the causal order is false causality: the happens-before relation
+    couples streams merely because their messages were received. We compare
+    the same workload under FIFO (no coupling), causal, and total ordering
+    while sweeping network jitter. *)
+
+type point = {
+  ordering : Repro_catocs.Config.ordering;
+  jitter_max_ms : int;
+  mean_queue_wait_us : float;  (** time messages sat in ordering queues *)
+  delayed_fraction : float;  (** messages that waited at all *)
+  transit_p99_us : float;
+  header_bytes_per_msg : float;
+}
+
+val sweep :
+  ?group_size:int -> ?jitters_ms:int list -> ?seed:int64 -> unit -> point list
+
+val table : point list -> Table.t
+val run : unit -> Table.t

@@ -1,0 +1,127 @@
+module Config = Repro_catocs.Config
+module Stack = Repro_catocs.Stack
+module Group = Repro_catocs.Group
+module Endpoint = Repro_catocs.Endpoint
+module Metrics = Repro_catocs.Metrics
+
+type point = {
+  layout : string;
+  group_count : int;
+  control_messages : int;
+  comm_state_bytes_per_process : int;
+  misordered : int;
+  messages : int;
+}
+
+type nmsg = Inquiry of int | Response of int
+
+(* [groups_for readers inquiries per_inquiry]: run the inquiry/response
+   workload with either one shared group or one group per inquiry. Every
+   reader is a member of every group (the paper's hypothetical), sharing a
+   single endpoint per process. *)
+let measure ~seed ~readers ~inquiries ~per_inquiry =
+  let net = Net.create ~latency:(Net.Uniform (500, 8_000)) () in
+  let engine = Engine.create ~seed ~net () in
+  let config = { Config.default with Config.ordering = Config.Causal } in
+  let pids =
+    Array.init readers (fun i ->
+        Engine.spawn engine ~name:(Printf.sprintf "r%d" i) (fun _ _ -> ()))
+  in
+  let endpoints =
+    Array.map
+      (fun pid -> Endpoint.create ~engine ~self:pid ~mode:config.Config.transport ())
+      pids
+  in
+  let group_count = if per_inquiry then inquiries else 1 in
+  let delivered_inquiries =
+    Array.init readers (fun _ -> Hashtbl.create 64)
+  in
+  let misordered = ref 0 in
+  (* stacks.(g).(i): reader i's stack in group g *)
+  let stacks =
+    Array.init group_count (fun _ ->
+        let view = Group.make_view ~view_id:0 (Array.to_list pids) in
+        let shared = Stack.make_shared config in
+        Array.mapi
+          (fun i pid ->
+            Stack.create ~endpoint:endpoints.(i) ~engine ~shared ~config ~view
+              ~self:pid ~callbacks:Stack.null_callbacks ())
+          pids)
+  in
+  (* responders: reader (k+1) answers inquiry k upon delivery, in the same
+     group the inquiry used *)
+  Array.iteri
+    (fun g group_stacks ->
+      Array.iteri
+        (fun i stack ->
+          Stack.set_callbacks stack
+            { Stack.null_callbacks with
+              Stack.deliver =
+                (fun ~sender:_ msg ->
+                  match msg with
+                  | Inquiry k ->
+                    Hashtbl.replace delivered_inquiries.(i) k ();
+                    if (k + 1) mod Array.length group_stacks = i then
+                      Stack.multicast stack (Response k)
+                  | Response k ->
+                    if not (Hashtbl.mem delivered_inquiries.(i) k) then
+                      incr misordered) })
+        group_stacks;
+      ignore g)
+    stacks;
+  for k = 0 to inquiries - 1 do
+    let g = if per_inquiry then k else 0 in
+    let poster = k mod readers in
+    Engine.at engine (Sim_time.add (Sim_time.ms 5) (Sim_time.ms (k * 4)))
+      (fun () -> Stack.multicast stacks.(g).(poster) (Inquiry k))
+  done;
+  Engine.run
+    ~until:(Sim_time.add (Sim_time.ms (inquiries * 4)) (Sim_time.ms 500))
+    engine;
+  let control = ref 0 in
+  Array.iter
+    (Array.iter (fun stack ->
+         control := !control + (Stack.metrics stack).Metrics.control_messages))
+    stacks;
+  (* per-process communication state: a vector clock (4N) plus a stability
+     matrix (4N^2) per membership *)
+  let per_membership = (4 * readers) + (4 * readers * readers) in
+  { layout = (if per_inquiry then "group per inquiry" else "one group");
+    group_count;
+    control_messages = !control;
+    comm_state_bytes_per_process = group_count * per_membership;
+    misordered = !misordered;
+    messages = Engine.messages_sent engine }
+
+let sweep ?(readers = 6) ?(inquiries = [ 20; 80 ]) ?(seed = 91L) () =
+  List.concat_map
+    (fun n ->
+      [ measure ~seed ~readers ~inquiries:n ~per_inquiry:false;
+        measure ~seed ~readers ~inquiries:n ~per_inquiry:true ])
+    inquiries
+
+let table points =
+  let rows =
+    List.map
+      (fun p ->
+        [ p.layout;
+          Table.cell_int p.group_count;
+          Table.cell_int p.control_messages;
+          Table.cell_int p.comm_state_bytes_per_process;
+          Table.cell_int p.misordered;
+          Table.cell_int p.messages ])
+      points
+  in
+  Table.make ~id:"group-state"
+    ~title:"netnews with a causal group per inquiry: communication-layer state"
+    ~paper_ref:"Section 4.1 (the scale objection)"
+    ~columns:
+      [ "layout"; "groups"; "control msgs"; "comm state B/process";
+        "misordered"; "messages" ]
+    ~notes:
+      [ "both layouts order responses after inquiries (misordered = 0)";
+        "per-inquiry groups: protocol state and gossip grow with the number of inquiries";
+        "the state-level fix (References field) needs none of this - see the netnews experiment" ]
+    rows
+
+let run () = table (sweep ())

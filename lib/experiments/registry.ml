@@ -1,0 +1,122 @@
+type entry = {
+  id : string;
+  description : string;
+  paper_ref : string;
+  run : unit -> Table.t list;
+}
+
+let one f () = [ f () ]
+
+let all =
+  [
+    { id = "fig1-causal-order";
+      description = "Figure 1 event diagram properties under CBCAST";
+      paper_ref = "Figure 1 / Section 2";
+      run = one Diagrams.fig1_table };
+    { id = "fig2-hidden-channel";
+      description = "shop floor: shared-database hidden channel anomaly";
+      paper_ref = "Figure 2 / Section 3 limitation 1";
+      run = one App_experiments.fig2_hidden_channel };
+    { id = "fig3-external-channel";
+      description = "fire alarm: external-channel anomaly, causal and total";
+      paper_ref = "Figure 3 / Section 3 limitation 1";
+      run = one App_experiments.fig3_external_channel };
+    { id = "fig4-trading";
+      description = "trading floor: false crossings vs dependency fields";
+      paper_ref = "Figure 4 / Section 4.1, limitation 3";
+      run = one App_experiments.fig4_trading };
+    { id = "netnews";
+      description = "netnews inquiry/response ordering schemes";
+      paper_ref = "Section 4.1";
+      run = one App_experiments.netnews };
+    { id = "false-causality";
+      description = "ordering-queue delay on independent traffic";
+      paper_ref = "Section 3.4 limitation 4";
+      run = one False_causality.run };
+    { id = "buffering-scaling";
+      description = "unstable-message buffering growth with group size";
+      paper_ref = "Section 5";
+      run = (fun () -> [ Scaling.run (); Scaling.loaded_table () ]) };
+    { id = "membership-scaling";
+      description = "view-change (flush) cost with group size";
+      paper_ref = "Section 5";
+      run = one Membership.run };
+    { id = "overhead";
+      description = "per-message ordering overhead by discipline and size";
+      paper_ref = "Section 3.4 limitation 4";
+      run = one Overhead.run };
+    { id = "predicate-detection";
+      description = "consistent cuts: CATOCS vs Chandy-Lamport markers";
+      paper_ref = "Section 4.2";
+      run = one App_experiments.predicate_detection };
+    { id = "replicated-data";
+      description = "Deceit-style CBCAST store vs HARP-style transactions";
+      paper_ref = "Sections 4.3-4.4";
+      run = one App_experiments.replicated_data };
+    { id = "serialization";
+      description = "grouped updates: split transfers vs atomic transactions";
+      paper_ref = "Section 3 limitation 2";
+      run = one App_experiments.serialization };
+    { id = "durability-gap";
+      description = "sender crash mid-multicast: atomic but not durable";
+      paper_ref = "Section 2 / Section 4.4";
+      run = one Durability.run };
+    { id = "linearizability";
+      description = "replicated register: read-any vs read-primary";
+      paper_ref = "Section 4.4";
+      run = one App_experiments.linearizability };
+    { id = "real-time";
+      description = "oven monitoring: tracking error vs loss";
+      paper_ref = "Section 4.6";
+      run = one App_experiments.real_time };
+    { id = "drilling";
+      description = "drilling cell scheduling: CATOCS vs central controller";
+      paper_ref = "Appendix 9.1";
+      run = one App_experiments.drilling };
+    { id = "group-state";
+      description = "a causal group per inquiry: state and gossip explosion";
+      paper_ref = "Section 4.1";
+      run = one Group_state.run };
+    { id = "partitioning";
+      description = "one causal group vs bridged subgroups (causal domains)";
+      paper_ref = "Section 5";
+      run = one Partitioning.run };
+    { id = "gossip-ablation";
+      description = "stability gossip period: buffering vs control traffic";
+      paper_ref = "Section 5 (ablation)";
+      run = one Ablations.gossip_period };
+    { id = "piggyback-ablation";
+      description = "delay dependants vs append causal history";
+      paper_ref = "Section 3.4 footnote 4";
+      run = one Ablations.piggyback };
+    { id = "distribution-ablation";
+      description = "anomaly rates across latency distributions";
+      paper_ref = "Figures 2-4 (ablation)";
+      run = one Ablations.latency_distribution };
+    { id = "rpc-deadlock";
+      description = "RPC deadlock detection message cost";
+      paper_ref = "Appendix 9.2";
+      run = one App_experiments.rpc_deadlock };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let diagrams =
+  [ ("fig1", Diagrams.fig1_causal_order);
+    ("fig2", Diagrams.fig2_hidden_channel);
+    ("fig3", Diagrams.fig3_external_channel) ]
+
+let run_everything ppf =
+  Format.fprintf ppf
+    "Reproduction of Cheriton & Skeen, \"Understanding the Limitations of@ \
+     Causally and Totally Ordered Communication\" (SOSP 1993)@.@.";
+  Format.fprintf ppf "--- event diagrams -------------------------------------@.@.";
+  List.iter
+    (fun (id, render) ->
+      Format.fprintf ppf ">> %s@.%s@." id (render ()))
+    diagrams;
+  Format.fprintf ppf "--- experiments ----------------------------------------@.@.";
+  List.iter
+    (fun entry ->
+      List.iter (fun table -> Table.render ppf table) (entry.run ()))
+    all

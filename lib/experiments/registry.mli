@@ -1,0 +1,19 @@
+(** The experiment registry: every table/figure of the reproduction, indexed
+    by the ids used in DESIGN.md and EXPERIMENTS.md. *)
+
+type entry = {
+  id : string;
+  description : string;
+  paper_ref : string;
+  run : unit -> Table.t list;
+}
+
+val all : entry list
+
+val find : string -> entry option
+
+val diagrams : (string * (unit -> string)) list
+(** Event-diagram reproductions (Figures 1-3), by id. *)
+
+val run_everything : Format.formatter -> unit
+(** Run every experiment and render every table and diagram. *)

@@ -1,0 +1,33 @@
+(** E6 — Section 5: CATOCS buffering growth with system size.
+
+    A group of N members each multicasting at a fixed per-process rate; we
+    measure the unstable-message buffer a single node must hold (Section
+    5's claim: per-node buffering grows linearly in N, hence system-wide
+    quadratically) and the size of the active causal graph. The growth
+    exponents are fitted from the sweep. *)
+
+type point = {
+  group_size : int;
+  peak_node_unstable_msgs : int;  (** max over members *)
+  peak_node_unstable_bytes : int;
+  system_unstable_bytes : int;  (** sum of per-node peaks *)
+  peak_graph_nodes : int;
+  peak_graph_arcs : int;
+  mean_delivery_delay_us : float;
+  mean_transit_us : float;
+      (** end-to-end send->deliver, including receiver queueing *)
+  messages_total : int;
+}
+
+val sweep :
+  ?sizes:int list -> ?seed:int64 -> ?processing_time:Sim_time.t -> unit ->
+  point list
+
+val table : point list -> Table.t
+(** Includes fitted log-log growth exponents in the notes. *)
+
+val run : unit -> Table.t
+
+val loaded_table : unit -> Table.t
+(** The same sweep with a per-message receiver processing cost: delivery
+    delay (the paper's T) grows with N, compounding the buffering. *)

@@ -1,0 +1,71 @@
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~paper_ref ~columns ?(notes = []) rows =
+  { id; title; paper_ref; columns; rows; notes }
+
+let render ppf t =
+  let widths = Array.of_list (List.map String.length t.columns) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < Array.length widths && String.length cell > widths.(i) then
+            widths.(i) <- String.length cell)
+        row)
+    t.rows;
+  let pad i s =
+    let w = if i < Array.length widths then widths.(i) else String.length s in
+    s ^ String.make (max 0 (w - String.length s)) ' '
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (3 * max 1 (Array.length widths)) - 1
+  in
+  Format.fprintf ppf "== %s: %s@." t.id t.title;
+  Format.fprintf ppf "   (%s)@." t.paper_ref;
+  let print_row row =
+    Format.fprintf ppf "   %s@."
+      (String.concat " | " (List.mapi pad row))
+  in
+  print_row t.columns;
+  Format.fprintf ppf "   %s@." (String.make total_width '-');
+  List.iter print_row t.rows;
+  List.iter (fun n -> Format.fprintf ppf "   note: %s@." n) t.notes;
+  Format.fprintf ppf "@."
+
+let print t = render Format.std_formatter t
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) x =
+  if Float.is_nan x then "n/a" else Printf.sprintf "%.*f" decimals x
+
+let cell_bool b = if b then "yes" else "no"
+
+let cell_pct x =
+  if Float.is_nan x then "n/a" else Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let cell_us_as_ms us =
+  if Float.is_nan us then "n/a" else Printf.sprintf "%.2fms" (us /. 1000.0)
+
+let fit_log_slope points =
+  let usable =
+    List.filter_map
+      (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+      points
+  in
+  match usable with
+  | [] | [ _ ] -> nan
+  | _ ->
+    let n = float_of_int (List.length usable) in
+    let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 usable in
+    let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 usable in
+    let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 usable in
+    let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 usable in
+    ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))

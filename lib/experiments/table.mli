@@ -1,0 +1,41 @@
+(** Result tables: every experiment renders one or more of these, mirroring
+    the figures/claims of the paper (EXPERIMENTS.md indexes them). *)
+
+type t = {
+  id : string;  (** stable identifier, e.g. "fig2-hidden-channel" *)
+  title : string;
+  paper_ref : string;  (** where in the paper the claim lives *)
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  id:string ->
+  title:string ->
+  paper_ref:string ->
+  columns:string list ->
+  ?notes:string list ->
+  string list list ->
+  t
+
+val render : Format.formatter -> t -> unit
+(** Aligned ASCII table with header, ref line and notes. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+(* cell formatting helpers *)
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string
+val cell_pct : float -> string
+(** [cell_pct 0.25] is ["25.0%"]. *)
+
+val cell_us_as_ms : float -> string
+(** Microseconds rendered as milliseconds with 2 decimals. *)
+
+val fit_log_slope : (float * float) list -> float
+(** Least-squares slope of [log y] against [log x]: the growth exponent used
+    by the Section 5 scaling experiments. Points with non-positive
+    coordinates are ignored. *)

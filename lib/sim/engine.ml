@@ -1,0 +1,195 @@
+type pid = int
+
+type 'msg envelope = {
+  src : pid;
+  dst : pid;
+  sent_at : Sim_time.t;
+  recv_at : Sim_time.t;
+  payload : 'msg;
+}
+
+type event = { time : Sim_time.t; seq : int; action : unit -> unit }
+
+type 'msg process = {
+  proc_name : string;
+  mutable handler : pid -> 'msg envelope -> unit;
+  mutable alive : bool;
+  mutable busy_until : Sim_time.t;
+      (* receiver-side processing queue (Net.processing_time) *)
+}
+
+type 'msg t = {
+  rng : Rng.t;
+  net : Net.t;
+  trace : Trace.t;
+  pp_msg : (Format.formatter -> 'msg -> unit) option;
+  events : event Heap.t;
+  mutable clock : Sim_time.t;
+  mutable next_seq : int;
+  mutable processes : 'msg process array;
+  mutable nprocs : int;
+  mutable failure_observers : (pid -> unit) list;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let compare_event a b =
+  match Sim_time.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let create ?(seed = 42L) ?(net = Net.create ()) ?pp_msg () =
+  { rng = Rng.create seed; net; trace = Trace.create (); pp_msg;
+    events = Heap.create ~cmp:compare_event; clock = Sim_time.zero;
+    next_seq = 0; processes = [||]; nprocs = 0; failure_observers = [];
+    sent = 0; delivered = 0; dropped = 0 }
+
+let net t = t.net
+let rng t = t.rng
+let now t = t.clock
+let trace t = t.trace
+
+let schedule t time action =
+  let time = if Sim_time.compare time t.clock < 0 then t.clock else time in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.events { time; seq; action }
+
+let spawn t ~name handler =
+  let p = { proc_name = name; handler; alive = true; busy_until = Sim_time.zero } in
+  let capacity = Array.length t.processes in
+  if t.nprocs = capacity then begin
+    let capacity' = if capacity = 0 then 8 else capacity * 2 in
+    let arr = Array.make capacity' p in
+    Array.blit t.processes 0 arr 0 t.nprocs;
+    t.processes <- arr
+  end;
+  t.processes.(t.nprocs) <- p;
+  t.nprocs <- t.nprocs + 1;
+  t.nprocs - 1
+
+let proc t pid =
+  if pid < 0 || pid >= t.nprocs then invalid_arg "Engine: unknown pid";
+  t.processes.(pid)
+
+let set_handler t pid handler = (proc t pid).handler <- handler
+let name t pid = (proc t pid).proc_name
+let process_count t = t.nprocs
+let pids t = List.init t.nprocs (fun i -> i)
+let is_alive t pid = (proc t pid).alive
+
+let trace_msg t pid kind msg =
+  match t.pp_msg with
+  | None -> ()
+  | Some pp -> Trace.record t.trace t.clock ~pid kind (Format.asprintf "%a" pp msg)
+
+let deliver t env =
+  let p = proc t env.dst in
+  if p.alive && not (Net.blocked t.net ~src:env.src ~dst:env.dst) then begin
+    t.delivered <- t.delivered + 1;
+    trace_msg t env.dst Trace.Recv env.payload;
+    p.handler env.dst env
+  end
+  else t.dropped <- t.dropped + 1
+
+let send t ~src ~dst payload =
+  if (proc t src).alive then begin
+    t.sent <- t.sent + 1;
+    trace_msg t src Trace.Send payload;
+    if Net.blocked t.net ~src ~dst || Net.drops t.net t.rng then
+      t.dropped <- t.dropped + 1
+    else begin
+      let schedule_delivery () =
+        let delay = Net.sample_delay t.net t.rng in
+        let arrival = Sim_time.add t.clock delay in
+        let processing = Net.processing_time t.net in
+        let recv_at =
+          if processing = Sim_time.zero then arrival
+          else begin
+            (* deliveries are serialised at the receiver: queue behind
+               whatever it is already processing *)
+            let p = proc t dst in
+            let start = max arrival p.busy_until in
+            let finish = Sim_time.add start processing in
+            p.busy_until <- finish;
+            finish
+          end
+        in
+        let env = { src; dst; sent_at = t.clock; recv_at; payload } in
+        schedule t recv_at (fun () -> deliver t env)
+      in
+      schedule_delivery ();
+      if Net.duplicates t.net t.rng then schedule_delivery ()
+    end
+  end
+
+let at t ?owner time action =
+  let guarded () =
+    match owner with
+    | Some pid when not (proc t pid).alive -> ()
+    | Some _ | None -> action ()
+  in
+  schedule t time guarded
+
+let after t ?owner delay action = at t ?owner (Sim_time.add t.clock delay) action
+
+let every t ?owner ?start ~period action =
+  let cancelled = ref false in
+  let rec tick () =
+    if not !cancelled then begin
+      action ();
+      at t ?owner (Sim_time.add t.clock period) tick
+    end
+  in
+  let first = match start with Some s -> s | None -> Sim_time.add t.clock period in
+  at t ?owner first tick;
+  fun () -> cancelled := true
+
+let on_failure t observer =
+  t.failure_observers <- observer :: t.failure_observers
+
+let crash t pid =
+  let p = proc t pid in
+  if p.alive then begin
+    p.alive <- false;
+    Trace.record t.trace t.clock ~pid Trace.Mark "CRASH";
+    let observers = t.failure_observers in
+    schedule t
+      (Sim_time.add t.clock (Net.detection_delay t.net))
+      (fun () -> List.iter (fun observe -> observe pid) observers)
+  end
+
+let recover t pid =
+  let p = proc t pid in
+  if not p.alive then begin
+    p.alive <- true;
+    Trace.record t.trace t.clock ~pid Trace.Mark "RECOVER"
+  end
+
+let mark t pid label = Trace.record t.trace t.clock ~pid Trace.Mark label
+
+let run ?until ?(max_events = 50_000_000) t =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.events with
+    | None -> continue := false
+    | Some next ->
+      (match until with
+       | Some limit when Sim_time.compare next.time limit > 0 ->
+         t.clock <- limit;
+         continue := false
+       | Some _ | None ->
+         (match Heap.pop t.events with
+          | None -> continue := false
+          | Some event ->
+            t.clock <- event.time;
+            event.action ();
+            decr budget))
+  done;
+  if !budget = 0 then failwith "Engine.run: event budget exhausted (runaway?)"
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped

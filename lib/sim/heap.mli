@@ -1,0 +1,21 @@
+(** Resizable-array binary min-heap.
+
+    The comparison function is fixed at creation. Ties must be broken by the
+    caller (the event queue does so with a monotonically increasing sequence
+    number) so that extraction order is fully deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit

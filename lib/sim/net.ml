@@ -1,0 +1,50 @@
+type latency =
+  | Fixed of Sim_time.t
+  | Uniform of Sim_time.t * Sim_time.t
+  | Exponential of { mean_us : float; floor : Sim_time.t }
+
+type t = {
+  mutable latency : latency;
+  mutable drop_probability : float;
+  mutable duplicate_probability : float;
+  detection_delay : Sim_time.t;
+  processing_time : Sim_time.t;
+  mutable blocked_pairs : (int * int) list;
+}
+
+let create ?(latency = Uniform (Sim_time.ms 1, Sim_time.ms 5))
+    ?(drop_probability = 0.0) ?(duplicate_probability = 0.0)
+    ?(detection_delay = Sim_time.ms 50) ?(processing_time = Sim_time.zero) () =
+  { latency; drop_probability; duplicate_probability; detection_delay;
+    processing_time; blocked_pairs = [] }
+
+let sample_delay t rng =
+  match t.latency with
+  | Fixed d -> d
+  | Uniform (lo, hi) -> Rng.uniform_int rng lo hi
+  | Exponential { mean_us; floor } ->
+    Sim_time.add floor (Sim_time.of_float_us (Rng.exponential rng mean_us))
+
+let drops t rng = t.drop_probability > 0.0 && Rng.bool rng t.drop_probability
+
+let duplicates t rng =
+  t.duplicate_probability > 0.0 && Rng.bool rng t.duplicate_probability
+
+let detection_delay t = t.detection_delay
+let processing_time t = t.processing_time
+
+let set_latency t latency = t.latency <- latency
+let set_drop_probability t p = t.drop_probability <- p
+
+let partition t side_a side_b =
+  let pairs =
+    List.concat_map (fun a -> List.map (fun b -> (a, b)) side_b) side_a
+  in
+  t.blocked_pairs <- pairs @ t.blocked_pairs
+
+let heal t = t.blocked_pairs <- []
+
+let blocked t ~src ~dst =
+  List.exists
+    (fun (a, b) -> (a = src && b = dst) || (a = dst && b = src))
+    t.blocked_pairs

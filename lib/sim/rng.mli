@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the simulator flows from a single seed so
+    that whole experiments are reproducible bit-for-bit. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each subsystem its own stream without coupling their
+    consumption rates. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val uniform_int : t -> int -> int -> int
+(** [uniform_int t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples an exponential distribution with the given
+    mean. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,23 @@
+type t = int
+
+let zero = 0
+let us n = n
+let ms n = n * 1_000
+let seconds n = n * 1_000_000
+
+let add = ( + )
+let sub = ( - )
+let compare = Int.compare
+
+let to_us t = t
+let to_ms_float t = float_of_int t /. 1_000.0
+let to_s_float t = float_of_int t /. 1_000_000.0
+
+let of_float_us f =
+  let n = int_of_float (Float.round f) in
+  if n < 1 then 1 else n
+
+let pp ppf t =
+  if t >= 1_000_000 then Format.fprintf ppf "%.3fs" (to_s_float t)
+  else if t >= 1_000 then Format.fprintf ppf "%.2fms" (to_ms_float t)
+  else Format.fprintf ppf "%dus" t

@@ -1,0 +1,27 @@
+(** Simulated time, in integer microseconds.
+
+    Integer time keeps the event queue total order deterministic across
+    platforms; microsecond resolution is fine-grained enough for all the
+    latency models in this repository. *)
+
+type t = int
+
+val zero : t
+val us : int -> t
+val ms : int -> t
+val seconds : int -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val compare : t -> t -> int
+
+val to_us : t -> int
+val to_ms_float : t -> float
+val to_s_float : t -> float
+
+val of_float_us : float -> t
+(** Round a microsecond quantity sampled from a continuous distribution,
+    never below 1 (a zero network delay would break FIFO tie-breaking
+    assumptions in latency models). *)
+
+val pp : Format.formatter -> t -> unit

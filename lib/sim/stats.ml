@@ -1,0 +1,93 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable sum : float;
+    mutable samples : float list;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity;
+      sum = 0.0; samples = [] }
+
+  (* Welford's online algorithm keeps mean/variance numerically stable; the
+     raw samples are also retained for exact percentiles (experiment sample
+     counts are small enough that this is cheap). *)
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.sum <- t.sum +. x;
+    t.samples <- x :: t.samples
+
+  let count t = t.count
+  let mean t = if t.count = 0 then nan else t.mean
+
+  let stddev t =
+    if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+  let min t = if t.count = 0 then nan else t.min
+  let max t = if t.count = 0 then nan else t.max
+  let sum t = t.sum
+
+  let percentile t p =
+    if t.count = 0 then nan
+    else begin
+      let sorted = Array.of_list t.samples in
+      Array.sort Float.compare sorted;
+      let rank = int_of_float (Float.round (p *. float_of_int (t.count - 1))) in
+      let rank = Stdlib.max 0 (Stdlib.min (t.count - 1) rank) in
+      sorted.(rank)
+    end
+
+  let pp ppf t =
+    if t.count = 0 then Format.fprintf ppf "n=0"
+    else
+      Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p99=%.2f max=%.2f"
+        t.count (mean t) (stddev t) (min t) (percentile t 0.5)
+        (percentile t 0.99) (max t)
+end
+
+module Counter = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let add t key n =
+    match Hashtbl.find_opt t key with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add t key (ref n)
+
+  let incr t key = add t key 1
+
+  let get t key =
+    match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end
+
+module Histogram = struct
+  type t = { bucket_width : float; counts : (int, int ref) Hashtbl.t }
+
+  let create ~bucket_width = { bucket_width; counts = Hashtbl.create 16 }
+
+  let add t x =
+    let bucket = int_of_float (Float.floor (x /. t.bucket_width)) in
+    match Hashtbl.find_opt t.counts bucket with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.counts bucket (ref 1)
+
+  let buckets t =
+    Hashtbl.fold
+      (fun b r acc -> (float_of_int b *. t.bucket_width, !r) :: acc)
+      t.counts []
+    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+end

@@ -1,0 +1,40 @@
+(** Online statistics used by every experiment: counters, summaries
+    (mean/variance/min/max/percentiles) and fixed-width histograms. *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [\[0,1\]]; nearest-rank on the retained
+      samples. Returns [nan] when empty. *)
+
+  val sum : t -> float
+  val pp : Format.formatter -> t -> unit
+end
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by key for deterministic output. *)
+end
+
+module Histogram : sig
+  type t
+
+  val create : bucket_width:float -> t
+  val add : t -> float -> unit
+  val buckets : t -> (float * int) list
+  (** [(lower_bound, count)] pairs, sorted, empty buckets omitted. *)
+end

@@ -1,0 +1,72 @@
+type kind = Send | Recv | Deliver | Mark
+
+type entry = {
+  time : Sim_time.t;
+  pid : int;
+  kind : kind;
+  label : string;
+}
+
+type t = { mutable entries : entry list; mutable enabled : bool }
+
+let create () = { entries = []; enabled = false }
+
+let enabled t = t.enabled
+let set_enabled t flag = t.enabled <- flag
+
+let record t time ~pid kind label =
+  if t.enabled then t.entries <- { time; pid; kind; label } :: t.entries
+
+let entries t = List.rev t.entries
+let clear t = t.entries <- []
+
+let pp_kind ppf = function
+  | Send -> Format.pp_print_string ppf "send"
+  | Recv -> Format.pp_print_string ppf "recv"
+  | Deliver -> Format.pp_print_string ppf "dlvr"
+  | Mark -> Format.pp_print_string ppf "mark"
+
+let truncate_to width s =
+  if String.length s <= width then s else String.sub s 0 width
+
+let contains ~needle haystack =
+  let n = String.length haystack and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub haystack i m = needle || scan (i + 1)) in
+  scan 0
+
+let render_diagram ?(column_width = 24) ?(exclude_substrings = [])
+    ?(limit = max_int) t ~names =
+  let columns = Array.length names in
+  let buffer = Buffer.create 1024 in
+  let pad s width =
+    let s = truncate_to width s in
+    s ^ String.make (width - String.length s) ' '
+  in
+  Buffer.add_string buffer (pad "time" 10);
+  Array.iter (fun n -> Buffer.add_string buffer ("| " ^ pad n column_width)) names;
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer (String.make (10 + (columns * (column_width + 2))) '-');
+  Buffer.add_char buffer '\n';
+  let emitted = ref 0 in
+  let add_row e =
+    let excluded =
+      List.exists (fun needle -> contains ~needle e.label) exclude_substrings
+    in
+    if e.pid >= 0 && e.pid < columns && (not excluded) && !emitted < limit
+    then begin
+      incr emitted;
+      let time_str = Format.asprintf "%a" Sim_time.pp e.time in
+      Buffer.add_string buffer (pad time_str 10);
+      for col = 0 to columns - 1 do
+        let cell =
+          if col = e.pid then
+            Format.asprintf "%a %s" pp_kind e.kind e.label
+          else ""
+        in
+        Buffer.add_string buffer ("| " ^ pad cell column_width)
+      done;
+      Buffer.add_char buffer '\n'
+    end
+  in
+  List.iter add_row (entries t);
+  Buffer.contents buffer

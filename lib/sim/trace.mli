@@ -1,0 +1,43 @@
+(** Event traces and ASCII event-diagram rendering.
+
+    The paper presents its anomalies as event diagrams (Figures 1-4); this
+    module regenerates them from actual protocol executions: one column per
+    process, time advancing downwards. *)
+
+type kind = Send | Recv | Deliver | Mark
+
+type entry = {
+  time : Sim_time.t;
+  pid : int;
+  kind : kind;
+  label : string;
+}
+
+type t
+
+val create : unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** Tracing is off by default; scaling experiments keep it off to avoid
+    accumulating millions of entries. *)
+
+val record : t -> Sim_time.t -> pid:int -> kind -> string -> unit
+val entries : t -> entry list
+(** In chronological order. *)
+
+val clear : t -> unit
+
+val render_diagram :
+  ?column_width:int ->
+  ?exclude_substrings:string list ->
+  ?limit:int ->
+  t ->
+  names:string array ->
+  string
+(** Render an event diagram with one column per process (indexed by pid).
+    Entries whose pid is outside [names] are dropped; entries whose label
+    contains one of [exclude_substrings] are filtered (protocol noise such
+    as gossip); at most [limit] rows are emitted (default: unlimited). *)
+
+val pp_kind : Format.formatter -> kind -> unit

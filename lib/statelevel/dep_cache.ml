@@ -1,0 +1,92 @@
+type dep = { dep_key : string; dep_version : int }
+
+type 'a item = {
+  key : string;
+  item_version : int;
+  value : 'a;
+  deps : dep list;
+}
+
+type 'a t = {
+  exposed : (string, 'a item) Hashtbl.t;
+  mutable parked : 'a item list;
+  mutable out_of_order : int;
+}
+
+let create () = { exposed = Hashtbl.create 16; parked = []; out_of_order = 0 }
+
+let satisfied t dep =
+  match Hashtbl.find_opt t.exposed dep.dep_key with
+  | Some item -> item.item_version >= dep.dep_version
+  | None -> false
+
+let deps_met t item = List.for_all (satisfied t) item.deps
+
+let expose t item =
+  let newer_already =
+    match Hashtbl.find_opt t.exposed item.key with
+    | Some existing -> existing.item_version >= item.item_version
+    | None -> false
+  in
+  if not newer_already then Hashtbl.replace t.exposed item.key item
+
+(* Exposing one item can unblock parked dependents, recursively. *)
+let rec settle t =
+  let ready, still_parked = List.partition (deps_met t) t.parked in
+  match ready with
+  | [] -> ()
+  | _ :: _ ->
+    t.parked <- still_parked;
+    List.iter (expose t) ready;
+    settle t
+
+let insert t item =
+  if deps_met t item then begin
+    expose t item;
+    settle t
+  end
+  else begin
+    t.out_of_order <- t.out_of_order + 1;
+    t.parked <- item :: t.parked
+  end
+
+let lookup t ~key = Hashtbl.find_opt t.exposed key
+
+let exposed_keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.exposed []
+  |> List.sort String.compare
+
+let lookup_any t ~key =
+  let parked_best =
+    List.fold_left
+      (fun best item ->
+        if item.key <> key then best
+        else
+          match best with
+          | Some b when b.item_version >= item.item_version -> best
+          | Some _ | None -> Some item)
+      None t.parked
+  in
+  match (Hashtbl.find_opt t.exposed key, parked_best) with
+  | Some e, Some p -> if p.item_version > e.item_version then Some p else Some e
+  | (Some _ as e), None -> e
+  | None, p -> p
+
+let parked_count t = List.length t.parked
+let exposed_count t = Hashtbl.length t.exposed
+let out_of_order_arrivals t = t.out_of_order
+
+let missing_for t ~key =
+  let best =
+    List.fold_left
+      (fun best item ->
+        if item.key <> key then best
+        else
+          match best with
+          | Some (b : 'a item) when b.item_version >= item.item_version -> best
+          | Some _ | None -> Some item)
+      None t.parked
+  in
+  match best with
+  | None -> []
+  | Some item -> List.filter (fun d -> not (satisfied t d)) item.deps

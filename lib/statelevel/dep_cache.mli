@@ -1,0 +1,47 @@
+(** Order-preserving data cache (Section 4.1).
+
+    The generalisation of both the Netnews fix (responses carry the id of
+    the inquiry they answer) and the trading-floor fix (computed data
+    carries the id and version of the base data it was derived from): cache
+    entries declare their dependencies, and the cache only exposes an entry
+    once every dependency is present at a sufficient version. Out-of-order
+    arrivals are parked, not dropped — "the database maintains only the
+    actual causal dependencies since it has access to the required semantic
+    information." *)
+
+type dep = { dep_key : string; dep_version : int }
+
+type 'a item = {
+  key : string;
+  item_version : int;
+  value : 'a;
+  deps : dep list;
+}
+
+type 'a t
+
+val create : unit -> 'a t
+
+val insert : 'a t -> 'a item -> unit
+(** Parks the item until its dependencies are satisfied, then exposes it
+    (and recursively anything the arrival unblocks). Per key, only the
+    newest exposed version is retained. *)
+
+val lookup : 'a t -> key:string -> 'a item option
+(** The newest exposed (dependency-complete) entry. *)
+
+val lookup_any : 'a t -> key:string -> 'a item option
+(** The newest entry even if still dependency-incomplete — the "display
+    out-of-order responses" browsing option from the Netnews discussion. *)
+
+val exposed_keys : 'a t -> string list
+(** Sorted keys that currently have a visible entry. *)
+
+val satisfied : 'a t -> dep -> bool
+val parked_count : 'a t -> int
+val exposed_count : 'a t -> int
+val out_of_order_arrivals : 'a t -> int
+(** Items that had to be parked at least momentarily. *)
+
+val missing_for : 'a t -> key:string -> dep list
+(** Dependencies still missing for the newest parked item of [key]. *)

@@ -1,0 +1,50 @@
+type 'a message = { stream : string; position : int; body : 'a }
+
+type 'a stream_state = {
+  mutable next : int;
+  held : (int, 'a message) Hashtbl.t;
+}
+
+type 'a t = (string, 'a stream_state) Hashtbl.t
+
+let create () : 'a t = Hashtbl.create 16
+
+let stream_state t stream =
+  match Hashtbl.find_opt t stream with
+  | Some s -> s
+  | None ->
+    let s = { next = 1; held = Hashtbl.create 8 } in
+    Hashtbl.add t stream s;
+    s
+
+let release s =
+  let rec loop acc =
+    match Hashtbl.find_opt s.held s.next with
+    | Some m ->
+      Hashtbl.remove s.held s.next;
+      s.next <- s.next + 1;
+      loop (m :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
+let offer t m =
+  let s = stream_state t m.stream in
+  if m.position >= s.next && not (Hashtbl.mem s.held m.position) then
+    Hashtbl.add s.held m.position m;
+  release s
+
+let held_count t =
+  Hashtbl.fold (fun _ s acc -> acc + Hashtbl.length s.held) t 0
+
+let next_position t ~stream = (stream_state t stream).next
+
+let skip_to t ~stream position =
+  let s = stream_state t stream in
+  if position > s.next then begin
+    for p = s.next to position - 1 do
+      Hashtbl.remove s.held p
+    done;
+    s.next <- position
+  end;
+  release s

@@ -1,0 +1,27 @@
+(** Prescriptive ordering (Section 2): message delivery gated by ordering
+    constraints the {e sender} explicitly prescribes, rather than by the
+    incidental happens-before of communication events.
+
+    Each message names the stream it belongs to and its position; per
+    stream, the gate releases messages in position order. Unlike CATOCS,
+    unrelated streams never delay each other (no false causality), and
+    the position can come from the state level (a database commit order, a
+    sensor reading sequence) rather than from communication incidents. *)
+
+type 'a message = { stream : string; position : int; body : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+
+val offer : 'a t -> 'a message -> 'a message list
+(** Feed an arriving message; returns the (possibly empty) batch of
+    messages released in prescribed order. Positions start at 1; duplicates
+    and stale positions are dropped. *)
+
+val held_count : 'a t -> int
+val next_position : 'a t -> stream:string -> int
+
+val skip_to : 'a t -> stream:string -> int -> 'a message list
+(** Declare positions below the given one abandoned (e.g. the producer
+    failed); releases anything that becomes in-order. *)

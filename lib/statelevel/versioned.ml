@@ -1,0 +1,51 @@
+type 'a entry = { value : 'a; version : int }
+
+type 'a store = (string, 'a entry) Hashtbl.t
+
+let create_store () : 'a store = Hashtbl.create 16
+
+let put store ~key value =
+  let next =
+    match Hashtbl.find_opt store key with
+    | Some e -> e.version + 1
+    | None -> 1
+  in
+  Hashtbl.replace store key { value; version = next };
+  next
+
+let get store ~key = Hashtbl.find_opt store key
+
+let version store ~key =
+  match Hashtbl.find_opt store key with Some e -> e.version | None -> 0
+
+let keys store =
+  Hashtbl.fold (fun k _ acc -> k :: acc) store [] |> List.sort String.compare
+
+type 'a replica = {
+  state : (string, 'a entry) Hashtbl.t;
+  mutable stale_rejected : int;
+}
+
+let create_replica () = { state = Hashtbl.create 16; stale_rejected = 0 }
+
+let apply r ~key value ~version =
+  let current =
+    match Hashtbl.find_opt r.state key with Some e -> e.version | None -> 0
+  in
+  if version > current then begin
+    Hashtbl.replace r.state key { value; version };
+    true
+  end
+  else begin
+    r.stale_rejected <- r.stale_rejected + 1;
+    false
+  end
+
+let read r ~key = Hashtbl.find_opt r.state key
+
+let stale_rejected r = r.stale_rejected
+
+let missing_gap r ~key ~latest =
+  match Hashtbl.find_opt r.state key with
+  | Some e -> e.version < latest
+  | None -> latest > 0

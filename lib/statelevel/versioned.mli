@@ -1,0 +1,42 @@
+(** Versioned objects: state-level logical clocks.
+
+    The paper's recurring alternative to CATOCS (Sections 3 and 4): give
+    every piece of state a version number ("a logical clock on the database
+    state"), carry the version in every notification, and let recipients
+    order notifications by version — immune to network reordering and to
+    hidden channels, because the version is assigned where the state
+    actually changes. *)
+
+type 'a entry = { value : 'a; version : int }
+
+type 'a store
+
+val create_store : unit -> 'a store
+
+val put : 'a store -> key:string -> 'a -> int
+(** Write through the owning store: assigns and returns the next version. *)
+
+val get : 'a store -> key:string -> 'a entry option
+val version : 'a store -> key:string -> int
+(** 0 when the key has never been written. *)
+
+val keys : 'a store -> string list
+
+(** A replica applying versioned notifications, possibly out of order. *)
+type 'a replica
+
+val create_replica : unit -> 'a replica
+
+val apply : 'a replica -> key:string -> 'a -> version:int -> bool
+(** [apply r ~key v ~version] installs the value iff [version] is newer
+    than what the replica holds; returns whether it was installed. Stale
+    (reordered) notifications are counted and dropped — this is how the
+    shop-floor example stays consistent without CATOCS. *)
+
+val read : 'a replica -> key:string -> 'a entry option
+val stale_rejected : 'a replica -> int
+(** Number of out-of-date notifications discarded. *)
+
+val missing_gap : 'a replica -> key:string -> latest:int -> bool
+(** True when the replica is known to lag: it has seen a version but not
+    [latest]. Lets applications distinguish "no data" from "old data". *)

@@ -1,0 +1,125 @@
+type txid = int
+
+type 'op msg =
+  | Prepare of { tx : txid; coordinator : Engine.pid; ops : 'op list }
+  | Vote of { tx : txid; from : Engine.pid; commit : bool }
+  | Decision of { tx : txid; commit : bool }
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable messages : int;
+  latency_us : Stats.Summary.t;
+}
+
+type pending_coordination = {
+  participants : Engine.pid list;
+  mutable votes : (Engine.pid * bool) list;
+  mutable decided : bool;
+  submitted_at : Sim_time.t;
+  on_done : tx:txid -> committed:bool -> unit;
+}
+
+type ('op, 'w) node = {
+  engine : 'w Engine.t;
+  node_self : Engine.pid;
+  inject : 'op msg -> 'w;
+  vote_timeout : Sim_time.t;
+  can_apply : tx:txid -> 'op list -> bool;
+  apply : tx:txid -> 'op list -> unit;
+  on_abort : tx:txid -> 'op list -> unit;
+  prepared : (txid, 'op list) Hashtbl.t;
+  coordinating : (txid, pending_coordination) Hashtbl.t;
+  decisions : (txid, bool) Hashtbl.t;
+      (* decisions this node made as coordinator: a Prepare can overtake the
+         abort Decision in the network, making a participant vote (and hold
+         locks) for a transaction already decided — the late vote is
+         answered from here so the participant can release *)
+  node_stats : stats;
+}
+
+(* txids must be unique across coordinators: derive from (pid, counter) *)
+let txid_counter = ref 0
+
+let fresh_txid node =
+  incr txid_counter;
+  (node.node_self * 1_000_000) + !txid_counter
+
+let stats node = node.node_stats
+let self node = node.node_self
+
+let rec send node ~dst m =
+  node.node_stats.messages <- node.node_stats.messages + 1;
+  if dst = node.node_self then handle node m
+  else Engine.send node.engine ~src:node.node_self ~dst (node.inject m)
+
+and decide node tx pending ~commit =
+  if not pending.decided then begin
+    pending.decided <- true;
+    Hashtbl.replace node.decisions tx commit;
+    if commit then node.node_stats.commits <- node.node_stats.commits + 1
+    else node.node_stats.aborts <- node.node_stats.aborts + 1;
+    Stats.Summary.add node.node_stats.latency_us
+      (float_of_int (Sim_time.sub (Engine.now node.engine) pending.submitted_at));
+    List.iter
+      (fun dst -> send node ~dst (Decision { tx; commit }))
+      pending.participants;
+    Hashtbl.remove node.coordinating tx;
+    pending.on_done ~tx ~committed:commit
+  end
+
+and handle_vote node ~tx ~from ~commit =
+  match Hashtbl.find_opt node.coordinating tx with
+  | None ->
+    (* late vote for an already-decided transaction: repeat the decision so
+       the participant releases its prepare-phase state *)
+    (match Hashtbl.find_opt node.decisions tx with
+     | Some decision when commit -> send node ~dst:from (Decision { tx; commit = decision })
+     | Some _ | None -> ())
+  | Some pending ->
+    if not (List.mem_assoc from pending.votes) then
+      pending.votes <- (from, commit) :: pending.votes;
+    if not commit then decide node tx pending ~commit:false
+    else if List.length pending.votes = List.length pending.participants then
+      decide node tx pending ~commit:(List.for_all snd pending.votes)
+
+and handle : 'op 'w. ('op, 'w) node -> 'op msg -> unit =
+  fun node m ->
+  match m with
+  | Prepare { tx; coordinator; ops } ->
+    let vote = node.can_apply ~tx ops in
+    if vote then Hashtbl.replace node.prepared tx ops;
+    send node ~dst:coordinator (Vote { tx; from = node.node_self; commit = vote })
+  | Vote { tx; from; commit } -> handle_vote node ~tx ~from ~commit
+  | Decision { tx; commit } ->
+    (match Hashtbl.find_opt node.prepared tx with
+     | Some ops ->
+       Hashtbl.remove node.prepared tx;
+       if commit then node.apply ~tx ops else node.on_abort ~tx ops
+     | None -> ())
+
+let create_node ~engine ~self:node_self ~inject ?(vote_timeout = Sim_time.ms 200)
+    ~can_apply ~apply ?(on_abort = fun ~tx:_ _ -> ()) () =
+  { engine; node_self; inject; vote_timeout; can_apply; apply; on_abort;
+    prepared = Hashtbl.create 16; coordinating = Hashtbl.create 16;
+    decisions = Hashtbl.create 64;
+    node_stats =
+      { commits = 0; aborts = 0; messages = 0;
+        latency_us = Stats.Summary.create () } }
+
+let submit node ~participants ~on_done =
+  let tx = fresh_txid node in
+  let pending =
+    { participants = List.map fst participants; votes = []; decided = false;
+      submitted_at = Engine.now node.engine; on_done }
+  in
+  Hashtbl.replace node.coordinating tx pending;
+  List.iter
+    (fun (dst, ops) ->
+      send node ~dst (Prepare { tx; coordinator = node.node_self; ops }))
+    participants;
+  Engine.after node.engine ~owner:node.node_self node.vote_timeout (fun () ->
+      match Hashtbl.find_opt node.coordinating tx with
+      | Some p when not p.decided -> decide node tx p ~commit:false
+      | Some _ | None -> ());
+  tx

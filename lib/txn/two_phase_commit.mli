@@ -1,0 +1,59 @@
+(** Two-phase commit over the simulated network.
+
+    Every node can act as both coordinator and participant. The prepare
+    phase carries the operations; participants vote (and may refuse —
+    Section 3's point that state-level constraints like storage or
+    protection can force a participant to reject an update, which CATOCS
+    delivery ordering cannot express); a missing vote (crash) aborts via
+    timeout. Decisions are applied on receipt.
+
+    The protocol is transport-agnostic: the application embeds ['op msg] in
+    its own engine wire type via [inject], and routes received protocol
+    messages back through {!handle}. Messages to self are handled
+    synchronously (local loopback). *)
+
+type txid = int
+
+type 'op msg =
+  | Prepare of { tx : txid; coordinator : Engine.pid; ops : 'op list }
+  | Vote of { tx : txid; from : Engine.pid; commit : bool }
+  | Decision of { tx : txid; commit : bool }
+
+type ('op, 'w) node
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable messages : int;
+  latency_us : Stats.Summary.t;  (** submit -> decision, at coordinators *)
+}
+
+val create_node :
+  engine:'w Engine.t ->
+  self:Engine.pid ->
+  inject:('op msg -> 'w) ->
+  ?vote_timeout:Sim_time.t ->
+  can_apply:(tx:txid -> 'op list -> bool) ->
+  apply:(tx:txid -> 'op list -> unit) ->
+  ?on_abort:(tx:txid -> 'op list -> unit) ->
+  unit ->
+  ('op, 'w) node
+(** Does {e not} install an engine handler: the application must route
+    protocol messages to {!handle}. [can_apply] is the vote; [apply] runs on
+    a commit decision; [on_abort] runs when an abort decision arrives for a
+    transaction this participant had voted yes on (release locks, drop redo
+    state). Default vote timeout 200ms. *)
+
+val handle : ('op, 'w) node -> 'op msg -> unit
+
+val submit :
+  ('op, 'w) node ->
+  participants:(Engine.pid * 'op list) list ->
+  on_done:(tx:txid -> committed:bool -> unit) ->
+  txid
+(** Run a transaction as coordinator. [on_done] fires once, when the
+    decision is made (commit requires unanimous yes votes before the
+    timeout). *)
+
+val stats : ('op, 'w) node -> stats
+val self : ('op, 'w) node -> Engine.pid

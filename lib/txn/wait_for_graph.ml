@@ -1,0 +1,78 @@
+type node = int
+
+type t = { succ : (node, node list ref) Hashtbl.t }
+
+let create () = { succ = Hashtbl.create 32 }
+
+let successors_ref t n =
+  match Hashtbl.find_opt t.succ n with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add t.succ n r;
+    r
+
+let add_edge t ~waiter ~holder =
+  if waiter <> holder then begin
+    let r = successors_ref t waiter in
+    if not (List.mem holder !r) then r := holder :: !r
+  end
+
+let remove_edge t ~waiter ~holder =
+  match Hashtbl.find_opt t.succ waiter with
+  | None -> ()
+  | Some r -> r := List.filter (fun n -> n <> holder) !r
+
+let remove_node t node =
+  Hashtbl.remove t.succ node;
+  Hashtbl.iter (fun _ r -> r := List.filter (fun n -> n <> node) !r) t.succ
+
+let merge_into dst src =
+  Hashtbl.iter
+    (fun waiter r -> List.iter (fun holder -> add_edge dst ~waiter ~holder) !r)
+    src.succ
+
+let edges t =
+  Hashtbl.fold
+    (fun waiter r acc -> List.fold_left (fun acc h -> (waiter, h) :: acc) acc !r)
+    t.succ []
+  |> List.sort_uniq compare
+
+let edge_count t = List.length (edges t)
+
+let successors t n =
+  match Hashtbl.find_opt t.succ n with
+  | Some r -> List.sort Int.compare !r
+  | None -> []
+
+let find_cycle t =
+  (* DFS with an explicit colour map; nodes scanned in sorted order so the
+     answer is deterministic. *)
+  let nodes =
+    Hashtbl.fold (fun n _ acc -> n :: acc) t.succ [] |> List.sort Int.compare
+  in
+  let colour = Hashtbl.create 32 in
+  (* 1 = on stack, 2 = done *)
+  let exception Found of node list in
+  let rec visit path n =
+    match Hashtbl.find_opt colour n with
+    | Some 2 -> ()
+    | Some _ ->
+      (* found a back edge to [n]: the cycle is the path segment from the
+         previous visit of [n] (skip the head, which is this new visit) *)
+      let rec cut = function
+        | [] -> []
+        | x :: rest -> if x = n then [ x ] else x :: cut rest
+      in
+      (match path with
+       | _ :: rest -> raise (Found (List.rev (cut rest)))
+       | [] -> ())
+    | None ->
+      Hashtbl.replace colour n 1;
+      List.iter (fun s -> visit (s :: path) s) (successors t n);
+      Hashtbl.replace colour n 2
+  in
+  try
+    List.iter (fun n -> visit [ n ] n) nodes;
+    None
+  with Found cycle -> Some cycle

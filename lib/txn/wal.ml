@@ -1,0 +1,36 @@
+type txid = int
+
+type 'v record =
+  | Begin of txid
+  | Write of { txid : txid; key : string; value : 'v }
+  | Commit of txid
+  | Abort of txid
+
+type 'v t = { mutable log : 'v record list (* newest first *) }
+
+let create () = { log = [] }
+
+let append t r = t.log <- r :: t.log
+let records t = List.rev t.log
+let length t = List.length t.log
+
+let committed t txid =
+  List.exists (function Commit id -> id = txid | Begin _ | Write _ | Abort _ -> false) t.log
+
+let replay t =
+  let store = Kv_store.create () in
+  let apply = function
+    | Write { txid; key; value } ->
+      if committed t txid then ignore (Kv_store.put store ~key value)
+    | Begin _ | Commit _ | Abort _ -> ()
+  in
+  List.iter apply (records t);
+  store
+
+let truncate t ~keep =
+  let kept = records t in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+  in
+  t.log <- List.rev (take keep kept)

@@ -1,0 +1,1016 @@
+(* Protocol tests for the CATOCS stack: ordering guarantees, stability,
+   atomic delivery, view changes, and the transport layer. *)
+
+module Config = Repro_catocs.Config
+module Group = Repro_catocs.Group
+module Stack = Repro_catocs.Stack
+module Wire = Repro_catocs.Wire
+module Delivery_queue = Repro_catocs.Delivery_queue
+module Total_order = Repro_catocs.Total_order
+module Transport = Repro_catocs.Transport
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- harness ------------------------------------------------------------- *)
+
+type world = {
+  engine : int Wire.t Transport.packet Engine.t;
+  stacks : int Stack.t array;
+  deliveries : (Engine.pid * int) list array;  (* newest first *)
+  views_seen : Group.view list array;
+  failures_seen : Engine.pid list array;
+}
+
+let make_world ?(n = 3) ?(ordering = Config.Causal)
+    ?(latency = Net.Uniform (500, 5_000)) ?(seed = 1L) ?(drop = 0.0)
+    ?(transport = Config.Bare) () =
+  let net = Net.create ~latency ~drop_probability:drop () in
+  let engine = Engine.create ~seed ~net () in
+  let config = { Config.default with Config.ordering; transport } in
+  let stacks =
+    Stack.create_group ~engine ~config
+      ~names:(List.init n (fun i -> Printf.sprintf "p%d" i))
+      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+    |> Array.of_list
+  in
+  let deliveries = Array.make n [] in
+  let views_seen = Array.make n [] in
+  let failures_seen = Array.make n [] in
+  Array.iteri
+    (fun i stack ->
+      Stack.set_callbacks stack
+        {
+          Stack.deliver =
+            (fun ~sender payload ->
+              deliveries.(i) <- (sender, payload) :: deliveries.(i));
+          view_change = (fun v -> views_seen.(i) <- v :: views_seen.(i));
+          member_failed = (fun p -> failures_seen.(i) <- p :: failures_seen.(i));
+          direct = (fun ~src:_ _ -> ());
+        })
+    stacks;
+  { engine; stacks; deliveries; views_seen; failures_seen }
+
+let delivered_payloads world i = List.rev_map snd world.deliveries.(i)
+
+let run world t = Engine.run ~until:t world.engine
+
+(* --- basic delivery ------------------------------------------------------ *)
+
+let test_causal_all_deliver () =
+  let w = make_world () in
+  Stack.multicast w.stacks.(0) 42;
+  run w (Sim_time.ms 100);
+  for i = 0 to 2 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "member %d delivered" i)
+      [ 42 ]
+      (delivered_payloads w i)
+  done
+
+let test_sender_delivers_own_immediately () =
+  let w = make_world () in
+  Stack.multicast w.stacks.(1) 7;
+  (* no engine step yet: the local copy is synchronous *)
+  Alcotest.(check (list int)) "local copy delivered" [ 7 ] (delivered_payloads w 1)
+
+let test_fifo_per_sender_order () =
+  let w = make_world ~ordering:Config.Fifo ~latency:(Net.Uniform (100, 10_000)) () in
+  for k = 1 to 20 do
+    Stack.multicast w.stacks.(0) k
+  done;
+  run w (Sim_time.ms 200);
+  for i = 0 to 2 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "member %d in send order" i)
+      (List.init 20 (fun k -> k + 1))
+      (delivered_payloads w i)
+  done
+
+let test_multiple_senders_all_delivered () =
+  let w = make_world ~n:4 () in
+  Array.iteri (fun i stack -> Stack.multicast stack (100 + i)) w.stacks;
+  run w (Sim_time.ms 200);
+  for i = 0 to 3 do
+    let got = List.sort Int.compare (delivered_payloads w i) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "member %d got all" i)
+      [ 100; 101; 102; 103 ] got
+  done
+
+(* --- causal ordering under adversarial latency --------------------------- *)
+
+(* Reactive chain: member 0 sends 0; each member k, upon delivering k-1,
+   multicasts k. Causal order requires everyone to deliver 0,1,2,... in
+   order, whatever the network does. *)
+let causal_chain_world ~ordering ~seed ~depth =
+  let w = make_world ~n:3 ~ordering ~latency:(Net.Uniform (100, 20_000)) ~seed () in
+  Array.iteri
+    (fun i stack ->
+      Stack.set_callbacks stack
+        {
+          Stack.deliver =
+            (fun ~sender:_ payload ->
+              w.deliveries.(i) <- (0, payload) :: w.deliveries.(i);
+              let next = payload + 1 in
+              if next < depth && next mod 3 = i then Stack.multicast stack next);
+          view_change = (fun _ -> ());
+          member_failed = (fun _ -> ());
+          direct = (fun ~src:_ _ -> ());
+        })
+    w.stacks;
+  w
+
+let chain_is_ordered payloads depth =
+  (* every delivered chain value appears, in increasing order *)
+  let rec ordered expected = function
+    | [] -> expected = depth
+    | p :: rest -> p = expected && ordered (expected + 1) rest
+  in
+  ordered 0 payloads
+
+let test_causal_chain_ordered_many_seeds () =
+  for seed = 1 to 30 do
+    let w = causal_chain_world ~ordering:Config.Causal ~seed:(Int64.of_int seed) ~depth:9 in
+    Stack.multicast w.stacks.(1) 0;
+    (* value 0 started by member 1: then member 1 reacts to 0? rule: next=1, 1 mod 3 = 1 *)
+    run w (Sim_time.seconds 2);
+    for i = 0 to 2 do
+      check_bool
+        (Printf.sprintf "seed %d member %d chain in causal order" seed i)
+        true
+        (chain_is_ordered (delivered_payloads w i) 9)
+    done
+  done
+
+let test_fifo_violates_causal_order_some_seed () =
+  (* The FBCAST baseline must exhibit at least one causal violation across
+     seeds — this is the difference CATOCS exists to remove. *)
+  let found_violation = ref false in
+  let seed = ref 1 in
+  while (not !found_violation) && !seed <= 60 do
+    let w =
+      causal_chain_world ~ordering:Config.Fifo ~seed:(Int64.of_int !seed) ~depth:9
+    in
+    Stack.multicast w.stacks.(1) 0;
+    run w (Sim_time.seconds 2);
+    for i = 0 to 2 do
+      if not (chain_is_ordered (delivered_payloads w i) 9) then
+        found_violation := true
+    done;
+    incr seed
+  done;
+  check_bool "fifo eventually misorders a causal chain" true !found_violation
+
+(* --- total order ---------------------------------------------------------- *)
+
+let concurrent_blast w ~per_member =
+  Array.iteri
+    (fun i stack ->
+      for k = 0 to per_member - 1 do
+        Engine.at w.engine (Sim_time.ms (1 + k)) (fun () ->
+            Stack.multicast stack ((i * 1000) + k))
+      done)
+    w.stacks
+
+let assert_identical_sequences w n label =
+  let reference = delivered_payloads w 0 in
+  check_bool (label ^ ": nonempty") true (List.length reference > 0);
+  for i = 1 to n - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "%s: member %d same sequence" label i)
+      reference (delivered_payloads w i)
+  done
+
+let test_total_sequencer_identical_order () =
+  for seed = 1 to 10 do
+    let w =
+      make_world ~n:4 ~ordering:Config.Total_sequencer
+        ~latency:(Net.Uniform (100, 15_000)) ~seed:(Int64.of_int seed) ()
+    in
+    concurrent_blast w ~per_member:10;
+    run w (Sim_time.seconds 3);
+    check_int "all delivered" 40 (List.length (delivered_payloads w 0));
+    assert_identical_sequences w 4 (Printf.sprintf "sequencer seed %d" seed)
+  done
+
+let test_total_lamport_identical_order () =
+  for seed = 1 to 10 do
+    let w =
+      make_world ~n:4 ~ordering:Config.Total_lamport
+        ~latency:(Net.Uniform (100, 15_000)) ~seed:(Int64.of_int seed) ()
+    in
+    concurrent_blast w ~per_member:10;
+    run w (Sim_time.seconds 3);
+    check_int "all delivered" 40 (List.length (delivered_payloads w 0));
+    assert_identical_sequences w 4 (Printf.sprintf "lamport seed %d" seed)
+  done
+
+let test_total_lamport_needs_gossip_to_progress () =
+  (* a single multicast is only released once every member's timestamp is
+     known to be later: delivery therefore waits about a gossip period *)
+  let w = make_world ~n:3 ~ordering:Config.Total_lamport ~latency:(Net.Fixed 100) () in
+  Stack.multicast w.stacks.(0) 1;
+  run w (Sim_time.ms 5);
+  check_int "not yet delivered at remote" 0 (List.length (delivered_payloads w 1));
+  run w (Sim_time.ms 200);
+  check_int "delivered after gossip" 1 (List.length (delivered_payloads w 1))
+
+(* --- stability & buffering ------------------------------------------------ *)
+
+let test_stability_drains_buffers () =
+  let w = make_world ~n:3 () in
+  for k = 1 to 10 do
+    Stack.multicast w.stacks.(k mod 3) k
+  done;
+  run w (Sim_time.ms 10);
+  (* before the first gossip round nothing can be known stable remotely *)
+  check_bool "buffers non-empty while unstable" true
+    (Array.exists (fun s -> Stack.unstable_count s > 0) w.stacks);
+  run w (Sim_time.ms 500);
+  Array.iteri
+    (fun i stack ->
+      check_int (Printf.sprintf "member %d buffer drained" i) 0
+        (Stack.unstable_count stack))
+    w.stacks
+
+let test_metrics_header_overhead () =
+  let causal = make_world ~n:4 ~ordering:Config.Causal () in
+  let fifo = make_world ~n:4 ~ordering:Config.Fifo () in
+  Stack.multicast causal.stacks.(0) 1;
+  Stack.multicast fifo.stacks.(0) 1;
+  run causal (Sim_time.ms 50);
+  run fifo (Sim_time.ms 50);
+  let causal_hdr = (Stack.metrics causal.stacks.(0)).Repro_catocs.Metrics.header_bytes in
+  let fifo_hdr = (Stack.metrics fifo.stacks.(0)).Repro_catocs.Metrics.header_bytes in
+  check_bool "causal header larger than fifo" true (causal_hdr > fifo_hdr);
+  (* causal: (8 + 4*4) * 3 recipients *)
+  check_int "causal header exact" ((8 + 16) * 3) causal_hdr;
+  check_int "fifo header exact" (8 * 3) fifo_hdr
+
+(* --- view change ----------------------------------------------------------- *)
+
+let test_view_change_on_crash () =
+  let w = make_world ~n:4 () in
+  Engine.at w.engine (Sim_time.ms 10) (fun () ->
+      Engine.crash w.engine (Stack.self w.stacks.(3)));
+  run w (Sim_time.seconds 1);
+  for i = 0 to 2 do
+    let v = Stack.view w.stacks.(i) in
+    check_int (Printf.sprintf "member %d new view size" i) 3 (Group.size v);
+    check_int (Printf.sprintf "member %d view id" i) 1 v.Group.view_id;
+    check_int
+      (Printf.sprintf "member %d saw failure notification" i)
+      1
+      (List.length w.failures_seen.(i));
+    check_int (Printf.sprintf "member %d saw view change" i) 1
+      (List.length w.views_seen.(i))
+  done
+
+let test_messages_before_crash_reach_all_survivors () =
+  let w = make_world ~n:4 ~latency:(Net.Uniform (100, 5_000)) () in
+  for k = 1 to 5 do
+    Stack.multicast w.stacks.(2) k
+  done;
+  Engine.at w.engine (Sim_time.ms 2) (fun () ->
+      Engine.crash w.engine (Stack.self w.stacks.(3)));
+  run w (Sim_time.seconds 1);
+  for i = 0 to 2 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "survivor %d has all pre-crash messages" i)
+      [ 1; 2; 3; 4; 5 ]
+      (delivered_payloads w i)
+  done
+
+let test_flush_resupplies_partial_multicast () =
+  (* sender's multicast reached only member 1; when the sender crashes, the
+     flush must propagate it to everyone (atomic delivery). *)
+  let w = make_world ~n:4 ~latency:(Net.Fixed 500) () in
+  Stack.inject_partial_multicast w.stacks.(0) 99
+    ~recipients:[ Stack.self w.stacks.(1) ];
+  Engine.at w.engine (Sim_time.ms 5) (fun () ->
+      Engine.crash w.engine (Stack.self w.stacks.(0)));
+  run w (Sim_time.seconds 1);
+  for i = 1 to 3 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "survivor %d got re-supplied message" i)
+      [ 99 ]
+      (delivered_payloads w i)
+  done
+
+let test_durability_gap_local_only_multicast () =
+  (* the paper's Section 2 special case: sender delivers locally, crashes
+     before any network send; survivors never see the message *)
+  let w = make_world ~n:3 ~latency:(Net.Fixed 500) () in
+  Stack.inject_partial_multicast w.stacks.(0) 77 ~recipients:[];
+  Alcotest.(check (list int)) "sender applied locally" [ 77 ] (delivered_payloads w 0);
+  Engine.at w.engine (Sim_time.ms 1) (fun () ->
+      Engine.crash w.engine (Stack.self w.stacks.(0)));
+  run w (Sim_time.seconds 1);
+  for i = 1 to 2 do
+    check_int (Printf.sprintf "survivor %d diverged" i) 0
+      (List.length (delivered_payloads w i))
+  done
+
+let test_send_suppression_during_flush () =
+  let w = make_world ~n:3 ~latency:(Net.Fixed 2_000) () in
+  Engine.at w.engine (Sim_time.ms 10) (fun () ->
+      Engine.crash w.engine (Stack.self w.stacks.(2)));
+  (* detection at 10ms+50ms; multicast during the flush at 61ms *)
+  Engine.at w.engine (Sim_time.ms 61) (fun () ->
+      check_bool "flushing at send time" true (Stack.is_flushing w.stacks.(0));
+      Stack.multicast w.stacks.(0) 5);
+  run w (Sim_time.seconds 1);
+  Alcotest.(check (list int)) "suppressed message delivered after view change"
+    [ 5 ]
+    (delivered_payloads w 1);
+  check_bool "suppression recorded" true
+    ((Stack.metrics w.stacks.(0)).Repro_catocs.Metrics.suppressed_us > 0)
+
+let test_two_sequential_crashes () =
+  let w = make_world ~n:5 () in
+  Engine.at w.engine (Sim_time.ms 10) (fun () ->
+      Engine.crash w.engine (Stack.self w.stacks.(4)));
+  Engine.at w.engine (Sim_time.ms 500) (fun () ->
+      Engine.crash w.engine (Stack.self w.stacks.(3)));
+  Engine.at w.engine (Sim_time.ms 900) (fun () -> Stack.multicast w.stacks.(0) 1);
+  run w (Sim_time.seconds 2);
+  for i = 0 to 2 do
+    check_int (Printf.sprintf "member %d final view size" i) 3
+      (Group.size (Stack.view w.stacks.(i)));
+    Alcotest.(check (list int))
+      (Printf.sprintf "member %d delivery works in final view" i)
+      [ 1 ]
+      (delivered_payloads w i)
+  done
+
+let test_sequencer_failover () =
+  (* rank 0 is the sequencer; crash it and check total order still works *)
+  let w = make_world ~n:4 ~ordering:Config.Total_sequencer () in
+  Engine.at w.engine (Sim_time.ms 10) (fun () ->
+      Engine.crash w.engine (Stack.self w.stacks.(0)));
+  Engine.at w.engine (Sim_time.ms 500) (fun () ->
+      for i = 1 to 3 do
+        Stack.multicast w.stacks.(i) (i * 10)
+      done);
+  run w (Sim_time.seconds 2);
+  let reference = delivered_payloads w 1 in
+  check_int "three messages" 3 (List.length reference);
+  for i = 2 to 3 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "member %d same total order after failover" i)
+      reference (delivered_payloads w i)
+  done
+
+(* --- join / state transfer -------------------------------------------------- *)
+
+let join_new_member w ?(callbacks = Stack.null_callbacks) name =
+  let pid = Engine.spawn w.engine ~name (fun _ _ -> ()) in
+  let existing = w.stacks.(0) in
+  (* recover the shared context through a fresh group-side join API *)
+  Stack.join ~engine:w.engine ~shared:(Stack.shared_of existing)
+    ~config:(Stack.config_of existing) ~self:pid
+    ~contact:(Stack.self w.stacks.(1)) ~callbacks ()
+
+let test_join_expands_view () =
+  let w = make_world ~n:3 () in
+  let joined_deliveries = ref [] in
+  let joiner =
+    ref None
+  in
+  Engine.at w.engine (Sim_time.ms 50) (fun () ->
+      joiner :=
+        Some
+          (join_new_member w "newbie"
+             ~callbacks:
+               { Stack.null_callbacks with
+                 Stack.deliver =
+                   (fun ~sender:_ p -> joined_deliveries := p :: !joined_deliveries) }));
+  run w (Sim_time.ms 400);
+  (match !joiner with
+   | Some stack ->
+     check_int "joiner sees 4-member view" 4 (Group.size (Stack.view stack));
+     check_bool "joiner done joining" false (Stack.is_flushing stack)
+   | None -> Alcotest.fail "joiner not created");
+  for i = 0 to 2 do
+    check_int
+      (Printf.sprintf "member %d sees 4-member view" i)
+      4
+      (Group.size (Stack.view w.stacks.(i)))
+  done;
+  (* traffic flows in both directions in the new view *)
+  Engine.at w.engine (Sim_time.ms 450) (fun () -> Stack.multicast w.stacks.(0) 7);
+  (match !joiner with
+   | Some stack ->
+     Engine.at w.engine (Sim_time.ms 460) (fun () -> Stack.multicast stack 8)
+   | None -> ());
+  run w (Sim_time.ms 700);
+  Alcotest.(check (list int)) "joiner delivered both" [ 7; 8 ]
+    (List.rev !joined_deliveries);
+  check_bool "old member delivered joiner's multicast" true
+    (List.mem 8 (delivered_payloads w 0))
+
+let test_join_state_transfer () =
+  let w = make_world ~n:3 () in
+  (* members accumulate a sum of delivered payloads as their state *)
+  let sums = Array.make 3 0 in
+  Array.iteri
+    (fun i stack ->
+      Stack.set_callbacks stack
+        { Stack.null_callbacks with
+          Stack.deliver = (fun ~sender:_ p -> sums.(i) <- sums.(i) + p) };
+      Stack.set_state_handlers stack
+        ~get:(fun () -> string_of_int sums.(i))
+        ~set:(fun s -> sums.(i) <- int_of_string s))
+    w.stacks;
+  for k = 1 to 5 do
+    Engine.at w.engine (Sim_time.ms k) (fun () -> Stack.multicast w.stacks.(0) k)
+  done;
+  let joiner_sum = ref (-1) in
+  Engine.at w.engine (Sim_time.ms 100) (fun () ->
+      let stack = join_new_member w "newbie" in
+      Stack.set_state_handlers stack
+        ~get:(fun () -> string_of_int !joiner_sum)
+        ~set:(fun s -> joiner_sum := int_of_string s));
+  run w (Sim_time.ms 500);
+  check_int "state transferred" 15 !joiner_sum
+
+let test_join_during_flush_is_queued () =
+  (* a crash flush is in progress when the join request lands: the joiner is
+     admitted in the following round *)
+  let w = make_world ~n:4 () in
+  Engine.at w.engine (Sim_time.ms 10) (fun () ->
+      Engine.crash w.engine (Stack.self w.stacks.(3)));
+  let joiner = ref None in
+  (* detection at 60ms; flush in progress shortly after *)
+  Engine.at w.engine (Sim_time.ms 61) (fun () ->
+      joiner := Some (join_new_member w "newbie"));
+  run w (Sim_time.seconds 2);
+  (match !joiner with
+   | Some stack ->
+     check_int "joiner in final view" 4 (Group.size (Stack.view stack))
+   | None -> Alcotest.fail "joiner not created");
+  check_int "old member agrees" 4 (Group.size (Stack.view w.stacks.(0)))
+
+let test_rejoin_after_crash () =
+  let w = make_world ~n:3 () in
+  let crashed = Stack.self w.stacks.(2) in
+  Engine.at w.engine (Sim_time.ms 10) (fun () -> Engine.crash w.engine crashed);
+  run w (Sim_time.ms 300);
+  check_int "view shrank" 2 (Group.size (Stack.view w.stacks.(0)));
+  (* recover and rejoin with a fresh stack under the SAME pid *)
+  let rejoined = ref None in
+  Engine.at w.engine (Sim_time.ms 310) (fun () ->
+      Engine.recover w.engine crashed;
+      Stack.shutdown w.stacks.(2);
+      let existing = w.stacks.(0) in
+      rejoined :=
+        Some
+          (Stack.join ~engine:w.engine ~shared:(Stack.shared_of existing)
+             ~config:(Stack.config_of existing) ~self:crashed
+             ~contact:(Stack.self w.stacks.(1)) ~callbacks:Stack.null_callbacks
+             ()));
+  run w (Sim_time.ms 900);
+  check_int "view back to 3" 3 (Group.size (Stack.view w.stacks.(0)));
+  (match !rejoined with
+   | Some stack ->
+     check_int "rejoined member installed" 3 (Group.size (Stack.view stack));
+     Engine.at w.engine (Sim_time.ms 950) (fun () -> Stack.multicast stack 42);
+     run w (Sim_time.ms 1200);
+     check_bool "delivery from rejoined member" true
+       (List.mem 42 (delivered_payloads w 0))
+   | None -> Alcotest.fail "rejoin failed")
+
+(* --- piggybacked causal history (Section 3.4 footnote 4) --------------------- *)
+
+let test_piggyback_fills_partial_multicast_gap () =
+  (* message 1 reaches only member 1; member 0's next multicast carries it
+     as unstable history, so member 2 recovers it without retransmission *)
+  let net = Net.create ~latency:(Net.Fixed 1_000) () in
+  let engine = Engine.create ~net () in
+  let config = { Config.default with Config.piggyback_history = true } in
+  let stacks =
+    Stack.create_group ~engine ~config ~names:[ "a"; "b"; "c" ]
+      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+    |> Array.of_list
+  in
+  let got = ref [] in
+  Stack.set_callbacks stacks.(2)
+    { Stack.null_callbacks with
+      Stack.deliver = (fun ~sender:_ v -> got := v :: !got) };
+  Stack.inject_partial_multicast stacks.(0) 1 ~recipients:[ Stack.self stacks.(1) ];
+  Engine.at engine (Sim_time.ms 5) (fun () -> Stack.multicast stacks.(0) 2);
+  Engine.run ~until:(Sim_time.ms 50) engine;
+  Alcotest.(check (list int)) "gap filled from piggyback, in causal order"
+    [ 1; 2 ]
+    (List.rev !got)
+
+let test_transport_gives_up_after_max_retries () =
+  let net = Net.create ~latency:(Net.Fixed 100) ~drop_probability:1.0 () in
+  let engine = Engine.create ~net () in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ _ -> ()) in
+  let ta =
+    Transport.create ~engine ~self:a
+      ~mode:(Config.Reliable { rto = Sim_time.ms 5; max_retries = 4 })
+      ~on_deliver:(fun ~src:_ _ -> ())
+  in
+  Engine.set_handler engine a (fun _ env -> Transport.handle ta env);
+  ignore b;
+  Transport.send ta ~dst:b 1;
+  Engine.run ~until:(Sim_time.seconds 2) engine;
+  check_int "bounded retransmissions" 4 (Transport.retransmissions ta)
+
+(* --- heartbeat failure detection ---------------------------------------------- *)
+
+let make_heartbeat_world ?(n = 3) ?(latency = Net.Uniform (500, 3_000)) ?(seed = 1L) () =
+  let net = Net.create ~latency () in
+  let engine = Engine.create ~seed ~net () in
+  let config =
+    { Config.default with
+      Config.failure_detection =
+        Config.Heartbeat { period = Sim_time.ms 10; timeout = Sim_time.ms 60 } }
+  in
+  let stacks =
+    Stack.create_group ~engine ~config
+      ~names:(List.init n (fun i -> Printf.sprintf "p%d" i))
+      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+    |> Array.of_list
+  in
+  (engine, stacks, net)
+
+let test_heartbeat_detects_crash () =
+  (* no oracle involved: silence alone removes the member *)
+  let engine, stacks, _ = make_heartbeat_world () in
+  let delivered = ref [] in
+  Stack.set_callbacks stacks.(1)
+    { Stack.null_callbacks with
+      Stack.deliver = (fun ~sender:_ v -> delivered := v :: !delivered) };
+  Engine.at engine (Sim_time.ms 30) (fun () ->
+      Engine.crash engine (Stack.self stacks.(2)));
+  Engine.at engine (Sim_time.ms 400) (fun () -> Stack.multicast stacks.(0) 9);
+  Engine.run ~until:(Sim_time.ms 700) engine;
+  check_int "survivor view size" 2 (Group.size (Stack.view stacks.(0)));
+  check_int "views agree" 2 (Group.size (Stack.view stacks.(1)));
+  Alcotest.(check (list int)) "delivery works after detection" [ 9 ] !delivered
+
+let test_heartbeat_partition_split_and_rejoin () =
+  let engine, stacks, net = make_heartbeat_world () in
+  let isolated = Stack.self stacks.(2) in
+  let others = [ Stack.self stacks.(0); Stack.self stacks.(1) ] in
+  Engine.at engine (Sim_time.ms 50) (fun () -> Net.partition net [ isolated ] others);
+  Engine.run ~until:(Sim_time.ms 400) engine;
+  (* both sides of the partition formed their own views *)
+  check_int "majority side trimmed" 2 (Group.size (Stack.view stacks.(0)));
+  check_int "isolated side went solo" 1 (Group.size (Stack.view stacks.(2)));
+  (* heal and re-join *)
+  Net.heal net;
+  let rejoined = ref None in
+  Engine.at engine (Sim_time.ms 410) (fun () ->
+      Stack.shutdown stacks.(2);
+      rejoined :=
+        Some
+          (Stack.join ~engine ~shared:(Stack.shared_of stacks.(0))
+             ~config:(Stack.config_of stacks.(0)) ~self:isolated
+             ~contact:(Stack.self stacks.(0)) ~callbacks:Stack.null_callbacks ()));
+  Engine.run ~until:(Sim_time.seconds 2) engine;
+  check_int "reunified view" 3 (Group.size (Stack.view stacks.(0)));
+  (match !rejoined with
+   | Some stack -> check_int "rejoined member view" 3 (Group.size (Stack.view stack))
+   | None -> Alcotest.fail "no rejoin")
+
+(* --- multiple groups per process --------------------------------------------- *)
+
+let test_two_groups_one_process () =
+  (* one process is a member of two independent causal groups through a
+     single endpoint; traffic in each group is isolated *)
+  let net = Net.create ~latency:(Net.Fixed 1_000) () in
+  let engine = Engine.create ~net () in
+  let config = Config.default in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ _ -> ()) in
+  let c = Engine.spawn engine ~name:"c" (fun _ _ -> ()) in
+  let module Endpoint = Repro_catocs.Endpoint in
+  let endpoint_a = Endpoint.create ~engine ~self:a ~mode:Config.Bare () in
+  let got_g1 = ref [] and got_g2 = ref [] in
+  let make_member ?endpoint shared view self log =
+    Stack.create ?endpoint ~engine ~shared ~config ~view ~self
+      ~callbacks:
+        { Stack.null_callbacks with
+          Stack.deliver = (fun ~sender:_ v -> log := v :: !log) }
+      ()
+  in
+  let shared1 = Stack.make_shared config in
+  let view1 = Group.make_view ~view_id:0 [ a; b ] in
+  let a1 = make_member ~endpoint:endpoint_a shared1 view1 a got_g1 in
+  let _b1 = make_member shared1 view1 b (ref []) in
+  let shared2 = Stack.make_shared config in
+  let view2 = Group.make_view ~view_id:0 [ a; c ] in
+  let a2 = make_member ~endpoint:endpoint_a shared2 view2 a got_g2 in
+  let c2 = make_member shared2 view2 c (ref []) in
+  check_bool "distinct group ids" true
+    (Stack.group_id shared1 <> Stack.group_id shared2);
+  Stack.multicast a1 11;
+  Stack.multicast c2 22;
+  Engine.run ~until:(Sim_time.ms 100) engine;
+  Alcotest.(check (list int)) "group-1 deliveries at a" [ 11 ] (List.rev !got_g1);
+  Alcotest.(check (list int)) "group-2 deliveries at a" [ 22; ] 
+    (List.filter (fun v -> v = 22) (List.rev !got_g2));
+  ignore a2
+
+(* --- loss and reliable transport ------------------------------------------ *)
+
+let test_reliable_transport_overcomes_loss () =
+  let w =
+    make_world ~n:3 ~drop:0.3
+      ~transport:(Config.Reliable { rto = Sim_time.ms 20; max_retries = 50 })
+      ~latency:(Net.Uniform (100, 3_000)) ()
+  in
+  for k = 1 to 20 do
+    Stack.multicast w.stacks.(k mod 3) k
+  done;
+  run w (Sim_time.seconds 5);
+  for i = 0 to 2 do
+    let got = List.sort Int.compare (delivered_payloads w i) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "member %d got everything despite loss" i)
+      (List.init 20 (fun k -> k + 1))
+      got
+  done
+
+let test_loss_without_reliability_blocks_causal () =
+  (* drop everything from one instant: dependent messages stay pending *)
+  let net = Net.create ~latency:(Net.Fixed 1_000) () in
+  let engine = Engine.create ~net () in
+  let config = Config.default in
+  let stacks =
+    Stack.create_group ~engine ~config ~names:[ "a"; "b"; "c" ]
+      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+    |> Array.of_list
+  in
+  let delivered_at_2 = ref 0 in
+  Stack.set_callbacks stacks.(2)
+    { Stack.null_callbacks with
+      Stack.deliver = (fun ~sender:_ _ -> incr delivered_at_2) };
+  (* message 1 lost to member 2 only: partial multicast *)
+  Stack.inject_partial_multicast stacks.(0) 1 ~recipients:[ Stack.self stacks.(1) ];
+  (* message 2 sent normally afterwards: causally after message 1 *)
+  Engine.at engine (Sim_time.ms 5) (fun () -> Stack.multicast stacks.(0) 2);
+  Engine.run ~until:(Sim_time.ms 15) engine;
+  check_int "member 2 blocked by the gap" 0 !delivered_at_2;
+  check_int "message parked in delay queue" 1 (Stack.pending_count stacks.(2))
+
+(* --- transport unit tests --------------------------------------------------- *)
+
+let test_transport_fifo_reassembly () =
+  (* exponential latencies reorder packets; reliable mode restores order *)
+  let net = Net.create ~latency:(Net.Exponential { mean_us = 5_000.0; floor = 10 }) () in
+  let engine = Engine.create ~seed:5L ~net () in
+  let got = ref [] in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ _ -> ()) in
+  let tb =
+    Transport.create ~engine ~self:b
+      ~mode:(Config.Reliable { rto = Sim_time.ms 50; max_retries = 10 })
+      ~on_deliver:(fun ~src:_ v -> got := v :: !got)
+  in
+  Engine.set_handler engine b (fun _ env -> Transport.handle tb env);
+  let ta =
+    Transport.create ~engine ~self:a
+      ~mode:(Config.Reliable { rto = Sim_time.ms 50; max_retries = 10 })
+      ~on_deliver:(fun ~src:_ _ -> ())
+  in
+  Engine.set_handler engine a (fun _ env -> Transport.handle ta env);
+  for i = 1 to 50 do
+    Transport.send ta ~dst:b i
+  done;
+  Engine.run ~until:(Sim_time.seconds 2) engine;
+  Alcotest.(check (list int)) "in order despite reordering"
+    (List.init 50 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_transport_retransmits_on_loss () =
+  let net = Net.create ~latency:(Net.Fixed 100) ~drop_probability:0.5 () in
+  let engine = Engine.create ~seed:7L ~net () in
+  let got = ref 0 in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ _ -> ()) in
+  let tb =
+    Transport.create ~engine ~self:b
+      ~mode:(Config.Reliable { rto = Sim_time.ms 10; max_retries = 100 })
+      ~on_deliver:(fun ~src:_ _ -> incr got)
+  in
+  Engine.set_handler engine b (fun _ env -> Transport.handle tb env);
+  let ta =
+    Transport.create ~engine ~self:a
+      ~mode:(Config.Reliable { rto = Sim_time.ms 10; max_retries = 100 })
+      ~on_deliver:(fun ~src:_ _ -> ())
+  in
+  Engine.set_handler engine a (fun _ env -> Transport.handle ta env);
+  for i = 1 to 30 do
+    Transport.send ta ~dst:b i
+  done;
+  Engine.run ~until:(Sim_time.seconds 10) engine;
+  check_int "all delivered" 30 !got;
+  check_bool "did retransmit" true (Transport.retransmissions ta > 0)
+
+(* --- pure queue structures -------------------------------------------------- *)
+
+let mk_data ?(msg_id = 0) ?(origin = 0) ~sender_rank ~vt () =
+  { Wire.msg_id; origin; sender_rank; view_id = 0;
+    vt = Vector_clock.of_list vt; meta = Wire.Causal_meta; payload = msg_id;
+    payload_bytes = 10; sent_at = 0; piggyback = [] }
+
+let test_delivery_queue_causal_blocks_gap () =
+  let q = Delivery_queue.create Delivery_queue.Causal_full in
+  let local = Vector_clock.of_list [ 0; 0 ] in
+  Delivery_queue.add q
+    { Delivery_queue.data = mk_data ~msg_id:2 ~sender_rank:0 ~vt:[ 2; 0 ] ();
+      arrived_at = 0 };
+  Alcotest.(check bool) "gap blocks" true
+    (Delivery_queue.take_deliverable q ~local = None);
+  Delivery_queue.add q
+    { Delivery_queue.data = mk_data ~msg_id:1 ~sender_rank:0 ~vt:[ 1; 0 ] ();
+      arrived_at = 0 };
+  (match Delivery_queue.take_deliverable q ~local with
+   | Some p -> check_int "first msg released" 1 p.Delivery_queue.data.Wire.msg_id
+   | None -> Alcotest.fail "expected deliverable");
+  Vector_clock.merge_into local (Vector_clock.of_list [ 1; 0 ]);
+  (match Delivery_queue.take_deliverable q ~local with
+   | Some p -> check_int "second msg released" 2 p.Delivery_queue.data.Wire.msg_id
+   | None -> Alcotest.fail "expected second deliverable")
+
+let test_delivery_queue_fifo_ignores_cross_deps () =
+  let q = Delivery_queue.create Delivery_queue.Fifo_gap in
+  let local = Vector_clock.of_list [ 0; 0 ] in
+  (* depends on an unseen message from rank 1, but FIFO mode doesn't care *)
+  Delivery_queue.add q
+    { Delivery_queue.data = mk_data ~msg_id:1 ~sender_rank:0 ~vt:[ 1; 5 ] ();
+      arrived_at = 0 };
+  check_bool "fifo delivers despite cross-sender dep" true
+    (Delivery_queue.take_deliverable q ~local <> None)
+
+let test_sequencer_queue_contiguous_release () =
+  let q = Total_order.Sequencer_queue.create () in
+  let p id = { Delivery_queue.data = mk_data ~msg_id:id ~sender_rank:0 ~vt:[ 1; 0 ] ();
+               arrived_at = 0 } in
+  Total_order.Sequencer_queue.add_data q (p 10);
+  Total_order.Sequencer_queue.add_data q (p 11);
+  Total_order.Sequencer_queue.add_order q ~msg_id:11 ~global_seq:1;
+  check_bool "seq 0 missing: nothing released" true
+    (Total_order.Sequencer_queue.take_ready q = None);
+  Total_order.Sequencer_queue.add_order q ~msg_id:10 ~global_seq:0;
+  (match Total_order.Sequencer_queue.take_ready q with
+   | Some x -> check_int "seq 0 first" 10 x.Delivery_queue.data.Wire.msg_id
+   | None -> Alcotest.fail "expected release");
+  (match Total_order.Sequencer_queue.take_ready q with
+   | Some x -> check_int "seq 1 second" 11 x.Delivery_queue.data.Wire.msg_id
+   | None -> Alcotest.fail "expected release")
+
+let test_lamport_queue_release_rule () =
+  let q = Total_order.Lamport_queue.create ~group_size:3 in
+  let p id = { Delivery_queue.data = mk_data ~msg_id:id ~sender_rank:0 ~vt:[ 1; 0 ] ();
+               arrived_at = 0 } in
+  Total_order.Lamport_queue.add q (p 1) ~stamp:{ Lamport.time = 5; node = 0 };
+  Total_order.Lamport_queue.observe_time q ~rank:0 10;
+  Total_order.Lamport_queue.observe_time q ~rank:1 10;
+  check_bool "rank 2 unseen: held" true (Total_order.Lamport_queue.take_ready q = None);
+  Total_order.Lamport_queue.observe_time q ~rank:2 6;
+  (match Total_order.Lamport_queue.take_ready q with
+   | Some x -> check_int "released" 1 x.Delivery_queue.data.Wire.msg_id
+   | None -> Alcotest.fail "expected release");
+  check_bool "empty after" true (Total_order.Lamport_queue.take_ready q = None)
+
+let test_lamport_queue_deactivate_unblocks () =
+  let q = Total_order.Lamport_queue.create ~group_size:3 in
+  let p id = { Delivery_queue.data = mk_data ~msg_id:id ~sender_rank:0 ~vt:[ 1; 0 ] ();
+               arrived_at = 0 } in
+  Total_order.Lamport_queue.add q (p 1) ~stamp:{ Lamport.time = 5; node = 0 };
+  Total_order.Lamport_queue.observe_time q ~rank:0 10;
+  Total_order.Lamport_queue.observe_time q ~rank:1 10;
+  Total_order.Lamport_queue.deactivate_rank q 2;
+  check_bool "failed member no longer blocks" true
+    (Total_order.Lamport_queue.take_ready q <> None)
+
+(* --- group views -------------------------------------------------------------- *)
+
+let test_group_view_basics () =
+  let v = Group.make_view ~view_id:0 [ 9; 3; 7 ] in
+  check_int "sorted rank 0" 3 (Group.member v 0);
+  check_int "sorted rank 2" 9 (Group.member v 2);
+  Alcotest.(check (option int)) "rank_of" (Some 1) (Group.rank_of v 7);
+  Alcotest.(check (option int)) "rank_of missing" None (Group.rank_of v 4);
+  check_int "coordinator" 3 (Group.coordinator v);
+  let v2 = Group.remove v [ 3 ] ~new_view_id:1 in
+  check_int "removed" 2 (Group.size v2);
+  check_int "new coordinator" 7 (Group.coordinator v2)
+
+(* --- property: random reactive workloads keep causal order ------------------- *)
+
+let prop_causal_never_misorders =
+  QCheck.Test.make ~name:"causal order holds on random reactive workloads"
+    ~count:25
+    QCheck.(make Gen.(pair (int_range 1 10_000) (int_range 2 5)))
+    (fun (seed, n) ->
+      let w =
+        make_world ~n ~ordering:Config.Causal
+          ~latency:(Net.Uniform (100, 30_000)) ~seed:(Int64.of_int seed) ()
+      in
+      let next_id = ref 0 in
+      let cause = Hashtbl.create 64 in
+      Array.iteri
+        (fun i stack ->
+          Stack.set_callbacks stack
+            { Stack.null_callbacks with
+              Stack.deliver =
+                (fun ~sender:_ payload ->
+                  w.deliveries.(i) <- (0, payload) :: w.deliveries.(i);
+                  (* bounded reaction: member (payload mod n) replies *)
+                  if payload < 60 && payload mod n = i then begin
+                    incr next_id;
+                    let id = 1000 + !next_id in
+                    Hashtbl.replace cause id payload;
+                    Stack.multicast stack id
+                  end) })
+        w.stacks;
+      for k = 0 to 9 do
+        Engine.at w.engine (Sim_time.ms (1 + k)) (fun () ->
+            Stack.multicast w.stacks.(k mod n) k)
+      done;
+      run w (Sim_time.seconds 3);
+      (* check: at every member, each effect is delivered after its cause *)
+      let ok = ref true in
+      Array.iter
+        (fun delivered ->
+          let order = Hashtbl.create 64 in
+          List.iteri (fun idx (_, p) -> Hashtbl.replace order p idx)
+            (List.rev delivered);
+          Hashtbl.iter
+            (fun effect c ->
+              match (Hashtbl.find_opt order effect, Hashtbl.find_opt order c) with
+              | Some ei, Some ci -> if ci >= ei then ok := false
+              | Some _, None -> ok := false  (* effect without cause *)
+              | None, _ -> ())
+            cause)
+        w.deliveries;
+      !ok)
+
+let prop_total_orders_agree =
+  QCheck.Test.make ~name:"total order identical at all members" ~count:15
+    QCheck.(make Gen.(pair (int_range 1 10_000) (int_range 2 5)))
+    (fun (seed, n) ->
+      let w =
+        make_world ~n ~ordering:Config.Total_sequencer
+          ~latency:(Net.Uniform (100, 30_000)) ~seed:(Int64.of_int seed) ()
+      in
+      concurrent_blast w ~per_member:5;
+      run w (Sim_time.seconds 3);
+      let reference = delivered_payloads w 0 in
+      List.length reference = n * 5
+      && Array.for_all (fun _ -> true) w.stacks
+      && (let agree = ref true in
+          for i = 1 to n - 1 do
+            if delivered_payloads w i <> reference then agree := false
+          done;
+          !agree))
+
+(* Virtual synchrony: whatever the crash timing, all survivors end with
+   exactly the same delivered message set (flush re-supply + consistent
+   drops make delivery all-or-nothing among survivors). *)
+let prop_virtual_synchrony_under_random_crash =
+  QCheck.Test.make ~name:"survivors deliver identical sets under crashes"
+    ~count:30
+    QCheck.(make Gen.(triple (int_range 1 10_000) (int_range 3 5) (int_range 1 400)))
+    (fun (seed, n, crash_ms) ->
+      let w =
+        make_world ~n ~ordering:Config.Causal
+          ~latency:(Net.Uniform (100, 20_000)) ~seed:(Int64.of_int seed) ()
+      in
+      (* steady traffic from everyone *)
+      Array.iteri
+        (fun i stack ->
+          let cancel =
+            Engine.every w.engine ~owner:(Stack.self stack)
+              ~start:(Sim_time.us (1_000 + (i * 101)))
+              ~period:(Sim_time.ms 7)
+              (fun () -> Stack.multicast stack ((i * 1_000_000) + Engine.now w.engine))
+          in
+          Engine.at w.engine (Sim_time.ms 450) cancel)
+        w.stacks;
+      let victim = n - 1 in
+      Engine.at w.engine (Sim_time.ms crash_ms) (fun () ->
+          Engine.crash w.engine (Stack.self w.stacks.(victim)));
+      run w (Sim_time.seconds 2);
+      let sets =
+        List.init n (fun i -> i)
+        |> List.filter (fun i -> i <> victim)
+        |> List.map (fun i -> List.sort Int.compare (delivered_payloads w i))
+      in
+      match sets with
+      | [] -> true
+      | first :: rest -> List.for_all (fun s -> s = first) rest)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_causal_never_misorders; prop_total_orders_agree;
+      prop_virtual_synchrony_under_random_crash ]
+
+let () =
+  Alcotest.run "repro_catocs"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "causal all deliver" `Quick test_causal_all_deliver;
+          Alcotest.test_case "sender local delivery" `Quick
+            test_sender_delivers_own_immediately;
+          Alcotest.test_case "fifo per-sender order" `Quick test_fifo_per_sender_order;
+          Alcotest.test_case "multiple senders" `Quick
+            test_multiple_senders_all_delivered;
+        ] );
+      ( "causal-order",
+        [
+          Alcotest.test_case "chain ordered over seeds" `Slow
+            test_causal_chain_ordered_many_seeds;
+          Alcotest.test_case "fifo violates some seed" `Slow
+            test_fifo_violates_causal_order_some_seed;
+        ] );
+      ( "total-order",
+        [
+          Alcotest.test_case "sequencer identical order" `Slow
+            test_total_sequencer_identical_order;
+          Alcotest.test_case "lamport identical order" `Slow
+            test_total_lamport_identical_order;
+          Alcotest.test_case "lamport needs gossip" `Quick
+            test_total_lamport_needs_gossip_to_progress;
+        ] );
+      ( "stability",
+        [
+          Alcotest.test_case "buffers drain" `Quick test_stability_drains_buffers;
+          Alcotest.test_case "header overhead" `Quick test_metrics_header_overhead;
+        ] );
+      ( "view-change",
+        [
+          Alcotest.test_case "crash installs new view" `Quick test_view_change_on_crash;
+          Alcotest.test_case "pre-crash msgs survive" `Quick
+            test_messages_before_crash_reach_all_survivors;
+          Alcotest.test_case "flush re-supplies partial" `Quick
+            test_flush_resupplies_partial_multicast;
+          Alcotest.test_case "durability gap" `Quick
+            test_durability_gap_local_only_multicast;
+          Alcotest.test_case "send suppression" `Quick test_send_suppression_during_flush;
+          Alcotest.test_case "two sequential crashes" `Quick test_two_sequential_crashes;
+          Alcotest.test_case "sequencer failover" `Quick test_sequencer_failover;
+        ] );
+      ( "piggyback",
+        [
+          Alcotest.test_case "fills partial-multicast gap" `Quick
+            test_piggyback_fills_partial_multicast_gap;
+          Alcotest.test_case "transport gives up" `Quick
+            test_transport_gives_up_after_max_retries;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "detects crash without oracle" `Quick
+            test_heartbeat_detects_crash;
+          Alcotest.test_case "partition split and rejoin" `Quick
+            test_heartbeat_partition_split_and_rejoin;
+        ] );
+      ( "multi-group",
+        [ Alcotest.test_case "two groups one process" `Quick
+            test_two_groups_one_process ] );
+      ( "join",
+        [
+          Alcotest.test_case "join expands view" `Quick test_join_expands_view;
+          Alcotest.test_case "state transfer" `Quick test_join_state_transfer;
+          Alcotest.test_case "join during flush queued" `Quick
+            test_join_during_flush_is_queued;
+          Alcotest.test_case "rejoin after crash" `Quick test_rejoin_after_crash;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "reliable transport overcomes loss" `Slow
+            test_reliable_transport_overcomes_loss;
+          Alcotest.test_case "loss blocks causal without reliability" `Quick
+            test_loss_without_reliability_blocks_causal;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "fifo reassembly" `Quick test_transport_fifo_reassembly;
+          Alcotest.test_case "retransmits on loss" `Quick
+            test_transport_retransmits_on_loss;
+        ] );
+      ( "queues",
+        [
+          Alcotest.test_case "causal gap blocks" `Quick
+            test_delivery_queue_causal_blocks_gap;
+          Alcotest.test_case "fifo ignores cross deps" `Quick
+            test_delivery_queue_fifo_ignores_cross_deps;
+          Alcotest.test_case "sequencer contiguous" `Quick
+            test_sequencer_queue_contiguous_release;
+          Alcotest.test_case "lamport release rule" `Quick test_lamport_queue_release_rule;
+          Alcotest.test_case "lamport deactivate" `Quick
+            test_lamport_queue_deactivate_unblocks;
+        ] );
+      ("group", [ Alcotest.test_case "view basics" `Quick test_group_view_basics ]);
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,541 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then differs := true
+  done;
+  check_bool "streams differ" true !differs
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    check_bool "in range" true (x >= 0 && x < 10)
+  done
+
+let test_rng_uniform_int_bounds () =
+  let rng = Rng.create 4L in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform_int rng 5 9 in
+    check_bool "in range" true (x >= 5 && x <= 9)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 5L in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    check_bool "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_bool_extremes () =
+  let rng = Rng.create 6L in
+  for _ = 1 to 100 do
+    check_bool "p=0 never true" false (Rng.bool rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    check_bool "p=1 always true" true (Rng.bool rng 1.0)
+  done
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 8L in
+  for _ = 1 to 1000 do
+    check_bool "positive" true (Rng.exponential rng 100.0 > 0.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 9L in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng 50.0
+  done;
+  let mean = !total /. float_of_int n in
+  check_bool "mean near 50" true (mean > 45.0 && mean < 55.0)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 10L in
+  let child = Rng.split parent in
+  check_bool "child differs from parent" true (Rng.int64 child <> Rng.int64 parent)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 11L in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+(* --- Heap ---------------------------------------------------------------- *)
+
+let test_heap_sorted_extraction () =
+  let h = Heap.create ~cmp:Int.compare in
+  let rng = Rng.create 12L in
+  let n = 500 in
+  for _ = 1 to n do
+    Heap.push h (Rng.int rng 1000)
+  done;
+  let prev = ref min_int in
+  for _ = 1 to n do
+    match Heap.pop h with
+    | None -> Alcotest.fail "heap exhausted early"
+    | Some x ->
+      check_bool "non-decreasing" true (x >= !prev);
+      prev := x
+  done;
+  check_bool "empty at end" true (Heap.is_empty h)
+
+let test_heap_peek_does_not_remove () =
+  let h = Heap.create ~cmp:Int.compare in
+  Heap.push h 5;
+  Heap.push h 3;
+  Alcotest.(check (option int)) "peek min" (Some 3) (Heap.peek h);
+  check_int "length preserved" 2 (Heap.length h)
+
+let test_heap_pop_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:Int.compare in
+  Heap.push h 1;
+  Heap.push h 2;
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+(* --- Sim_time ------------------------------------------------------------ *)
+
+let test_time_conversions () =
+  check_int "ms" 2_000 (Sim_time.ms 2);
+  check_int "s" 3_000_000 (Sim_time.seconds 3);
+  check_int "add" 1_500 (Sim_time.add (Sim_time.ms 1) (Sim_time.us 500));
+  Alcotest.(check (float 1e-9)) "to_ms" 1.5 (Sim_time.to_ms_float 1_500)
+
+let test_time_of_float_floor () =
+  check_int "never below 1" 1 (Sim_time.of_float_us 0.0);
+  check_int "rounds" 3 (Sim_time.of_float_us 2.6)
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let test_summary_basic () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check_int "count" 5 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "sum" 15.0 (Stats.Summary.sum s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) (Stats.Summary.stddev s)
+
+let test_summary_percentile () =
+  let s = Stats.Summary.create () in
+  for i = 1 to 100 do
+    Stats.Summary.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 1.0)) "p50" 50.0 (Stats.Summary.percentile s 0.5);
+  Alcotest.(check (float 1.0)) "p99" 99.0 (Stats.Summary.percentile s 0.99);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.Summary.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.Summary.percentile s 1.0)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  check_bool "mean nan" true (Float.is_nan (Stats.Summary.mean s));
+  check_bool "percentile nan" true (Float.is_nan (Stats.Summary.percentile s 0.5))
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "a";
+  Stats.Counter.incr c "a";
+  Stats.Counter.add c "b" 5;
+  check_int "a" 2 (Stats.Counter.get c "a");
+  check_int "b" 5 (Stats.Counter.get c "b");
+  check_int "missing" 0 (Stats.Counter.get c "zzz");
+  Alcotest.(check (list (pair string int))) "sorted"
+    [ ("a", 2); ("b", 5) ]
+    (Stats.Counter.to_list c)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~bucket_width:10.0 in
+  List.iter (Stats.Histogram.add h) [ 1.0; 5.0; 15.0; 25.0; 26.0 ];
+  Alcotest.(check (list (pair (float 1e-9) int))) "buckets"
+    [ (0.0, 2); (10.0, 1); (20.0, 2) ]
+    (Stats.Histogram.buckets h)
+
+(* --- Net ----------------------------------------------------------------- *)
+
+let test_net_fixed_latency () =
+  let net = Net.create ~latency:(Net.Fixed (Sim_time.ms 3)) () in
+  let rng = Rng.create 1L in
+  for _ = 1 to 10 do
+    check_int "fixed" 3000 (Net.sample_delay net rng)
+  done
+
+let test_net_uniform_latency_bounds () =
+  let net = Net.create ~latency:(Net.Uniform (100, 200)) () in
+  let rng = Rng.create 2L in
+  for _ = 1 to 1000 do
+    let d = Net.sample_delay net rng in
+    check_bool "in bounds" true (d >= 100 && d <= 200)
+  done
+
+let test_net_exponential_floor () =
+  let net =
+    Net.create ~latency:(Net.Exponential { mean_us = 500.0; floor = 100 }) ()
+  in
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    check_bool "above floor" true (Net.sample_delay net rng > 100)
+  done
+
+let test_net_partition () =
+  let net = Net.create () in
+  Net.partition net [ 0; 1 ] [ 2; 3 ];
+  check_bool "0->2 blocked" true (Net.blocked net ~src:0 ~dst:2);
+  check_bool "2->0 blocked" true (Net.blocked net ~src:2 ~dst:0);
+  check_bool "0->1 open" false (Net.blocked net ~src:0 ~dst:1);
+  check_bool "2->3 open" false (Net.blocked net ~src:2 ~dst:3);
+  Net.heal net;
+  check_bool "healed" false (Net.blocked net ~src:0 ~dst:2)
+
+let test_net_drop_probability () =
+  let net = Net.create ~drop_probability:1.0 () in
+  let rng = Rng.create 4L in
+  check_bool "always drops" true (Net.drops net rng);
+  Net.set_drop_probability net 0.0;
+  check_bool "never drops" false (Net.drops net rng)
+
+(* --- Engine -------------------------------------------------------------- *)
+
+let test_engine_send_receive () =
+  let engine = Engine.create ~net:(Net.create ~latency:(Net.Fixed 100) ()) () in
+  let received = ref [] in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b =
+    Engine.spawn engine ~name:"b" (fun _ env ->
+        received := env.Engine.payload :: !received)
+  in
+  Engine.send engine ~src:a ~dst:b "hello";
+  Engine.send engine ~src:a ~dst:b "world";
+  Engine.run engine;
+  Alcotest.(check (list string)) "both delivered in order" [ "hello"; "world" ]
+    (List.rev !received);
+  check_int "sent" 2 (Engine.messages_sent engine);
+  check_int "delivered" 2 (Engine.messages_delivered engine)
+
+let test_engine_clock_advances () =
+  let engine = Engine.create ~net:(Net.create ~latency:(Net.Fixed 250) ()) () in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ env ->
+      check_int "recv time" 250 env.Engine.recv_at) in
+  Engine.send engine ~src:a ~dst:b ();
+  Engine.run engine;
+  check_int "clock at last event" 250 (Engine.now engine)
+
+let test_engine_timers_in_order () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  Engine.at engine 300 (fun () -> order := 3 :: !order);
+  Engine.at engine 100 (fun () -> order := 1 :: !order);
+  Engine.at engine 200 (fun () -> order := 2 :: !order);
+  Engine.run engine;
+  Alcotest.(check (list int)) "fired in time order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_engine_tie_break_is_fifo () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Engine.at engine 100 (fun () -> order := i :: !order)
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "insertion order at equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_engine_after_and_every () =
+  let engine = Engine.create () in
+  let ticks = ref 0 in
+  let cancel = Engine.every engine ~start:100 ~period:100 (fun () -> incr ticks) in
+  Engine.after engine 450 (fun () -> cancel ());
+  Engine.run engine;
+  check_int "4 ticks then cancelled" 4 !ticks
+
+let test_engine_crash_drops_messages () =
+  let engine = Engine.create ~net:(Net.create ~latency:(Net.Fixed 100) ()) () in
+  let got = ref 0 in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ _ -> incr got) in
+  Engine.crash engine b;
+  Engine.send engine ~src:a ~dst:b ();
+  Engine.run engine;
+  check_int "nothing delivered to dead process" 0 !got;
+  check_bool "b reported dead" false (Engine.is_alive engine b)
+
+let test_engine_crashed_sender_cannot_send () =
+  let engine = Engine.create () in
+  let got = ref 0 in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ _ -> incr got) in
+  Engine.crash engine a;
+  Engine.send engine ~src:a ~dst:b ();
+  Engine.run engine;
+  check_int "dead sender suppressed" 0 !got
+
+let test_engine_inflight_survives_sender_crash () =
+  (* a message already on the wire is delivered even if the sender dies *)
+  let engine = Engine.create ~net:(Net.create ~latency:(Net.Fixed 500) ()) () in
+  let got = ref 0 in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ _ -> incr got) in
+  Engine.send engine ~src:a ~dst:b ();
+  Engine.at engine 100 (fun () -> Engine.crash engine a);
+  Engine.run engine;
+  check_int "in-flight message arrives" 1 !got
+
+let test_engine_failure_detection_delay () =
+  let net = Net.create ~detection_delay:(Sim_time.ms 10) () in
+  let engine = Engine.create ~net () in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let detected_at = ref (-1) in
+  Engine.on_failure engine (fun pid ->
+      check_int "right pid" a pid;
+      detected_at := Engine.now engine);
+  Engine.at engine 1000 (fun () -> Engine.crash engine a);
+  Engine.run engine;
+  check_int "detected after delay" (1000 + 10_000) !detected_at
+
+let test_engine_crash_suppresses_owned_timers () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  Engine.at engine ~owner:a 500 (fun () -> fired := true);
+  Engine.at engine 100 (fun () -> Engine.crash engine a);
+  Engine.run engine;
+  check_bool "timer suppressed" false !fired
+
+let test_engine_recover () =
+  let engine = Engine.create ~net:(Net.create ~latency:(Net.Fixed 10) ()) () in
+  let got = ref 0 in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ _ -> incr got) in
+  Engine.crash engine b;
+  Engine.at engine 100 (fun () -> Engine.recover engine b);
+  Engine.at engine 200 (fun () -> Engine.send engine ~src:a ~dst:b ());
+  Engine.run engine;
+  check_int "delivered after recovery" 1 !got
+
+let test_engine_partition_blocks () =
+  let net = Net.create ~latency:(Net.Fixed 10) () in
+  let engine = Engine.create ~net () in
+  let got = ref 0 in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ _ -> incr got) in
+  Net.partition net [ a ] [ b ];
+  Engine.send engine ~src:a ~dst:b ();
+  Engine.run engine;
+  check_int "blocked by partition" 0 !got;
+  check_int "counted dropped" 1 (Engine.messages_dropped engine)
+
+let test_engine_run_until () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  Engine.at engine 1000 (fun () -> fired := true);
+  Engine.run ~until:500 engine;
+  check_bool "not yet" false !fired;
+  check_int "clock stopped at limit" 500 (Engine.now engine);
+  Engine.run engine;
+  check_bool "fires on resume" true !fired
+
+let test_engine_processing_time_serialises () =
+  (* three messages arriving together are processed one at a time *)
+  let net =
+    Net.create ~latency:(Net.Fixed 100) ~processing_time:(Sim_time.us 50) ()
+  in
+  let engine = Engine.create ~net () in
+  let times = ref [] in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ env ->
+      times := env.Engine.recv_at :: !times) in
+  for _ = 1 to 3 do
+    Engine.send engine ~src:a ~dst:b ()
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "queued behind each other" [ 150; 200; 250 ]
+    (List.rev !times)
+
+let test_engine_processing_time_zero_is_passthrough () =
+  let net = Net.create ~latency:(Net.Fixed 100) () in
+  let engine = Engine.create ~net () in
+  let times = ref [] in
+  let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+  let b = Engine.spawn engine ~name:"b" (fun _ env ->
+      times := env.Engine.recv_at :: !times) in
+  for _ = 1 to 3 do
+    Engine.send engine ~src:a ~dst:b ()
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "all arrive together" [ 100; 100; 100 ]
+    (List.rev !times)
+
+let test_engine_deterministic_replay () =
+  let run_once seed =
+    let net = Net.create ~latency:(Net.Uniform (100, 900)) () in
+    let engine = Engine.create ~seed ~net () in
+    let log = ref [] in
+    let a = Engine.spawn engine ~name:"a" (fun _ _ -> ()) in
+    let b =
+      Engine.spawn engine ~name:"b" (fun _ env ->
+          log := (env.Engine.payload, Engine.now engine) :: !log)
+    in
+    for i = 1 to 50 do
+      Engine.at engine (i * 10) (fun () -> Engine.send engine ~src:a ~dst:b i)
+    done;
+    Engine.run engine;
+    List.rev !log
+  in
+  Alcotest.(check (list (pair int int))) "same seed, same run" (run_once 99L)
+    (run_once 99L);
+  check_bool "different seed, different run" true (run_once 99L <> run_once 100L)
+
+(* --- Trace --------------------------------------------------------------- *)
+
+let test_trace_disabled_by_default () =
+  let t = Trace.create () in
+  Trace.record t 100 ~pid:0 Trace.Send "m1";
+  check_int "no entries" 0 (List.length (Trace.entries t))
+
+let test_trace_records_in_order () =
+  let t = Trace.create () in
+  Trace.set_enabled t true;
+  Trace.record t 100 ~pid:0 Trace.Send "m1";
+  Trace.record t 200 ~pid:1 Trace.Recv "m1";
+  let entries = Trace.entries t in
+  check_int "two entries" 2 (List.length entries);
+  (match entries with
+   | [ e1; e2 ] ->
+     check_int "first time" 100 e1.Trace.time;
+     check_int "second time" 200 e2.Trace.time
+   | _ -> Alcotest.fail "unexpected entries")
+
+let test_trace_exclude_and_limit () =
+  let t = Trace.create () in
+  Trace.set_enabled t true;
+  Trace.record t 100 ~pid:0 Trace.Send "m1";
+  Trace.record t 150 ~pid:0 Trace.Send "gossip(r0)";
+  Trace.record t 200 ~pid:1 Trace.Recv "m1";
+  Trace.record t 250 ~pid:1 Trace.Recv "m2";
+  let diagram =
+    Trace.render_diagram ~exclude_substrings:[ "gossip" ] ~limit:2 t
+      ~names:[| "P"; "Q" |]
+  in
+  let contains sub =
+    let n = String.length diagram and m = String.length sub in
+    let rec scan i = i + m <= n && (String.sub diagram i m = sub || scan (i + 1)) in
+    scan 0
+  in
+  check_bool "gossip filtered" false (contains "gossip");
+  check_bool "first kept" true (contains "send m1");
+  check_bool "limit applied" false (contains "recv m2")
+
+let test_trace_render_contains_events () =
+  let t = Trace.create () in
+  Trace.set_enabled t true;
+  Trace.record t 100 ~pid:0 Trace.Send "m1";
+  Trace.record t 250 ~pid:1 Trace.Recv "m1";
+  let diagram = Trace.render_diagram t ~names:[| "P"; "Q" |] in
+  let contains sub =
+    let n = String.length diagram and m = String.length sub in
+    let rec scan i = i + m <= n && (String.sub diagram i m = sub || scan (i + 1)) in
+    scan 0
+  in
+  check_bool "send row present" true (contains "send m1");
+  check_bool "recv row present" true (contains "recv m1")
+
+let () =
+  Alcotest.run "repro_sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed changes stream" `Quick test_rng_seed_changes_stream;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "uniform_int bounds" `Quick test_rng_uniform_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bool extremes" `Quick test_rng_bool_extremes;
+          Alcotest.test_case "exponential positive" `Quick test_rng_exponential_positive;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorted extraction" `Quick test_heap_sorted_extraction;
+          Alcotest.test_case "peek" `Quick test_heap_peek_does_not_remove;
+          Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+        ] );
+      ( "time",
+        [
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "of_float floor" `Quick test_time_of_float_floor;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary basic" `Quick test_summary_basic;
+          Alcotest.test_case "summary percentile" `Quick test_summary_percentile;
+          Alcotest.test_case "summary empty" `Quick test_summary_empty;
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "fixed latency" `Quick test_net_fixed_latency;
+          Alcotest.test_case "uniform bounds" `Quick test_net_uniform_latency_bounds;
+          Alcotest.test_case "exponential floor" `Quick test_net_exponential_floor;
+          Alcotest.test_case "partition" `Quick test_net_partition;
+          Alcotest.test_case "drop probability" `Quick test_net_drop_probability;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "send/receive" `Quick test_engine_send_receive;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+          Alcotest.test_case "timers in order" `Quick test_engine_timers_in_order;
+          Alcotest.test_case "tie-break fifo" `Quick test_engine_tie_break_is_fifo;
+          Alcotest.test_case "after/every" `Quick test_engine_after_and_every;
+          Alcotest.test_case "crash drops" `Quick test_engine_crash_drops_messages;
+          Alcotest.test_case "dead sender" `Quick test_engine_crashed_sender_cannot_send;
+          Alcotest.test_case "in-flight survives" `Quick
+            test_engine_inflight_survives_sender_crash;
+          Alcotest.test_case "failure detection delay" `Quick
+            test_engine_failure_detection_delay;
+          Alcotest.test_case "crash suppresses timers" `Quick
+            test_engine_crash_suppresses_owned_timers;
+          Alcotest.test_case "recover" `Quick test_engine_recover;
+          Alcotest.test_case "partition blocks" `Quick test_engine_partition_blocks;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_engine_deterministic_replay;
+          Alcotest.test_case "processing time serialises" `Quick
+            test_engine_processing_time_serialises;
+          Alcotest.test_case "zero processing passthrough" `Quick
+            test_engine_processing_time_zero_is_passthrough;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
+          Alcotest.test_case "records in order" `Quick test_trace_records_in_order;
+          Alcotest.test_case "diagram contains events" `Quick
+            test_trace_render_contains_events;
+          Alcotest.test_case "exclude and limit" `Quick test_trace_exclude_and_limit;
+        ] );
+    ]

@@ -1,0 +1,425 @@
+(* Tests for the state-level alternatives: versioned objects, the
+   dependency-preserving cache, prescriptive ordering, real-time clocks. *)
+
+module Versioned = Repro_statelevel.Versioned
+module Dep_cache = Repro_statelevel.Dep_cache
+module Prescriptive = Repro_statelevel.Prescriptive
+module Rt_clock = Repro_statelevel.Rt_clock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Versioned ----------------------------------------------------------- *)
+
+let test_store_versions_increment () =
+  let s = Versioned.create_store () in
+  check_int "v1" 1 (Versioned.put s ~key:"lotA" "start");
+  check_int "v2" 2 (Versioned.put s ~key:"lotA" "stop");
+  check_int "other key independent" 1 (Versioned.put s ~key:"lotB" "start");
+  check_int "version read" 2 (Versioned.version s ~key:"lotA");
+  check_int "missing version" 0 (Versioned.version s ~key:"zzz")
+
+let test_replica_orders_reordered_updates () =
+  (* the shop-floor fix: "stop"(v2) arrives before "start"(v1) and still
+     wins; the late v1 is rejected as stale *)
+  let r = Versioned.create_replica () in
+  check_bool "v2 applies" true (Versioned.apply r ~key:"lotA" "stop" ~version:2);
+  check_bool "late v1 rejected" false (Versioned.apply r ~key:"lotA" "start" ~version:1);
+  (match Versioned.read r ~key:"lotA" with
+   | Some e ->
+     Alcotest.(check string) "final value" "stop" e.Versioned.value;
+     check_int "final version" 2 e.Versioned.version
+   | None -> Alcotest.fail "expected value");
+  check_int "stale counted" 1 (Versioned.stale_rejected r)
+
+let test_replica_gap_detection () =
+  let r = Versioned.create_replica () in
+  ignore (Versioned.apply r ~key:"k" "a" ~version:1);
+  check_bool "lagging" true (Versioned.missing_gap r ~key:"k" ~latest:3);
+  check_bool "caught up" false (Versioned.missing_gap r ~key:"k" ~latest:1);
+  check_bool "unknown key lags" true (Versioned.missing_gap r ~key:"nope" ~latest:1)
+
+(* --- Dep_cache ------------------------------------------------------------ *)
+
+let item ~key ~version ?(deps = []) value =
+  { Dep_cache.key; item_version = version; value;
+    deps =
+      List.map (fun (k, v) -> { Dep_cache.dep_key = k; dep_version = v }) deps }
+
+let test_cache_exposes_independent_items () =
+  let c = Dep_cache.create () in
+  Dep_cache.insert c (item ~key:"opt" ~version:1 25.5);
+  check_bool "visible" true (Dep_cache.lookup c ~key:"opt" <> None);
+  check_int "no out-of-order" 0 (Dep_cache.out_of_order_arrivals c)
+
+let test_cache_parks_until_dep_arrives () =
+  (* the trading fix: a theoretical price depends on the option price it was
+     computed from; it is not shown until that base version is present *)
+  let c = Dep_cache.create () in
+  Dep_cache.insert c (item ~key:"theo" ~version:1 ~deps:[ ("opt", 1) ] 26.75);
+  check_bool "parked" true (Dep_cache.lookup c ~key:"theo" = None);
+  check_int "parked count" 1 (Dep_cache.parked_count c);
+  check_int "out-of-order counted" 1 (Dep_cache.out_of_order_arrivals c);
+  Dep_cache.insert c (item ~key:"opt" ~version:1 25.5);
+  (match Dep_cache.lookup c ~key:"theo" with
+   | Some i -> Alcotest.(check (float 1e-9)) "released" 26.75 i.Dep_cache.value
+   | None -> Alcotest.fail "expected release");
+  check_int "nothing parked" 0 (Dep_cache.parked_count c)
+
+let test_cache_dep_needs_sufficient_version () =
+  let c = Dep_cache.create () in
+  Dep_cache.insert c (item ~key:"opt" ~version:1 25.5);
+  Dep_cache.insert c (item ~key:"theo" ~version:2 ~deps:[ ("opt", 2) ] 27.0);
+  check_bool "old base insufficient" true (Dep_cache.lookup c ~key:"theo" = None);
+  Alcotest.(check (list (pair string int))) "missing listed"
+    [ ("opt", 2) ]
+    (List.map
+       (fun d -> (d.Dep_cache.dep_key, d.Dep_cache.dep_version))
+       (Dep_cache.missing_for c ~key:"theo"));
+  Dep_cache.insert c (item ~key:"opt" ~version:2 26.0);
+  check_bool "released at v2" true (Dep_cache.lookup c ~key:"theo" <> None)
+
+let test_cache_transitive_release () =
+  let c = Dep_cache.create () in
+  Dep_cache.insert c (item ~key:"c" ~version:1 ~deps:[ ("b", 1) ] 3.0);
+  Dep_cache.insert c (item ~key:"b" ~version:1 ~deps:[ ("a", 1) ] 2.0);
+  check_int "two parked" 2 (Dep_cache.parked_count c);
+  Dep_cache.insert c (item ~key:"a" ~version:1 1.0);
+  check_int "all released" 0 (Dep_cache.parked_count c);
+  check_int "three exposed" 3 (Dep_cache.exposed_count c)
+
+let test_cache_newest_version_wins () =
+  let c = Dep_cache.create () in
+  Dep_cache.insert c (item ~key:"k" ~version:2 2.0);
+  Dep_cache.insert c (item ~key:"k" ~version:1 1.0);
+  (match Dep_cache.lookup c ~key:"k" with
+   | Some i -> check_int "v2 retained" 2 i.Dep_cache.item_version
+   | None -> Alcotest.fail "expected entry")
+
+let test_cache_lookup_any_shows_parked () =
+  (* the Netnews "display out-of-order responses" browsing option *)
+  let c = Dep_cache.create () in
+  Dep_cache.insert c (item ~key:"resp" ~version:1 ~deps:[ ("inq", 1) ] 9.0);
+  check_bool "lookup hides" true (Dep_cache.lookup c ~key:"resp" = None);
+  check_bool "lookup_any shows" true (Dep_cache.lookup_any c ~key:"resp" <> None)
+
+(* --- Prescriptive ---------------------------------------------------------- *)
+
+let msg stream position body = { Prescriptive.stream; position; body }
+
+let test_prescriptive_in_order_passthrough () =
+  let g = Prescriptive.create () in
+  let released = Prescriptive.offer g (msg "s" 1 "a") in
+  check_int "released immediately" 1 (List.length released);
+  check_int "next" 2 (Prescriptive.next_position g ~stream:"s")
+
+let test_prescriptive_reorders () =
+  let g = Prescriptive.create () in
+  check_int "held" 0 (List.length (Prescriptive.offer g (msg "s" 2 "b")));
+  check_int "held count" 1 (Prescriptive.held_count g);
+  let released = Prescriptive.offer g (msg "s" 1 "a") in
+  Alcotest.(check (list string)) "released in order" [ "a"; "b" ]
+    (List.map (fun m -> m.Prescriptive.body) released)
+
+let test_prescriptive_streams_independent () =
+  (* no false causality: stream "t" is never delayed by stream "s" *)
+  let g = Prescriptive.create () in
+  ignore (Prescriptive.offer g (msg "s" 2 "late"));
+  let released = Prescriptive.offer g (msg "t" 1 "independent") in
+  check_int "other stream flows" 1 (List.length released)
+
+let test_prescriptive_drops_duplicates_and_stale () =
+  let g = Prescriptive.create () in
+  ignore (Prescriptive.offer g (msg "s" 1 "a"));
+  check_int "dup dropped" 0 (List.length (Prescriptive.offer g (msg "s" 1 "a")));
+  check_int "stale dropped" 0 (List.length (Prescriptive.offer g (msg "s" 0 "z")))
+
+let test_prescriptive_skip_to () =
+  let g = Prescriptive.create () in
+  ignore (Prescriptive.offer g (msg "s" 3 "c"));
+  let released = Prescriptive.skip_to g ~stream:"s" 3 in
+  Alcotest.(check (list string)) "skip releases" [ "c" ]
+    (List.map (fun m -> m.Prescriptive.body) released)
+
+(* --- Rt_clock --------------------------------------------------------------- *)
+
+let test_rt_clock_bounded_skew () =
+  let clock = Rt_clock.create ~accuracy_us:1000 (Rng.create 1L) in
+  for pid = 0 to 20 do
+    let skew = Rt_clock.skew_of clock ~pid in
+    check_bool "skew bounded" true (abs skew <= 500)
+  done
+
+let test_rt_clock_deterministic_per_pid () =
+  let clock = Rt_clock.create (Rng.create 2L) in
+  let a = Rt_clock.read clock ~pid:3 ~now:1000 in
+  let b = Rt_clock.read clock ~pid:3 ~now:1000 in
+  check_int "stable per pid" a b
+
+let test_rt_clock_tracks_time () =
+  let clock = Rt_clock.create ~accuracy_us:100 (Rng.create 3L) in
+  let t1 = Rt_clock.read clock ~pid:0 ~now:10_000 in
+  let t2 = Rt_clock.read clock ~pid:0 ~now:20_000 in
+  check_int "advances exactly" 10_000 (t2 - t1)
+
+let test_stamped_merge_freshest_wins () =
+  let open Rt_clock.Stamped in
+  let a = { stamp = 100; origin = 0; v = "old" } in
+  let b = { stamp = 200; origin = 1; v = "new" } in
+  Alcotest.(check string) "fresher wins" "new" (merge (Some a) b).v;
+  Alcotest.(check string) "stale loses" "new" (merge (Some b) a).v;
+  Alcotest.(check string) "none takes any" "old" (merge None a).v
+
+let test_stamped_tie_broken_by_origin () =
+  let open Rt_clock.Stamped in
+  let a = { stamp = 100; origin = 0; v = "a" } in
+  let b = { stamp = 100; origin = 1; v = "b" } in
+  check_bool "total order" true (compare a b < 0);
+  Alcotest.(check string) "higher origin wins ties" "b" (merge (Some a) b).v
+
+(* --- Data_bus ------------------------------------------------------------- *)
+
+module Data_bus = Repro_statelevel.Data_bus
+
+let test_bus_in_order_roundtrip () =
+  let inbox = Queue.create () in
+  let publisher = Data_bus.Publisher.create ~send:(fun u -> Queue.push u inbox) in
+  let exposed = ref [] in
+  let subscriber =
+    Data_bus.Subscriber.create
+      ~on_expose:(fun ~subject ~version v -> exposed := (subject, version, v) :: !exposed)
+      ()
+  in
+  check_int "v1 assigned" 1 (Data_bus.Publisher.publish publisher ~subject:"opt" 25.5);
+  check_int "v2 assigned" 2 (Data_bus.Publisher.publish publisher ~subject:"opt" 26.0);
+  Queue.iter (Data_bus.Subscriber.receive subscriber) inbox;
+  (match Data_bus.Subscriber.read subscriber ~subject:"opt" with
+   | Some (v, version) ->
+     Alcotest.(check (float 1e-9)) "latest value" 26.0 v;
+     check_int "latest version" 2 version
+   | None -> Alcotest.fail "expected value");
+  check_int "exposures announced" 2 (List.length !exposed)
+
+let test_bus_dependency_parking () =
+  let sent = ref [] in
+  let publisher = Data_bus.Publisher.create ~send:(fun u -> sent := u :: !sent) in
+  let order = ref [] in
+  let subscriber =
+    Data_bus.Subscriber.create
+      ~on_expose:(fun ~subject ~version:_ _ -> order := subject :: !order)
+      ()
+  in
+  let base_version = Data_bus.Publisher.publish publisher ~subject:"opt" 25.5 in
+  ignore
+    (Data_bus.Publisher.publish publisher ~subject:"theo"
+       ~deps:[ ("opt", base_version) ]
+       26.75);
+  (* deliver in the wrong order: the derived object first *)
+  (match !sent with
+   | [ theo; opt ] ->
+     Data_bus.Subscriber.receive subscriber theo;
+     check_bool "derived parked" true
+       (Data_bus.Subscriber.read subscriber ~subject:"theo" = None);
+     check_int "parked count" 1 (Data_bus.Subscriber.parked subscriber);
+     Data_bus.Subscriber.receive subscriber opt;
+     check_bool "released" true
+       (Data_bus.Subscriber.read subscriber ~subject:"theo" <> None)
+   | _ -> Alcotest.fail "expected two updates");
+  Alcotest.(check (list string)) "exposure order respects dependency"
+    [ "opt"; "theo" ]
+    (List.rev !order)
+
+let test_bus_duplicate_updates_idempotent () =
+  let sent = ref [] in
+  let publisher = Data_bus.Publisher.create ~send:(fun u -> sent := u :: !sent) in
+  let exposures = ref 0 in
+  let subscriber =
+    Data_bus.Subscriber.create
+      ~on_expose:(fun ~subject:_ ~version:_ _ -> incr exposures)
+      ()
+  in
+  ignore (Data_bus.Publisher.publish publisher ~subject:"s" 1.0);
+  (match !sent with
+   | [ u ] ->
+     Data_bus.Subscriber.receive subscriber u;
+     Data_bus.Subscriber.receive subscriber u;
+     check_int "one exposure despite duplicate" 1 !exposures
+   | _ -> Alcotest.fail "expected one update")
+
+let test_bus_read_any_shows_parked () =
+  let sent = ref [] in
+  let publisher = Data_bus.Publisher.create ~send:(fun u -> sent := u :: !sent) in
+  ignore
+    (Data_bus.Publisher.publish publisher ~subject:"derived"
+       ~deps:[ ("base", 1) ] 9.0);
+  let subscriber = Data_bus.Subscriber.create () in
+  List.iter (Data_bus.Subscriber.receive subscriber) !sent;
+  check_bool "read hides incomplete" true
+    (Data_bus.Subscriber.read subscriber ~subject:"derived" = None);
+  (match Data_bus.Subscriber.read_any subscriber ~subject:"derived" with
+   | Some (v, _) -> Alcotest.(check (float 1e-9)) "read_any shows it" 9.0 v
+   | None -> Alcotest.fail "expected parked value");
+  check_int "publisher version advanced" 1
+    (Data_bus.Publisher.version publisher ~subject:"derived")
+
+let prop_bus_any_arrival_order_converges =
+  QCheck.Test.make ~name:"data bus converges under any arrival order" ~count:100
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let sent = ref [] in
+      let publisher = Data_bus.Publisher.create ~send:(fun u -> sent := u :: !sent) in
+      (* a chain of derived subjects: s0 base, s_i depends on s_{i-1} *)
+      for round = 1 to 3 do
+        let base = Data_bus.Publisher.publish publisher ~subject:"s0" (float_of_int round) in
+        let prev = ref ("s0", base) in
+        for i = 1 to 3 do
+          let subject = Printf.sprintf "s%d" i in
+          let v =
+            Data_bus.Publisher.publish publisher ~subject ~deps:[ !prev ]
+              (float_of_int ((round * 10) + i))
+          in
+          prev := (subject, v)
+        done
+      done;
+      let updates = Array.of_list !sent in
+      Rng.shuffle rng updates;
+      let subscriber = Data_bus.Subscriber.create () in
+      Array.iter (Data_bus.Subscriber.receive subscriber) updates;
+      (* all subjects visible at their newest version, nothing parked *)
+      Data_bus.Subscriber.parked subscriber = 0
+      && List.for_all
+           (fun i ->
+             match
+               Data_bus.Subscriber.read subscriber
+                 ~subject:(Printf.sprintf "s%d" i)
+             with
+             | Some (_, version) -> version = 3
+             | None -> false)
+           [ 0; 1; 2; 3 ])
+
+(* QCheck: dep-cache never exposes an entry whose deps are unmet, under any
+   arrival order. *)
+let prop_cache_never_exposes_incomplete =
+  QCheck.Test.make ~name:"dep cache exposes only complete entries" ~count:200
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let c = Dep_cache.create () in
+      (* universe: keys k0..k4 with versions 1..3; item (k,v) depends on
+         (k_{k-1}, v) when k > 0 *)
+      let items = ref [] in
+      for k = 0 to 4 do
+        for v = 1 to 3 do
+          let deps =
+            if k = 0 then [] else [ (Printf.sprintf "k%d" (k - 1), v) ]
+          in
+          items := item ~key:(Printf.sprintf "k%d" k) ~version:v ~deps (float_of_int v) :: !items
+        done
+      done;
+      let arr = Array.of_list !items in
+      Rng.shuffle rng arr;
+      let ok = ref true in
+      Array.iter
+        (fun it ->
+          Dep_cache.insert c it;
+          (* invariant: all exposed entries have satisfied deps *)
+          for k = 0 to 4 do
+            match Dep_cache.lookup c ~key:(Printf.sprintf "k%d" k) with
+            | Some e ->
+              if not (List.for_all (Dep_cache.satisfied c) e.Dep_cache.deps) then
+                ok := false
+            | None -> ()
+          done)
+        arr;
+      (* after all arrivals everything must be exposed at max version *)
+      for k = 0 to 4 do
+        match Dep_cache.lookup c ~key:(Printf.sprintf "k%d" k) with
+        | Some e -> if e.Dep_cache.item_version <> 3 then ok := false
+        | None -> ok := false
+      done;
+      !ok && Dep_cache.parked_count c = 0)
+
+let prop_prescriptive_releases_sorted =
+  QCheck.Test.make ~name:"prescriptive gate releases every stream in order"
+    ~count:200
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let g = Prescriptive.create () in
+      let arr = Array.init 30 (fun i -> msg (Printf.sprintf "s%d" (i mod 3)) ((i / 3) + 1) i) in
+      Rng.shuffle rng arr;
+      let released = ref [] in
+      Array.iter
+        (fun m -> released := List.rev_append (Prescriptive.offer g m) !released)
+        arr;
+      let released = List.rev !released in
+      (* per stream, positions strictly increasing and complete *)
+      let by_stream s =
+        List.filter_map
+          (fun m -> if m.Prescriptive.stream = s then Some m.Prescriptive.position else None)
+          released
+      in
+      List.for_all
+        (fun s -> by_stream s = List.init 10 (fun i -> i + 1))
+        [ "s0"; "s1"; "s2" ]
+      && Prescriptive.held_count g = 0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cache_never_exposes_incomplete; prop_prescriptive_releases_sorted;
+      prop_bus_any_arrival_order_converges ]
+
+let () =
+  Alcotest.run "repro_statelevel"
+    [
+      ( "versioned",
+        [
+          Alcotest.test_case "versions increment" `Quick test_store_versions_increment;
+          Alcotest.test_case "replica reorders" `Quick
+            test_replica_orders_reordered_updates;
+          Alcotest.test_case "gap detection" `Quick test_replica_gap_detection;
+        ] );
+      ( "dep-cache",
+        [
+          Alcotest.test_case "independent items" `Quick
+            test_cache_exposes_independent_items;
+          Alcotest.test_case "parks until dep" `Quick test_cache_parks_until_dep_arrives;
+          Alcotest.test_case "sufficient version" `Quick
+            test_cache_dep_needs_sufficient_version;
+          Alcotest.test_case "transitive release" `Quick test_cache_transitive_release;
+          Alcotest.test_case "newest wins" `Quick test_cache_newest_version_wins;
+          Alcotest.test_case "lookup_any shows parked" `Quick
+            test_cache_lookup_any_shows_parked;
+        ] );
+      ( "prescriptive",
+        [
+          Alcotest.test_case "in-order passthrough" `Quick
+            test_prescriptive_in_order_passthrough;
+          Alcotest.test_case "reorders" `Quick test_prescriptive_reorders;
+          Alcotest.test_case "streams independent" `Quick
+            test_prescriptive_streams_independent;
+          Alcotest.test_case "dups and stale dropped" `Quick
+            test_prescriptive_drops_duplicates_and_stale;
+          Alcotest.test_case "skip_to" `Quick test_prescriptive_skip_to;
+        ] );
+      ( "data-bus",
+        [
+          Alcotest.test_case "in-order roundtrip" `Quick test_bus_in_order_roundtrip;
+          Alcotest.test_case "dependency parking" `Quick test_bus_dependency_parking;
+          Alcotest.test_case "duplicates idempotent" `Quick
+            test_bus_duplicate_updates_idempotent;
+          Alcotest.test_case "read_any shows parked" `Quick
+            test_bus_read_any_shows_parked;
+        ] );
+      ( "rt-clock",
+        [
+          Alcotest.test_case "bounded skew" `Quick test_rt_clock_bounded_skew;
+          Alcotest.test_case "deterministic per pid" `Quick
+            test_rt_clock_deterministic_per_pid;
+          Alcotest.test_case "tracks time" `Quick test_rt_clock_tracks_time;
+          Alcotest.test_case "freshest wins" `Quick test_stamped_merge_freshest_wins;
+          Alcotest.test_case "tie by origin" `Quick test_stamped_tie_broken_by_origin;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,652 @@
+(* Tests for the transaction substrate: wait-for graphs, KV store, WAL,
+   2PL lock manager, OCC, and two-phase commit over the simulator. *)
+
+module Wait_for_graph = Repro_txn.Wait_for_graph
+module Kv_store = Repro_txn.Kv_store
+module Wal = Repro_txn.Wal
+module Lock_manager = Repro_txn.Lock_manager
+module Occ = Repro_txn.Occ
+module Tpc = Repro_txn.Two_phase_commit
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Wait_for_graph -------------------------------------------------------- *)
+
+let test_wfg_no_cycle () =
+  let g = Wait_for_graph.create () in
+  Wait_for_graph.add_edge g ~waiter:1 ~holder:2;
+  Wait_for_graph.add_edge g ~waiter:2 ~holder:3;
+  check_bool "acyclic" true (Wait_for_graph.find_cycle g = None)
+
+let test_wfg_finds_cycle () =
+  let g = Wait_for_graph.create () in
+  Wait_for_graph.add_edge g ~waiter:1 ~holder:2;
+  Wait_for_graph.add_edge g ~waiter:2 ~holder:3;
+  Wait_for_graph.add_edge g ~waiter:3 ~holder:1;
+  match Wait_for_graph.find_cycle g with
+  | Some cycle ->
+    check_int "cycle length" 3 (List.length cycle);
+    check_bool "contains all" true
+      (List.sort Int.compare cycle = [ 1; 2; 3 ])
+  | None -> Alcotest.fail "expected cycle"
+
+let test_wfg_self_edge_ignored () =
+  let g = Wait_for_graph.create () in
+  Wait_for_graph.add_edge g ~waiter:1 ~holder:1;
+  check_int "no edge" 0 (Wait_for_graph.edge_count g)
+
+let test_wfg_merge_order_insensitive () =
+  (* Section 4.2: wait-for information can be merged in any order; the
+     deadlock verdict is the same *)
+  let edges = [ (1, 2); (2, 3); (3, 1); (4, 1) ] in
+  let build order =
+    let g = Wait_for_graph.create () in
+    List.iter (fun (w, h) -> Wait_for_graph.add_edge g ~waiter:w ~holder:h) order;
+    Wait_for_graph.find_cycle g <> None
+  in
+  check_bool "forward order detects" true (build edges);
+  check_bool "reverse order detects" true (build (List.rev edges))
+
+let test_wfg_remove_node_breaks_cycle () =
+  let g = Wait_for_graph.create () in
+  Wait_for_graph.add_edge g ~waiter:1 ~holder:2;
+  Wait_for_graph.add_edge g ~waiter:2 ~holder:1;
+  Wait_for_graph.remove_node g 2;
+  check_bool "broken" true (Wait_for_graph.find_cycle g = None)
+
+let test_wfg_merge_into () =
+  let a = Wait_for_graph.create () and b = Wait_for_graph.create () in
+  Wait_for_graph.add_edge a ~waiter:1 ~holder:2;
+  Wait_for_graph.add_edge b ~waiter:2 ~holder:1;
+  Wait_for_graph.merge_into a b;
+  check_bool "cycle after union" true (Wait_for_graph.find_cycle a <> None)
+
+(* --- Kv_store --------------------------------------------------------------- *)
+
+let test_kv_basic () =
+  let s = Kv_store.create () in
+  check_int "v1" 1 (Kv_store.put s ~key:"a" 10);
+  check_int "v2" 2 (Kv_store.put s ~key:"a" 20);
+  Alcotest.(check (option int)) "get" (Some 20) (Kv_store.get s ~key:"a");
+  check_int "version" 2 (Kv_store.version s ~key:"a");
+  Kv_store.delete s ~key:"a";
+  check_bool "deleted" false (Kv_store.mem s ~key:"a")
+
+let test_kv_equal_content () =
+  let a = Kv_store.create () and b = Kv_store.create () in
+  ignore (Kv_store.put a ~key:"x" 1);
+  ignore (Kv_store.put b ~key:"x" 1);
+  ignore (Kv_store.put b ~key:"x" 1);
+  check_bool "same values, versions ignored" true (Kv_store.equal_content a b);
+  ignore (Kv_store.put b ~key:"y" 2);
+  check_bool "extra key differs" false (Kv_store.equal_content a b)
+
+(* --- Wal ---------------------------------------------------------------------- *)
+
+let test_wal_replay_committed_only () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Begin 1);
+  Wal.append w (Wal.Write { txid = 1; key = "a"; value = 10 });
+  Wal.append w (Wal.Commit 1);
+  Wal.append w (Wal.Begin 2);
+  Wal.append w (Wal.Write { txid = 2; key = "b"; value = 20 });
+  (* tx 2 never commits *)
+  let store = Wal.replay w in
+  Alcotest.(check (option int)) "committed applied" (Some 10) (Kv_store.get store ~key:"a");
+  Alcotest.(check (option int)) "uncommitted dropped" None (Kv_store.get store ~key:"b")
+
+let test_wal_replay_in_order () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Begin 1);
+  Wal.append w (Wal.Write { txid = 1; key = "a"; value = 1 });
+  Wal.append w (Wal.Commit 1);
+  Wal.append w (Wal.Begin 2);
+  Wal.append w (Wal.Write { txid = 2; key = "a"; value = 2 });
+  Wal.append w (Wal.Commit 2);
+  Alcotest.(check (option int)) "later write wins" (Some 2)
+    (Kv_store.get (Wal.replay w) ~key:"a")
+
+let test_wal_truncate_models_crash () =
+  let w = Wal.create () in
+  Wal.append w (Wal.Begin 1);
+  Wal.append w (Wal.Write { txid = 1; key = "a"; value = 1 });
+  Wal.append w (Wal.Commit 1);
+  Wal.truncate w ~keep:2;  (* commit record lost in the crash *)
+  Alcotest.(check (option int)) "write without commit dropped" None
+    (Kv_store.get (Wal.replay w) ~key:"a");
+  check_int "records kept" 2 (Wal.length w)
+
+let test_history_invalid_interval_rejected () =
+  let module History = Repro_txn.History in
+  let h = History.create () in
+  Alcotest.check_raises "completion before invocation"
+    (Invalid_argument "History.record: completion precedes invocation")
+    (fun () ->
+      History.record h ~client:0
+        ~op:(History.Write { key = "x"; value = 1 })
+        ~invoked_at:10 ~completed_at:5)
+
+(* --- Lock_manager --------------------------------------------------------------- *)
+
+let test_locks_shared_compatible () =
+  let lm = Lock_manager.create () in
+  check_bool "t1 S granted" true
+    (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Shared = Lock_manager.Granted);
+  check_bool "t2 S granted" true
+    (Lock_manager.acquire lm 2 ~key:"a" Lock_manager.Shared = Lock_manager.Granted)
+
+let test_locks_exclusive_blocks () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Exclusive);
+  check_bool "t2 X waits" true
+    (Lock_manager.acquire lm 2 ~key:"a" Lock_manager.Exclusive = Lock_manager.Waiting);
+  check_bool "t3 S waits too" true
+    (Lock_manager.acquire lm 3 ~key:"a" Lock_manager.Shared = Lock_manager.Waiting);
+  check_bool "t2 recorded waiting" true (Lock_manager.waiting lm 2)
+
+let test_locks_release_grants_fifo () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Exclusive);
+  ignore (Lock_manager.acquire lm 2 ~key:"a" Lock_manager.Exclusive);
+  ignore (Lock_manager.acquire lm 3 ~key:"a" Lock_manager.Exclusive);
+  Alcotest.(check (list int)) "t2 granted first" [ 2 ] (Lock_manager.release_all lm 1);
+  Alcotest.(check (list int)) "then t3" [ 3 ] (Lock_manager.release_all lm 2)
+
+let test_locks_reacquire_granted () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Exclusive);
+  check_bool "reacquire X" true
+    (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Exclusive = Lock_manager.Granted);
+  check_bool "downgrade read allowed" true
+    (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Shared = Lock_manager.Granted)
+
+let test_locks_upgrade_sole_holder () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Shared);
+  check_bool "upgrade granted" true
+    (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Exclusive = Lock_manager.Granted);
+  check_bool "now exclusive" true
+    (Lock_manager.holds lm 1 ~key:"a" = Some Lock_manager.Exclusive)
+
+let test_locks_deadlock_detected () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Exclusive);
+  ignore (Lock_manager.acquire lm 2 ~key:"b" Lock_manager.Exclusive);
+  check_bool "t1 waits for b" true
+    (Lock_manager.acquire lm 1 ~key:"b" Lock_manager.Exclusive = Lock_manager.Waiting);
+  (match Lock_manager.acquire lm 2 ~key:"a" Lock_manager.Exclusive with
+   | Lock_manager.Deadlock cycle ->
+     check_bool "cycle has both" true (List.sort Int.compare cycle = [ 1; 2 ])
+   | Lock_manager.Granted | Lock_manager.Waiting -> Alcotest.fail "expected deadlock")
+
+let test_locks_wait_for_graph_snapshot () =
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Exclusive);
+  ignore (Lock_manager.acquire lm 2 ~key:"a" Lock_manager.Exclusive);
+  let g = Lock_manager.wait_for lm in
+  Alcotest.(check (list (pair int int))) "edge 2->1" [ (2, 1) ]
+    (Wait_for_graph.edges g)
+
+let test_locks_shared_queue_behind_exclusive () =
+  (* S requests queue behind a waiting X (no starvation of the writer) *)
+  let lm = Lock_manager.create () in
+  ignore (Lock_manager.acquire lm 1 ~key:"a" Lock_manager.Shared);
+  ignore (Lock_manager.acquire lm 2 ~key:"a" Lock_manager.Exclusive);
+  check_bool "t3 S queues behind X" true
+    (Lock_manager.acquire lm 3 ~key:"a" Lock_manager.Shared = Lock_manager.Waiting);
+  Alcotest.(check (list int)) "X first, then S" [ 2 ] (Lock_manager.release_all lm 1);
+  Alcotest.(check (list int)) "S after X releases" [ 3 ] (Lock_manager.release_all lm 2)
+
+(* --- Occ ----------------------------------------------------------------------- *)
+
+let test_occ_serial_commits () =
+  let m = Occ.create () in
+  let t1 = Occ.begin_tx m in
+  Occ.write t1 ~key:"a" 1;
+  check_bool "t1 commits" true (Occ.commit m t1 = Ok 1);
+  let t2 = Occ.begin_tx m in
+  Alcotest.(check (option int)) "t2 sees t1" (Some 1) (Occ.read m t2 ~key:"a");
+  Occ.write t2 ~key:"a" 2;
+  check_bool "t2 commits" true (Result.is_ok (Occ.commit m t2));
+  check_int "commit count" 2 (Occ.commits m)
+
+let test_occ_conflict_aborts () =
+  let m = Occ.create () in
+  let t1 = Occ.begin_tx m and t2 = Occ.begin_tx m in
+  ignore (Occ.read m t1 ~key:"a");
+  ignore (Occ.read m t2 ~key:"a");
+  Occ.write t1 ~key:"a" 1;
+  Occ.write t2 ~key:"a" 2;
+  check_bool "first commits" true (Result.is_ok (Occ.commit m t1));
+  (match Occ.commit m t2 with
+   | Error keys -> Alcotest.(check (list string)) "conflict on a" [ "a" ] keys
+   | Ok _ -> Alcotest.fail "expected conflict abort");
+  Alcotest.(check (option int)) "winner's value" (Some 1)
+    (Kv_store.get (Occ.store m) ~key:"a");
+  check_int "abort count" 1 (Occ.aborts m)
+
+let test_occ_disjoint_no_conflict () =
+  let m = Occ.create () in
+  let t1 = Occ.begin_tx m and t2 = Occ.begin_tx m in
+  Occ.write t1 ~key:"a" 1;
+  Occ.write t2 ~key:"b" 2;
+  check_bool "t1 ok" true (Result.is_ok (Occ.commit m t1));
+  check_bool "t2 ok despite overlap in time" true (Result.is_ok (Occ.commit m t2))
+
+let test_occ_own_writes_visible () =
+  let m = Occ.create () in
+  let t = Occ.begin_tx m in
+  Occ.write t ~key:"a" 42;
+  Alcotest.(check (option int)) "read-your-writes" (Some 42) (Occ.read m t ~key:"a")
+
+(* --- Two_phase_commit ------------------------------------------------------------- *)
+
+type op = Put of string * int
+
+let make_tpc_world ?(n = 3) ?(latency = Net.Fixed 1_000) ?seed () =
+  let net = Net.create ~latency () in
+  let engine = Engine.create ?seed ~net () in
+  let stores = Array.init n (fun _ -> Kv_store.create ()) in
+  let pids = Array.init n (fun i -> Engine.spawn engine ~name:(Printf.sprintf "n%d" i) (fun _ _ -> ())) in
+  let nodes =
+    Array.init n (fun i ->
+        Tpc.create_node ~engine ~self:pids.(i) ~inject:Fun.id
+          ~can_apply:(fun ~tx:_ _ -> true)
+          ~apply:(fun ~tx:_ ops ->
+            List.iter (fun (Put (k, v)) -> ignore (Kv_store.put stores.(i) ~key:k v)) ops)
+          ())
+  in
+  Array.iteri
+    (fun i pid ->
+      Engine.set_handler engine pid (fun _ env -> Tpc.handle nodes.(i) env.Engine.payload))
+    pids;
+  (engine, nodes, stores, pids)
+
+let test_tpc_commit_applies_everywhere () =
+  let engine, nodes, stores, pids = make_tpc_world () in
+  let outcome = ref None in
+  ignore
+    (Tpc.submit nodes.(0)
+       ~participants:(Array.to_list (Array.map (fun p -> (p, [ Put ("k", 7) ])) pids))
+       ~on_done:(fun ~tx:_ ~committed -> outcome := Some committed));
+  Engine.run ~until:(Sim_time.seconds 1) engine;
+  Alcotest.(check (option bool)) "committed" (Some true) !outcome;
+  Array.iteri
+    (fun i store ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "store %d applied" i)
+        (Some 7) (Kv_store.get store ~key:"k"))
+    stores
+
+let test_tpc_refusal_aborts_everywhere () =
+  (* one participant votes no (e.g. out of storage): nobody applies *)
+  let net = Net.create ~latency:(Net.Fixed 1_000) () in
+  let engine = Engine.create ~net () in
+  let stores = Array.init 3 (fun _ -> Kv_store.create ()) in
+  let pids = Array.init 3 (fun i -> Engine.spawn engine ~name:(Printf.sprintf "n%d" i) (fun _ _ -> ())) in
+  let nodes =
+    Array.init 3 (fun i ->
+        Tpc.create_node ~engine ~self:pids.(i) ~inject:Fun.id
+          ~can_apply:(fun ~tx:_ _ -> i <> 2)
+          ~apply:(fun ~tx:_ ops ->
+            List.iter (fun (Put (k, v)) -> ignore (Kv_store.put stores.(i) ~key:k v)) ops)
+          ())
+  in
+  Array.iteri
+    (fun i pid ->
+      Engine.set_handler engine pid (fun _ env -> Tpc.handle nodes.(i) env.Engine.payload))
+    pids;
+  let outcome = ref None in
+  ignore
+    (Tpc.submit nodes.(0)
+       ~participants:(Array.to_list (Array.map (fun p -> (p, [ Put ("k", 7) ])) pids))
+       ~on_done:(fun ~tx:_ ~committed -> outcome := Some committed));
+  Engine.run ~until:(Sim_time.seconds 1) engine;
+  Alcotest.(check (option bool)) "aborted" (Some false) !outcome;
+  Array.iteri
+    (fun i store ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "store %d clean" i)
+        None (Kv_store.get store ~key:"k"))
+    stores
+
+let test_tpc_participant_crash_aborts_by_timeout () =
+  let engine, nodes, stores, pids = make_tpc_world () in
+  Engine.crash engine pids.(2);
+  let outcome = ref None in
+  ignore
+    (Tpc.submit nodes.(0)
+       ~participants:(Array.to_list (Array.map (fun p -> (p, [ Put ("k", 7) ])) pids))
+       ~on_done:(fun ~tx:_ ~committed -> outcome := Some committed));
+  Engine.run ~until:(Sim_time.seconds 2) engine;
+  Alcotest.(check (option bool)) "aborted on timeout" (Some false) !outcome;
+  Alcotest.(check (option int)) "survivor did not apply" None
+    (Kv_store.get stores.(1) ~key:"k")
+
+let test_tpc_concurrent_transactions () =
+  let engine, nodes, stores, pids = make_tpc_world ~n:4 () in
+  let done_count = ref 0 in
+  for i = 0 to 3 do
+    ignore
+      (Tpc.submit nodes.(i)
+         ~participants:
+           (Array.to_list
+              (Array.map (fun p -> (p, [ Put (Printf.sprintf "k%d" i, i) ])) pids))
+         ~on_done:(fun ~tx:_ ~committed ->
+           check_bool "each committed" true committed;
+           incr done_count))
+  done;
+  Engine.run ~until:(Sim_time.seconds 2) engine;
+  check_int "all four done" 4 !done_count;
+  for i = 0 to 3 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "k%d everywhere" i)
+      (Some i)
+      (Kv_store.get stores.(0) ~key:(Printf.sprintf "k%d" i))
+  done
+
+let test_tpc_latency_and_stats () =
+  let engine, nodes, _stores, pids = make_tpc_world () in
+  ignore
+    (Tpc.submit nodes.(0)
+       ~participants:(Array.to_list (Array.map (fun p -> (p, [ Put ("k", 1) ])) pids))
+       ~on_done:(fun ~tx:_ ~committed:_ -> ()));
+  Engine.run ~until:(Sim_time.seconds 1) engine;
+  let stats = Tpc.stats nodes.(0) in
+  check_int "one commit" 1 stats.Tpc.commits;
+  check_bool "latency ~2 rtt" true
+    (Stats.Summary.mean stats.Tpc.latency_us >= 2_000.0);
+  check_bool "messages counted" true (stats.Tpc.messages > 0)
+
+(* --- History / linearizability --------------------------------------------------- *)
+
+module History = Repro_txn.History
+
+let ev history client op t0 t1 =
+  History.record history ~client ~op ~invoked_at:t0 ~completed_at:t1
+
+let test_history_sequential_linearizable () =
+  let h = History.create () in
+  ev h 0 (History.Write { key = "x"; value = 1 }) 0 10;
+  ev h 0 (History.Read { key = "x"; result = Some 1 }) 20 30;
+  ev h 1 (History.Write { key = "x"; value = 2 }) 40 50;
+  ev h 1 (History.Read { key = "x"; result = Some 2 }) 60 70;
+  check_bool "sequential history ok" true (History.linearizable h)
+
+let test_history_initial_read_none () =
+  let h = History.create () in
+  ev h 0 (History.Read { key = "x"; result = None }) 0 10;
+  ev h 0 (History.Write { key = "x"; value = 1 }) 20 30;
+  check_bool "initial None read ok" true (History.linearizable h)
+
+let test_history_stale_read_rejected () =
+  (* the read starts after the write completed, yet returns the old value *)
+  let h = History.create () in
+  ev h 0 (History.Write { key = "x"; value = 1 }) 0 10;
+  ev h 1 (History.Write { key = "x"; value = 2 }) 20 30;
+  ev h 2 (History.Read { key = "x"; result = Some 1 }) 40 50;
+  check_bool "stale read rejected" false (History.linearizable h);
+  check_bool "violation reported" true (History.first_violation h <> None)
+
+let test_history_concurrent_flexible () =
+  (* overlapping write and read: the read may see either value *)
+  let h = History.create () in
+  ev h 0 (History.Write { key = "x"; value = 1 }) 0 10;
+  ev h 1 (History.Write { key = "x"; value = 2 }) 15 40;
+  ev h 2 (History.Read { key = "x"; result = Some 1 }) 20 30;
+  check_bool "concurrent read of old value ok" true (History.linearizable h)
+
+let test_history_value_from_nowhere () =
+  let h = History.create () in
+  ev h 0 (History.Write { key = "x"; value = 1 }) 0 10;
+  ev h 1 (History.Read { key = "x"; result = Some 99 }) 20 30;
+  check_bool "phantom value rejected" false (History.linearizable h)
+
+let test_history_keys_independent () =
+  let h = History.create () in
+  ev h 0 (History.Write { key = "x"; value = 1 }) 0 10;
+  ev h 1 (History.Write { key = "y"; value = 2 }) 0 10;
+  ev h 0 (History.Read { key = "y"; result = Some 2 }) 20 30;
+  ev h 1 (History.Read { key = "x"; result = Some 1 }) 20 30;
+  check_bool "independent keys ok" true (History.linearizable h)
+
+let test_history_read_own_overlap_future () =
+  (* a read that overlaps a later-invoked write may still see it *)
+  let h = History.create () in
+  ev h 0 (History.Read { key = "x"; result = Some 5 }) 0 100;
+  ev h 1 (History.Write { key = "x"; value = 5 }) 10 20;
+  check_bool "read sees overlapping write" true (History.linearizable h)
+
+(* QCheck: histories generated from an atomic register are always
+   linearizable; swapping two read results in a stale way breaks it *)
+let prop_history_atomic_register_linearizable =
+  QCheck.Test.make ~name:"atomic-register histories linearizable" ~count:100
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let h = History.create () in
+      let value = ref None in
+      let now = ref 0 in
+      for client = 0 to 19 do
+        now := !now + 1 + Rng.int rng 5;
+        let t0 = !now in
+        let t1 = t0 + 1 + Rng.int rng 5 in
+        (* operations strictly sequential in real time: trivially atomic *)
+        now := t1;
+        if Rng.bool rng 0.5 then begin
+          let v = Rng.int rng 100 in
+          value := Some v;
+          ev h client (History.Write { key = "k"; value = v }) t0 t1
+        end
+        else ev h client (History.Read { key = "k"; result = !value }) t0 t1
+      done;
+      History.linearizable h)
+
+(* QCheck: committed OCC transactions are serializable - replaying each
+   committed transaction's writes in commit-stamp order on a fresh store
+   reproduces the committed store exactly *)
+let prop_occ_serializable =
+  QCheck.Test.make ~name:"occ commits equal commit-order replay" ~count:200
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let m = Occ.create () in
+      let keys = [| "a"; "b"; "c" |] in
+      let committed = ref [] in
+      (* batches of overlapping transactions, writes tracked on the side *)
+      for _ = 1 to 10 do
+        let txs =
+          List.init 3 (fun _ ->
+              let tx = Occ.begin_tx m in
+              let writes = ref [] in
+              for _ = 1 to 2 do
+                let key = keys.(Rng.int rng 3) in
+                if Rng.bool rng 0.5 then ignore (Occ.read m tx ~key)
+                else begin
+                  let v = Rng.int rng 1000 in
+                  Occ.write tx ~key v;
+                  writes := (key, v) :: !writes
+                end
+              done;
+              (tx, List.rev !writes))
+        in
+        List.iter
+          (fun (tx, writes) ->
+            match Occ.commit m tx with
+            | Ok stamp -> committed := (stamp, writes) :: !committed
+            | Error _ -> ())
+          txs
+      done;
+      let replay = Kv_store.create () in
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) !committed
+      |> List.iter (fun (_, writes) ->
+             List.iter (fun (key, v) -> ignore (Kv_store.put replay ~key v)) writes);
+      Kv_store.equal_content replay (Occ.store m))
+
+let test_tpc_late_vote_gets_decision_replayed () =
+  (* regression: a Prepare can overtake the abort Decision; the participant
+     then votes yes and holds prepared state for a transaction the
+     coordinator already decided. The coordinator must answer the late vote
+     with the recorded decision so the participant releases. *)
+  let net =
+    Net.create ~latency:(Net.Exponential { mean_us = 30_000.0; floor = 100 }) ()
+  in
+  let engine = Engine.create ~seed:13L ~net () in
+  let applied = Array.make 3 0 in
+  let aborted = Array.make 3 0 in
+  let pids =
+    Array.init 3 (fun i ->
+        Engine.spawn engine ~name:(Printf.sprintf "n%d" i) (fun _ _ -> ()))
+  in
+  let nodes =
+    Array.init 3 (fun i ->
+        Tpc.create_node ~engine ~self:pids.(i) ~inject:Fun.id
+          ~vote_timeout:(Sim_time.ms 10)
+          ~can_apply:(fun ~tx:_ _ -> true)
+          ~apply:(fun ~tx:_ _ -> applied.(i) <- applied.(i) + 1)
+          ~on_abort:(fun ~tx:_ _ -> aborted.(i) <- aborted.(i) + 1)
+          ())
+  in
+  Array.iteri
+    (fun i pid ->
+      Engine.set_handler engine pid (fun _ env -> Tpc.handle nodes.(i) env.Engine.payload))
+    pids;
+  (* with 30ms-mean latency and a 10ms vote timeout, most rounds abort with
+     prepares still in flight *)
+  for _ = 1 to 10 do
+    ignore
+      (Tpc.submit nodes.(0)
+         ~participants:(Array.to_list (Array.map (fun p -> (p, [ () ])) pids))
+         ~on_done:(fun ~tx:_ ~committed:_ -> ()))
+  done;
+  Engine.run ~until:(Sim_time.seconds 5) engine;
+  (* every prepared transaction was eventually resolved: apply or abort *)
+  Array.iteri
+    (fun i pid ->
+      ignore pid;
+      check_int
+        (Printf.sprintf "participant %d fully resolved" i)
+        10
+        (applied.(i) + aborted.(i)))
+    pids
+
+(* QCheck: lock manager never grants incompatible locks, random workload *)
+let prop_lock_manager_safety =
+  QCheck.Test.make ~name:"no incompatible lock grants" ~count:300
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let lm = Lock_manager.create () in
+      let keys = [| "a"; "b"; "c" |] in
+      let active = Hashtbl.create 8 in
+      let ok = ref true in
+      for _ = 1 to 60 do
+        let txid = Rng.int rng 6 in
+        if Rng.bool rng 0.25 then begin
+          ignore (Lock_manager.release_all lm txid);
+          Hashtbl.remove active txid
+        end
+        else begin
+          let key = keys.(Rng.int rng 3) in
+          let mode = if Rng.bool rng 0.5 then Lock_manager.Shared else Lock_manager.Exclusive in
+          match Lock_manager.acquire lm txid ~key mode with
+          | Lock_manager.Granted -> Hashtbl.replace active txid ()
+          | Lock_manager.Waiting | Lock_manager.Deadlock _ -> ()
+        end;
+        (* invariant: for each key either one X holder or only S holders *)
+        List.iter
+          (fun key ->
+            let holders =
+              List.filter_map
+                (fun t ->
+                  match Lock_manager.holds lm t ~key with
+                  | Some m -> Some m
+                  | None -> None)
+                [ 0; 1; 2; 3; 4; 5 ]
+            in
+            let x_count =
+              List.length (List.filter (fun m -> m = Lock_manager.Exclusive) holders)
+            in
+            if x_count > 1 then ok := false;
+            if x_count = 1 && List.length holders > 1 then ok := false)
+          [ "a"; "b"; "c" ]
+      done;
+      !ok)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_lock_manager_safety; prop_history_atomic_register_linearizable;
+      prop_occ_serializable ]
+
+let () =
+  Alcotest.run "repro_txn"
+    [
+      ( "wait-for-graph",
+        [
+          Alcotest.test_case "no cycle" `Quick test_wfg_no_cycle;
+          Alcotest.test_case "finds cycle" `Quick test_wfg_finds_cycle;
+          Alcotest.test_case "self edge ignored" `Quick test_wfg_self_edge_ignored;
+          Alcotest.test_case "merge order insensitive" `Quick
+            test_wfg_merge_order_insensitive;
+          Alcotest.test_case "remove node" `Quick test_wfg_remove_node_breaks_cycle;
+          Alcotest.test_case "merge_into" `Quick test_wfg_merge_into;
+        ] );
+      ( "kv-store",
+        [
+          Alcotest.test_case "basic" `Quick test_kv_basic;
+          Alcotest.test_case "equal content" `Quick test_kv_equal_content;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "replay committed only" `Quick test_wal_replay_committed_only;
+          Alcotest.test_case "replay in order" `Quick test_wal_replay_in_order;
+          Alcotest.test_case "truncate models crash" `Quick test_wal_truncate_models_crash;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "shared compatible" `Quick test_locks_shared_compatible;
+          Alcotest.test_case "exclusive blocks" `Quick test_locks_exclusive_blocks;
+          Alcotest.test_case "release grants fifo" `Quick test_locks_release_grants_fifo;
+          Alcotest.test_case "reacquire" `Quick test_locks_reacquire_granted;
+          Alcotest.test_case "upgrade sole holder" `Quick test_locks_upgrade_sole_holder;
+          Alcotest.test_case "deadlock detected" `Quick test_locks_deadlock_detected;
+          Alcotest.test_case "wait-for snapshot" `Quick test_locks_wait_for_graph_snapshot;
+          Alcotest.test_case "S queues behind X" `Quick
+            test_locks_shared_queue_behind_exclusive;
+        ] );
+      ( "occ",
+        [
+          Alcotest.test_case "serial commits" `Quick test_occ_serial_commits;
+          Alcotest.test_case "conflict aborts" `Quick test_occ_conflict_aborts;
+          Alcotest.test_case "disjoint ok" `Quick test_occ_disjoint_no_conflict;
+          Alcotest.test_case "own writes visible" `Quick test_occ_own_writes_visible;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "sequential ok" `Quick test_history_sequential_linearizable;
+          Alcotest.test_case "initial None" `Quick test_history_initial_read_none;
+          Alcotest.test_case "stale read rejected" `Quick test_history_stale_read_rejected;
+          Alcotest.test_case "concurrent flexible" `Quick test_history_concurrent_flexible;
+          Alcotest.test_case "phantom value rejected" `Quick test_history_value_from_nowhere;
+          Alcotest.test_case "keys independent" `Quick test_history_keys_independent;
+          Alcotest.test_case "overlapping future write" `Quick
+            test_history_read_own_overlap_future;
+          Alcotest.test_case "invalid interval rejected" `Quick
+            test_history_invalid_interval_rejected;
+        ] );
+      ( "2pc",
+        [
+          Alcotest.test_case "commit applies everywhere" `Quick
+            test_tpc_commit_applies_everywhere;
+          Alcotest.test_case "refusal aborts" `Quick test_tpc_refusal_aborts_everywhere;
+          Alcotest.test_case "crash aborts by timeout" `Quick
+            test_tpc_participant_crash_aborts_by_timeout;
+          Alcotest.test_case "concurrent transactions" `Quick
+            test_tpc_concurrent_transactions;
+          Alcotest.test_case "latency and stats" `Quick test_tpc_latency_and_stats;
+          Alcotest.test_case "late vote decision replay" `Quick
+            test_tpc_late_vote_gets_decision_replayed;
+        ] );
+      ("properties", qcheck_cases);
+    ]
