@@ -1,0 +1,152 @@
+(* repro-check: the deterministic schedule-exploration checker.
+
+   Sweeps seeds, each of which fully determines a fault plan (loss and
+   duplication bursts, partitions, crashes, partial multicasts, joins) and
+   an engine schedule; protocol invariant oracles judge every run. On a
+   violation the fault plan is shrunk and the counterexample printed with
+   its seed, so `repro-check --ordering cbcast --seeds 1 --start-seed N`
+   replays it exactly. *)
+
+module Config = Repro_catocs.Config
+module Fault_plan = Repro_check.Fault_plan
+module Runner = Repro_check.Runner
+
+let parse_orderings = function
+  | [ "all" ] | [] -> Ok (List.map snd Runner.orderings)
+  | names ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+        match Runner.ordering_of_string name with
+        | Some o -> go (o :: acc) rest
+        | None ->
+          Error
+            (Printf.sprintf
+               "unknown ordering %S (one of: %s, all)" name
+               (String.concat ", " (List.map fst Runner.orderings))))
+    in
+    go [] names
+
+let run_check seeds start_seed ordering_names members duration_ms root_sends
+    max_faults no_shrink no_crashes no_partitions no_loss no_joins verbose =
+  match parse_orderings ordering_names with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok orderings ->
+    let profile =
+      {
+        Fault_plan.members;
+        duration = Sim_time.ms duration_ms;
+        root_sends;
+        max_faults;
+        allow_crashes = not no_crashes;
+        allow_partitions = not no_partitions;
+        allow_loss = not no_loss;
+        allow_joins = not no_joins;
+      }
+    in
+    let on_seed =
+      if verbose then
+        Some
+          (fun ~seed ~ok ->
+            Printf.printf "  seed %d: %s\n%!" seed (if ok then "ok" else "FAIL"))
+      else None
+    in
+    let check_one ordering =
+      let name = Config.ordering_name ordering in
+      Printf.printf "%-10s sweeping %d seeds from %d ...%!" name seeds
+        start_seed;
+      let r =
+        Runner.sweep ~profile ~shrink:(not no_shrink) ~start_seed ?on_seed
+          ~ordering ~seeds ()
+      in
+      match r.Runner.failed with
+      | None ->
+        Printf.printf " ok (%d sends, %d deliveries)\n" r.Runner.total_sends
+          r.Runner.total_deliveries;
+        true
+      | Some report ->
+        Printf.printf " VIOLATION at seed %d\n\n%s\n" report.Runner.seed
+          (Format.asprintf "%a" Runner.pp_report report);
+        false
+    in
+    if List.for_all check_one orderings then 0 else 1
+
+open Cmdliner
+
+let cmd =
+  let seeds =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds"; "n" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+  in
+  let start_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "start-seed" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let ordering =
+    Arg.(
+      value
+      & opt_all string [ "all" ]
+      & info [ "ordering"; "o" ] ~docv:"MODE"
+          ~doc:
+            "Ordering mode(s) to check: fbcast, cbcast, abcast, lamport or \
+             all. Repeatable.")
+  in
+  let members =
+    Arg.(
+      value & opt int Fault_plan.default_profile.Fault_plan.members
+      & info [ "members" ] ~docv:"N" ~doc:"Initial group size (minimum 3).")
+  in
+  let duration_ms =
+    Arg.(
+      value & opt int 400
+      & info [ "duration-ms" ] ~docv:"MS"
+          ~doc:"Active phase length before quiescence.")
+  in
+  let root_sends =
+    Arg.(
+      value & opt int Fault_plan.default_profile.Fault_plan.root_sends
+      & info [ "sends" ] ~docv:"N" ~doc:"Root multicasts per run.")
+  in
+  let max_faults =
+    Arg.(
+      value & opt int Fault_plan.default_profile.Fault_plan.max_faults
+      & info [ "max-faults" ] ~docv:"N" ~doc:"Upper bound on faults per plan.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report the raw failing plan unshrunk.")
+  in
+  let no_crashes =
+    Arg.(value & flag & info [ "no-crashes" ] ~doc:"Disable crash faults.")
+  in
+  let no_partitions =
+    Arg.(
+      value & flag & info [ "no-partitions" ] ~doc:"Disable partition faults.")
+  in
+  let no_loss =
+    Arg.(
+      value & flag
+      & info [ "no-loss" ] ~doc:"Disable loss and duplication bursts.")
+  in
+  let no_joins =
+    Arg.(value & flag & info [ "no-joins" ] ~doc:"Disable join faults.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every seed.")
+  in
+  let doc =
+    "Deterministic schedule-exploration checker for the CATOCS stacks."
+  in
+  Cmd.v
+    (Cmd.info "repro-check" ~doc)
+    Term.(
+      const run_check $ seeds $ start_seed $ ordering $ members $ duration_ms
+      $ root_sends $ max_faults $ no_shrink $ no_crashes $ no_partitions
+      $ no_loss $ no_joins $ verbose)
+
+let () = exit (Cmd.eval' cmd)

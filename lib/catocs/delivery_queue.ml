@@ -12,13 +12,18 @@ let add t pending = t.queue <- t.queue @ [ pending ]
 
 let length t = List.length t.queue
 
+let chaos_disable_causal_check = ref false
+
 let condition_holds t ~local (pending : 'a pending) =
   let data = pending.data in
   let sender = data.Wire.sender_rank in
   let msg = data.Wire.vt in
   match t.mode with
   | Fifo_gap -> Vector_clock.get msg sender = Vector_clock.get local sender + 1
-  | Causal_full -> Vector_clock.deliverable ~sender ~msg ~local
+  | Causal_full ->
+    if !chaos_disable_causal_check then
+      Vector_clock.get msg sender = Vector_clock.get local sender + 1
+    else Vector_clock.deliverable ~sender ~msg ~local
 
 let take_deliverable t ~local =
   let rec split_first acc = function

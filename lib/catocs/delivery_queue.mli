@@ -14,6 +14,13 @@ type 'a pending = { data : 'a Wire.data; arrived_at : Sim_time.t }
 
 type 'a t
 
+val chaos_disable_causal_check : bool ref
+(** Test-only fault hook: while [true], [Causal_full] queues enforce only
+    the per-sender FIFO gap and ignore cross-sender dependencies — i.e. the
+    Birman-Schiper-Stephenson condition is deliberately broken. Exists so
+    the schedule-exploration checker ([lib/check]) can prove its causal
+    oracle detects a buggy delivery condition. Never set outside tests. *)
+
 val create : mode -> 'a t
 
 val add : 'a t -> 'a pending -> unit

@@ -62,6 +62,14 @@ type 'a t = {
   metrics : Metrics.t;
   lamport : Lamport.t;
   delivered_ids : (Wire.msg_id, unit) Hashtbl.t;
+  causal_seen : (Wire.msg_id, unit) Hashtbl.t;
+      (* messages already causally delivered (vc advanced, handed to the
+         total-order queues). Distinct from [delivered_ids]: in the
+         sequencer/Lamport modes a message sits between causal and final
+         delivery until its order arrives, and a duplicate copy arriving in
+         that window must not re-run causal delivery — re-applying the vc
+         update for an own-message duplicate can move the clock backwards
+         and wedge every later message from that sender *)
   mutable endpoint : 'a Endpoint.t option;  (* set right after creation *)
   mutable view : Group.view;
   mutable rank : int;
@@ -73,6 +81,11 @@ type 'a t = {
   mutable next_global_seq : int;
   mutable status : status;
   mutable outbox : 'a list;
+  mutable installing : bool;
+      (* inside install_view/install_join: application callbacks fire while
+         the outbox is not yet drained, so multicasts they issue must keep
+         queueing or they would be stamped ahead of sends suppressed during
+         the flush — a per-sender FIFO inversion *)
   mutable failed_members : Engine.pid list;
   mutable deferred_lamport_gossip : (int * int * int) list;
       (* (rank, required per-sender seq, lamport time): a gossiped Lamport
@@ -206,6 +219,9 @@ let sequencer_pid t = Group.member t.view 0
 
 let causal_deliver t (pending : 'a Delivery_queue.pending) =
   let data = pending.Delivery_queue.data in
+  if Hashtbl.mem t.causal_seen data.Wire.msg_id then ()
+  else begin
+  Hashtbl.add t.causal_seen data.Wire.msg_id ();
   (* Advance only the sender's component: in Causal_full mode this equals a
      full merge (the delivery condition guarantees vt(k) <= local(k) for
      k <> sender); in Fifo_gap mode a full merge would overstate which
@@ -240,6 +256,7 @@ let causal_deliver t (pending : 'a Delivery_queue.pending) =
      | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta ->
        (* a misconfigured peer; deliver FIFO to stay live *)
        final_deliver t pending)
+  end
 
 let apply_deferred_gossip t =
   let applicable, still_deferred =
@@ -267,7 +284,7 @@ let drain_deliverables t =
 
 let rec on_data t (data : 'a Wire.data) =
   (* piggybacked predecessors are just data messages: feed them through the
-     same path (duplicates are dropped by the delivered-ids check) *)
+     same path (duplicates are dropped by the delivered/seen-ids check) *)
   List.iter (fun d -> on_data t d) data.Wire.piggyback;
   t.metrics.Metrics.data_received <- t.metrics.Metrics.data_received + 1;
   if data.Wire.view_id > t.view.Group.view_id then
@@ -275,6 +292,7 @@ let rec on_data t (data : 'a Wire.data) =
       (data.Wire.view_id, Wire.Data data) :: t.future_proto
   else if data.Wire.view_id = t.view.Group.view_id
           && not (Hashtbl.mem t.delivered_ids data.Wire.msg_id)
+          && not (Hashtbl.mem t.causal_seen data.Wire.msg_id)
   then begin
     (match data.Wire.meta with
      | Wire.Lamport_meta stamp -> ignore (Lamport.observe t.lamport stamp.Lamport.time)
@@ -282,8 +300,22 @@ let rec on_data t (data : 'a Wire.data) =
     let pending =
       { Delivery_queue.data; arrived_at = Engine.now t.engine }
     in
-    Delivery_queue.add t.queue pending;
-    drain_deliverables t
+    if data.Wire.origin = t.self then begin
+      (* A sender's own multicast is deliverable by construction — its
+         dependencies are exactly what the sender had delivered when it was
+         stamped — so it bypasses the delivery condition. Routing it through
+         the queue instead can deadlock: a reaction multicast issued from a
+         delivery that lands between another own-message's stamping and its
+         local delivery would reuse the same sender sequence number (the
+         clock had not advanced yet), and one of the twins then never
+         satisfies the FIFO-gap condition anywhere. *)
+      causal_deliver t pending;
+      drain_deliverables t
+    end
+    else begin
+      Delivery_queue.add t.queue pending;
+      drain_deliverables t
+    end
   end
 
 (* --- multicast ---------------------------------------------------------- *)
@@ -330,12 +362,23 @@ let transmit t data ~recipients =
 
 let do_multicast t payload = transmit t (make_data t payload) ~recipients:(other_members t)
 
+(* Transmit outbox entries in order; a multicast issued from a delivery
+   callback mid-drain (while [t.installing]) re-enters the outbox and is
+   picked up by the recursion, so intent order is preserved. *)
+let rec drain_outbox t =
+  match t.outbox with
+  | [] -> t.installing <- false
+  | payload :: rest ->
+    t.outbox <- rest;
+    do_multicast t payload;
+    drain_outbox t
+
 let multicast t payload =
   if t.ejected then ()
   else
     match t.status with
-    | Normal -> do_multicast t payload
-    | Flushing _ | Joining _ -> t.outbox <- t.outbox @ [ payload ]
+    | Normal when not t.installing -> do_multicast t payload
+    | Normal | Flushing _ | Joining _ -> t.outbox <- t.outbox @ [ payload ]
 
 let inject_partial_multicast t payload ~recipients =
   let recipients = List.filter (fun p -> p <> t.self) recipients in
@@ -425,6 +468,27 @@ let install_view t flush =
     t.eject ()
   end
   else begin
+  (* Deliver data from views this member skipped — its flush was restarted
+     onto a later round before the intermediate New_view arrived. The new
+     round's flush supplied every message the intermediate views' members
+     delivered (nothing from those views can have stabilised, since this
+     member never acknowledged them), so delivering here — in msg-id order,
+     which this simulator's globally-sequenced stamping makes causality-
+     consistent — keeps delivery all-or-none across the group. Dropping
+     them instead would lose messages peers delivered in the skipped view. *)
+  let skipped, remaining =
+    List.partition (fun (vid, _) -> vid < flush.new_view_id) t.future_proto
+  in
+  t.future_proto <- remaining;
+  skipped
+  |> List.filter_map (function
+       | _, Wire.Data d when not (Hashtbl.mem t.delivered_ids d.Wire.msg_id) ->
+         Some d
+       | _ -> None)
+  |> List.sort (fun (a : 'a Wire.data) b -> Int.compare a.Wire.msg_id b.Wire.msg_id)
+  |> List.iter (fun d ->
+         final_deliver t
+           { Delivery_queue.data = d; arrived_at = Engine.now t.engine });
   let new_view = Group.make_view ~view_id:flush.new_view_id flush.new_members in
   let removed = List.filter (fun p -> not (Group.mem new_view p)) old_members in
   t.view <- new_view;
@@ -439,6 +503,7 @@ let install_view t flush =
   t.next_global_seq <- 0;
   t.deferred_lamport_gossip <- [];
   t.status <- Normal;
+  t.installing <- true;
   t.metrics.Metrics.view_changes <- t.metrics.Metrics.view_changes + 1;
   t.metrics.Metrics.suppressed_us <-
     t.metrics.Metrics.suppressed_us
@@ -452,9 +517,7 @@ let install_view t flush =
   t.future_proto <-
     List.filter (fun (vid, _) -> vid > new_view.Group.view_id) later;
   List.iter (fun (_, proto) -> t.replay_proto proto) (List.rev ready);
-  let queued = t.outbox in
-  t.outbox <- [];
-  List.iter (fun payload -> do_multicast t payload) queued;
+  drain_outbox t;
   if t.pending_joins <> [] then
     (* admit joiners that queued up during the flush in a fresh round *)
     Engine.after t.engine ~owner:t.self (Sim_time.us 1) t.trigger_pending_joins
@@ -476,8 +539,21 @@ let begin_flush t ~new_view_id ~survivors ~new_members =
       (List.filter (fun p -> not (List.mem p survivors))
          (Array.to_list t.view.Group.members)
        @ t.failed_members);
-  let unstable = Stability.unstable t.stability in
-  let proto = Wire.Flush { new_view_id; survivors; unstable } in
+  (* The flush contribution is everything this member HOLDS from the old
+     view: its unstable sent-or-delivered messages, plus messages still
+     blocked in its delivery queue. The queue contents matter when the
+     blocking dependency arrives mid-flush (say, right after a partition
+     heals): the member then delivers the blocked message during the flush,
+     and if its original sender crashed, no retransmission exists — peers
+     can only learn of it from this exchange. *)
+  let unstable =
+    Stability.unstable t.stability
+    @ List.map
+        (fun (p : 'a Delivery_queue.pending) -> p.Delivery_queue.data)
+        (Delivery_queue.to_list t.queue)
+  in
+  let orders = Total_order.Sequencer_queue.known_orders t.seq_queue in
+  let proto = Wire.Flush { new_view_id; survivors; unstable; orders } in
   let targets = List.filter (fun p -> p <> t.self) survivors in
   t.metrics.Metrics.control_messages <-
     t.metrics.Metrics.control_messages + List.length targets;
@@ -533,7 +609,7 @@ let start_view_change t ~failed ~joined =
   in
   begin_flush t ~new_view_id ~survivors ~new_members
 
-let rec on_flush t ~src ~new_view_id ~survivors ~unstable =
+let rec on_flush t ~src ~new_view_id ~survivors ~unstable ~orders =
   (match t.status with
    | Normal when new_view_id > t.view.Group.view_id ->
      (* a peer started a view change we have no local trigger for (a join,
@@ -546,7 +622,16 @@ let rec on_flush t ~src ~new_view_id ~survivors ~unstable =
    | Normal | Flushing _ | Joining _ -> ());
   match t.status with
   | Flushing flush when flush.new_view_id = new_view_id ->
+    (* Adopt the peer's knowledge of the sequencer's assignments before
+       feeding it the data: if the sequencer crashed after reaching only
+       some members, everyone must still release in its order rather than
+       fall back to the view-change tiebreak for messages it had placed. *)
+    List.iter
+      (fun (msg_id, global_seq) ->
+        Total_order.Sequencer_queue.add_order t.seq_queue ~msg_id ~global_seq)
+      orders;
     List.iter (fun data -> on_data t data) unstable;
+    release_total_queues t;
     if not (List.mem src flush.flush_from) then
       flush.flush_from <- src :: flush.flush_from;
     maybe_finish_flush t flush;
@@ -614,6 +699,7 @@ let install_join t join ~view_id ~members ~state =
   t.next_global_seq <- 0;
   t.deferred_lamport_gossip <- [];
   t.status <- Normal;
+  t.installing <- true;
   t.set_state state;
   t.metrics.Metrics.view_changes <- t.metrics.Metrics.view_changes + 1;
   t.callbacks.view_change new_view;
@@ -622,9 +708,7 @@ let install_join t join ~view_id ~members ~state =
   in
   t.future_proto <- List.filter (fun (vid, _) -> vid > view_id) later;
   List.iter (fun (_, proto) -> t.replay_proto proto) (List.rev ready);
-  let queued = t.outbox in
-  t.outbox <- [];
-  List.iter (fun payload -> do_multicast t payload) queued
+  drain_outbox t
 
 let maybe_install_join t join =
   match (join.pending_view, join.pending_state) with
@@ -692,8 +776,8 @@ let handle_proto t ~src (proto : 'a Wire.proto) =
     end
   | Wire.Gossip { view_id; rank; vc; lamport } ->
     on_gossip t ~view_id ~rank ~vc ~lamport
-  | Wire.Flush { new_view_id; survivors; unstable } ->
-    on_flush t ~src ~new_view_id ~survivors ~unstable
+  | Wire.Flush { new_view_id; survivors; unstable; orders } ->
+    on_flush t ~src ~new_view_id ~survivors ~unstable ~orders
   | Wire.Flush_done { new_view_id; from } -> on_flush_done t ~new_view_id ~from
   | Wire.New_view { view_id; members } -> on_new_view t ~view_id ~members
   | Wire.Join_request { joiner } -> on_join_request t ~joiner
@@ -706,6 +790,7 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
   let t =
     { engine; shared; config; self; callbacks; metrics;
       lamport = Lamport.create (); delivered_ids = Hashtbl.create 256;
+      causal_seen = Hashtbl.create 256;
       endpoint = None; view; rank;
       vc = Vector_clock.create (Group.size view);
       queue = Delivery_queue.create (queue_mode config);
@@ -714,7 +799,7 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
       stability =
         Stability.create ~group_size:(Group.size view) ~metrics
           ~graph:shared.graph;
-      next_global_seq = 0; status = Normal; outbox = [];
+      next_global_seq = 0; status = Normal; outbox = []; installing = false;
       failed_members = []; deferred_lamport_gossip = []; future_proto = [];
       replay_proto = (fun _ -> ()); pending_joins = [];
       trigger_pending_joins = (fun () -> ());

@@ -3,15 +3,27 @@ module Sequencer_queue = struct
     mutable next_release : int;
     orders : (int, Wire.msg_id) Hashtbl.t;  (* global_seq -> msg *)
     data : (Wire.msg_id, 'a Delivery_queue.pending) Hashtbl.t;
+    known : (Wire.msg_id, int) Hashtbl.t;
+        (* every assignment ever seen this view, kept after release: a view
+           change must hand peers the orders they missed (the sequencer may
+           have crashed right after sending them to only some members) *)
   }
 
   let create () =
-    { next_release = 0; orders = Hashtbl.create 32; data = Hashtbl.create 32 }
+    { next_release = 0; orders = Hashtbl.create 32; data = Hashtbl.create 32;
+      known = Hashtbl.create 32 }
 
   let add_data t pending =
     Hashtbl.replace t.data pending.Delivery_queue.data.Wire.msg_id pending
 
-  let add_order t ~msg_id ~global_seq = Hashtbl.replace t.orders global_seq msg_id
+  let add_order t ~msg_id ~global_seq =
+    Hashtbl.replace t.orders global_seq msg_id;
+    Hashtbl.replace t.known msg_id global_seq
+
+  let known_orders t =
+    Hashtbl.fold (fun msg_id global_seq acc -> (msg_id, global_seq) :: acc)
+      t.known []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare a b)
 
   let take_ready t =
     match Hashtbl.find_opt t.orders t.next_release with
@@ -33,7 +45,8 @@ module Sequencer_queue = struct
 
   let clear t =
     Hashtbl.reset t.orders;
-    Hashtbl.reset t.data
+    Hashtbl.reset t.data;
+    Hashtbl.reset t.known
 end
 
 module Lamport_queue = struct

@@ -26,6 +26,11 @@ module Sequencer_queue : sig
   val pending_data : 'a t -> 'a Delivery_queue.pending list
   (** Data held without a released order yet (drained at view change). *)
 
+  val known_orders : 'a t -> (Wire.msg_id * int) list
+  (** Every (message, global sequence) assignment seen this view, released
+      or not, sorted by sequence. Carried in flush messages so that peers
+      the crashed sequencer never reached still adopt its order. *)
+
   val clear : 'a t -> unit
 end
 

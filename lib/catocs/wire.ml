@@ -23,7 +23,15 @@ type 'a proto =
   | Data of 'a data
   | Seq_order of { view_id : int; msg_id : msg_id; global_seq : int }
   | Gossip of { view_id : int; rank : int; vc : Vector_clock.t; lamport : int }
-  | Flush of { new_view_id : int; survivors : Engine.pid list; unstable : 'a data list }
+  | Flush of {
+      new_view_id : int;
+      survivors : Engine.pid list;
+      unstable : 'a data list;
+      orders : (msg_id * int) list;
+          (* sequencer assignments known to the sender, so survivors agree
+             on the old view's total order even if the sequencer died
+             mid-broadcast *)
+    }
   | Flush_done of { new_view_id : int; from : Engine.pid }
   | New_view of { view_id : int; members : Engine.pid list }
   | Join_request of { joiner : Engine.pid }
@@ -51,9 +59,9 @@ let pp pp_payload ppf = function
   | Proto (_, Seq_order { msg_id; global_seq; _ }) ->
     Format.fprintf ppf "order#%d=%d" msg_id global_seq
   | Proto (_, Gossip { rank; _ }) -> Format.fprintf ppf "gossip(r%d)" rank
-  | Proto (_, Flush { new_view_id; survivors; unstable }) ->
-    Format.fprintf ppf "flush(v%d,|%d|,%d msgs)" new_view_id
-      (List.length survivors) (List.length unstable)
+  | Proto (_, Flush { new_view_id; survivors; unstable; orders }) ->
+    Format.fprintf ppf "flush(v%d,|%d|,%d msgs,%d orders)" new_view_id
+      (List.length survivors) (List.length unstable) (List.length orders)
   | Proto (_, Flush_done { new_view_id; from }) ->
     Format.fprintf ppf "flush-done(v%d,p%d)" new_view_id from
   | Proto (_, New_view { view_id; members }) ->

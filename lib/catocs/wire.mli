@@ -38,7 +38,15 @@ type 'a proto =
   | Data of 'a data
   | Seq_order of { view_id : int; msg_id : msg_id; global_seq : int }
   | Gossip of { view_id : int; rank : int; vc : Vector_clock.t; lamport : int }
-  | Flush of { new_view_id : int; survivors : Engine.pid list; unstable : 'a data list }
+  | Flush of {
+      new_view_id : int;
+      survivors : Engine.pid list;
+      unstable : 'a data list;
+      orders : (msg_id * int) list;
+          (** sequencer assignments known to the sender, so survivors agree
+              on the old view's total order even if the sequencer died
+              mid-broadcast *)
+    }
       (** flush round: re-multicast of the sender's unstable messages *)
   | Flush_done of { new_view_id : int; from : Engine.pid }
   | New_view of { view_id : int; members : Engine.pid list }

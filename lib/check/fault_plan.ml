@@ -1,0 +1,169 @@
+type fault =
+  | Drop_burst of { at : Sim_time.t; until : Sim_time.t; probability : float }
+  | Dup_burst of { at : Sim_time.t; until : Sim_time.t; probability : float }
+  | Partition of { at : Sim_time.t; heal_at : Sim_time.t; side : int list }
+  | Crash of { at : Sim_time.t; victim : int }
+  | Partial_multicast of
+      { at : Sim_time.t; sender : int; recipients : int list;
+        crash_after : Sim_time.t }
+  | Join of { at : Sim_time.t }
+
+type t = {
+  n_members : int;
+  horizon : Sim_time.t;
+  sends : (Sim_time.t * int) list;
+  faults : fault list;
+}
+
+type profile = {
+  members : int;
+  root_sends : int;
+  duration : Sim_time.t;
+  max_faults : int;
+  allow_crashes : bool;
+  allow_partitions : bool;
+  allow_loss : bool;
+  allow_joins : bool;
+}
+
+let default_profile =
+  { members = 4; root_sends = 12; duration = Sim_time.ms 400; max_faults = 6;
+    allow_crashes = true; allow_partitions = true; allow_loss = true;
+    allow_joins = true }
+
+let fault_time = function
+  | Drop_burst { at; _ } | Dup_burst { at; _ } | Partition { at; _ }
+  | Crash { at; _ } | Partial_multicast { at; _ } | Join { at } -> at
+
+(* Each fault kind is sampled by an independent closure so that adding a
+   kind never shifts the random draws of the others within one plan. *)
+let generate ~seed profile =
+  let rng = Rng.create (Int64.of_int ((seed * 0x9e3779b1) lxor 0x5bf03635)) in
+  let n = max 3 profile.members in
+  let horizon = profile.duration in
+  let t_between lo hi = Rng.uniform_int rng lo hi in
+  let sends =
+    List.init profile.root_sends (fun _ ->
+        let at = t_between (Sim_time.ms 1) (horizon * 3 / 4) in
+        let sender = Rng.int rng n in
+        (at, sender))
+    |> List.stable_sort (fun (a, _) (b, _) -> Sim_time.compare a b)
+  in
+  let n_faults = Rng.int rng (profile.max_faults + 1) in
+  let crash_budget = ref (n - 2) in
+  let partition_used = ref false in
+  let crashed = ref [] in
+  let pick_victim () =
+    let alive =
+      List.filter (fun i -> not (List.mem i !crashed)) (List.init n Fun.id)
+    in
+    match alive with
+    | [] -> None
+    | _ ->
+      let v = List.nth alive (Rng.int rng (List.length alive)) in
+      crashed := v :: !crashed;
+      decr crash_budget;
+      Some v
+  in
+  let gen_drop () =
+    let at = t_between (Sim_time.ms 5) (horizon - Sim_time.ms 20) in
+    let until = min horizon (Sim_time.add at (t_between (Sim_time.ms 10) (Sim_time.ms 80))) in
+    Some (Drop_burst { at; until; probability = 0.05 +. Rng.float rng 0.35 })
+  in
+  let gen_dup () =
+    let at = t_between (Sim_time.ms 5) (horizon - Sim_time.ms 20) in
+    let until = min horizon (Sim_time.add at (t_between (Sim_time.ms 10) (Sim_time.ms 80))) in
+    Some (Dup_burst { at; until; probability = 0.1 +. Rng.float rng 0.4 })
+  in
+  let gen_partition () =
+    let at = t_between (Sim_time.ms 5) (horizon - Sim_time.ms 40) in
+    let heal_at = min horizon (Sim_time.add at (t_between (Sim_time.ms 20) (Sim_time.ms 250))) in
+    (* a random nonempty proper subset of the initial members *)
+    let side =
+      List.filter (fun _ -> Rng.bool rng 0.5) (List.init n Fun.id)
+    in
+    let side = if side = [] then [ Rng.int rng n ] else side in
+    let side = if List.length side = n then List.tl side else side in
+    partition_used := true;
+    Some (Partition { at; heal_at; side })
+  in
+  let gen_crash () =
+    match pick_victim () with
+    | None -> None
+    | Some victim ->
+      Some (Crash { at = t_between (Sim_time.ms 5) (horizon - Sim_time.ms 10); victim })
+  in
+  let gen_partial () =
+    match pick_victim () with
+    | None -> None
+    | Some sender ->
+      let recipients =
+        List.filter (fun i -> i <> sender && Rng.bool rng 0.5) (List.init n Fun.id)
+      in
+      Some
+        (Partial_multicast
+           { at = t_between (Sim_time.ms 5) (horizon - Sim_time.ms 10); sender;
+             recipients;
+             crash_after = t_between (Sim_time.us 500) (Sim_time.ms 5) })
+  in
+  let gen_join () =
+    Some (Join { at = t_between (Sim_time.ms 5) (horizon - Sim_time.ms 50) })
+  in
+  let faults = ref [] in
+  for _ = 1 to n_faults do
+    let candidates =
+      List.concat
+        [
+          (if profile.allow_loss then [ gen_drop; gen_dup ] else []);
+          (if profile.allow_partitions && not !partition_used then [ gen_partition ]
+           else []);
+          (if profile.allow_crashes && !crash_budget > 0 then [ gen_crash; gen_partial ]
+           else []);
+          (if profile.allow_joins then [ gen_join ] else []);
+        ]
+    in
+    match candidates with
+    | [] -> ()
+    | _ -> (
+      match (List.nth candidates (Rng.int rng (List.length candidates))) () with
+      | Some f -> faults := f :: !faults
+      | None -> ())
+  done;
+  let faults =
+    List.stable_sort (fun a b -> Sim_time.compare (fault_time a) (fault_time b))
+      (List.rev !faults)
+  in
+  { n_members = n; horizon; sends; faults }
+
+let with_faults t faults = { t with faults }
+
+let pp_time fmt t = Format.fprintf fmt "%.1fms" (Sim_time.to_ms_float t)
+
+let pp_fault fmt = function
+  | Drop_burst { at; until; probability } ->
+    Format.fprintf fmt "drop-burst    at %a until %a p=%.2f" pp_time at pp_time
+      until probability
+  | Dup_burst { at; until; probability } ->
+    Format.fprintf fmt "dup-burst     at %a until %a p=%.2f" pp_time at pp_time
+      until probability
+  | Partition { at; heal_at; side } ->
+    Format.fprintf fmt "partition     at %a heal %a side={%s}" pp_time at
+      pp_time heal_at
+      (String.concat "," (List.map string_of_int side))
+  | Crash { at; victim } ->
+    Format.fprintf fmt "crash         at %a victim=p%d" pp_time at victim
+  | Partial_multicast { at; sender; recipients; crash_after } ->
+    Format.fprintf fmt
+      "partial-mcast at %a sender=p%d recipients={%s} crash+%a" pp_time at
+      sender
+      (String.concat "," (List.map (Printf.sprintf "p%d") recipients))
+      pp_time crash_after
+  | Join { at } -> Format.fprintf fmt "join          at %a" pp_time at
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%d members, %d root sends, horizon %a, %d faults"
+    t.n_members (List.length t.sends) pp_time t.horizon (List.length t.faults);
+  List.iteri
+    (fun i f -> Format.fprintf fmt "@,  %2d. %a" (i + 1) pp_fault f)
+    t.faults;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,516 @@
+module Config = Repro_catocs.Config
+module History = Repro_txn.History
+
+type send_info = {
+  uid : int;
+  sender : Engine.pid;
+  sender_seq : int;
+  sent_at : Sim_time.t;
+  depth : int;
+  partial : bool;
+  context : int list;
+}
+
+type mem_event =
+  | Install of { view_id : int; members : Engine.pid list }
+  | Deliver of { uid : int; at : Sim_time.t }
+
+type member_log = {
+  pid : Engine.pid;
+  name : string;
+  mutable events_rev : mem_event list;
+  mutable delivered_rev : int list;
+  mutable sent_rev : int list;
+  mutable first_install_at : Sim_time.t option;
+}
+
+type t = {
+  sends : (int, send_info) Hashtbl.t;
+  members : (Engine.pid, member_log) Hashtbl.t;
+  mutable member_order_rev : Engine.pid list;
+  mutable next_uid : int;
+  next_seq : (Engine.pid, int) Hashtbl.t;
+  mutable delivery_count : int;
+}
+
+type violation = {
+  oracle : string;
+  member : string;
+  detail : string;
+  uids : int list;
+}
+
+let create () =
+  { sends = Hashtbl.create 256; members = Hashtbl.create 16;
+    member_order_rev = []; next_uid = 0; next_seq = Hashtbl.create 16;
+    delivery_count = 0 }
+
+let log_of t pid =
+  match Hashtbl.find_opt t.members pid with
+  | Some log -> log
+  | None -> invalid_arg "Oracle: unregistered member"
+
+let register_member t ~pid ~name ~view =
+  let log =
+    { pid; name; events_rev = []; delivered_rev = []; sent_rev = [];
+      first_install_at = None }
+  in
+  (match view with
+   | Some (view_id, members) ->
+     log.events_rev <- [ Install { view_id; members } ];
+     log.first_install_at <- Some Sim_time.zero
+   | None -> ());
+  Hashtbl.replace t.members pid log;
+  t.member_order_rev <- pid :: t.member_order_rev
+
+let member_pids t = List.rev t.member_order_rev
+let name_of t pid = (log_of t pid).name
+let send_count t = t.next_uid
+let delivery_count t = t.delivery_count
+let has_install t pid = (log_of t pid).first_install_at <> None
+
+let note_send t ~sender ~at ~depth ~partial =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  let seq = Option.value ~default:0 (Hashtbl.find_opt t.next_seq sender) in
+  Hashtbl.replace t.next_seq sender (seq + 1);
+  let log = log_of t sender in
+  let context =
+    List.sort_uniq Int.compare (List.rev_append log.delivered_rev log.sent_rev)
+  in
+  log.sent_rev <- uid :: log.sent_rev;
+  Hashtbl.replace t.sends uid
+    { uid; sender; sender_seq = seq; sent_at = at; depth; partial; context };
+  uid
+
+let send_depth t uid =
+  match Hashtbl.find_opt t.sends uid with Some s -> s.depth | None -> 0
+
+let info t uid =
+  match Hashtbl.find_opt t.sends uid with
+  | Some s -> s
+  | None -> invalid_arg "Oracle: delivery of an unknown uid"
+
+let note_delivery t ~pid ~uid ~at =
+  let log = log_of t pid in
+  log.events_rev <- Deliver { uid; at } :: log.events_rev;
+  log.delivered_rev <- uid :: log.delivered_rev;
+  t.delivery_count <- t.delivery_count + 1
+
+let note_install t ~pid ~view_id ~members ~at =
+  let log = log_of t pid in
+  log.events_rev <- Install { view_id; members } :: log.events_rev;
+  if log.first_install_at = None then log.first_install_at <- Some at
+
+(* --- derived structures --------------------------------------------------- *)
+
+let deliveries log = List.rev log.delivered_rev
+
+(* (view_id, members, delivered uids in order) per installed view, oldest
+   first; deliveries before the first install (impossible in practice) are
+   discarded. *)
+let segments log =
+  let finish (seg, acc) =
+    match seg with
+    | None -> List.rev acc
+    | Some (vid, mems, dels) -> List.rev ((vid, mems, List.rev dels) :: acc)
+  in
+  finish
+    (List.fold_left
+       (fun (seg, acc) ev ->
+         match ev with
+         | Install { view_id; members } ->
+           let acc =
+             match seg with
+             | None -> acc
+             | Some (vid, mems, dels) -> (vid, mems, List.rev dels) :: acc
+           in
+           (Some (view_id, members, []), acc)
+         | Deliver { uid; _ } -> (
+           match seg with
+           | None -> (seg, acc)
+           | Some (vid, mems, dels) -> (Some (vid, mems, uid :: dels), acc)))
+       (None, []) (List.rev log.events_rev))
+
+let position_index log =
+  let idx = Hashtbl.create 64 in
+  List.iteri
+    (fun i uid -> if not (Hashtbl.mem idx uid) then Hashtbl.add idx uid i)
+    (deliveries log);
+  idx
+
+let logs_in_order t = List.map (log_of t) (member_pids t)
+
+(* --- oracles -------------------------------------------------------------- *)
+
+(* At-most-once: no uid is delivered twice to the same member. *)
+let check_duplicates t =
+  List.find_map
+    (fun log ->
+      let seen = Hashtbl.create 64 in
+      List.find_map
+        (fun uid ->
+          if Hashtbl.mem seen uid then
+            Some
+              { oracle = "at-most-once"; member = log.name;
+                detail = Printf.sprintf "msg#%d delivered twice" uid;
+                uids = [ uid ] }
+          else begin
+            Hashtbl.add seen uid ();
+            None
+          end)
+        (deliveries log))
+    (logs_in_order t)
+
+(* Members that install the same view id agree on its membership. *)
+let check_view_agreement t =
+  let installed = Hashtbl.create 16 in
+  List.find_map
+    (fun log ->
+      List.find_map
+        (fun (vid, mems, _) ->
+          match Hashtbl.find_opt installed vid with
+          | None ->
+            Hashtbl.add installed vid (mems, log.name);
+            None
+          | Some (mems', from) ->
+            if mems = mems' then None
+            else
+              Some
+                { oracle = "view-agreement"; member = log.name;
+                  detail =
+                    Printf.sprintf
+                      "view %d has members {%s} here but {%s} at %s" vid
+                      (String.concat "," (List.map string_of_int mems))
+                      (String.concat "," (List.map string_of_int mems'))
+                      from;
+                  uids = [] })
+        (segments log))
+    (logs_in_order t)
+
+(* Per-sender FIFO: the delivered subsequence of any one sender's messages
+   appears in send order. *)
+let check_fifo t =
+  List.find_map
+    (fun log ->
+      let last = Hashtbl.create 16 in
+      List.find_map
+        (fun uid ->
+          let s = info t uid in
+          match Hashtbl.find_opt last s.sender with
+          | Some (prev_seq, prev_uid) when s.sender_seq <= prev_seq ->
+            Some
+              { oracle = "fifo-order"; member = log.name;
+                detail =
+                  Printf.sprintf
+                    "msg#%d (send %d of %s) delivered after msg#%d (send %d)"
+                    uid s.sender_seq (name_of t s.sender) prev_uid prev_seq;
+                uids = [ prev_uid; uid ] }
+          | _ ->
+            Hashtbl.replace last s.sender (s.sender_seq, uid);
+            None)
+        (deliveries log))
+    (logs_in_order t)
+
+(* Causal order: a message is delivered only after every message its sender
+   had delivered or sent when issuing it ("happened-before" predecessors).
+   A member that joined after a predecessor was sent is exempt from it. *)
+let check_causal t =
+  List.find_map
+    (fun log ->
+      let pos = position_index log in
+      List.find_map
+        (fun uid ->
+          let i = Hashtbl.find pos uid in
+          List.find_map
+            (fun c ->
+              match Hashtbl.find_opt pos c with
+              | Some j when j < i -> None
+              | Some _ ->
+                Some
+                  { oracle = "causal-order"; member = log.name;
+                    detail =
+                      Printf.sprintf
+                        "msg#%d delivered before its causal predecessor msg#%d"
+                        uid c;
+                    uids = [ c; uid ] }
+              | None ->
+                let ci = info t c in
+                let joined_later =
+                  match log.first_install_at with
+                  | Some fi -> Sim_time.compare fi ci.sent_at >= 0
+                  | None -> true
+                in
+                if joined_later then None
+                else
+                  Some
+                    { oracle = "causal-order"; member = log.name;
+                      detail =
+                        Printf.sprintf
+                          "msg#%d delivered but its causal predecessor msg#%d \
+                           never was"
+                          uid c;
+                      uids = [ c; uid ] })
+            (info t uid).context)
+        (deliveries log))
+    (logs_in_order t)
+
+(* Total order: any two survivors agree on the relative order of every pair
+   of messages both delivered. Restricted to survivors because the
+   guarantee is not uniform: a member that crashes mid-view may have
+   delivered in the dead sequencer's order while the survivors — for whom
+   part of that order died with it — agree on a different one. That is the
+   paper's atomicity-without-durability gap, not a protocol bug. *)
+let check_total t ~survivors =
+  let logs =
+    List.filter (fun log -> List.mem log.pid survivors) (logs_in_order t)
+  in
+  let rec pairs = function
+    | [] -> None
+    | p :: rest -> (
+      match List.find_map (fun q -> check_pair p q) rest with
+      | Some v -> Some v
+      | None -> pairs rest)
+  and check_pair p q =
+    let dp = deliveries p and dq = deliveries q in
+    let sp = Hashtbl.create 64 and sq = Hashtbl.create 64 in
+    List.iter (fun u -> Hashtbl.replace sp u ()) dp;
+    List.iter (fun u -> Hashtbl.replace sq u ()) dq;
+    let fp = List.filter (Hashtbl.mem sq) dp in
+    let fq = List.filter (Hashtbl.mem sp) dq in
+    let rec first_diff a b =
+      match (a, b) with
+      | x :: a', y :: b' -> if x = y then first_diff a' b' else Some (x, y)
+      | _, _ -> None
+    in
+    match first_diff fp fq with
+    | None -> None
+    | Some (x, y) ->
+      Some
+        { oracle = "total-order"; member = p.name;
+          detail =
+            Printf.sprintf
+              "%s delivered msg#%d before msg#%d; %s delivered them in the \
+               opposite order"
+              p.name x y q.name;
+          uids = [ x; y ] }
+  in
+  pairs logs
+
+(* Virtual synchrony: two members that move together from view v to the same
+   next view v' must deliver identical message sets while in v. *)
+let check_view_sync t =
+  let logs = logs_in_order t in
+  let segs = List.map (fun log -> (log, Array.of_list (segments log))) logs in
+  let transition (log, arr) =
+    List.init
+      (max 0 (Array.length arr - 1))
+      (fun i ->
+        let vid, _, dels = arr.(i) in
+        let vid', mems', _ = arr.(i + 1) in
+        (log, vid, vid', mems', dels))
+  in
+  let all = List.concat_map transition segs in
+  let rec scan = function
+    | [] -> None
+    | (log, vid, vid', mems', dels) :: rest ->
+      let conflict =
+        List.find_map
+          (fun (log2, vid2, vid2', mems2', dels2) ->
+            if
+              vid = vid2 && vid' = vid2'
+              && List.mem log.pid mems2'
+              && List.mem log2.pid mems'
+            then
+              let s1 = List.sort_uniq Int.compare dels in
+              let s2 = List.sort_uniq Int.compare dels2 in
+              if s1 = s2 then None
+              else
+                let diff =
+                  List.filter (fun u -> not (List.mem u s2)) s1
+                  @ List.filter (fun u -> not (List.mem u s1)) s2
+                in
+                Some
+                  { oracle = "virtual-synchrony"; member = log.name;
+                    detail =
+                      Printf.sprintf
+                        "%s and %s both moved from view %d to view %d but \
+                         delivered different sets in view %d (difference: %s)"
+                        log.name log2.name vid vid' vid
+                        (String.concat ", "
+                           (List.map (Printf.sprintf "msg#%d") diff));
+                    uids = diff }
+            else None)
+          rest
+      in
+      (match conflict with Some v -> Some v | None -> scan rest)
+  in
+  scan all
+
+(* Atomic all-or-none delivery at quiescence: survivors sharing the same
+   final view delivered the same message set within it. *)
+let check_convergence t ~survivors =
+  let final log =
+    match List.rev (segments log) with
+    | (vid, mems, dels) :: _ -> Some (vid, mems, List.sort_uniq Int.compare dels)
+    | [] -> None
+  in
+  let tagged =
+    List.filter_map
+      (fun pid ->
+        let log = log_of t pid in
+        Option.map (fun f -> (log, f)) (final log))
+      survivors
+  in
+  let rec scan = function
+    | [] -> None
+    | (log, (vid, mems, dels)) :: rest ->
+      let conflict =
+        List.find_map
+          (fun (log2, (vid2, mems2, dels2)) ->
+            if vid = vid2 && mems = mems2 && dels <> dels2 then
+              let diff =
+                List.filter (fun u -> not (List.mem u dels2)) dels
+                @ List.filter (fun u -> not (List.mem u dels)) dels2
+              in
+              Some
+                { oracle = "atomic-delivery"; member = log.name;
+                  detail =
+                    Printf.sprintf
+                      "survivors %s and %s diverged in final view %d \
+                       (difference: %s)"
+                      log.name log2.name vid
+                      (String.concat ", "
+                         (List.map (Printf.sprintf "msg#%d") diff));
+                  uids = diff }
+            else None)
+          rest
+      in
+      (match conflict with Some v -> Some v | None -> scan rest)
+  in
+  scan tagged
+
+(* Liveness at quiescence: a survivor has delivered every message it sent
+   (its own multicasts are never lost to itself). *)
+let check_self_delivery t ~survivors =
+  List.find_map
+    (fun pid ->
+      let log = log_of t pid in
+      let delivered = Hashtbl.create 64 in
+      List.iter (fun u -> Hashtbl.replace delivered u ()) log.delivered_rev;
+      List.find_map
+        (fun uid ->
+          if Hashtbl.mem delivered uid then None
+          else
+            Some
+              { oracle = "self-delivery"; member = log.name;
+                detail =
+                  Printf.sprintf
+                    "surviving sender never delivered its own msg#%d \
+                     (stalled ordering queue?)"
+                    uid;
+                uids = [ uid ] })
+        (List.rev log.sent_rev))
+    survivors
+
+(* Serializability through lib/txn: treat each multicast as a write to one
+   of a few registers (key = uid mod 3, value = uid); under a total order
+   every initial survivor's replica must read, for each key, the value of
+   the last write in the agreed order. The History checker is the judge. *)
+let check_history t ~survivors =
+  let initial =
+    List.filter
+      (fun pid ->
+        let log = log_of t pid in
+        log.first_install_at = Some Sim_time.zero)
+      survivors
+  in
+  match List.map (log_of t) initial with
+  | [] | [ _ ] -> None
+  | reference :: _ as logs ->
+    let key_of uid = Printf.sprintf "k%d" (uid mod 3) in
+    let h = History.create () in
+    let serial = deliveries reference in
+    List.iteri
+      (fun i uid ->
+        History.record h ~client:0
+          ~op:(History.Write { key = key_of uid; value = uid })
+          ~invoked_at:(i + 1) ~completed_at:(i + 1))
+      serial;
+    let n_writes = List.length serial in
+    let keys = [ "k0"; "k1"; "k2" ] in
+    List.iteri
+      (fun j log ->
+        let final = Hashtbl.create 4 in
+        List.iter (fun uid -> Hashtbl.replace final (key_of uid) uid)
+          (deliveries log);
+        List.iteri
+          (fun k key ->
+            let at = n_writes + 1 + (j * List.length keys) + k in
+            History.record h ~client:(j + 1)
+              ~op:(History.Read { key; result = Hashtbl.find_opt final key })
+              ~invoked_at:at ~completed_at:at)
+          keys)
+      logs;
+    if History.linearizable h then None
+    else
+      Some
+        { oracle = "txn-serializability"; member = reference.name;
+          detail =
+            (match History.first_violation h with
+             | Some s -> s
+             | None -> "replica reads are not serializable in the agreed order");
+          uids = [] }
+
+(* --- the per-mode oracle suite ------------------------------------------- *)
+
+let check t ~ordering ~survivors =
+  let common = [ check_duplicates; check_view_agreement; check_fifo ] in
+  let causal = [ check_causal ] in
+  let total = [ (fun t -> check_total t ~survivors) ] in
+  let quiescent =
+    [
+      check_view_sync;
+      (fun t -> check_convergence t ~survivors);
+      (fun t -> check_self_delivery t ~survivors);
+    ]
+  in
+  let history = [ (fun t -> check_history t ~survivors) ] in
+  let suite =
+    match (ordering : Config.ordering) with
+    | Config.Fifo -> common @ quiescent
+    | Config.Causal -> common @ causal @ quiescent
+    | Config.Total_sequencer | Config.Total_lamport ->
+      common @ causal @ total @ quiescent @ history
+  in
+  List.find_map (fun oracle -> oracle t) suite
+
+(* --- counterexample trace ------------------------------------------------- *)
+
+let pp_trace fmt t ~uids =
+  let uids = List.sort_uniq Int.compare uids in
+  let uids = List.filteri (fun i _ -> i < 8) uids in
+  List.iter
+    (fun uid ->
+      match Hashtbl.find_opt t.sends uid with
+      | None -> Format.fprintf fmt "  msg#%d: unknown@," uid
+      | Some s ->
+        Format.fprintf fmt "  msg#%d sent by %s (send %d, depth %d%s) at %.1fms@,"
+          uid (name_of t s.sender) s.sender_seq s.depth
+          (if s.partial then ", partial" else "")
+          (Sim_time.to_ms_float s.sent_at);
+        List.iter
+          (fun log ->
+            let rec find i = function
+              | [] -> None
+              | Deliver { uid = u; at } :: _ when u = uid -> Some (i, at)
+              | Deliver _ :: rest -> find (i + 1) rest
+              | Install _ :: rest -> find i rest
+            in
+            match find 0 (List.rev log.events_rev) with
+            | Some (i, at) ->
+              Format.fprintf fmt "    %-8s delivered at %.1fms (position %d)@,"
+                log.name (Sim_time.to_ms_float at) i
+            | None -> Format.fprintf fmt "    %-8s never delivered@," log.name)
+          (logs_in_order t))
+    uids

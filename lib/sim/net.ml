@@ -35,6 +35,7 @@ let processing_time t = t.processing_time
 
 let set_latency t latency = t.latency <- latency
 let set_drop_probability t p = t.drop_probability <- p
+let set_duplicate_probability t p = t.duplicate_probability <- p
 
 let partition t side_a side_b =
   let pairs =

@@ -38,6 +38,7 @@ val processing_time : t -> Sim_time.t
 
 val set_latency : t -> latency -> unit
 val set_drop_probability : t -> float -> unit
+val set_duplicate_probability : t -> float -> unit
 
 val partition : t -> int list -> int list -> unit
 (** [partition t side_a side_b] blocks all traffic between the two sides (in

@@ -579,6 +579,69 @@ let test_heartbeat_partition_split_and_rejoin () =
    | Some stack -> check_int "rejoined member view" 3 (Group.size (Stack.view stack))
    | None -> Alcotest.fail "no rejoin")
 
+let test_partition_heal_traffic_regression () =
+  (* Regression: traffic multicast while the network is split must still reach
+     every member of the healed group, and a member that re-joins after the
+     heal must see everything multicast from its join onwards. Exercises the
+     flush contribution of messages that were blocked in delivery queues when
+     the partition view change started. *)
+  let engine, stacks, net = make_heartbeat_world () in
+  let n = Array.length stacks in
+  let deliveries = Array.make n [] in
+  Array.iteri
+    (fun i stack ->
+      Stack.set_callbacks stack
+        { Stack.null_callbacks with
+          Stack.deliver =
+            (fun ~sender:_ v -> deliveries.(i) <- v :: deliveries.(i)) })
+    stacks;
+  let isolated = Stack.self stacks.(2) in
+  let others = [ Stack.self stacks.(0); Stack.self stacks.(1) ] in
+  Engine.at engine (Sim_time.ms 50) (fun () ->
+      Net.partition net [ isolated ] others);
+  (* traffic while split: the majority side keeps multicasting *)
+  Engine.at engine (Sim_time.ms 200) (fun () -> Stack.multicast stacks.(0) 7);
+  Engine.at engine (Sim_time.ms 250) (fun () -> Stack.multicast stacks.(1) 8);
+  Engine.run ~until:(Sim_time.ms 400) engine;
+  check_int "majority side trimmed" 2 (Group.size (Stack.view stacks.(0)));
+  check_int "isolated side went solo" 1 (Group.size (Stack.view stacks.(2)));
+  (* heal; the isolated member re-joins with fresh state *)
+  Net.heal net;
+  let rejoined = ref None in
+  let rejoined_deliveries = ref [] in
+  Engine.at engine (Sim_time.ms 410) (fun () ->
+      Stack.shutdown stacks.(2);
+      rejoined :=
+        Some
+          (Stack.join ~engine ~shared:(Stack.shared_of stacks.(0))
+             ~config:(Stack.config_of stacks.(0)) ~self:isolated
+             ~contact:(Stack.self stacks.(0))
+             ~callbacks:
+               { Stack.null_callbacks with
+                 Stack.deliver =
+                   (fun ~sender:_ v ->
+                     rejoined_deliveries := v :: !rejoined_deliveries) }
+             ()));
+  (* post-heal traffic must reach all three members, including the joiner *)
+  Engine.at engine (Sim_time.seconds 1) (fun () -> Stack.multicast stacks.(0) 10);
+  Engine.at engine (Sim_time.ms 1_050) (fun () -> Stack.multicast stacks.(1) 11);
+  Engine.run ~until:(Sim_time.seconds 2) engine;
+  check_int "reunified view p0" 3 (Group.size (Stack.view stacks.(0)));
+  check_int "reunified view p1" 3 (Group.size (Stack.view stacks.(1)));
+  (match !rejoined with
+   | Some stack ->
+     check_int "rejoined member view" 3 (Group.size (Stack.view stack))
+   | None -> Alcotest.fail "no rejoin");
+  for i = 0 to n - 2 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "p%d saw split-era and post-heal traffic" i)
+      [ 7; 8; 10; 11 ]
+      (List.rev deliveries.(i))
+  done;
+  Alcotest.(check (list int))
+    "joiner saw all post-join traffic" [ 10; 11 ]
+    (List.rev !rejoined_deliveries)
+
 (* --- multiple groups per process --------------------------------------------- *)
 
 let test_two_groups_one_process () =
@@ -974,6 +1037,8 @@ let () =
             test_heartbeat_detects_crash;
           Alcotest.test_case "partition split and rejoin" `Quick
             test_heartbeat_partition_split_and_rejoin;
+          Alcotest.test_case "partition heal traffic regression" `Quick
+            test_partition_heal_traffic_regression;
         ] );
       ( "multi-group",
         [ Alcotest.test_case "two groups one process" `Quick

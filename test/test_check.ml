@@ -1,0 +1,137 @@
+(* Tests for the schedule-exploration checker itself: the per-ordering seed
+   sweeps that gate the repo, determinism of the seed -> verdict pipeline, and
+   the mutation test — deliberately breaking the BSS causal delivery condition
+   and requiring the checker to catch it with a shrunk counterexample. *)
+
+module Config = Repro_catocs.Config
+module Delivery_queue = Repro_catocs.Delivery_queue
+module Runner = Repro_check.Runner
+module Fault_plan = Repro_check.Fault_plan
+module Oracle = Repro_check.Oracle
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- sweeps -------------------------------------------------------------- *)
+
+(* One hundred seeds per ordering mode: every seed samples a fault plan (loss
+   and duplication bursts, partitions, crashes, mid-multicast crashes, joins)
+   and the oracles must find no violation. *)
+let sweep_seeds = 100
+
+let test_sweep ordering () =
+  let result = Runner.sweep ~ordering ~seeds:sweep_seeds () in
+  (match result.Runner.failed with
+  | None -> ()
+  | Some report ->
+    Alcotest.failf "sweep found a violation:@.%a" Runner.pp_report report);
+  check_int "all seeds passed" sweep_seeds result.Runner.passed;
+  check_bool "traffic flowed" true (result.Runner.total_deliveries > 0)
+
+(* --- determinism --------------------------------------------------------- *)
+
+let test_deterministic_verdicts () =
+  (* Same seed, same ordering -> byte-identical verdict fingerprint. *)
+  List.iter
+    (fun (name, ordering) ->
+      List.iter
+        (fun seed ->
+          let a = Runner.fingerprint (Runner.run_seed ~ordering ~seed ()) in
+          let b = Runner.fingerprint (Runner.run_seed ~ordering ~seed ()) in
+          check_string (Printf.sprintf "%s seed %d" name seed) a b)
+        [ 0; 7; 42 ])
+    Runner.orderings
+
+let test_plan_generation_deterministic () =
+  let profile = Fault_plan.default_profile in
+  let show plan = Format.asprintf "%a" Fault_plan.pp plan in
+  List.iter
+    (fun seed ->
+      check_string
+        (Printf.sprintf "plan for seed %d" seed)
+        (show (Fault_plan.generate ~seed profile))
+        (show (Fault_plan.generate ~seed profile)))
+    [ 0; 3; 99 ]
+
+(* --- mutation: the checker must catch a broken stack --------------------- *)
+
+(* Disable the BSS delivery condition in the causal delivery queue and confirm
+   the checker convicts the stack within the standard 100-seed budget,
+   reporting a seed, a shrunk fault plan, and a delivery trace. *)
+let with_broken_causal_check f =
+  Delivery_queue.chaos_disable_causal_check := true;
+  Fun.protect
+    ~finally:(fun () -> Delivery_queue.chaos_disable_causal_check := false)
+    f
+
+let find_broken_report () =
+  with_broken_causal_check (fun () ->
+      let result = Runner.sweep ~ordering:Config.Causal ~seeds:sweep_seeds () in
+      match result.Runner.failed with
+      | Some report -> report
+      | None ->
+        Alcotest.fail
+          "checker failed to catch the disabled causal delivery condition")
+
+let test_broken_bss_is_caught () =
+  let report = find_broken_report () in
+  check_string "causal oracle convicts" "causal-order"
+    report.Runner.violation.Oracle.oracle;
+  check_bool "counterexample was shrunk" true report.Runner.shrunk;
+  check_bool "trace names the implicated messages" true
+    (String.length report.Runner.trace > 0
+    && report.Runner.violation.Oracle.uids <> []);
+  (* the shrunk plan is itself a complete reproducer: replaying it (without
+     re-shrinking) under the same seed fails the same oracle *)
+  with_broken_causal_check (fun () ->
+      match
+        Runner.replay ~ordering:report.Runner.ordering ~seed:report.Runner.seed
+          report.Runner.plan
+      with
+      | Runner.Fail replayed ->
+        check_string "replay convicts the same oracle"
+          report.Runner.violation.Oracle.oracle
+          replayed.Runner.violation.Oracle.oracle
+      | Runner.Pass _ -> Alcotest.fail "shrunk plan no longer reproduces");
+  (* with the stack healed, the very same seed passes again *)
+  match Runner.run_seed ~ordering:Config.Causal ~seed:report.Runner.seed () with
+  | Runner.Pass _ -> ()
+  | Runner.Fail r ->
+    Alcotest.failf "healed stack still fails:@.%a" Runner.pp_report r
+
+let test_broken_bss_deterministic () =
+  (* The conviction itself is reproducible: two independent hunts produce the
+     same seed, plan, and violation. *)
+  let show r = Format.asprintf "%a" Runner.pp_report r in
+  let a = find_broken_report () in
+  let b = find_broken_report () in
+  check_string "identical counterexample reports" (show a) (show b)
+
+(* --- suite --------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "repro_check"
+    [
+      ( "sweeps",
+        List.map
+          (fun (name, ordering) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s %d seeds clean" name sweep_seeds)
+              `Slow (test_sweep ordering))
+          Runner.orderings );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed same verdict" `Quick
+            test_deterministic_verdicts;
+          Alcotest.test_case "plan generation" `Quick
+            test_plan_generation_deterministic;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "broken BSS caught and shrunk" `Slow
+            test_broken_bss_is_caught;
+          Alcotest.test_case "conviction deterministic" `Slow
+            test_broken_bss_deterministic;
+        ] );
+    ]

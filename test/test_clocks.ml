@@ -147,6 +147,115 @@ let prop_vc_deliverable_implies_not_yet_seen =
       (* if deliverable by any sender, msg cannot be <= local *)
       (not !any_deliverable) || not (Vector_clock.leq msg local))
 
+(* Lamport properties: the algebraic laws total-order release relies on. *)
+
+let prop_lamport_observe_dominates =
+  QCheck.Test.make ~name:"observe exceeds both local and remote" ~count:500
+    (QCheck.make QCheck.Gen.(pair (int_bound 50) (int_bound 1000)))
+    (fun (ticks, remote) ->
+      let c = Lamport.create () in
+      for _ = 1 to ticks do
+        ignore (Lamport.tick c)
+      done;
+      let local = Lamport.value c in
+      let v = Lamport.observe c remote in
+      v > local && v > remote)
+
+let prop_lamport_events_monotone =
+  (* any interleaving of ticks and observes yields strictly increasing
+     values — the clock never runs backwards *)
+  QCheck.Test.make ~name:"event sequence strictly monotone" ~count:500
+    (QCheck.make QCheck.Gen.(small_list (int_bound 100)))
+    (fun events ->
+      let c = Lamport.create () in
+      let ok = ref true in
+      let prev = ref (Lamport.value c) in
+      List.iter
+        (fun e ->
+          let v = if e mod 2 = 0 then Lamport.tick c else Lamport.observe c e in
+          if v <= !prev then ok := false;
+          prev := v)
+        events;
+      !ok)
+
+let prop_lamport_stamp_total_order_laws =
+  (* compare_stamp is a strict total order: antisymmetric, transitive, and
+     zero only on identical stamps *)
+  QCheck.Test.make ~name:"compare_stamp total-order laws" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         triple
+           (pair (int_bound 30) (int_bound 3))
+           (pair (int_bound 30) (int_bound 3))
+           (pair (int_bound 30) (int_bound 3))))
+    (fun ((t1, n1), (t2, n2), (t3, n3)) ->
+      let s1 = { Lamport.time = t1; node = n1 } in
+      let s2 = { Lamport.time = t2; node = n2 } in
+      let s3 = { Lamport.time = t3; node = n3 } in
+      let sign x = compare x 0 in
+      let antisym =
+        sign (Lamport.compare_stamp s1 s2) = -sign (Lamport.compare_stamp s2 s1)
+      in
+      let zero_iff_equal =
+        Lamport.compare_stamp s1 s2 = 0 = (s1 = s2)
+      in
+      let transitive =
+        if Lamport.compare_stamp s1 s2 < 0 && Lamport.compare_stamp s2 s3 < 0
+        then Lamport.compare_stamp s1 s3 < 0
+        else true
+      in
+      antisym && zero_iff_equal && transitive)
+
+(* Matrix clock properties: stability detection must be exactly the
+   all-rows-cover condition, and row updates must be merges (lub), never
+   overwrites — gossip arrives out of order. *)
+
+let gen_rows =
+  (* 3x3 matrix as a list of (row index, vector) updates, possibly
+     repeating rows so merges actually happen *)
+  QCheck.Gen.(small_list (pair (int_bound 2) (gen_vc 3)))
+
+let apply_updates updates =
+  let m = Matrix_clock.create 3 in
+  List.iter
+    (fun (i, v) -> Matrix_clock.update_row m i (Vector_clock.of_list (Array.to_list v)))
+    updates;
+  m
+
+let prop_matrix_update_is_lub =
+  QCheck.Test.make ~name:"update_row merges (lub of all updates)" ~count:500
+    (QCheck.make gen_rows)
+    (fun updates ->
+      let m = apply_updates updates in
+      (* each row dominates every vector merged into it *)
+      List.for_all
+        (fun (i, v) ->
+          Vector_clock.leq (Vector_clock.of_list (Array.to_list v)) (Matrix_clock.row m i))
+        updates)
+
+let prop_matrix_min_component =
+  QCheck.Test.make ~name:"min_component is column minimum" ~count:500
+    (QCheck.make gen_rows)
+    (fun updates ->
+      let m = apply_updates updates in
+      let ok = ref true in
+      for s = 0 to 2 do
+        let expected =
+          List.fold_left
+            (fun acc i -> min acc (Vector_clock.get (Matrix_clock.row m i) s))
+            max_int [ 0; 1; 2 ]
+        in
+        if Matrix_clock.min_component m s <> expected then ok := false
+      done;
+      !ok)
+
+let prop_matrix_stable_iff_min =
+  QCheck.Test.make ~name:"stable iff min_component covers seq" ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_rows (pair (int_bound 2) (int_range 1 25))))
+    (fun (updates, (sender, seq)) ->
+      let m = apply_updates updates in
+      Matrix_clock.stable m ~sender ~seq = (Matrix_clock.min_component m sender >= seq))
+
 let test_vc_no_missing_when_deliverable () =
   let local = vc_of [ 1; 2 ] in
   let msg = vc_of [ 2; 2 ] in
@@ -244,6 +353,22 @@ let qcheck_cases =
       prop_vc_deliverable_implies_not_yet_seen;
     ]
 
+let lamport_qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_lamport_observe_dominates;
+      prop_lamport_events_monotone;
+      prop_lamport_stamp_total_order_laws;
+    ]
+
+let matrix_qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_matrix_update_is_lub;
+      prop_matrix_min_component;
+      prop_matrix_stable_iff_min;
+    ]
+
 let () =
   Alcotest.run "repro_clocks"
     [
@@ -269,6 +394,8 @@ let () =
             test_vc_invalid_sizes_rejected;
         ] );
       ("vector-properties", qcheck_cases);
+      ("lamport-properties", lamport_qcheck_cases);
+      ("matrix-properties", matrix_qcheck_cases);
       ( "matrix",
         [
           Alcotest.test_case "stability" `Quick test_matrix_stability;
