@@ -1,9 +1,23 @@
-(* Benchmark harness: regenerates every table and figure of the
-   reproduction (see EXPERIMENTS.md), then runs bechamel micro-benchmarks
-   on the protocol-critical data structures — quantifying the "overhead on
-   every message transmission and reception" claim at the CPU level. *)
+(* Benchmark harness.
+
+   Default mode regenerates every table and figure of the reproduction
+   (see EXPERIMENTS.md), then runs bechamel micro-benchmarks on the
+   protocol-critical data structures — quantifying the "overhead on every
+   message transmission and reception" claim at the CPU level.
+
+   With [--json] it instead produces BENCH_delivery.json: ns/op
+   micro-benchmarks of the delivery queue (indexed vs reference
+   implementation, with and without a permanently blocked backlog) plus
+   end-to-end simulated-throughput and peak-buffering curves from the
+   Section 5 scaling experiment at n = 4/16/64/256. [--smoke] shrinks
+   quotas and sizes for CI; [--out FILE] overrides the output path. The
+   schema is documented in EXPERIMENTS.md. *)
 
 module Registry = Repro_experiments.Registry
+module Scaling = Repro_experiments.Scaling
+module Config = Repro_catocs.Config
+module Delivery_queue = Repro_catocs.Delivery_queue
+module Wire = Repro_catocs.Wire
 
 let microbenchmarks () =
   let open Bechamel in
@@ -96,6 +110,211 @@ let microbenchmarks () =
     rows;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_delivery.json                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let json_float f =
+  if Float.is_nan f || Float.is_integer (f /. 0.) then "null"
+  else Printf.sprintf "%.3f" f
+
+let impl_name = function
+  | Delivery_queue.Indexed -> "indexed"
+  | Delivery_queue.Reference -> "reference"
+
+(* Steady-state delivery-queue cycle: one deliverable message from sender 0
+   is added and immediately taken, on top of [blocked] messages that can
+   never become deliverable (a per-sender FIFO gap: their sequence numbers
+   skip local+1). The reference implementation rescans the blocked backlog
+   on every take; the indexed one never revisits it. *)
+let queue_cycle_bench ~impl ~senders ~blocked =
+  let open Bechamel in
+  let q = Delivery_queue.create ~impl Delivery_queue.Causal_full in
+  let local = Vector_clock.create senders in
+  let mk ~rank ~vt =
+    { Delivery_queue.data =
+        { Wire.msg_id = 0; origin = rank; sender_rank = rank; view_id = 0;
+          vt; meta = Wire.Causal_meta; payload = 0; payload_bytes = 16;
+          sent_at = Sim_time.zero; piggyback = [] };
+      arrived_at = Sim_time.zero }
+  in
+  let per_sender = Array.make senders 0 in
+  for i = 0 to blocked - 1 do
+    (* never deliverable: seq = 2 + k while local stays at 0, so the
+       required seq 1 never exists *)
+    let rank = if senders > 1 then 1 + (i mod (senders - 1)) else 0 in
+    let vt = Vector_clock.create senders in
+    Vector_clock.set vt rank (2 + per_sender.(rank));
+    per_sender.(rank) <- per_sender.(rank) + 1;
+    Delivery_queue.add q (mk ~rank ~vt)
+  done;
+  let seq = ref 0 in
+  let name =
+    Printf.sprintf "dq-add-take/%s/n%d/b%d" (impl_name impl) senders blocked
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let s = !seq + 1 in
+         let vt = Vector_clock.create senders in
+         Vector_clock.set vt 0 s;
+         Delivery_queue.add q (mk ~rank:0 ~vt);
+         match Delivery_queue.take_deliverable q ~local with
+         | Some _ ->
+           seq := s;
+           Vector_clock.set local 0 s
+         | None -> failwith "bench: steady-state message not deliverable"))
+
+let micro_section ~smoke =
+  let open Bechamel in
+  let configs =
+    if smoke then [ (4, 0); (16, 64) ]
+    else [ (4, 0); (16, 0); (64, 0); (256, 0); (64, 256); (256, 1024) ]
+  in
+  let impls = [ Delivery_queue.Indexed; Delivery_queue.Reference ] in
+  let specs =
+    List.concat_map
+      (fun impl ->
+        List.map
+          (fun (senders, blocked) ->
+            (impl, senders, blocked,
+             queue_cycle_bench ~impl ~senders ~blocked))
+          configs)
+      impls
+  in
+  let tests =
+    Test.make_grouped ~name:"delivery-queue"
+      (List.map (fun (_, _, _, t) -> t) specs)
+  in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:200 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let estimate_for suffix =
+    Hashtbl.fold
+      (fun key result acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let kl = String.length key and sl = String.length suffix in
+          if kl >= sl && String.sub key (kl - sl) sl = suffix then
+            match Bechamel.Analyze.OLS.estimates result with
+            | Some [ est ] -> Some est
+            | Some _ | None -> None
+          else None)
+      results None
+  in
+  List.map
+    (fun (impl, senders, blocked, _) ->
+      let name =
+        Printf.sprintf "dq-add-take/%s/n%d/b%d" (impl_name impl) senders
+          blocked
+      in
+      let ns = match estimate_for name with Some e -> e | None -> Float.nan in
+      Printf.printf "  micro %-40s %10s ns/op\n" name (json_float ns);
+      Printf.sprintf
+        "    { \"name\": %S, \"impl\": %S, \"senders\": %d, \"blocked\": %d, \
+         \"ns_per_op\": %s }"
+        name (impl_name impl) senders blocked (json_float ns))
+    specs
+
+let e2e_section ~smoke =
+  let sizes = if smoke then [ 4; 16 ] else [ 4; 16; 64; 256 ] in
+  (* keep the event count roughly constant across sizes: the multicast
+     fan-out makes delivered work ~ n^2 x duration *)
+  let duration_for n =
+    if smoke then Sim_time.ms 50
+    else if n <= 16 then Sim_time.seconds 1
+    else if n <= 64 then Sim_time.ms 300
+    else Sim_time.ms 60
+  in
+  let impls = [ Config.Indexed_queue; Config.Reference_queue ] in
+  List.concat_map
+    (fun queue_impl ->
+      let impl_str =
+        match queue_impl with
+        | Config.Indexed_queue -> "indexed"
+        | Config.Reference_queue -> "reference"
+      in
+      List.map
+        (fun n ->
+          let duration = duration_for n in
+          let t0 = Sys.time () in
+          let point =
+            match
+              Scaling.sweep ~sizes:[ n ] ~seed:11L ~duration
+                ~queue_impl ~track_graph:false ()
+            with
+            | [ p ] -> p
+            | _ -> assert false
+          in
+          let cpu = Sys.time () -. t0 in
+          let rate =
+            if cpu > 0. then float_of_int point.Scaling.deliveries_total /. cpu
+            else Float.nan
+          in
+          Printf.printf
+            "  e2e %-9s n=%-3d deliveries=%-8d cpu=%6.2fs  %10.0f msg/s  \
+             peak-buf=%d msgs\n%!"
+            impl_str n point.Scaling.deliveries_total cpu rate
+            point.Scaling.peak_node_unstable_msgs;
+          Printf.sprintf
+            "    { \"impl\": %S, \"group_size\": %d, \"sim_duration_ms\": %d, \
+             \"messages_sent\": %d, \"deliveries\": %d, \
+             \"cpu_seconds\": %s, \"deliveries_per_cpu_second\": %s, \
+             \"peak_node_unstable_msgs\": %d, \
+             \"peak_node_unstable_bytes\": %d, \
+             \"system_unstable_bytes\": %d, \
+             \"mean_delivery_delay_us\": %s }"
+            impl_str n
+            (Sim_time.to_us duration / 1000)
+            point.Scaling.messages_total point.Scaling.deliveries_total
+            (json_float cpu) (json_float rate)
+            point.Scaling.peak_node_unstable_msgs
+            point.Scaling.peak_node_unstable_bytes
+            point.Scaling.system_unstable_bytes
+            (json_float point.Scaling.mean_delivery_delay_us))
+        sizes)
+    impls
+
+let emit_json ~smoke ~out =
+  Printf.printf "delivery-path benchmark (%s mode)\n%!"
+    (if smoke then "smoke" else "full");
+  let micro = micro_section ~smoke in
+  let e2e = e2e_section ~smoke in
+  let oc = open_out out in
+  output_string oc "{\n";
+  output_string oc "  \"schema_version\": 1,\n";
+  Printf.fprintf oc "  \"mode\": %S,\n" (if smoke then "smoke" else "full");
+  output_string oc "  \"micro\": [\n";
+  output_string oc (String.concat ",\n" micro);
+  output_string oc "\n  ],\n";
+  output_string oc "  \"end_to_end\": [\n";
+  output_string oc (String.concat ",\n" e2e);
+  output_string oc "\n  ]\n";
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 let () =
-  Registry.run_everything Format.std_formatter;
-  microbenchmarks ()
+  let json = ref false and smoke = ref false and out = ref "BENCH_delivery.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest -> json := true; parse rest
+    | "--smoke" :: rest -> json := true; smoke := true; parse rest
+    | "--out" :: file :: rest -> out := file; parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "unknown argument %s (expected --json [--smoke] [--out FILE])\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !json then emit_json ~smoke:!smoke ~out:!out
+  else begin
+    Registry.run_everything Format.std_formatter;
+    microbenchmarks ()
+  end

@@ -8,6 +8,8 @@ type transport_mode =
   | Bare
   | Reliable of { rto : Sim_time.t; max_retries : int }
 
+type queue_impl = Indexed_queue | Reference_queue
+
 type t = {
   ordering : ordering;
   gossip_period : Sim_time.t;
@@ -16,12 +18,13 @@ type t = {
   piggyback_history : bool;
   payload_bytes : int;
   track_graph : bool;
+  queue_impl : queue_impl;
 }
 
 let default =
   { ordering = Causal; gossip_period = Sim_time.ms 20; transport = Bare;
     failure_detection = Oracle; piggyback_history = false;
-    payload_bytes = 256; track_graph = true }
+    payload_bytes = 256; track_graph = true; queue_impl = Indexed_queue }
 
 let ordering_name = function
   | Fifo -> "fifo"

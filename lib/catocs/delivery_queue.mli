@@ -4,7 +4,22 @@
     This is the queue whose occupancy embodies "false causality delay"
     (Section 3.4): a message sits here exactly when some message ordered
     before it by happens-before has not yet arrived. Pure data structure —
-    no engine dependency — so invariants are property-testable. *)
+    no engine dependency — so invariants are property-testable.
+
+    Two interchangeable implementations live behind one dispatch type:
+
+    - {!Indexed} (the default): per-sender rings of sequence-number slots
+      plus a ready-candidate heap and a blocked-on-component index, giving
+      O(log senders) amortized pops. Both delivery conditions pin a
+      message's sequence number to [local(sender) + 1], so each sender has
+      at most one candidate slot at any instant.
+    - {!Reference}: the original single pending list, rescanned in full on
+      every take — O(pending) per operation, kept as the differential-
+      testing baseline (see the qcheck equivalence property and the
+      reference checker sweeps in [test/]).
+
+    Both produce byte-identical delivery sequences: among all currently
+    deliverable messages, the oldest arrival is returned first. *)
 
 type mode =
   | Fifo_gap  (** deliver when [vt(sender) = local(sender) + 1] only *)
@@ -21,10 +36,17 @@ val chaos_disable_causal_check : bool ref
     the schedule-exploration checker ([lib/check]) can prove its causal
     oracle detects a buggy delivery condition. Never set outside tests. *)
 
-val create : mode -> 'a t
+type impl = Indexed | Reference
+
+val create : ?impl:impl -> mode -> 'a t
+(** [impl] defaults to [Indexed]. *)
+
+val impl_of : 'a t -> impl
 
 val add : 'a t -> 'a pending -> unit
+
 val length : 'a t -> int
+(** O(1): a maintained counter, not a walk (sampled in metrics loops). *)
 
 val take_deliverable : 'a t -> local:Vector_clock.t -> 'a pending option
 (** Remove and return one message whose delivery condition holds, oldest
@@ -32,6 +54,32 @@ val take_deliverable : 'a t -> local:Vector_clock.t -> 'a pending option
     message's timestamp into [local] before calling again. *)
 
 val drain : 'a t -> 'a pending list
-(** Remove and return everything (used when discarding at view change). *)
+(** Remove and return everything, in arrival order (used when discarding at
+    view change). *)
 
 val to_list : 'a t -> 'a pending list
+(** Current contents in arrival order, without removing. *)
+
+(** The two concrete implementations, exposed for direct micro-benchmarks
+    and differential tests (no dispatch overhead). *)
+module Reference : sig
+  type 'a t
+
+  val create : mode -> 'a t
+  val add : 'a t -> 'a pending -> unit
+  val length : 'a t -> int
+  val take_deliverable : 'a t -> local:Vector_clock.t -> 'a pending option
+  val drain : 'a t -> 'a pending list
+  val to_list : 'a t -> 'a pending list
+end
+
+module Indexed : sig
+  type 'a t
+
+  val create : mode -> 'a t
+  val add : 'a t -> 'a pending -> unit
+  val length : 'a t -> int
+  val take_deliverable : 'a t -> local:Vector_clock.t -> 'a pending option
+  val drain : 'a t -> 'a pending list
+  val to_list : 'a t -> 'a pending list
+end

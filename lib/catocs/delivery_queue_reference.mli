@@ -1,0 +1,8 @@
+(** The original O(pending) list-scan delivery queue, preserved verbatim as
+    the differential-testing baseline for the indexed rewrite. Alias of
+    {!Delivery_queue.Reference}; see that module (and the [?impl] argument
+    of {!Delivery_queue.create}) for how it is selected at runtime. *)
+
+include module type of struct
+  include Delivery_queue.Reference
+end

@@ -121,6 +121,14 @@ let queue_mode (config : Config.t) =
   | Config.Fifo | Config.Total_lamport -> Delivery_queue.Fifo_gap
   | Config.Causal | Config.Total_sequencer -> Delivery_queue.Causal_full
 
+let queue_impl (config : Config.t) =
+  match config.Config.queue_impl with
+  | Config.Indexed_queue -> Delivery_queue.Indexed
+  | Config.Reference_queue -> Delivery_queue.Reference
+
+let make_queue (config : Config.t) =
+  Delivery_queue.create ~impl:(queue_impl config) (queue_mode config)
+
 let self t = t.self
 let shared_of t = t.shared
 let config_of t = t.config
@@ -132,10 +140,12 @@ let unstable_count t = Stability.unstable_count t.stability
 let unstable_bytes t = Stability.unstable_bytes t.stability
 let set_callbacks t callbacks = t.callbacks <- callbacks
 
+(* all three summands are maintained counters, so this is safe to call from
+   periodic metrics samplers without touching queue contents *)
 let pending_count t =
   Delivery_queue.length t.queue
-  + List.length (Total_order.Sequencer_queue.pending_data t.seq_queue)
-  + List.length (Total_order.Lamport_queue.pending t.lamport_queue)
+  + Total_order.Sequencer_queue.data_count t.seq_queue
+  + Total_order.Lamport_queue.length t.lamport_queue
 
 let is_ejected t = t.ejected
 
@@ -494,7 +504,7 @@ let install_view t flush =
   t.view <- new_view;
   t.rank <- Group.rank_of_exn new_view t.self;
   t.vc <- Vector_clock.create (Group.size new_view);
-  t.queue <- Delivery_queue.create (queue_mode t.config);
+  t.queue <- make_queue t.config;
   t.seq_queue <- Total_order.Sequencer_queue.create ();
   t.lamport_queue <- Total_order.Lamport_queue.create ~group_size:(Group.size new_view);
   t.stability <-
@@ -690,7 +700,7 @@ let install_join t join ~view_id ~members ~state =
   t.view <- new_view;
   t.rank <- Group.rank_of_exn new_view t.self;
   t.vc <- Vector_clock.create (Group.size new_view);
-  t.queue <- Delivery_queue.create (queue_mode t.config);
+  t.queue <- make_queue t.config;
   t.seq_queue <- Total_order.Sequencer_queue.create ();
   t.lamport_queue <- Total_order.Lamport_queue.create ~group_size:(Group.size new_view);
   t.stability <-
@@ -793,7 +803,7 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
       causal_seen = Hashtbl.create 256;
       endpoint = None; view; rank;
       vc = Vector_clock.create (Group.size view);
-      queue = Delivery_queue.create (queue_mode config);
+      queue = make_queue config;
       seq_queue = Total_order.Sequencer_queue.create ();
       lamport_queue = Total_order.Lamport_queue.create ~group_size:(Group.size view);
       stability =

@@ -37,6 +37,8 @@ module Sequencer_queue = struct
          t.next_release <- t.next_release + 1;
          Some pending)
 
+  let data_count t = Hashtbl.length t.data
+
   let pending_data t =
     Hashtbl.fold (fun _ p acc -> p :: acc) t.data []
     |> List.sort (fun a b ->
@@ -54,12 +56,13 @@ module Lamport_queue = struct
 
   type 'a t = {
     mutable entries : 'a entry list;  (* sorted by stamp *)
+    mutable size : int;  (* O(1) [length], sampled by metrics loops *)
     latest_seen : int array;  (* per rank, -1 until first observation *)
     active : bool array;
   }
 
   let create ~group_size =
-    { entries = []; latest_seen = Array.make group_size (-1);
+    { entries = []; size = 0; latest_seen = Array.make group_size (-1);
       active = Array.make group_size true }
 
   let add t pending ~stamp =
@@ -70,7 +73,8 @@ module Lamport_queue = struct
         if Lamport.compare_stamp entry.stamp e.stamp < 0 then entry :: e :: rest
         else e :: insert rest
     in
-    t.entries <- insert t.entries
+    t.entries <- insert t.entries;
+    t.size <- t.size + 1
 
   let observe_time t ~rank time =
     if rank >= 0 && rank < Array.length t.latest_seen
@@ -105,10 +109,15 @@ module Lamport_queue = struct
     | entry :: rest ->
       if releasable t entry.stamp then begin
         t.entries <- rest;
+        t.size <- t.size - 1;
         Some entry.pending
       end
       else None
 
+  let length t = t.size
   let pending t = List.map (fun e -> e.pending) t.entries
-  let clear t = t.entries <- []
+
+  let clear t =
+    t.entries <- [];
+    t.size <- 0
 end

@@ -23,6 +23,9 @@ module Sequencer_queue : sig
   (** Next message in contiguous global-sequence order, if its data has
       arrived. *)
 
+  val data_count : 'a t -> int
+  (** Number of held data messages, O(1) (sampled by metrics loops). *)
+
   val pending_data : 'a t -> 'a Delivery_queue.pending list
   (** Data held without a released order yet (drained at view change). *)
 
@@ -51,6 +54,9 @@ module Lamport_queue : sig
   val take_ready : 'a t -> 'a Delivery_queue.pending option
   (** The minimal-stamp message, if every active rank has been observed at a
       strictly later time. *)
+
+  val length : 'a t -> int
+  (** Number of held messages, O(1) (sampled by metrics loops). *)
 
   val pending : 'a t -> 'a Delivery_queue.pending list
   val clear : 'a t -> unit

@@ -36,7 +36,8 @@ let reaction_budget = 240
 
 let max_reaction_depth = 3
 
-let execute ~seed ~ordering (plan : Fault_plan.t) =
+let execute ?(queue_impl = Config.Indexed_queue) ~seed ~ordering
+    (plan : Fault_plan.t) =
   let net =
     Net.create
       ~latency:(Net.Uniform (Sim_time.us 100, Sim_time.us 20_000))
@@ -51,6 +52,7 @@ let execute ~seed ~ordering (plan : Fault_plan.t) =
       ordering;
       transport = Config.Reliable { rto = Sim_time.ms 10; max_retries = 400 };
       failure_detection = Config.Oracle;
+      queue_impl;
     }
   in
   let oracle = Oracle.create () in
@@ -188,8 +190,8 @@ let execute ~seed ~ordering (plan : Fault_plan.t) =
   in
   (oracle, survivors)
 
-let violation_of ~seed ~ordering plan =
-  let oracle, survivors = execute ~seed ~ordering plan in
+let violation_of ?queue_impl ~seed ~ordering plan =
+  let oracle, survivors = execute ?queue_impl ~seed ~ordering plan in
   match Oracle.check oracle ~ordering ~survivors with
   | Some v -> Some (v, oracle)
   | None -> None
@@ -198,9 +200,9 @@ let violation_of ~seed ~ordering plan =
    fault list, then drop single faults (last first) while the plan still
    fails. Every candidate is a full deterministic re-execution, so the
    shrunk plan is guaranteed to still reproduce a violation. *)
-let shrink_plan ~seed ~ordering plan (v0, o0) =
+let shrink_plan ?queue_impl ~seed ~ordering plan (v0, o0) =
   let fails faults =
-    violation_of ~seed ~ordering (Fault_plan.with_faults plan faults)
+    violation_of ?queue_impl ~seed ~ordering (Fault_plan.with_faults plan faults)
   in
   let faults = Array.of_list plan.Fault_plan.faults in
   let n = Array.length faults in
@@ -230,8 +232,8 @@ let make_report ~seed ~ordering ~shrunk plan (violation, oracle) =
   in
   { seed; ordering; plan; violation; trace; shrunk }
 
-let replay ~ordering ~seed plan =
-  let oracle, survivors = execute ~seed ~ordering plan in
+let replay ?queue_impl ~ordering ~seed plan =
+  let oracle, survivors = execute ?queue_impl ~seed ~ordering plan in
   match Oracle.check oracle ~ordering ~survivors with
   | None ->
     Pass
@@ -242,10 +244,10 @@ let replay ~ordering ~seed plan =
   | Some violation ->
     Fail (make_report ~seed ~ordering ~shrunk:false plan (violation, oracle))
 
-let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true) ~ordering
-    ~seed () =
+let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true)
+    ?queue_impl ~ordering ~seed () =
   let plan = Fault_plan.generate ~seed profile in
-  let oracle, survivors = execute ~seed ~ordering plan in
+  let oracle, survivors = execute ?queue_impl ~seed ~ordering plan in
   match Oracle.check oracle ~ordering ~survivors with
   | None ->
     Pass
@@ -255,7 +257,9 @@ let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true) ~ordering
       }
   | Some violation ->
     if shrink then
-      let plan', best = shrink_plan ~seed ~ordering plan (violation, oracle) in
+      let plan', best =
+        shrink_plan ?queue_impl ~seed ~ordering plan (violation, oracle)
+      in
       Fail (make_report ~seed ~ordering ~shrunk:true plan' best)
     else Fail (make_report ~seed ~ordering ~shrunk:false plan (violation, oracle))
 
@@ -267,14 +271,14 @@ type sweep_result = {
 }
 
 let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
-    ?(start_seed = 0) ?on_seed ~ordering ~seeds () =
+    ?(start_seed = 0) ?on_seed ?queue_impl ~ordering ~seeds () =
   let rec go i acc_pass acc_s acc_d =
     if i >= seeds then
       { passed = acc_pass; failed = None; total_sends = acc_s;
         total_deliveries = acc_d }
     else
       let seed = start_seed + i in
-      match run_seed ~profile ~shrink ~ordering ~seed () with
+      match run_seed ~profile ~shrink ?queue_impl ~ordering ~seed () with
       | Pass { sends; deliveries } ->
         (match on_seed with Some f -> f ~seed ~ok:true | None -> ());
         go (i + 1) (acc_pass + 1) (acc_s + sends) (acc_d + deliveries)

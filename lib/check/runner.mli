@@ -30,6 +30,7 @@ val ordering_of_string : string -> Repro_catocs.Config.ordering option
 (** Accepts the names above plus "fifo" as an alias for fbcast. *)
 
 val replay :
+  ?queue_impl:Repro_catocs.Config.queue_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   Fault_plan.t ->
@@ -41,12 +42,16 @@ val replay :
 val run_seed :
   ?profile:Fault_plan.profile ->
   ?shrink:bool ->
+  ?queue_impl:Repro_catocs.Config.queue_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   unit ->
   verdict
 (** Execute one seed. [shrink] (default true) minimises the fault plan of a
-    failing run before reporting. *)
+    failing run before reporting. [queue_impl] (default [Indexed_queue])
+    selects the delivery-queue implementation the stacks run on, so the
+    same seeds can differentially exercise the optimized and reference
+    buffering paths. *)
 
 type sweep_result = {
   passed : int;
@@ -60,6 +65,7 @@ val sweep :
   ?shrink:bool ->
   ?start_seed:int ->
   ?on_seed:(seed:int -> ok:bool -> unit) ->
+  ?queue_impl:Repro_catocs.Config.queue_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seeds:int ->
   unit ->

@@ -12,16 +12,22 @@ type point = {
   mean_delivery_delay_us : float;
   mean_transit_us : float;  (* send -> deliver, including receiver queueing *)
   messages_total : int;
+  deliveries_total : int;  (* application-level deliveries across the group *)
 }
 
 (* the graph peaks need the shared causal graph: rebuild the group manually
    so we hold the shared context *)
-let measure_with_graph ?(processing_time = Sim_time.zero) ~seed n =
+let measure_with_graph ?(processing_time = Sim_time.zero)
+    ?(duration = Sim_time.seconds 1) ?(send_period = Sim_time.ms 10)
+    ?(queue_impl = Config.Indexed_queue) ?(track_graph = true) ~seed n =
   let net =
     Net.create ~latency:(Net.Uniform (500, 5_000)) ~processing_time ()
   in
   let engine = Engine.create ~seed ~net () in
-  let config = { Config.default with Config.ordering = Config.Causal } in
+  let config =
+    { Config.default with
+      Config.ordering = Config.Causal; queue_impl; track_graph }
+  in
   let pids =
     List.init n (fun i ->
         Engine.spawn engine ~name:(Printf.sprintf "p%d" i) (fun _ _ -> ()))
@@ -50,14 +56,13 @@ let measure_with_graph ?(processing_time = Sim_time.zero) ~seed n =
       let cancel =
         Engine.every engine ~owner:(Stack.self stack)
           ~start:(Sim_time.us (1_000 + (i * 137)))
-          ~period:(Sim_time.ms 10)
+          ~period:send_period
           (fun () -> Stack.multicast stack i)
       in
-      Engine.at engine (Sim_time.seconds 1) cancel)
+      Engine.at engine duration cancel)
     stacks;
-  Engine.at engine (Sim_time.add (Sim_time.seconds 1) (Sim_time.ms 150))
-    cancel_sampler;
-  Engine.run ~until:(Sim_time.add (Sim_time.seconds 1) (Sim_time.ms 200)) engine;
+  Engine.at engine (Sim_time.add duration (Sim_time.ms 150)) cancel_sampler;
+  Engine.run ~until:(Sim_time.add duration (Sim_time.ms 200)) engine;
   let peak_msgs = ref 0 and peak_bytes = ref 0 and system_bytes = ref 0 in
   let delay = Stats.Summary.create () in
   let transit = Stats.Summary.create () in
@@ -80,10 +85,16 @@ let measure_with_graph ?(processing_time = Sim_time.zero) ~seed n =
     peak_graph_arcs = !peak_arcs;
     mean_delivery_delay_us = Stats.Summary.mean delay;
     mean_transit_us = Stats.Summary.mean transit;
-    messages_total = Engine.messages_sent engine }
+    messages_total = Engine.messages_sent engine;
+    deliveries_total = Engine.messages_delivered engine }
 
-let sweep ?(sizes = [ 4; 8; 16; 32; 48 ]) ?(seed = 11L) ?processing_time () =
-  List.map (fun n -> measure_with_graph ?processing_time ~seed n) sizes
+let sweep ?(sizes = [ 4; 8; 16; 32; 48 ]) ?(seed = 11L) ?processing_time
+    ?duration ?send_period ?queue_impl ?track_graph () =
+  List.map
+    (fun n ->
+      measure_with_graph ?processing_time ?duration ?send_period ?queue_impl
+        ?track_graph ~seed n)
+    sizes
 
 let table points =
   let rows =

@@ -169,24 +169,26 @@ let recover t pid =
 
 let mark t pid label = Trace.record t.trace t.clock ~pid Trace.Mark label
 
+(* The hot loop: peek/pop without option boxing — this loop runs once per
+   simulated event, and the option cells otherwise dominate its minor-heap
+   allocation. *)
 let run ?until ?(max_events = 50_000_000) t =
   let budget = ref max_events in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Heap.peek t.events with
-    | None -> continue := false
-    | Some next ->
-      (match until with
-       | Some limit when Sim_time.compare next.time limit > 0 ->
-         t.clock <- limit;
-         continue := false
-       | Some _ | None ->
-         (match Heap.pop t.events with
-          | None -> continue := false
-          | Some event ->
-            t.clock <- event.time;
-            event.action ();
-            decr budget))
+    if Heap.is_empty t.events then continue := false
+    else begin
+      let next = Heap.peek_exn t.events in
+      match until with
+      | Some limit when Sim_time.compare next.time limit > 0 ->
+        t.clock <- limit;
+        continue := false
+      | Some _ | None ->
+        let event = Heap.pop_exn t.events in
+        t.clock <- event.time;
+        event.action ();
+        decr budget
+    end
   done;
   if !budget = 0 then failwith "Engine.run: event budget exhausted (runaway?)"
 

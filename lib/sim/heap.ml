@@ -4,6 +4,8 @@ type 'a t = {
   mutable size : int;
 }
 
+exception Empty
+
 let create ~cmp = { cmp; data = [||]; size = 0 }
 
 let length t = t.size
@@ -18,28 +20,47 @@ let grow t elt =
     t.data <- data'
   end
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
+(* Hole-based sifting: move the displaced element once, shifting parents or
+   children into the hole, instead of swapping pairwise at every level —
+   about half the array writes of the textbook swap loop. The simulator pushes
+   and pops one event per scheduled action, so this is the engine's single
+   hottest data-structure path. *)
 
-let rec sift_down t i =
-  let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = ref i in
-  if left < t.size && t.cmp t.data.(left) t.data.(!smallest) < 0 then smallest := left;
-  if right < t.size && t.cmp t.data.(right) t.data.(!smallest) < 0 then smallest := right;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+let sift_up t i =
+  let elt = t.data.(i) in
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if t.cmp elt t.data.(parent) < 0 then begin
+      t.data.(!i) <- t.data.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  t.data.(!i) <- elt
+
+let sift_down t i =
+  let elt = t.data.(i) in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let left = (2 * !i) + 1 in
+    if left >= t.size then continue := false
+    else begin
+      let right = left + 1 in
+      let child =
+        if right < t.size && t.cmp t.data.(right) t.data.(left) < 0 then right
+        else left
+      in
+      if t.cmp t.data.(child) elt < 0 then begin
+        t.data.(!i) <- t.data.(child);
+        i := child
+      end
+      else continue := false
+    end
+  done;
+  t.data.(!i) <- elt
 
 let push t elt =
   grow t elt;
@@ -47,17 +68,19 @@ let push t elt =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some top
-  end
+let pop_exn t =
+  if t.size = 0 then raise Empty;
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  top
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
+
+let peek_exn t = if t.size = 0 then raise Empty else t.data.(0)
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 

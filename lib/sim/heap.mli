@@ -6,6 +6,8 @@
 
 type 'a t
 
+exception Empty
+
 val create : cmp:('a -> 'a -> int) -> 'a t
 
 val length : 'a t -> int
@@ -16,6 +18,14 @@ val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a option
 (** Remove and return the minimum element. *)
 
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises {!Empty} instead of boxing an option — for hot
+    loops that have already checked {!is_empty} (the engine event loop pops
+    one event per simulated action). *)
+
 val peek : 'a t -> 'a option
+
+val peek_exn : 'a t -> 'a
+(** Like {!peek}, without the option allocation; raises {!Empty}. *)
 
 val clear : 'a t -> unit

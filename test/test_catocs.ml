@@ -973,6 +973,51 @@ let prop_virtual_synchrony_under_random_crash =
       | [] -> true
       | first :: rest -> List.for_all (fun s -> s = first) rest)
 
+(* --- metrics accounting -------------------------------------------------- *)
+
+module Metrics = Repro_catocs.Metrics
+
+let test_metrics_peak_unstable () =
+  let m = Metrics.create () in
+  check_int "initial peak count" 0 m.Metrics.peak_unstable_count;
+  Metrics.note_unstable_added m ~bytes:100;
+  Metrics.note_unstable_added m ~bytes:50;
+  check_int "current count" 2 m.Metrics.unstable_count;
+  check_int "current bytes" 150 m.Metrics.unstable_bytes;
+  check_int "peak count tracks" 2 m.Metrics.peak_unstable_count;
+  check_int "peak bytes tracks" 150 m.Metrics.peak_unstable_bytes;
+  (* removals lower occupancy but never the recorded peak *)
+  Metrics.note_unstable_removed m ~bytes:100;
+  check_int "count after remove" 1 m.Metrics.unstable_count;
+  check_int "bytes after remove" 50 m.Metrics.unstable_bytes;
+  check_int "peak count sticks" 2 m.Metrics.peak_unstable_count;
+  check_int "peak bytes sticks" 150 m.Metrics.peak_unstable_bytes;
+  (* a new high watermark must exceed the old peak to move it *)
+  Metrics.note_unstable_added m ~bytes:10;
+  check_int "peak unchanged below watermark" 150 m.Metrics.peak_unstable_bytes;
+  Metrics.note_unstable_added m ~bytes:200;
+  check_int "peak advances" 260 m.Metrics.peak_unstable_bytes;
+  check_int "peak count advances" 3 m.Metrics.peak_unstable_count
+
+let test_metrics_merge_into () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.note_unstable_added a ~bytes:300;
+  Metrics.note_unstable_removed a ~bytes:300;
+  Metrics.note_unstable_added b ~bytes:120;
+  a.Metrics.multicasts_sent <- 4;
+  b.Metrics.multicasts_sent <- 6;
+  a.Metrics.view_changes <- 1;
+  b.Metrics.view_changes <- 2;
+  let acc = Metrics.create () in
+  Metrics.merge_into acc a;
+  Metrics.merge_into acc b;
+  (* counters sum; peaks take the per-member maximum *)
+  check_int "sent sums" 10 acc.Metrics.multicasts_sent;
+  check_int "view changes sum" 3 acc.Metrics.view_changes;
+  check_int "occupancy sums" 120 acc.Metrics.unstable_bytes;
+  check_int "peak bytes is max" 300 acc.Metrics.peak_unstable_bytes;
+  check_int "peak count is max" 1 acc.Metrics.peak_unstable_count
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_causal_never_misorders; prop_total_orders_agree;
@@ -1077,5 +1122,12 @@ let () =
             test_lamport_queue_deactivate_unblocks;
         ] );
       ("group", [ Alcotest.test_case "view basics" `Quick test_group_view_basics ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "peak unstable accounting" `Quick
+            test_metrics_peak_unstable;
+          Alcotest.test_case "merge_into sums and maxima" `Quick
+            test_metrics_merge_into;
+        ] );
       ("properties", qcheck_cases);
     ]

@@ -20,14 +20,19 @@ let check_string = Alcotest.(check string)
    and the oracles must find no violation. *)
 let sweep_seeds = 100
 
-let test_sweep ordering () =
-  let result = Runner.sweep ~ordering ~seeds:sweep_seeds () in
+let test_sweep ?queue_impl ordering () =
+  let result = Runner.sweep ?queue_impl ~ordering ~seeds:sweep_seeds () in
   (match result.Runner.failed with
   | None -> ()
   | Some report ->
     Alcotest.failf "sweep found a violation:@.%a" Runner.pp_report report);
   check_int "all seeds passed" sweep_seeds result.Runner.passed;
   check_bool "traffic flowed" true (result.Runner.total_deliveries > 0)
+
+(* The same seed sweeps against the reference (single-list) delivery queue:
+   the oracles must hold for both implementations of the buffering path. *)
+let test_sweep_reference ordering () =
+  test_sweep ~queue_impl:Config.Reference_queue ordering ()
 
 (* --- determinism --------------------------------------------------------- *)
 
@@ -41,6 +46,30 @@ let test_deterministic_verdicts () =
           let b = Runner.fingerprint (Runner.run_seed ~ordering ~seed ()) in
           check_string (Printf.sprintf "%s seed %d" name seed) a b)
         [ 0; 7; 42 ])
+    Runner.orderings
+
+let test_cross_impl_verdicts () =
+  (* Indexed and reference queues are whole-stack equivalent: the same seed
+     produces a byte-identical verdict fingerprint (sends, deliveries, and
+     any violation) under either implementation, for every ordering mode. *)
+  List.iter
+    (fun (name, ordering) ->
+      List.iter
+        (fun seed ->
+          let indexed =
+            Runner.fingerprint
+              (Runner.run_seed ~queue_impl:Config.Indexed_queue ~ordering
+                 ~seed ())
+          in
+          let reference =
+            Runner.fingerprint
+              (Runner.run_seed ~queue_impl:Config.Reference_queue ~ordering
+                 ~seed ())
+          in
+          check_string
+            (Printf.sprintf "%s seed %d cross-impl" name seed)
+            indexed reference)
+        (List.init 10 Fun.id))
     Runner.orderings
 
 let test_plan_generation_deterministic () =
@@ -120,10 +149,19 @@ let () =
               (Printf.sprintf "%s %d seeds clean" name sweep_seeds)
               `Slow (test_sweep ordering))
           Runner.orderings );
+      ( "sweeps-reference-queue",
+        List.map
+          (fun (name, ordering) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s %d seeds clean" name sweep_seeds)
+              `Slow (test_sweep_reference ordering))
+          Runner.orderings );
       ( "determinism",
         [
           Alcotest.test_case "same seed same verdict" `Quick
             test_deterministic_verdicts;
+          Alcotest.test_case "indexed = reference fingerprints" `Slow
+            test_cross_impl_verdicts;
           Alcotest.test_case "plan generation" `Quick
             test_plan_generation_deterministic;
         ] );

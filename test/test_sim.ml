@@ -115,6 +115,32 @@ let test_heap_clear () =
   Heap.clear h;
   check_bool "cleared" true (Heap.is_empty h)
 
+let test_heap_exn_variants () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "pop_exn empty" Heap.Empty (fun () ->
+      ignore (Heap.pop_exn h));
+  Alcotest.check_raises "peek_exn empty" Heap.Empty (fun () ->
+      ignore (Heap.peek_exn h));
+  Heap.push h 9;
+  Heap.push h 4;
+  check_int "peek_exn min" 4 (Heap.peek_exn h);
+  check_int "pop_exn min" 4 (Heap.pop_exn h);
+  check_int "pop_exn next" 9 (Heap.pop_exn h);
+  check_bool "empty again" true (Heap.is_empty h)
+
+(* hole-based sifting must agree with plain sorting, duplicates included *)
+let test_heap_matches_sort () =
+  let rng = Rng.create 21L in
+  for _ = 1 to 50 do
+    let n = 1 + Rng.int rng 200 in
+    let xs = List.init n (fun _ -> Rng.int rng 50) in
+    let h = Heap.create ~cmp:Int.compare in
+    List.iter (Heap.push h) xs;
+    let drained = List.init n (fun _ -> Heap.pop_exn h) in
+    Alcotest.(check (list int)) "heap order = sorted order"
+      (List.sort Int.compare xs) drained
+  done
+
 (* --- Sim_time ------------------------------------------------------------ *)
 
 let test_time_conversions () =
@@ -152,7 +178,30 @@ let test_summary_percentile () =
 let test_summary_empty () =
   let s = Stats.Summary.create () in
   check_bool "mean nan" true (Float.is_nan (Stats.Summary.mean s));
-  check_bool "percentile nan" true (Float.is_nan (Stats.Summary.percentile s 0.5))
+  check_bool "percentile nan" true (Float.is_nan (Stats.Summary.percentile s 0.5));
+  check_bool "p0 nan" true (Float.is_nan (Stats.Summary.percentile s 0.0));
+  check_bool "p100 nan" true (Float.is_nan (Stats.Summary.percentile s 1.0));
+  Alcotest.(check (float 1e-9)) "stddev defined as 0" 0.0
+    (Stats.Summary.stddev s);
+  check_int "count" 0 (Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "sum of nothing" 0.0 (Stats.Summary.sum s)
+
+let test_summary_single_sample () =
+  (* every percentile of a single sample is that sample; spread is zero *)
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 42.0;
+  check_int "count" 1 (Stats.Summary.count s);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%g" (p *. 100.))
+        42.0
+        (Stats.Summary.percentile s p))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 42.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 42.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 42.0 (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "stddev" 0.0 (Stats.Summary.stddev s)
 
 let test_counter () =
   let c = Stats.Counter.create () in
@@ -483,6 +532,8 @@ let () =
           Alcotest.test_case "peek" `Quick test_heap_peek_does_not_remove;
           Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "exn variants" `Quick test_heap_exn_variants;
+          Alcotest.test_case "matches sort" `Quick test_heap_matches_sort;
         ] );
       ( "time",
         [
@@ -494,6 +545,8 @@ let () =
           Alcotest.test_case "summary basic" `Quick test_summary_basic;
           Alcotest.test_case "summary percentile" `Quick test_summary_percentile;
           Alcotest.test_case "summary empty" `Quick test_summary_empty;
+          Alcotest.test_case "summary single sample" `Quick
+            test_summary_single_sample;
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "histogram" `Quick test_histogram;
         ] );
