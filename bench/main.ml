@@ -18,6 +18,7 @@ module Scaling = Repro_experiments.Scaling
 module Config = Repro_catocs.Config
 module Delivery_queue = Repro_catocs.Delivery_queue
 module Wire = Repro_catocs.Wire
+module Json = Repro_analyze.Json
 
 let microbenchmarks () =
   let open Bechamel in
@@ -300,21 +301,116 @@ let emit_json ~smoke ~out =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* --validate: the BENCH_delivery.json schema check (used by CI)       *)
+(* ------------------------------------------------------------------ *)
+
+let validate ?expect_mode file =
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "%s: validation failed: %s\n" file s;
+        exit 1)
+      fmt
+  in
+  let contents =
+    try
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e -> fail "%s" e
+  in
+  let doc =
+    match Json.of_string contents with Ok j -> j | Error e -> fail "%s" e
+  in
+  let get ?(from = doc) key =
+    match Json.member key from with
+    | Some v -> v
+    | None -> fail "missing key %S" key
+  in
+  let str_field row key =
+    match Json.to_str (get ~from:row key) with
+    | Some s -> s
+    | None -> fail "%S must be a string" key
+  in
+  let int_field row key =
+    match Json.to_int (get ~from:row key) with
+    | Some i -> i
+    | None -> fail "%S must be an integer" key
+  in
+  let number_or_null row key =
+    match get ~from:row key with
+    | Json.Null -> ()
+    | v -> if Json.to_float v = None then fail "%S must be a number or null" key
+  in
+  let rows key =
+    match Json.to_list (get key) with
+    | Some (_ :: _ as l) -> l
+    | Some [] -> fail "%S must be non-empty" key
+    | None -> fail "%S must be an array" key
+  in
+  if Json.to_int (get "schema_version") <> Some 1 then
+    fail "schema_version must be 1";
+  let mode = match Json.to_str (get "mode") with
+    | Some m -> m
+    | None -> fail "\"mode\" must be a string"
+  in
+  (match expect_mode with
+   | Some m when m <> mode -> fail "mode is %S, expected %S" mode m
+   | Some _ | None -> ());
+  let micro = rows "micro" in
+  List.iter
+    (fun row ->
+      ignore (str_field row "name");
+      ignore (str_field row "impl");
+      ignore (int_field row "senders");
+      ignore (int_field row "blocked");
+      number_or_null row "ns_per_op")
+    micro;
+  let e2e = rows "end_to_end" in
+  (* both queue implementations must report identical simulated deliveries *)
+  let by_size : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      ignore (str_field row "impl");
+      let size = int_field row "group_size" in
+      let deliveries = int_field row "deliveries" in
+      number_or_null row "deliveries_per_cpu_second";
+      ignore (int_field row "peak_node_unstable_msgs");
+      match Hashtbl.find_opt by_size size with
+      | None -> Hashtbl.add by_size size deliveries
+      | Some d when d = deliveries -> ()
+      | Some d ->
+        fail "group_size %d: implementations disagree on deliveries (%d vs %d)"
+          size d deliveries)
+    e2e;
+  Printf.printf "%s OK: %d micro rows, %d e2e rows (mode %s)\n" file
+    (List.length micro) (List.length e2e) mode
+
 let () =
   let json = ref false and smoke = ref false and out = ref "BENCH_delivery.json" in
+  let validate_file = ref None and expect_mode = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest -> json := true; parse rest
     | "--smoke" :: rest -> json := true; smoke := true; parse rest
     | "--out" :: file :: rest -> out := file; parse rest
+    | "--validate" :: file :: rest -> validate_file := Some file; parse rest
+    | "--expect-mode" :: mode :: rest -> expect_mode := Some mode; parse rest
     | arg :: _ ->
       Printf.eprintf
-        "unknown argument %s (expected --json [--smoke] [--out FILE])\n" arg;
+        "unknown argument %s (expected --json [--smoke] [--out FILE] | \
+         --validate FILE [--expect-mode MODE])\n"
+        arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !json then emit_json ~smoke:!smoke ~out:!out
-  else begin
-    Registry.run_everything Format.std_formatter;
-    microbenchmarks ()
-  end
+  match !validate_file with
+  | Some file -> validate ?expect_mode:!expect_mode file
+  | None ->
+    if !json then emit_json ~smoke:!smoke ~out:!out
+    else begin
+      Registry.run_everything Format.std_formatter;
+      microbenchmarks ()
+    end

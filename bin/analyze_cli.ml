@@ -1,0 +1,238 @@
+(* repro-analyze: the causal sanitizer.
+
+   Offline static analysis over recorded executions: build the
+   happened-before DAG, detect hidden channels (Figures 1-3), quantify
+   false causality (Section 3.4), flag causal cycles, duplicate uids and
+   stability-lag outliers; plus a source-level determinism lint. Findings
+   are written as a stable JSON document (ANALYZE_findings.json). *)
+
+module Runner = Repro_check.Runner
+module Fault_plan = Repro_check.Fault_plan
+module Analyzer = Repro_analyze.Analyzer
+module Finding = Repro_analyze.Finding
+module Exec = Repro_analyze.Exec
+module Recorder = Repro_analyze.Exec.Recorder
+module Json = Repro_analyze.Json
+module Lint = Repro_analyze.Lint
+module Diagrams = Repro_experiments.Diagrams
+module False_causality = Repro_experiments.False_causality
+module Deceit_store = Repro_apps.Deceit_store
+
+let fail_levels = [ "error"; "warning"; "info"; "never" ]
+
+let exceeds_fail_level ~fail_on findings =
+  match (Analyzer.worst_severity findings, fail_on) with
+  | _, "never" -> false
+  | None, _ -> false
+  | Some worst, "error" -> Finding.compare_severity worst Finding.Error >= 0
+  | Some worst, "warning" -> Finding.compare_severity worst Finding.Warning >= 0
+  | Some _, _ -> true (* "info": any finding at all *)
+
+let write_out ~out json =
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string json));
+  Printf.printf "findings written to %s\n" out
+
+let print_findings findings =
+  if findings = [] then print_endline "no findings"
+  else
+    List.iter
+      (fun f -> Format.printf "%a@." Finding.pp f)
+      (List.sort Finding.compare findings)
+
+let finish ~mode ~out ~fail_on ?(extra = []) results =
+  let findings = Analyzer.all_findings ~extra results in
+  print_findings findings;
+  write_out ~out (Analyzer.report_json ~mode ~extra results);
+  if exceeds_fail_level ~fail_on findings then 1 else 0
+
+(* --- check: analyze checker sweeps ----------------------------------------- *)
+
+let run_check ordering_name seeds start_seed clean out fail_on =
+  match Runner.ordering_of_string ordering_name with
+  | None ->
+    Printf.eprintf "unknown ordering %S (one of: %s)\n" ordering_name
+      (String.concat ", " (List.map fst Runner.orderings));
+    2
+  | Some ordering ->
+    let rec go seed acc =
+      if seed >= start_seed + seeds then Some (List.rev acc)
+      else begin
+        let exec, verdict =
+          if clean then
+            let plan =
+              Fault_plan.with_faults
+                (Fault_plan.generate ~seed Fault_plan.default_profile)
+                []
+            in
+            Runner.exec_of_plan ~ordering ~seed plan
+          else Runner.exec_of_seed ~ordering ~seed ()
+        in
+        match verdict with
+        | Runner.Fail report ->
+          Printf.printf "oracle VIOLATION at seed %d\n\n%s\n" seed
+            (Format.asprintf "%a" Runner.pp_report report);
+          None
+        | Runner.Pass _ -> go (seed + 1) (Analyzer.analyze exec :: acc)
+      end
+    in
+    (match go start_seed [] with
+     | None -> 1
+     | Some results ->
+       Printf.printf "analyzed %d %s seeds (%s)\n" seeds ordering_name
+         (if clean then "fault-free" else "faulty");
+       finish ~mode:"check" ~out ~fail_on results)
+
+(* --- experiment: analyze instrumented app/experiment executions ------------ *)
+
+let deceit_exec () =
+  let recorder =
+    Recorder.create ~ordering:Exec.Causal_order ~label:"deceit-store crash" ()
+  in
+  ignore
+    (Deceit_store.run ~recorder
+       { Deceit_store.default_config with
+         Deceit_store.crash = Some (1, Sim_time.ms 300);
+         Deceit_store.out_of_band_writes = 12 });
+  Recorder.exec recorder
+
+let experiments : (string * (unit -> Exec.t)) list =
+  [
+    ("fig1", Diagrams.fig1_exec);
+    ("fig2", Diagrams.fig2_exec);
+    ("fig3", Diagrams.fig3_exec);
+    ("false-causality", (fun () -> False_causality.record ()));
+    ("deceit-store", deceit_exec);
+  ]
+
+let run_experiment name expects out fail_on =
+  match List.assoc_opt name experiments with
+  | None ->
+    Printf.eprintf "unknown experiment %S (one of: %s)\n" name
+      (String.concat ", " (List.map fst experiments));
+    2
+  | Some produce ->
+    let result = Analyzer.analyze (produce ()) in
+    let status =
+      finish ~mode:(Printf.sprintf "experiment:%s" name) ~out ~fail_on
+        [ result ]
+    in
+    let missing =
+      List.filter
+        (fun kind_name ->
+          not
+            (List.exists
+               (fun (f : Finding.t) -> Finding.kind_name f.kind = kind_name)
+               result.Analyzer.findings))
+        expects
+    in
+    List.iter
+      (fun kind -> Printf.eprintf "expected a %s finding, found none\n" kind)
+      missing;
+    if missing <> [] then 1 else status
+
+(* --- lint: source-level determinism scan ----------------------------------- *)
+
+let run_lint dirs out =
+  let dirs = if dirs = [] then [ "lib" ] else dirs in
+  let findings = List.concat_map (fun dir -> Lint.scan_dir dir) dirs in
+  print_findings findings;
+  write_out ~out
+    (Analyzer.report_json ~mode:"lint"
+       ~extra:[ (String.concat " " dirs, findings) ]
+       []);
+  if findings = [] then 0 else 1
+
+(* --- command line ----------------------------------------------------------- *)
+
+open Cmdliner
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "ANALYZE_findings.json"
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Findings JSON output path.")
+
+let fail_on_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun l -> (l, l)) fail_levels)) "error"
+    & info [ "fail-on" ] ~docv:"LEVEL"
+        ~doc:
+          "Exit non-zero when a finding at or above LEVEL exists: error, \
+           warning, info or never.")
+
+let check_cmd =
+  let ordering =
+    Arg.(
+      value & opt string "cbcast"
+      & info [ "ordering" ] ~docv:"MODE"
+          ~doc:"Ordering mode: fbcast, cbcast, abcast or lamport.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 20
+      & info [ "seeds"; "n" ] ~docv:"N" ~doc:"Number of seeds to analyze.")
+  in
+  let start_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "start-seed" ] ~docv:"SEED" ~doc:"First seed.")
+  in
+  let clean =
+    Arg.(
+      value & flag
+      & info [ "clean" ]
+          ~doc:"Run the seeds' workloads with their fault lists emptied.")
+  in
+  let doc = "Analyze recorded checker executions." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run_check $ ordering $ seeds $ start_seed $ clean $ out_arg
+      $ fail_on_arg)
+
+let experiment_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"fig1, fig2, fig3, false-causality or deceit-store.")
+  in
+  let expects =
+    Arg.(
+      value & opt_all string []
+      & info [ "expect" ] ~docv:"KIND"
+          ~doc:
+            "Require at least one finding of this kind (e.g. hidden-channel, \
+             false-causality). Repeatable.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt (enum (List.map (fun l -> (l, l)) fail_levels)) "never"
+      & info [ "fail-on" ] ~docv:"LEVEL"
+          ~doc:
+            "Exit non-zero when a finding at or above LEVEL exists (default \
+             never: anomaly experiments are supposed to have findings).")
+  in
+  let doc = "Analyze a recorded experiment execution (the paper's figures)." in
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run_experiment $ name_arg $ expects $ out_arg $ fail_on)
+
+let lint_cmd =
+  let dirs =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib).")
+  in
+  let doc = "Determinism lint: scan sources for ambient time / randomness." in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run_lint $ dirs $ out_arg)
+
+let cmd =
+  let doc = "Causal sanitizer: happened-before analysis of recorded runs." in
+  Cmd.group (Cmd.info "repro-analyze" ~doc) [ check_cmd; experiment_cmd; lint_cmd ]
+
+let () = exit (Cmd.eval' cmd)

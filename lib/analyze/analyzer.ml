@@ -1,0 +1,475 @@
+type config = {
+  max_findings_per_kind : int;
+  stability_min_samples : int;
+  stability_sigma : float;
+  stability_median_factor : float;
+}
+
+let default_config =
+  {
+    max_findings_per_kind = 40;
+    stability_min_samples = 20;
+    stability_sigma = 4.0;
+    stability_median_factor = 3.0;
+  }
+
+type result = {
+  source : string;
+  hb : Hb.t;
+  findings : Finding.t list;
+  stats : (string * Json.t) list;
+}
+
+let cap config findings =
+  let rec take n = function
+    | [] -> []
+    | _ :: _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take config.max_findings_per_kind findings
+
+(* --- duplicate uids --------------------------------------------------------- *)
+
+let detect_duplicates config (e : Exec.t) =
+  let send_counts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Exec.send) ->
+      Hashtbl.replace send_counts s.uid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt send_counts s.uid)))
+    e.sends;
+  let dup_sends =
+    Hashtbl.fold (fun uid n acc -> if n > 1 then (uid, n) :: acc else acc)
+      send_counts []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let deliver_counts : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Exec.delivery) ->
+      let key = (d.d_pid, d.d_uid) in
+      Hashtbl.replace deliver_counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt deliver_counts key)))
+    e.deliveries;
+  let dup_delivers =
+    Hashtbl.fold
+      (fun (pid, uid) n acc -> if n > 1 then (pid, uid, n) :: acc else acc)
+      deliver_counts []
+    |> List.sort compare
+  in
+  let send_findings =
+    List.map
+      (fun (uid, n) ->
+        {
+          Finding.kind = Finding.Duplicate_uid;
+          severity = Finding.Error;
+          source = e.exec_label;
+          summary = Printf.sprintf "uid u%d multicast %d times" uid n;
+          uids = [ uid ];
+          pids = [];
+          evidence = [];
+        })
+      dup_sends
+  in
+  let deliver_findings =
+    List.map
+      (fun (pid, uid, n) ->
+        {
+          Finding.kind = Finding.Duplicate_uid;
+          severity = Finding.Error;
+          source = e.exec_label;
+          summary =
+            Printf.sprintf "uid u%d delivered %d times at %s" uid n
+              (Exec.process_name e pid);
+          uids = [ uid ];
+          pids = [ pid ];
+          evidence = [];
+        })
+      dup_delivers
+  in
+  cap config (send_findings @ deliver_findings)
+
+(* --- causal cycle ----------------------------------------------------------- *)
+
+let detect_cycle (e : Exec.t) hb =
+  match Hb.find_cycle hb with
+  | None -> []
+  | Some nodes ->
+    [
+      {
+        Finding.kind = Finding.Causal_cycle;
+        severity = Finding.Error;
+        source = e.exec_label;
+        summary =
+          Printf.sprintf "happened-before relation is cyclic (%d-node witness)"
+            (List.length nodes);
+        uids =
+          List.filter_map
+            (function
+              | Exec.Send_ev u | Exec.Deliver_ev (_, u) -> Some u
+              | Exec.Ext_ev _ -> None)
+            nodes
+          |> List.sort_uniq Int.compare;
+        pids = [];
+        evidence = List.map (Hb.describe_node e) nodes;
+      };
+    ]
+
+(* --- per-member delivery positions ------------------------------------------ *)
+
+let delivery_positions (e : Exec.t) =
+  (* pid -> (uid -> position of its first delivery in that member's order) *)
+  let by_pid : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let counters : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Exec.delivery) ->
+      let tbl =
+        match Hashtbl.find_opt by_pid d.d_pid with
+        | Some t -> t
+        | None ->
+          let t = Hashtbl.create 32 in
+          Hashtbl.add by_pid d.d_pid t;
+          Hashtbl.add counters d.d_pid (ref 0);
+          t
+      in
+      let counter = Hashtbl.find counters d.d_pid in
+      if not (Hashtbl.mem tbl d.d_uid) then Hashtbl.add tbl d.d_uid !counter;
+      incr counter)
+    e.deliveries;
+  by_pid
+
+(* --- causal order ----------------------------------------------------------- *)
+
+let detect_causal_order config (e : Exec.t) hb positions =
+  (* If send(u1) happened-before send(u2) through transport-visible edges,
+     every process that delivers both must deliver u1 first. This mirrors
+     the checker's causal oracle, reconstructed offline from the DAG — and
+     like that oracle it only applies when the run claimed a causal (or
+     stronger) discipline: a FIFO-mode run is free to invert cross-process
+     causality. Unknown disciplines are checked (hand-built traces). *)
+  let applicable =
+    match e.ordering with Some Exec.Fifo_order -> false | _ -> true
+  in
+  let findings = ref [] in
+  let count = ref 0 in
+  if applicable then
+  Hashtbl.iter
+    (fun pid tbl ->
+      let delivered =
+        Hashtbl.fold (fun uid pos acc -> (uid, pos) :: acc) tbl []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (u1, p1) ->
+          List.iter
+            (fun (u2, p2) ->
+              if
+                u1 <> u2 && p1 > p2
+                && Hb.reaches hb ~transport_only:true (Exec.Send_ev u1)
+                     (Exec.Send_ev u2)
+                && !count < config.max_findings_per_kind
+              then begin
+                incr count;
+                let path =
+                  match
+                    Hb.shortest_path hb ~transport_only:true (Exec.Send_ev u1)
+                      (Exec.Send_ev u2)
+                  with
+                  | Some edges -> List.map (Hb.describe_edge e) edges
+                  | None -> []
+                in
+                findings :=
+                  {
+                    Finding.kind = Finding.Causal_order;
+                    severity = Finding.Error;
+                    source = e.exec_label;
+                    summary =
+                      Printf.sprintf
+                        "%s delivered u%d (position %d) before causally \
+                         prior u%d (position %d)"
+                        (Exec.process_name e pid) u2 p2 u1 p1;
+                    uids = [ u1; u2 ];
+                    pids = [ pid ];
+                    evidence = path;
+                  }
+                  :: !findings
+              end)
+            delivered)
+        delivered)
+    positions;
+  List.sort Finding.compare !findings
+
+(* --- hidden channels -------------------------------------------------------- *)
+
+let upstream_sends (e : Exec.t) hb node =
+  List.filter_map
+    (fun (s : Exec.send) ->
+      if
+        Exec.Send_ev s.uid = node
+        || Hb.reaches hb (Exec.Send_ev s.uid) node
+      then Some s.uid
+      else None)
+    e.sends
+
+let downstream_sends (e : Exec.t) hb node =
+  List.filter_map
+    (fun (s : Exec.send) ->
+      if
+        Exec.Send_ev s.uid = node
+        || Hb.reaches hb node (Exec.Send_ev s.uid)
+      then Some s.uid
+      else None)
+    e.sends
+
+let detect_hidden_channels config (e : Exec.t) hb positions =
+  let findings =
+    List.filter_map
+      (fun (c : Exec.channel_edge) ->
+        let covered =
+          Hb.reaches hb ~transport_only:true c.ch_src c.ch_dst
+        in
+        if covered then None
+        else begin
+          (* The constraint exists only out of band. Did any process
+             observably order the two sides the wrong way round? Compare
+             every send at-or-before the source against every send
+             at-or-after the destination, per member. *)
+          let ups = upstream_sends e hb c.ch_src in
+          let downs = downstream_sends e hb c.ch_dst in
+          let inversion = ref None in
+          Hashtbl.iter
+            (fun pid tbl ->
+              List.iter
+                (fun u ->
+                  List.iter
+                    (fun w ->
+                      if u <> w && !inversion = None then
+                        match (Hashtbl.find_opt tbl u, Hashtbl.find_opt tbl w) with
+                        | Some pu, Some pw when pw < pu ->
+                          inversion := Some (pid, u, w)
+                        | _, _ -> ())
+                    downs)
+                ups)
+            positions;
+          let severity, inversion_evidence =
+            match !inversion with
+            | Some (pid, u, w) ->
+              ( Finding.Error,
+                [
+                  Printf.sprintf
+                    "observed inversion: %s delivered downstream u%d before \
+                     upstream u%d"
+                    (Exec.process_name e pid) w u;
+                ] )
+            | None -> (Finding.Warning, [])
+          in
+          Some
+            {
+              Finding.kind = Finding.Hidden_channel;
+              severity;
+              source = e.exec_label;
+              summary =
+                Printf.sprintf
+                  "ordering constraint via %s is invisible to the transport \
+                   (%s must precede %s)"
+                  c.ch_label
+                  (Hb.describe_node e c.ch_src)
+                  (Hb.describe_node e c.ch_dst);
+              uids =
+                List.sort_uniq Int.compare
+                  (List.filter_map
+                     (function
+                       | Exec.Send_ev u -> Some u
+                       | Exec.Deliver_ev (_, u) -> Some u
+                       | Exec.Ext_ev _ -> None)
+                     [ c.ch_src; c.ch_dst ]);
+              pids = [];
+              evidence =
+                (Printf.sprintf "no transport-visible path %s -> %s"
+                   (Hb.describe_node e c.ch_src)
+                   (Hb.describe_node e c.ch_dst)
+                :: inversion_evidence);
+            }
+        end)
+      e.channel_edges
+  in
+  cap config findings
+
+(* --- false causality -------------------------------------------------------- *)
+
+let detect_false_causality config (e : Exec.t) =
+  (* Only meaningful when the run enforced a causal (or stronger) discipline
+     and the application declared what it actually depends on. *)
+  let enforced =
+    match e.ordering with
+    | Some Exec.Causal_order | Some Exec.Total_order -> true
+    | Some Exec.Fifo_order | None -> false
+  in
+  let total_context = ref 0 in
+  let false_context = ref 0 in
+  let declared = ref 0 in
+  let findings = ref [] in
+  if enforced then
+    List.iter
+      (fun (s : Exec.send) ->
+        match s.semantic with
+        | None -> ()
+        | Some deps ->
+          incr declared;
+          total_context := !total_context + List.length s.context;
+          let same_sender u =
+            match Exec.find_send e u with
+            | Some s' -> s'.sender = s.sender
+            | None -> false
+          in
+          let false_deps =
+            List.filter
+              (fun u -> u <> s.uid && (not (List.mem u deps)) && not (same_sender u))
+              s.context
+          in
+          if false_deps <> [] then begin
+            false_context := !false_context + List.length false_deps;
+            findings :=
+              {
+                Finding.kind = Finding.False_causality;
+                severity = Finding.Info;
+                source = e.exec_label;
+                summary =
+                  Printf.sprintf
+                    "u%d from %s: %d of %d context entries are false \
+                     causality (declared deps: %d)"
+                    s.uid
+                    (Exec.process_name e s.sender)
+                    (List.length false_deps) (List.length s.context)
+                    (List.length deps);
+                uids = s.uid :: false_deps;
+                pids = [ s.sender ];
+                evidence =
+                  [
+                    Printf.sprintf "false context entries: %s"
+                      (String.concat ", "
+                         (List.map (Printf.sprintf "u%d") false_deps));
+                  ];
+              }
+              :: !findings
+          end)
+      e.sends;
+  let stats =
+    [
+      ("declared_semantic_sends", Json.Int !declared);
+      ("context_entries", Json.Int !total_context);
+      ("false_context_entries", Json.Int !false_context);
+    ]
+  in
+  (cap config (List.rev !findings), stats)
+
+(* --- stability lag ---------------------------------------------------------- *)
+
+let detect_stability_lag config (e : Exec.t) =
+  let worst : (int, Sim_time.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Exec.delivery) ->
+      match Exec.find_send e d.d_uid with
+      | None -> ()
+      | Some s ->
+        let lag = Sim_time.sub d.d_at s.sent_at in
+        (match Hashtbl.find_opt worst d.d_uid with
+         | Some prev when Sim_time.compare prev lag >= 0 -> ()
+         | Some _ | None -> Hashtbl.replace worst d.d_uid lag))
+    e.deliveries;
+  let lags = Hashtbl.fold (fun uid lag acc -> (uid, lag) :: acc) worst [] in
+  if List.length lags < config.stability_min_samples then []
+  else begin
+    let values =
+      List.map (fun (_, lag) -> float_of_int (Sim_time.to_us lag)) lags
+    in
+    let n = float_of_int (List.length values) in
+    let mean = List.fold_left ( +. ) 0.0 values /. n in
+    let var =
+      List.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 values /. n
+    in
+    let std = sqrt var in
+    let sorted = List.sort Float.compare values in
+    let median = List.nth sorted (List.length values / 2) in
+    let threshold =
+      Float.max
+        (mean +. (config.stability_sigma *. std))
+        (config.stability_median_factor *. median)
+    in
+    let outliers =
+      List.filter
+        (fun (_, lag) -> float_of_int (Sim_time.to_us lag) > threshold)
+        lags
+      |> List.sort compare
+    in
+    cap config
+      (List.map
+         (fun (uid, lag) ->
+           {
+             Finding.kind = Finding.Stability_lag;
+             severity = Finding.Warning;
+             source = e.exec_label;
+             summary =
+               Printf.sprintf
+                 "u%d took %dus to reach all deliveries (run median %.0fus, \
+                  mean %.0fus)"
+                 uid (Sim_time.to_us lag) median mean;
+             uids = [ uid ];
+             pids = [];
+             evidence = [];
+           })
+         outliers)
+  end
+
+(* --- pipeline --------------------------------------------------------------- *)
+
+let analyze ?(config = default_config) (e : Exec.t) =
+  let hb = Hb.build e in
+  let duplicates = detect_duplicates config e in
+  let cycle = detect_cycle e hb in
+  let positions = delivery_positions e in
+  let order_sensitive =
+    if cycle <> [] then []
+    else
+      detect_causal_order config e hb positions
+      @ detect_hidden_channels config e hb positions
+  in
+  let false_causality, fc_stats = detect_false_causality config e in
+  let stability = detect_stability_lag config e in
+  let findings =
+    List.sort Finding.compare
+      (duplicates @ cycle @ order_sensitive @ false_causality @ stability)
+  in
+  let stats =
+    [
+      ("processes", Json.Int (List.length e.processes));
+      ("sends", Json.Int (List.length e.sends));
+      ("deliveries", Json.Int (List.length e.deliveries));
+      ("externals", Json.Int (List.length e.externals));
+      ("channel_edges", Json.Int (List.length e.channel_edges));
+      ("hb_nodes", Json.Int (Hb.node_count hb));
+      ("hb_edges", Json.Int (List.length (Hb.edges hb)));
+    ]
+    @ fc_stats
+  in
+  { source = e.exec_label; hb; findings; stats }
+
+let all_findings ?(extra = []) results =
+  List.concat_map (fun r -> r.findings) results
+  @ List.concat_map snd extra
+  |> List.sort Finding.compare
+
+let report_json ~mode ?(extra = []) results =
+  let sources =
+    List.map (fun r -> (r.source, r.stats)) results
+    @ List.map (fun (name, _) -> (name, [])) extra
+  in
+  Finding.report_to_json ~mode ~sources (all_findings ~extra results)
+
+let worst_severity findings =
+  List.fold_left
+    (fun acc (f : Finding.t) ->
+      match acc with
+      | None -> Some f.severity
+      | Some s ->
+        if Finding.compare_severity f.severity s > 0 then Some f.severity
+        else acc)
+    None findings

@@ -1,0 +1,213 @@
+type ordering_discipline = Fifo_order | Causal_order | Total_order
+
+let ordering_name = function
+  | Fifo_order -> "fifo"
+  | Causal_order -> "causal"
+  | Total_order -> "total"
+
+type node =
+  | Send_ev of int
+  | Deliver_ev of int * int
+  | Ext_ev of int
+
+type send = {
+  uid : int;
+  sender : int;
+  sender_seq : int;
+  sent_at : Sim_time.t;
+  send_pseq : int;
+  context : int list;
+  semantic : int list option;
+}
+
+type delivery = {
+  d_pid : int;
+  d_uid : int;
+  d_at : Sim_time.t;
+  d_pseq : int;
+}
+
+type ext_event = {
+  ext_id : int;
+  ext_pid : int;
+  ext_at : Sim_time.t;
+  ext_label : string;
+  ext_pseq : int;
+}
+
+type channel_edge = {
+  ch_src : node;
+  ch_dst : node;
+  ch_label : string;
+}
+
+type t = {
+  exec_label : string;
+  ordering : ordering_discipline option;
+  processes : (int * string) list;
+  sends : send list;
+  deliveries : delivery list;
+  externals : ext_event list;
+  channel_edges : channel_edge list;
+}
+
+let process_name t pid =
+  match List.assoc_opt pid t.processes with
+  | Some name -> name
+  | None -> Printf.sprintf "p%d" pid
+
+let find_send t uid = List.find_opt (fun s -> s.uid = uid) t.sends
+
+module Recorder = struct
+  (* Per-process recording state: program-order counter plus the sender's
+     potential-causality context (uids delivered or sent so far), mirroring
+     what Oracle.note_send captures for checker runs. *)
+  type proc = {
+    mutable name : string;
+    mutable pseq : int;
+    mutable known : int list;  (* reverse order, may repeat *)
+    mutable sent_count : int;
+  }
+
+  type t = {
+    label : string;
+    r_ordering : ordering_discipline option;
+    procs : (int, proc) Hashtbl.t;
+    mutable next_uid : int;
+    mutable next_ext : int;
+    mutable sends_rev : send list;
+    mutable deliveries_rev : delivery list;
+    mutable externals_rev : ext_event list;
+    mutable channels_rev : channel_edge list;
+  }
+
+  let create ?ordering ~label () =
+    {
+      label;
+      r_ordering = ordering;
+      procs = Hashtbl.create 8;
+      next_uid = 0;
+      next_ext = 0;
+      sends_rev = [];
+      deliveries_rev = [];
+      externals_rev = [];
+      channels_rev = [];
+    }
+
+  let proc t pid =
+    match Hashtbl.find_opt t.procs pid with
+    | Some p -> p
+    | None ->
+      let p =
+        { name = Printf.sprintf "p%d" pid; pseq = 0; known = []; sent_count = 0 }
+      in
+      Hashtbl.add t.procs pid p;
+      p
+
+  let add_process t ~pid ~name = (proc t pid).name <- name
+
+  let next_pseq p =
+    let s = p.pseq in
+    p.pseq <- s + 1;
+    s
+
+  let note_send t ?semantic ~sender ~at () =
+    let p = proc t sender in
+    let uid = t.next_uid in
+    t.next_uid <- uid + 1;
+    let context = List.sort_uniq Int.compare p.known in
+    let entry =
+      {
+        uid;
+        sender;
+        sender_seq = p.sent_count;
+        sent_at = at;
+        send_pseq = next_pseq p;
+        context;
+        semantic;
+      }
+    in
+    p.sent_count <- p.sent_count + 1;
+    p.known <- uid :: p.known;
+    t.sends_rev <- entry :: t.sends_rev;
+    uid
+
+  let note_delivery t ~pid ~uid ~at =
+    let p = proc t pid in
+    let entry = { d_pid = pid; d_uid = uid; d_at = at; d_pseq = next_pseq p } in
+    p.known <- uid :: p.known;
+    t.deliveries_rev <- entry :: t.deliveries_rev
+
+  let note_external t ~pid ~at ~label =
+    let p = proc t pid in
+    let ext_id = t.next_ext in
+    t.next_ext <- ext_id + 1;
+    let entry =
+      { ext_id; ext_pid = pid; ext_at = at; ext_label = label; ext_pseq = next_pseq p }
+    in
+    t.externals_rev <- entry :: t.externals_rev;
+    Ext_ev ext_id
+
+  let note_channel t ~src ~dst ~label =
+    t.channels_rev <- { ch_src = src; ch_dst = dst; ch_label = label } :: t.channels_rev
+
+  let note_order_requirement t ~before ~after ~via =
+    note_channel t ~src:(Send_ev before) ~dst:(Send_ev after) ~label:via
+
+  let exec t =
+    let processes =
+      Hashtbl.fold (fun pid p acc -> (pid, p.name) :: acc) t.procs []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    {
+      exec_label = t.label;
+      ordering = t.r_ordering;
+      processes;
+      sends = List.rev t.sends_rev;
+      deliveries = List.rev t.deliveries_rev;
+      externals = List.rev t.externals_rev;
+      channel_edges = List.rev t.channels_rev;
+    }
+end
+
+let of_trace ?(label = "trace") ?ordering entries =
+  let r = Recorder.create ?ordering ~label () in
+  let uids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.entry) ->
+      match e.kind with
+      | Trace.Send ->
+        (match Hashtbl.find_opt uids e.label with
+         | None ->
+           let uid = Recorder.note_send r ~sender:e.pid ~at:e.time () in
+           Hashtbl.add uids e.label uid
+         | Some uid ->
+           (* A second Send of the same label records a duplicate send of the
+              same uid: bypass the uid allocator but keep program order. *)
+           let p = Recorder.proc r e.pid in
+           let entry =
+             {
+               uid;
+               sender = e.pid;
+               sender_seq = p.Recorder.sent_count;
+               sent_at = e.time;
+               send_pseq = Recorder.next_pseq p;
+               context = List.sort_uniq Int.compare p.Recorder.known;
+               semantic = None;
+             }
+           in
+           p.Recorder.sent_count <- p.Recorder.sent_count + 1;
+           r.Recorder.sends_rev <- entry :: r.Recorder.sends_rev)
+      | Trace.Deliver ->
+        (match Hashtbl.find_opt uids e.label with
+         | Some uid -> Recorder.note_delivery r ~pid:e.pid ~uid ~at:e.time
+         | None ->
+           invalid_arg
+             (Printf.sprintf
+                "Exec.of_trace: delivery of unknown message %S at pid %d"
+                e.label e.pid))
+      | Trace.Mark ->
+        ignore (Recorder.note_external r ~pid:e.pid ~at:e.time ~label:e.label)
+      | Trace.Recv -> ())
+    entries;
+  Recorder.exec r

@@ -1,0 +1,124 @@
+(** Recorded executions: the analyzer's input.
+
+    An execution is the application-level history of one run — multicast
+    sends with their recorded potential-causality contexts (the
+    [Oracle.send_info] view: everything the sender had delivered or sent
+    beforehand), per-process delivery sequences, external events (database
+    writes, physical-world observations, out-of-band point-to-point traffic)
+    and {e channel edges}: ordering constraints the application knows about
+    that travel outside the communication substrate. Channel edges are what
+    the hidden-channel detector audits: each one is checked against the
+    transport-level happened-before relation.
+
+    Executions come from three producers: {!Recorder} (live instrumentation
+    hooks in apps and experiments), [Oracle.to_exec] in [lib/check] (checker
+    runs), and {!of_trace} ([Sim.Trace] event logs, including hand-built
+    traces in tests). *)
+
+type ordering_discipline = Fifo_order | Causal_order | Total_order
+
+val ordering_name : ordering_discipline -> string
+
+(** A node of the happened-before DAG, identified by its role. *)
+type node =
+  | Send_ev of int  (** multicast send of the uid *)
+  | Deliver_ev of int * int  (** delivery: process id, uid *)
+  | Ext_ev of int  (** external event id *)
+
+type send = {
+  uid : int;
+  sender : int;
+  sender_seq : int;  (** per-sender send counter, 0-based *)
+  sent_at : Sim_time.t;
+  send_pseq : int;  (** program-order index within the sender's events *)
+  context : int list;
+      (** potential causality: uids the sender had delivered or sent *)
+  semantic : int list option;
+      (** application-declared semantic dependencies; [None] = undeclared
+          (the analyzer quantifies false causality only when declared) *)
+}
+
+type delivery = {
+  d_pid : int;
+  d_uid : int;
+  d_at : Sim_time.t;
+  d_pseq : int;
+}
+
+type ext_event = {
+  ext_id : int;
+  ext_pid : int;
+  ext_at : Sim_time.t;
+  ext_label : string;
+  ext_pseq : int;
+}
+
+type channel_edge = {
+  ch_src : node;
+  ch_dst : node;
+  ch_label : string;  (** what carried the constraint, e.g. "shared database" *)
+}
+
+type t = {
+  exec_label : string;  (** source description, e.g. ["cbcast seed 12"] *)
+  ordering : ordering_discipline option;
+  processes : (int * string) list;  (** pid, display name *)
+  sends : send list;  (** chronological *)
+  deliveries : delivery list;  (** chronological *)
+  externals : ext_event list;
+  channel_edges : channel_edge list;
+}
+
+val process_name : t -> int -> string
+val find_send : t -> int -> send option
+
+(** Imperative builder used by instrumentation hooks. Processes are
+    registered implicitly on first use (with a [p<pid>] placeholder name)
+    or explicitly via {!Recorder.add_process}; per-process program order and
+    potential-causality contexts are tracked automatically. *)
+module Recorder : sig
+  type exec := t
+  type t
+
+  val create :
+    ?ordering:ordering_discipline -> label:string -> unit -> t
+
+  val add_process : t -> pid:int -> name:string -> unit
+
+  val note_send :
+    t -> ?semantic:int list -> sender:int -> at:Sim_time.t -> unit -> int
+  (** Returns the fresh uid. [semantic] declares the message's true
+      application-level dependencies ([Some []] = independent of everything
+      but its own sender's stream). *)
+
+  val note_delivery : t -> pid:int -> uid:int -> at:Sim_time.t -> unit
+
+  val note_external : t -> pid:int -> at:Sim_time.t -> label:string -> node
+  (** Record an external event in [pid]'s program order (a database write,
+      a physical observation, an out-of-band receive); returns its node for
+      use in {!note_channel}. *)
+
+  val note_channel : t -> src:node -> dst:node -> label:string -> unit
+  (** Declare an out-of-band ordering constraint: [src] is known by the
+      application to precede [dst] via [label]. *)
+
+  val note_order_requirement :
+    t -> before:int -> after:int -> via:string -> unit
+  (** Channel edge between two multicast sends: the application requires
+      [before]'s multicast to be applied before [after]'s. *)
+
+  val exec : t -> exec
+  (** Snapshot the recording (the recorder remains usable). *)
+end
+
+val of_trace :
+  ?label:string ->
+  ?ordering:ordering_discipline ->
+  Trace.entry list ->
+  t
+(** Ingest a [Sim.Trace] event log. [Send] entries allocate one uid per
+    distinct label ([Send] of an already-seen label records a duplicate send
+    of that uid, which the analyzer flags); [Deliver] entries must reference
+    a previously sent label (raises [Invalid_argument] otherwise); [Mark]
+    entries become external events; [Recv] entries (transport arrival, not
+    an application event) are ignored. *)

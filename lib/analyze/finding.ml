@@ -1,0 +1,112 @@
+type kind =
+  | Hidden_channel
+  | False_causality
+  | Causal_order
+  | Causal_cycle
+  | Duplicate_uid
+  | Stability_lag
+  | Determinism_hazard
+
+type severity = Info | Warning | Error
+
+type t = {
+  kind : kind;
+  severity : severity;
+  source : string;
+  summary : string;
+  uids : int list;
+  pids : int list;
+  evidence : string list;
+}
+
+let kind_name = function
+  | Hidden_channel -> "hidden-channel"
+  | False_causality -> "false-causality"
+  | Causal_order -> "causal-order"
+  | Causal_cycle -> "causal-cycle"
+  | Duplicate_uid -> "duplicate-uid"
+  | Stability_lag -> "stability-lag"
+  | Determinism_hazard -> "determinism-hazard"
+
+let all_kinds =
+  [
+    Hidden_channel;
+    False_causality;
+    Causal_order;
+    Causal_cycle;
+    Duplicate_uid;
+    Stability_lag;
+    Determinism_hazard;
+  ]
+
+let kind_of_name name =
+  List.find_opt (fun k -> kind_name k = name) all_kinds
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
+
+let kind_rank k =
+  let rec find i = function
+    | [] -> i
+    | k' :: rest -> if k' = k then i else find (i + 1) rest
+  in
+  find 0 all_kinds
+
+let compare a b =
+  let c = compare_severity b.severity a.severity in
+  if c <> 0 then c
+  else
+    let c = Int.compare (kind_rank a.kind) (kind_rank b.kind) in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.uids b.uids in
+      if c <> 0 then c else String.compare a.summary b.summary
+
+let to_json f =
+  Json.Obj
+    [
+      ("kind", Json.Str (kind_name f.kind));
+      ("severity", Json.Str (severity_name f.severity));
+      ("source", Json.Str f.source);
+      ("summary", Json.Str f.summary);
+      ("uids", Json.Arr (List.map (fun u -> Json.Int u) f.uids));
+      ("pids", Json.Arr (List.map (fun p -> Json.Int p) f.pids));
+      ("evidence", Json.Arr (List.map (fun e -> Json.Str e) f.evidence));
+    ]
+
+let report_to_json ~mode ~sources findings =
+  let findings = List.sort compare findings in
+  let count sev =
+    List.length (List.filter (fun f -> f.severity = sev) findings)
+  in
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("tool", Json.Str "repro-analyze");
+      ("mode", Json.Str mode);
+      ( "sources",
+        Json.Arr
+          (List.map
+             (fun (name, stats) ->
+               Json.Obj (("source", Json.Str name) :: stats))
+             sources) );
+      ("findings", Json.Arr (List.map to_json findings));
+      ( "counts",
+        Json.Obj
+          [
+            ("error", Json.Int (count Error));
+            ("warning", Json.Int (count Warning));
+            ("info", Json.Int (count Info));
+          ] );
+    ]
+
+let pp ppf f =
+  Format.fprintf ppf "[%s] %s: %s" (severity_name f.severity) (kind_name f.kind)
+    f.summary;
+  List.iter (fun line -> Format.fprintf ppf "@.    %s" line) f.evidence

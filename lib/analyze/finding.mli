@@ -1,0 +1,50 @@
+(** Analyzer findings and their stable JSON form.
+
+    [ANALYZE_findings.json] is consumed by CI and by tests, so the encoding
+    here is a schema: field names and kind/severity spellings are stable,
+    and additions must be backward compatible (bump [schema_version] on any
+    breaking change). *)
+
+type kind =
+  | Hidden_channel
+      (** a declared ordering constraint travels outside the transport *)
+  | False_causality
+      (** enforced potential causality exceeds declared semantic needs *)
+  | Causal_order  (** a delivery violates causal order (analyzer's view) *)
+  | Causal_cycle  (** the happened-before relation is cyclic *)
+  | Duplicate_uid  (** a uid sent or delivered more than once at a process *)
+  | Stability_lag  (** a message's delivery lag is an extreme outlier *)
+  | Determinism_hazard  (** source-level nondeterminism outside [lib/sim] *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  kind : kind;
+  severity : severity;
+  source : string;  (** which execution / file produced it *)
+  summary : string;
+  uids : int list;
+  pids : int list;
+  evidence : string list;  (** human-readable path / line references *)
+}
+
+val kind_name : kind -> string
+(** Stable kebab-case spelling, e.g. ["hidden-channel"]. *)
+
+val kind_of_name : string -> kind option
+
+val severity_name : severity -> string
+val compare_severity : severity -> severity -> int
+(** Orders [Error] highest. *)
+
+val compare : t -> t -> int
+(** Report order: descending severity, then kind, then uids, then summary. *)
+
+val to_json : t -> Json.t
+
+val report_to_json :
+  mode:string -> sources:(string * (string * Json.t) list) list -> t list -> Json.t
+(** The full findings document: [schema_version], [tool], [mode], per-source
+    stats, sorted findings, and severity counts. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(** The happened-before DAG of an execution.
+
+    Nodes are the application-level events of an {!Exec.t} (sends,
+    deliveries, external events); edges carry provenance:
+
+    - [Fifo]: program order between two sends of the same process (the
+      ordering a FIFO transport already enforces);
+    - [Local]: program order involving a delivery or external event;
+    - [Delivery]: a multicast send to one of its deliveries;
+    - [External]: a declared channel edge — ordering that travelled outside
+      the communication substrate.
+
+    The graph is transitively reduced at construction, so an edge is present
+    exactly when no other path carries the same constraint; provenance then
+    tells you {e which mechanism} each irreducible constraint relies on.
+    Reachability is answered both over all edges and over transport-visible
+    edges only ([External] excluded) — the gap between the two is what the
+    hidden-channel detector reports. *)
+
+type provenance = Fifo | Local | Delivery | External of string
+
+type edge = { src : Exec.node; dst : Exec.node; why : provenance }
+
+type t
+
+val build : Exec.t -> t
+(** Always succeeds, including on cyclic inputs (a cyclic "DAG" witnesses a
+    causal cycle — see {!find_cycle}); reachability queries on a cyclic
+    graph treat cycle members as mutually reachable. *)
+
+val exec : t -> Exec.t
+val node_count : t -> int
+val edges : t -> edge list
+(** The transitively reduced edge set, deterministically ordered. *)
+
+val find_cycle : t -> Exec.node list option
+(** [Some nodes] if the relation is cyclic: a witness cycle in order
+    (the last node has an edge back to the first). *)
+
+val reaches : t -> ?transport_only:bool -> Exec.node -> Exec.node -> bool
+(** [reaches t a b] is true iff [a] happened-before [b] (strictly: a node
+    does not reach itself). With [~transport_only:true] (default [false]),
+    [External] edges are ignored — the relation the protocol stack can
+    actually see. *)
+
+val shortest_path :
+  t -> ?transport_only:bool -> Exec.node -> Exec.node -> edge list option
+(** A minimum-hop witness path from the first node to the second, or [None]
+    if unreachable. *)
+
+val describe_node : Exec.t -> Exec.node -> string
+val describe_edge : Exec.t -> edge -> string
+(** Human-readable forms used in finding evidence, e.g.
+    ["send m3 by P -> deliver m3 at Q [delivery]"]. *)

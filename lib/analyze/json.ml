@@ -1,0 +1,286 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* --- emission -------------------------------------------------------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_nan f || Float.is_integer (f /. 0.0) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let to_string json =
+  let buf = Buffer.create 1024 in
+  let indent level = Buffer.add_string buf (String.make (2 * level) ' ') in
+  let rec emit level = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | Str s -> escape_string buf s
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          indent (level + 1);
+          emit (level + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      indent level;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          indent (level + 1);
+          escape_string buf key;
+          Buffer.add_string buf ": ";
+          emit (level + 1) value)
+        fields;
+      Buffer.add_char buf '\n';
+      indent level;
+      Buffer.add_char buf '}'
+  in
+  emit 0 json;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------------- *)
+
+exception Parse_error of int * string
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some _ | None -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %C, found %C" c c')
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word value =
+    let m = String.length word in
+    if !pos + m <= n && String.sub input !pos m = word then begin
+      pos := !pos + m;
+      value
+    end
+    else fail (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let c = input.[!pos] in
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "invalid \\u escape digit"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buf code =
+    (* enough for the BMP escapes this repository ever emits *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char buf '"'; advance ()
+         | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+         | Some '/' -> Buffer.add_char buf '/'; advance ()
+         | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+         | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+         | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+         | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+         | Some 't' -> Buffer.add_char buf '\t'; advance ()
+         | Some 'u' ->
+           advance ();
+           add_utf8 buf (parse_hex4 ())
+         | Some c -> fail (Printf.sprintf "invalid escape \\%C" c)
+         | None -> fail "unterminated escape");
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let consume_while p =
+      while (match peek () with Some c -> p c | None -> false) do
+        advance ()
+      done
+    in
+    if peek () = Some '-' then advance ();
+    consume_while (fun c -> c >= '0' && c <= '9');
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      consume_while (fun c -> c >= '0' && c <= '9')
+    end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       is_float := true;
+       advance ();
+       (match peek () with
+        | Some ('+' | '-') -> advance ()
+        | Some _ | None -> ());
+       consume_while (fun c -> c >= '0' && c <= '9')
+     | Some _ | None -> ());
+    let text = String.sub input start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "invalid number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> fail (Printf.sprintf "invalid number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((key, value) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, value) :: acc)
+          | Some c -> fail (Printf.sprintf "expected ',' or '}', found %C" c)
+          | None -> fail "unterminated object"
+        in
+        Obj (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (value :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (value :: acc)
+          | Some c -> fail (Printf.sprintf "expected ',' or ']', found %C" c)
+          | None -> fail "unterminated array"
+        in
+        Arr (items [])
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let value = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after JSON value";
+    value
+  with
+  | value -> Ok value
+  | exception Parse_error (at, msg) ->
+    Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+(* --- accessors ------------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | Str _ | Arr _ -> None
+
+let to_list = function Arr items -> Some items | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

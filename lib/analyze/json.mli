@@ -1,0 +1,33 @@
+(** Minimal JSON values: deterministic emission for the analyzer's findings
+    files and a strict parser for validating benchmark/analysis artifacts
+    (the repository deliberately has no third-party JSON dependency). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation; object keys keep the order
+    given, so equal values render byte-identically. Non-finite floats emit
+    [null] (JSON has no representation for them). *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the JSON subset this repository emits (all of RFC 8259
+    except that numbers outside the OCaml [int]/[float] ranges are rejected).
+    The error string includes the offending byte offset. *)
+
+val member : string -> t -> t option
+(** [member key json] looks a key up in an object; [None] for missing keys
+    and non-objects. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_str : t -> string option

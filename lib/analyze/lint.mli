@@ -1,0 +1,36 @@
+(** Source-level determinism lint.
+
+    The whole repository's claim to reproducibility rests on every run being
+    a pure function of (seed, config): time must come from [Sim_time] via
+    the engine and randomness from [Sim.Rng]. This lint scans OCaml sources
+    for ambient-nondeterminism escape hatches — wall-clock reads, process
+    timers, the stdlib's global PRNG — that would silently break replay.
+
+    Comments and string literals are stripped before matching, so
+    documentation (and this lint's own rule table) cannot self-flag. *)
+
+type rule = {
+  pattern : string;  (** verbatim substring of stripped source *)
+  reason : string;
+}
+
+val default_rules : rule list
+(** [Unix.gettimeofday], [Unix.time], [Unix.sleep], [Sys.time],
+    [Random.] (the stdlib global PRNG, including [self_init]). *)
+
+val strip : string -> string
+(** Replace comment and string-literal bytes with spaces (newlines kept, so
+    line numbers survive). Exposed for tests. *)
+
+val scan_string : ?rules:rule list -> source:string -> string -> Finding.t list
+(** [scan_string ~source contents] lints one compilation unit; [source] is
+    the name used in findings (normally the file path). *)
+
+val scan_file : ?rules:rule list -> string -> Finding.t list
+
+val scan_dir :
+  ?rules:rule list -> ?exclude_dirs:string list -> string -> Finding.t list
+(** Recursively lint every [.ml]/[.mli] under the directory, skipping any
+    subdirectory whose basename is in [exclude_dirs] (default [["sim"]]:
+    the simulator owns the clock and the PRNG, so it is exempt). Results
+    are sorted by path for determinism. *)

@@ -3,6 +3,7 @@ module Stack = Repro_catocs.Stack
 module Metrics = Repro_catocs.Metrics
 module Endpoint = Repro_catocs.Endpoint
 module Kv_store = Repro_txn.Kv_store
+module Recorder = Repro_analyze.Exec.Recorder
 
 type config = {
   seed : int64;
@@ -12,15 +13,23 @@ type config = {
   write_safety : int;
   latency : Net.latency;
   crash : (int * Sim_time.t) option;
+  out_of_band_writes : int;
 }
 
 let default_config =
   { seed = 1L; servers = 3; writes = 200; write_interval = Sim_time.ms 5;
-    write_safety = 1; latency = Net.Uniform (500, 5_000); crash = None }
+    write_safety = 1; latency = Net.Uniform (500, 5_000); crash = None;
+    out_of_band_writes = 0 }
 
 type msg =
   | Client_write of { req : int; key : string; value : int }
-  | Update of { req : int; key : string; value : int; origin : Engine.pid }
+  | Update of {
+      req : int;
+      key : string;
+      value : int;
+      origin : Engine.pid;
+      mark : int;  (* recorder uid of the multicast; 0 when not recording *)
+    }
   | Update_ack of { req : int }
   | Client_done of { req : int }
 
@@ -41,9 +50,31 @@ type pending_write = {
   mutable replied : bool;
 }
 
-let run config =
+let run ?recorder config =
   let net = Net.create ~latency:config.latency () in
   let engine = Engine.create ~seed:config.seed ~net () in
+  (* Writes of one key are ordered by the client's program (and its failover
+     retries), not by anything the group transport can see: channel-edge
+     each consecutive same-key Update multicast for the sanitizer. *)
+  let last_update : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let record_update ~sender ~key =
+    match recorder with
+    | None -> 0
+    | Some r ->
+      let uid = Recorder.note_send r ~sender ~at:(Engine.now engine) () in
+      (match Hashtbl.find_opt last_update key with
+       | Some prev ->
+         Recorder.note_order_requirement r ~before:prev ~after:uid
+           ~via:(Printf.sprintf "client write order (%s)" key)
+       | None -> ());
+      Hashtbl.replace last_update key uid;
+      uid
+  in
+  let record_delivery ~pid ~mark =
+    match recorder with
+    | None -> ()
+    | Some r -> Recorder.note_delivery r ~pid ~uid:mark ~at:(Engine.now engine)
+  in
   let group_config = { Config.default with Config.ordering = Config.Causal } in
   let stacks =
     Stack.create_group ~engine ~config:group_config
@@ -51,6 +82,14 @@ let run config =
       ~make_callbacks:(fun _ -> Stack.null_callbacks)
     |> Array.of_list
   in
+  (match recorder with
+   | Some r ->
+     Array.iteri
+       (fun i st ->
+         Recorder.add_process r ~pid:(Stack.self st)
+           ~name:(Printf.sprintf "srv%d" i))
+       stacks
+   | None -> ());
   let stores = Array.init config.servers (fun _ -> Kv_store.create ()) in
   let pending : (int, pending_write) Hashtbl.t = Hashtbl.create 64 in
   let send_times : (int, Sim_time.t) Hashtbl.t = Hashtbl.create 64 in
@@ -74,7 +113,8 @@ let run config =
           Stack.deliver =
             (fun ~sender:_ payload ->
               match payload with
-              | Update { req; key; value; origin } ->
+              | Update { req; key; value; origin; mark } ->
+                record_delivery ~pid:(Stack.self stack) ~mark;
                 ignore (Kv_store.put stores.(i) ~key value);
                 if origin <> Stack.self stack then
                   Stack.send_direct stack ~dst:origin (Update_ack { req })
@@ -87,8 +127,9 @@ let run config =
               | Client_write { req; key; value } ->
                 Hashtbl.replace pending req
                   { client = src; acks = 0; replied = false };
+                let mark = record_update ~sender:(Stack.self stack) ~key in
                 Stack.multicast stack
-                  (Update { req; key; value; origin = Stack.self stack });
+                  (Update { req; key; value; origin = Stack.self stack; mark });
                 (* k = 0 means reply as soon as the multicast is issued *)
                 (match Hashtbl.find_opt pending req with
                  | Some p -> maybe_reply stack p req
@@ -102,7 +143,16 @@ let run config =
               | Update _ | Client_done _ -> ());
         })
     stacks;
-  (* the client: round-robin writes over the servers *)
+  (* the client: round-robin writes over the servers. Out-of-band re-issues
+     (Fig. 1) carry req ids >= config.writes with their key and routing held
+     in the override tables. *)
+  let key_override : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let target_override : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let req_key req =
+    match Hashtbl.find_opt key_override req with
+    | Some key -> key
+    | None -> Printf.sprintf "k%d" (req mod 40)
+  in
   let client_pid = Engine.spawn engine ~name:"client" (fun _ _ -> ()) in
   let client =
     Endpoint.create ~engine ~self:client_pid ~mode:Config.Bare
@@ -110,9 +160,7 @@ let run config =
         match payload with
         | Client_done { req } ->
           (match Hashtbl.find_opt send_times req with
-           | Some _ ->
-             let key = Printf.sprintf "k%d" (req mod 40) in
-             Hashtbl.replace acked req (key, req)
+           | Some _ -> Hashtbl.replace acked req (req_key req, req)
            | None -> ())
         | Client_write _ | Update _ | Update_ack _ -> ())
       ()
@@ -126,14 +174,18 @@ let run config =
      primary updater approach"); the client fails over on timeout *)
   let rec issue req ~offset ~attempts =
     if attempts < 2 * config.servers then begin
-      let base_target = req mod 40 mod config.servers in
+      let base_target =
+        match Hashtbl.find_opt target_override req with
+        | Some t -> t
+        | None -> req mod 40 mod config.servers
+      in
       let target = (base_target + offset) mod config.servers in
       let target =
         if Engine.is_alive engine (Stack.self stacks.(target)) then target
         else (target + 1) mod config.servers
       in
       Endpoint.send_direct client ~dst:(Stack.self stacks.(target))
-        (Client_write { req; key = Printf.sprintf "k%d" (req mod 40); value = req });
+        (Client_write { req; key = req_key req; value = req });
       Engine.after engine ~owner:client_pid (Sim_time.ms 600) (fun () ->
           if not (Hashtbl.mem acked req) then
             issue req ~offset:(offset + 1) ~attempts:(attempts + 1))
@@ -143,7 +195,19 @@ let run config =
     Engine.at engine (Sim_time.add (Sim_time.ms 5) (req * config.write_interval))
       (fun () ->
         Hashtbl.replace send_times req (Engine.now engine);
-        issue req ~offset:0 ~attempts:0)
+        issue req ~offset:0 ~attempts:0;
+        (* Fig. 1 out-of-band request: the client follows up through the
+           next server right away, so the second multicast of the key is
+           ordered after the first only by the client's program — a channel
+           the transport never sees. *)
+        if req < config.out_of_band_writes then begin
+          let follow = config.writes + req in
+          Hashtbl.replace key_override follow (req_key req);
+          Hashtbl.replace target_override follow
+            ((req mod 40 mod config.servers + 1) mod config.servers);
+          Hashtbl.replace send_times follow (Engine.now engine);
+          issue follow ~offset:0 ~attempts:0
+        end)
   done;
   let horizon =
     Sim_time.add (config.writes * config.write_interval) (Sim_time.seconds 2)

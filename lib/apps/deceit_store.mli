@@ -16,6 +16,12 @@ type config = {
   write_safety : int;  (** k: remote acks awaited before the client reply *)
   latency : Net.latency;
   crash : (int * Sim_time.t) option;  (** crash server [i] at the given time *)
+  out_of_band_writes : int;
+      (** the client immediately re-issues that many of its writes through
+          the {e next} server with a newer value — the two multicasts of one
+          key are coupled only by the client's own program order, the
+          paper's Fig. 1 out-of-band request. 0 (the default) keeps the
+          strict primary-updater discipline. *)
 }
 
 val default_config : config
@@ -33,4 +39,8 @@ type result = {
   view_changes : int;
 }
 
-val run : config -> result
+val run : ?recorder:Repro_analyze.Exec.Recorder.t -> config -> result
+(** With [recorder], every Update multicast and delivery is recorded, and
+    consecutive writes of one key (including failover re-issues) get a
+    channel edge labelled "client write order" — the primary-updater
+    ordering lives at the client, not in the transport. *)

@@ -3,6 +3,7 @@ module Stack = Repro_catocs.Stack
 module Wire = Repro_catocs.Wire
 module Transport = Repro_catocs.Transport
 module Rt_clock = Repro_statelevel.Rt_clock
+module Recorder = Repro_analyze.Exec.Recorder
 
 type config = {
   seed : int64;
@@ -18,7 +19,15 @@ let default_config =
     latency = Net.Uniform (500, 15_000); ordering = Config.Causal;
     clock_accuracy_us = 1000 }
 
-type report = { trial : int; burning : bool; stamp : Sim_time.t; origin : int }
+(* [mark] is the recorder uid of the multicast (0 when not recording), so
+   deliveries can be attributed without a payload lookup table. *)
+type report = {
+  trial : int;
+  burning : bool;
+  stamp : Sim_time.t;
+  origin : int;
+  mark : int;
+}
 
 type result = {
   trials : int;
@@ -30,7 +39,7 @@ type result = {
 let pp_msg ppf r =
   Format.fprintf ppf "%s(t%d)" (if r.burning then "FIRE" else "fire-out") r.trial
 
-let run ?(capture_diagram = false) config =
+let run ?(capture_diagram = false) ?recorder config =
   let net = Net.create ~latency:config.latency () in
   let engine =
     Engine.create ~seed:config.seed ~net
@@ -52,6 +61,17 @@ let run ?(capture_diagram = false) config =
     | [ p; q; r ] -> (p, q, r)
     | _ -> invalid_arg "Fire_alarm: expected exactly three group members"
   in
+  (match recorder with
+   | Some r ->
+     List.iter
+       (fun (st, name) -> Recorder.add_process r ~pid:(Stack.self st) ~name)
+       [ (furnace, "furnace-P"); (observer, "observer-Q"); (monitor, "monitor-R") ]
+   | None -> ());
+  let record_delivery ~pid (r : report) =
+    match recorder with
+    | None -> ()
+    | Some rec_ -> Recorder.note_delivery rec_ ~pid ~uid:r.mark ~at:(Engine.now engine)
+  in
   (* Q's two views of the world *)
   let naive : (int, bool) Hashtbl.t = Hashtbl.create 64 in
   let stamped : (int, bool Rt_clock.Stamped.v) Hashtbl.t = Hashtbl.create 64 in
@@ -59,6 +79,7 @@ let run ?(capture_diagram = false) config =
     { Stack.null_callbacks with
       Stack.deliver =
         (fun ~sender:_ r ->
+          record_delivery ~pid:(Stack.self observer) r;
           Hashtbl.replace naive r.trial r.burning;
           let incoming =
             { Rt_clock.Stamped.stamp = r.stamp; origin = r.origin; v = r.burning }
@@ -67,10 +88,34 @@ let run ?(capture_diagram = false) config =
             Rt_clock.Stamped.merge (Hashtbl.find_opt stamped r.trial) incoming
           in
           Hashtbl.replace stamped r.trial merged) };
+  (* P and R record their deliveries too (so the analyzer sees any transport
+     path that does cover the physical-world ordering), but act on nothing. *)
+  List.iter
+    (fun st ->
+      Stack.set_callbacks st
+        { Stack.null_callbacks with
+          Stack.deliver = (fun ~sender:_ r -> record_delivery ~pid:(Stack.self st) r) })
+    [ furnace; monitor ];
+  (* Successive reports of one trial are ordered by the burning fire itself —
+     the paper's external channel. Each gets a channel edge. *)
+  let last_report : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let report stack trial burning =
     let origin = Stack.self stack in
     let stamp = Rt_clock.read clock ~pid:origin ~now:(Engine.now engine) in
-    Stack.multicast stack { trial; burning; stamp; origin }
+    let mark =
+      match recorder with
+      | None -> 0
+      | Some r ->
+        let uid = Recorder.note_send r ~sender:origin ~at:(Engine.now engine) () in
+        (match Hashtbl.find_opt last_report trial with
+         | Some prev ->
+           Recorder.note_order_requirement r ~before:prev ~after:uid
+             ~via:(Printf.sprintf "physical world (fire, trial %d)" trial)
+         | None -> ());
+        Hashtbl.replace last_report trial uid;
+        uid
+    in
+    Stack.multicast stack { trial; burning; stamp; origin; mark }
   in
   (* physical script per trial: fire (P), fire goes out (R observes through
      the external world), fire restarts (P) *)

@@ -33,4 +33,11 @@ type result = {
   diagram : string option;
 }
 
-val run : ?capture_diagram:bool -> config -> result
+val run :
+  ?capture_diagram:bool ->
+  ?recorder:Repro_analyze.Exec.Recorder.t ->
+  config ->
+  result
+(** With [recorder], every report multicast and delivery is recorded, and
+    successive reports of one trial get a channel edge labelled "physical
+    world" — the external channel the transport cannot see. *)

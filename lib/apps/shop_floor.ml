@@ -4,6 +4,7 @@ module Wire = Repro_catocs.Wire
 module Transport = Repro_catocs.Transport
 module Endpoint = Repro_catocs.Endpoint
 module Versioned = Repro_statelevel.Versioned
+module Recorder = Repro_analyze.Exec.Recorder
 
 type config = {
   seed : int64;
@@ -39,13 +40,40 @@ let pp_msg ppf = function
   | Notify { lot; action; version } ->
     Format.fprintf ppf "notify %s %s v%d" action lot version
 
-let run ?(capture_diagram = false) config =
+let run ?(capture_diagram = false) ?recorder config =
   let net = Net.create ~latency:config.latency () in
   let engine =
     Engine.create ~seed:config.seed ~net
       ~pp_msg:(Transport.pp_packet (Wire.pp pp_msg)) ()
   in
   if capture_diagram then Trace.set_enabled (Engine.trace engine) true;
+  (* Instrumentation for the causal sanitizer: each Notify multicast gets a
+     recorder uid keyed by (lot, version), and consecutive versions of the
+     same lot get a channel edge — that ordering flows through the shared
+     database, not through the group. *)
+  let notify_uids : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let last_notify : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let record_notify ~sender ~lot ~version =
+    match recorder with
+    | None -> ()
+    | Some r ->
+      let uid = Recorder.note_send r ~sender ~at:(Engine.now engine) () in
+      Hashtbl.replace notify_uids (lot, version) uid;
+      (match Hashtbl.find_opt last_notify lot with
+       | Some prev ->
+         Recorder.note_order_requirement r ~before:prev ~after:uid
+           ~via:(Printf.sprintf "shared database (%s)" lot)
+       | None -> ());
+      Hashtbl.replace last_notify lot uid
+  in
+  let record_delivery ~pid ~lot ~version =
+    match recorder with
+    | None -> ()
+    | Some r ->
+      (match Hashtbl.find_opt notify_uids (lot, version) with
+       | Some uid -> Recorder.note_delivery r ~pid ~uid ~at:(Engine.now engine)
+       | None -> ())
+  in
   (* the group: two SFC instances plus the observing client workstation *)
   let group_config = { Config.default with Config.ordering = Config.Causal } in
   let stacks =
@@ -68,6 +96,12 @@ let run ?(capture_diagram = false) config =
         match payload with
         | Db_update { lot; action; reply_to } ->
           let version = Versioned.put db_store ~key:lot action in
+          (match recorder with
+           | Some r ->
+             ignore
+               (Recorder.note_external r ~pid:db_pid ~at:(Engine.now engine)
+                  ~label:(Printf.sprintf "db put %s=%s v%d" lot action version))
+           | None -> ());
           (match !db_endpoint with
            | Some e ->
              Endpoint.send_direct e ~dst:reply_to (Db_reply { lot; action; version })
@@ -76,11 +110,24 @@ let run ?(capture_diagram = false) config =
       ()
   in
   db_endpoint := Some db;
+  (match recorder with
+   | Some r ->
+     List.iter
+       (fun (st, name) -> Recorder.add_process r ~pid:(Stack.self st) ~name)
+       [ (sfc1, "sfc1"); (sfc2, "sfc2"); (observer, "observer") ];
+     Recorder.add_process r ~pid:db_pid ~name:"database"
+   | None -> ());
   (* SFC behaviour: a request updates the database; the database reply
      triggers the multicast notification *)
   let wire_sfc stack =
     Stack.set_callbacks stack
       { Stack.null_callbacks with
+        Stack.deliver =
+          (fun ~sender:_ payload ->
+            match payload with
+            | Notify { lot; version; _ } ->
+              record_delivery ~pid:(Stack.self stack) ~lot ~version
+            | Request _ | Db_update _ | Db_reply _ -> ());
         Stack.direct =
           (fun ~src:_ payload ->
             match payload with
@@ -88,6 +135,7 @@ let run ?(capture_diagram = false) config =
               Stack.send_direct stack ~dst:db_pid
                 (Db_update { lot; action; reply_to = Stack.self stack })
             | Db_reply { lot; action; version } ->
+              record_notify ~sender:(Stack.self stack) ~lot ~version;
               Stack.multicast stack (Notify { lot; action; version })
             | Db_update _ | Notify _ -> ()) }
   in
@@ -102,6 +150,7 @@ let run ?(capture_diagram = false) config =
         (fun ~sender:_ payload ->
           match payload with
           | Notify { lot; action; version } ->
+            record_delivery ~pid:(Stack.self observer) ~lot ~version;
             Hashtbl.replace naive lot action;
             ignore (Versioned.apply replica ~key:lot action ~version)
           | Request _ | Db_update _ | Db_reply _ -> ()) }

@@ -36,4 +36,11 @@ type result = {
   diagram : string option;  (** event diagram of the first anomalous trial *)
 }
 
-val run : ?capture_diagram:bool -> config -> result
+val run :
+  ?capture_diagram:bool ->
+  ?recorder:Repro_analyze.Exec.Recorder.t ->
+  config ->
+  result
+(** With [recorder], every Notify multicast, its deliveries, the database
+    writes, and one channel edge per consecutive same-lot version pair
+    (labelled "shared database") are recorded for the causal sanitizer. *)

@@ -4,6 +4,7 @@ type t = {
   mutable delivered : int;
   delivery_delay_us : Stats.Summary.t;
   transit_us : Stats.Summary.t;
+  stability_lag_us : Stats.Summary.t;
   mutable delayed_messages : int;
   mutable unstable_bytes : int;
   mutable unstable_count : int;
@@ -20,7 +21,8 @@ type t = {
 let create () =
   { multicasts_sent = 0; data_received = 0; delivered = 0;
     delivery_delay_us = Stats.Summary.create ();
-    transit_us = Stats.Summary.create (); delayed_messages = 0;
+    transit_us = Stats.Summary.create ();
+    stability_lag_us = Stats.Summary.create (); delayed_messages = 0;
     unstable_bytes = 0; unstable_count = 0; peak_unstable_bytes = 0;
     peak_unstable_count = 0; control_messages = 0; flush_messages = 0; header_bytes = 0;
     dropped_at_view_change = 0; suppressed_us = 0; view_changes = 0 }

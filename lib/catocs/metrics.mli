@@ -12,6 +12,10 @@ type t = {
   delivery_delay_us : Stats.Summary.t;
       (** receive -> deliver: time spent blocked in ordering queues *)
   transit_us : Stats.Summary.t;  (** send -> deliver, end to end *)
+  stability_lag_us : Stats.Summary.t;
+      (** send -> local stability detection: how long each message stayed in
+          the unstable buffer before the matrix clock proved it received
+          everywhere (Section 5's buffering argument, in time units) *)
   mutable delayed_messages : int;
       (** messages that had to wait in an ordering queue *)
   mutable unstable_bytes : int;

@@ -19,7 +19,7 @@ let note_sent_or_delivered t (data : 'a Wire.data) =
   end;
   Matrix_clock.update_row t.matrix data.Wire.sender_rank data.Wire.vt
 
-let release_stable t =
+let release_stable t ~now =
   let stable_ids =
     Hashtbl.fold
       (fun id (data : 'a Wire.data) acc ->
@@ -34,17 +34,19 @@ let release_stable t =
     let bytes = Wire.buffered_bytes data in
     t.bytes <- t.bytes - bytes;
     Metrics.note_unstable_removed t.metrics ~bytes;
+    Stats.Summary.add t.metrics.Metrics.stability_lag_us
+      (float_of_int (Sim_time.to_us (Sim_time.sub now data.Wire.sent_at)));
     match t.graph with
     | Some graph -> Causality.remove_stable graph id
     | None -> ()
   in
   List.iter release stable_ids
 
-let observe_vc t ~rank vc =
+let observe_vc t ~rank ~now vc =
   Matrix_clock.update_row t.matrix rank vc;
-  release_stable t
+  release_stable t ~now
 
-let self_observe t ~rank vc = observe_vc t ~rank vc
+let self_observe t ~rank ~now vc = observe_vc t ~rank ~now vc
 
 let unstable t =
   Hashtbl.fold (fun _ data acc -> data :: acc) t.buffer []

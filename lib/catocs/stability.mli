@@ -22,11 +22,12 @@ val note_sent_or_delivered : 'a t -> 'a Wire.data -> unit
     buffer on delivery). Merges the message's timestamp into the origin's
     matrix row. Idempotent per message id. *)
 
-val observe_vc : 'a t -> rank:int -> Vector_clock.t -> unit
+val observe_vc : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
 (** Merge a member's reported vector clock and release newly stable
-    messages. *)
+    messages; each release records its send-to-stability lag ([now] minus
+    the message's send time) into [Metrics.stability_lag_us]. *)
 
-val self_observe : 'a t -> rank:int -> Vector_clock.t -> unit
+val self_observe : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
 (** Update our own row (rank = self). *)
 
 val unstable : 'a t -> 'a Wire.data list

@@ -239,7 +239,7 @@ let causal_deliver t (pending : 'a Delivery_queue.pending) =
   let sender = data.Wire.sender_rank in
   Vector_clock.set t.vc sender (Vector_clock.get data.Wire.vt sender);
   Stability.note_sent_or_delivered t.stability data;
-  Stability.self_observe t.stability ~rank:t.rank t.vc;
+  Stability.self_observe t.stability ~rank:t.rank ~now:(Engine.now t.engine) t.vc;
   match t.config.Config.ordering with
   | Config.Fifo | Config.Causal -> final_deliver t pending
   | Config.Total_sequencer ->
@@ -410,11 +410,11 @@ let send_gossip t =
     t.metrics.Metrics.control_messages <-
       t.metrics.Metrics.control_messages + Group.size t.view - 1;
     broadcast_proto t proto;
-    Stability.self_observe t.stability ~rank:t.rank t.vc
+    Stability.self_observe t.stability ~rank:t.rank ~now:(Engine.now t.engine) t.vc
 
 let on_gossip t ~view_id ~rank ~vc ~lamport =
   if view_id = t.view.Group.view_id then begin
-    Stability.observe_vc t.stability ~rank vc;
+    Stability.observe_vc t.stability ~rank ~now:(Engine.now t.engine) vc;
     ignore (Lamport.observe t.lamport lamport);
     let gossiper_sent = Vector_clock.get vc rank in
     if Vector_clock.get t.vc rank >= gossiper_sent then

@@ -485,6 +485,115 @@ let check t ~ordering ~survivors =
   in
   List.find_map (fun oracle -> oracle t) suite
 
+(* --- export to the offline analyzer ---------------------------------------- *)
+
+module Exec = Repro_analyze.Exec
+
+let ordering_discipline : Config.ordering -> Exec.ordering_discipline = function
+  | Config.Fifo -> Exec.Fifo_order
+  | Config.Causal -> Exec.Causal_order
+  | Config.Total_sequencer | Config.Total_lamport -> Exec.Total_order
+
+let to_exec t ~ordering ~label =
+  let processes =
+    List.map (fun pid -> (pid, (log_of t pid).name)) (member_pids t)
+  in
+  let all_sends = ref [] in
+  let all_deliveries = ref [] in
+  List.iter
+    (fun pid ->
+      let log = log_of t pid in
+      let own_sends =
+        Hashtbl.fold
+          (fun _uid s acc -> if s.sender = pid then s :: acc else acc)
+          t.sends []
+        |> List.sort (fun a b -> Int.compare a.sender_seq b.sender_seq)
+      in
+      let delivers =
+        List.filter_map
+          (function
+            | Deliver { uid; at } -> Some (uid, at)
+            | Install _ -> None)
+          (List.rev log.events_rev)
+      in
+      let pseq = ref 0 in
+      let next () =
+        let v = !pseq in
+        incr pseq;
+        v
+      in
+      let emit_send s =
+        all_sends :=
+          {
+            Exec.uid = s.uid;
+            sender = s.sender;
+            sender_seq = s.sender_seq;
+            sent_at = s.sent_at;
+            send_pseq = next ();
+            context = s.context;
+            semantic = None;
+          }
+          :: !all_sends
+      in
+      let emit_del uid at =
+        all_deliveries :=
+          { Exec.d_pid = pid; d_uid = uid; d_at = at; d_pseq = next () }
+          :: !all_deliveries
+      in
+      (* Merge the member's sends and deliveries into one program order.
+         Timestamp ties go to the delivery (a reaction send issued inside a
+         delivery callback carries the same timestamp and must follow its
+         trigger) — except against the send of that very uid, which always
+         precedes its own delivery. *)
+      let rec merge sends delivers =
+        match (sends, delivers) with
+        | [], [] -> ()
+        | s :: srest, [] ->
+          emit_send s;
+          merge srest []
+        | [], (uid, at) :: drest ->
+          emit_del uid at;
+          merge [] drest
+        | s :: srest, (uid, at) :: drest ->
+          let c = Sim_time.compare s.sent_at at in
+          if c < 0 || (c = 0 && s.uid = uid) then begin
+            emit_send s;
+            merge srest delivers
+          end
+          else begin
+            emit_del uid at;
+            merge sends drest
+          end
+      in
+      merge own_sends delivers)
+    (member_pids t);
+  let sends =
+    List.sort
+      (fun (a : Exec.send) b ->
+        let c = Sim_time.compare a.sent_at b.sent_at in
+        if c <> 0 then c else Int.compare a.uid b.uid)
+      !all_sends
+  in
+  let deliveries =
+    List.sort
+      (fun (a : Exec.delivery) b ->
+        let c = Sim_time.compare a.d_at b.d_at in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.d_pid b.d_pid in
+          if c <> 0 then c else Int.compare a.d_pseq b.d_pseq)
+      !all_deliveries
+  in
+  {
+    Exec.exec_label = label;
+    ordering = Some (ordering_discipline ordering);
+    processes;
+    sends;
+    deliveries;
+    externals = [];
+    channel_edges = [];
+  }
+
 (* --- counterexample trace ------------------------------------------------- *)
 
 let pp_trace fmt t ~uids =

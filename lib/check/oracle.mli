@@ -75,3 +75,16 @@ val check :
 val pp_trace : Format.formatter -> t -> uids:int list -> unit
 (** Print the send and per-member delivery fate of the listed uids (capped
     at 8) — the counterexample trace. *)
+
+val ordering_discipline :
+  Repro_catocs.Config.ordering -> Repro_analyze.Exec.ordering_discipline
+
+val to_exec :
+  t ->
+  ordering:Repro_catocs.Config.ordering ->
+  label:string ->
+  Repro_analyze.Exec.t
+(** Export the recorded run for the offline analyzer: per-member program
+    orders merge each member's sends (with their recorded potential-causality
+    contexts) and deliveries; semantic dependencies are left undeclared
+    (checker workloads have no application semantics to declare). *)

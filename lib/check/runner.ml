@@ -289,6 +289,30 @@ let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
   in
   go 0 0 0 0
 
+(* --- execution export for the offline analyzer ----------------------------- *)
+
+let exec_of_plan ?queue_impl ~ordering ~seed plan =
+  let oracle, survivors = execute ?queue_impl ~seed ~ordering plan in
+  let verdict =
+    match Oracle.check oracle ~ordering ~survivors with
+    | None ->
+      Pass
+        {
+          sends = Oracle.send_count oracle;
+          deliveries = Oracle.delivery_count oracle;
+        }
+    | Some violation ->
+      Fail (make_report ~seed ~ordering ~shrunk:false plan (violation, oracle))
+  in
+  let label =
+    Printf.sprintf "%s seed %d" (Config.ordering_name ordering) seed
+  in
+  (Oracle.to_exec oracle ~ordering ~label, verdict)
+
+let exec_of_seed ?(profile = Fault_plan.default_profile) ?queue_impl ~ordering
+    ~seed () =
+  exec_of_plan ?queue_impl ~ordering ~seed (Fault_plan.generate ~seed profile)
+
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>counterexample (seed %d, %s%s)@,oracle: %s@,member: %s@,%s@,@,\

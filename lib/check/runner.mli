@@ -73,6 +73,25 @@ val sweep :
 (** Run seeds [start_seed .. start_seed + seeds - 1], stopping at the first
     failure. [on_seed] is a progress hook. *)
 
+val exec_of_plan :
+  ?queue_impl:Repro_catocs.Config.queue_impl ->
+  ordering:Repro_catocs.Config.ordering ->
+  seed:int ->
+  Fault_plan.t ->
+  Repro_analyze.Exec.t * verdict
+(** Execute an explicit plan and export the run for the offline analyzer
+    (via {!Oracle.to_exec}), together with the oracle verdict for the run
+    (unshrunk). *)
+
+val exec_of_seed :
+  ?profile:Fault_plan.profile ->
+  ?queue_impl:Repro_catocs.Config.queue_impl ->
+  ordering:Repro_catocs.Config.ordering ->
+  seed:int ->
+  unit ->
+  Repro_analyze.Exec.t * verdict
+(** [exec_of_plan] on the seed's generated fault plan. *)
+
 val pp_report : Format.formatter -> report -> unit
 
 val fingerprint : verdict -> string

@@ -4,6 +4,8 @@ module Wire = Repro_catocs.Wire
 module Transport = Repro_catocs.Transport
 module Shop_floor = Repro_apps.Shop_floor
 module Fire_alarm = Repro_apps.Fire_alarm
+module Exec = Repro_analyze.Exec
+module Recorder = Repro_analyze.Exec.Recorder
 
 (* --- Figure 1 ------------------------------------------------------------- *)
 
@@ -12,7 +14,7 @@ type fig1_outcome = {
   deliveries : (int * string list) list;  (* member index, delivery order *)
 }
 
-let fig1_run () =
+let fig1_run ?recorder () =
   let net = Net.create ~latency:(Net.Uniform (1_000, 3_000)) () in
   let engine =
     Engine.create ~seed:3L ~net
@@ -27,6 +29,27 @@ let fig1_run () =
     |> Array.of_list
   in
   let p = stacks.(0) and q = stacks.(1) and r = stacks.(2) in
+  (match recorder with
+   | Some rc ->
+     Array.iteri
+       (fun i stack ->
+         Recorder.add_process rc ~pid:(Stack.self stack)
+           ~name:[| "P"; "Q"; "R" |].(i))
+       stacks
+   | None -> ());
+  let uids : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let record_send stack m =
+    match recorder with
+    | None -> ()
+    | Some rc ->
+      Hashtbl.replace uids m
+        (Recorder.note_send rc ~sender:(Stack.self stack)
+           ~at:(Engine.now engine) ())
+  in
+  let multicast stack m =
+    record_send stack m;
+    Stack.multicast stack m
+  in
   let deliveries = Array.make 3 [] in
   Array.iteri
     (fun i stack ->
@@ -34,13 +57,18 @@ let fig1_run () =
         { Stack.null_callbacks with
           Stack.deliver =
             (fun ~sender:_ m ->
+              (match (recorder, Hashtbl.find_opt uids m) with
+               | Some rc, Some uid ->
+                 Recorder.note_delivery rc ~pid:(Stack.self stack) ~uid
+                   ~at:(Engine.now engine)
+               | _, _ -> ());
               deliveries.(i) <- m :: deliveries.(i);
               (* P reacts to m1 by sending m2: m1 happens-before m2 *)
-              if i = 0 && m = "m1" then Stack.multicast p "m2") })
+              if i = 0 && m = "m1" then multicast p "m2") })
     stacks;
-  Engine.at engine (Sim_time.ms 1) (fun () -> Stack.multicast q "m1");
-  Engine.at engine (Sim_time.ms 8) (fun () -> Stack.multicast r "m3");
-  Engine.at engine (Sim_time.ms 9) (fun () -> Stack.multicast q "m4");
+  Engine.at engine (Sim_time.ms 1) (fun () -> multicast q "m1");
+  Engine.at engine (Sim_time.ms 8) (fun () -> multicast r "m3");
+  Engine.at engine (Sim_time.ms 9) (fun () -> multicast q "m4");
   Engine.run ~until:(Sim_time.ms 18) engine;
   { diagram =
       Trace.render_diagram ~exclude_substrings:[ "gossip"; "ack" ] ~limit:80
@@ -132,3 +160,45 @@ let fig3_external_channel () =
     end
   in
   search 1
+
+(* --- recorded executions for the causal sanitizer -------------------------- *)
+
+let fig1_exec () =
+  let recorder =
+    Recorder.create ~ordering:Exec.Causal_order ~label:"fig1 causal order" ()
+  in
+  ignore (fig1_run ~recorder ());
+  Recorder.exec recorder
+
+(* Shared seed-search shell for the Figure 2/3 anomaly executions: run the
+   instrumented app per seed until the naive observer shows the anomaly, and
+   return that seed's recording (the last tried recording as a fallback —
+   its channel edges are still declared, only the observed inversion may be
+   missing). *)
+let search_exec ~label ~anomalous run_seed =
+  let rec search seed =
+    let recorder =
+      Recorder.create ~ordering:Exec.Causal_order
+        ~label:(Printf.sprintf "%s seed %d" label seed)
+        ()
+    in
+    let found = anomalous (run_seed ~recorder seed) in
+    if found || seed >= 200 then Recorder.exec recorder else search (seed + 1)
+  in
+  search 1
+
+let fig2_exec () =
+  search_exec ~label:"fig2 shop-floor"
+    ~anomalous:(fun r -> r.Shop_floor.naive_anomalies > 0)
+    (fun ~recorder seed ->
+      Shop_floor.run ~recorder
+        { Shop_floor.default_config with
+          Shop_floor.seed = Int64.of_int seed; trials = 1 })
+
+let fig3_exec () =
+  search_exec ~label:"fig3 fire-alarm"
+    ~anomalous:(fun r -> r.Fire_alarm.naive_anomalies > 0)
+    (fun ~recorder seed ->
+      Fire_alarm.run ~recorder
+        { Fire_alarm.default_config with
+          Fire_alarm.seed = Int64.of_int seed; trials = 1 })

@@ -15,3 +15,17 @@ val fig3_external_channel : unit -> string
 
 val fig1_table : unit -> Table.t
 (** A machine-checkable summary of the Figure 1 properties. *)
+
+val fig1_exec : unit -> Repro_analyze.Exec.t
+(** The Figure 1 run as a recorded execution for the causal sanitizer: all
+    ordering flows through the transport, so the analyzer should report no
+    findings. *)
+
+val fig2_exec : unit -> Repro_analyze.Exec.t
+(** The Figure 2 shop-floor anomaly (first anomalous seed) as a recorded
+    execution: one channel edge per lot through the shared database, which
+    the analyzer reports as a hidden channel. *)
+
+val fig3_exec : unit -> Repro_analyze.Exec.t
+(** The Figure 3 fire-alarm anomaly: channel edges through the physical
+    world between successive reports of one trial. *)

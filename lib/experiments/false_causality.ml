@@ -1,6 +1,8 @@
 module Config = Repro_catocs.Config
 module Stack = Repro_catocs.Stack
 module Metrics = Repro_catocs.Metrics
+module Exec = Repro_analyze.Exec
+module Recorder = Repro_analyze.Exec.Recorder
 
 type point = {
   ordering : Config.ordering;
@@ -59,6 +61,66 @@ let measure ~seed ~group_size ~ordering ~jitter_max_ms =
     header_bytes_per_msg =
       float_of_int !header_bytes
       /. float_of_int (max 1 (!multicasts * (group_size - 1))) }
+
+(* The analyzer-facing variant of [measure]: the same independent periodic
+   streams, but each multicast carries a recorder uid as payload and declares
+   an empty semantic dependency set — so every context entry the causal
+   order enforces (beyond the sender's own stream) is false causality by
+   construction, and the analyzer can quantify it per message. *)
+let record ?(group_size = 4) ?(ordering = Config.Causal) ?(jitter_max_ms = 10)
+    ?(seed = 21L) ?(duration = Sim_time.ms 200) () =
+  let discipline =
+    match (ordering : Config.ordering) with
+    | Config.Fifo -> Exec.Fifo_order
+    | Config.Causal -> Exec.Causal_order
+    | Config.Total_sequencer | Config.Total_lamport -> Exec.Total_order
+  in
+  let recorder =
+    Recorder.create ~ordering:discipline
+      ~label:
+        (Printf.sprintf "false-causality %s jitter=%dms"
+           (Config.ordering_name ordering) jitter_max_ms)
+      ()
+  in
+  let net =
+    Net.create ~latency:(Net.Uniform (500, jitter_max_ms * 1_000)) ()
+  in
+  let engine = Engine.create ~seed ~net () in
+  let config = { Config.default with Config.ordering } in
+  let stacks =
+    Stack.create_group ~engine ~config
+      ~names:(List.init group_size (fun i -> Printf.sprintf "p%d" i))
+      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+    |> Array.of_list
+  in
+  Array.iter
+    (fun stack ->
+      let pid = Stack.self stack in
+      Recorder.add_process recorder ~pid ~name:(Engine.name engine pid);
+      Stack.set_callbacks stack
+        { Stack.null_callbacks with
+          Stack.deliver =
+            (fun ~sender:_ uid ->
+              Recorder.note_delivery recorder ~pid ~uid
+                ~at:(Engine.now engine)) })
+    stacks;
+  Array.iteri
+    (fun i stack ->
+      let cancel =
+        Engine.every engine ~owner:(Stack.self stack)
+          ~start:(Sim_time.us (1_000 + (i * 313)))
+          ~period:(Sim_time.ms 8)
+          (fun () ->
+            let uid =
+              Recorder.note_send recorder ~semantic:[]
+                ~sender:(Stack.self stack) ~at:(Engine.now engine) ()
+            in
+            Stack.multicast stack uid)
+      in
+      Engine.at engine duration cancel)
+    stacks;
+  Engine.run ~until:(Sim_time.add duration (Sim_time.ms 300)) engine;
+  Recorder.exec recorder
 
 let sweep ?(group_size = 8) ?(jitters_ms = [ 2; 10; 30 ]) ?(seed = 21L) () =
   List.concat_map

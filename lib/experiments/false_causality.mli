@@ -19,5 +19,19 @@ type point = {
 val sweep :
   ?group_size:int -> ?jitters_ms:int list -> ?seed:int64 -> unit -> point list
 
+val record :
+  ?group_size:int ->
+  ?ordering:Repro_catocs.Config.ordering ->
+  ?jitter_max_ms:int ->
+  ?seed:int64 ->
+  ?duration:Sim_time.t ->
+  unit ->
+  Repro_analyze.Exec.t
+(** An instrumented run of the same workload for the causal sanitizer: each
+    multicast declares an empty semantic dependency set ([semantic = Some \[\]]
+    — the streams are independent by construction), so the analyzer's
+    false-causality detector can count exactly how much of the enforced
+    context was unnecessary. *)
+
 val table : point list -> Table.t
 val run : unit -> Table.t

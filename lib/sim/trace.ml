@@ -7,18 +7,54 @@ type entry = {
   label : string;
 }
 
-type t = { mutable entries : entry list; mutable enabled : bool }
+(* Entries live in a growable array in chronological order, so [iter] and
+   [fold] walk recorded history without building a list per call (scaling
+   runs record hundreds of thousands of entries). *)
+type t = {
+  mutable store : entry array;
+  mutable len : int;
+  mutable enabled : bool;
+}
 
-let create () = { entries = []; enabled = false }
+let dummy = { time = Sim_time.zero; pid = -1; kind = Mark; label = "" }
+
+let create () = { store = [||]; len = 0; enabled = false }
 
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
 
 let record t time ~pid kind label =
-  if t.enabled then t.entries <- { time; pid; kind; label } :: t.entries
+  if t.enabled then begin
+    let capacity = Array.length t.store in
+    if t.len = capacity then begin
+      let capacity' = if capacity = 0 then 64 else capacity * 2 in
+      let store' = Array.make capacity' dummy in
+      Array.blit t.store 0 store' 0 t.len;
+      t.store <- store'
+    end;
+    t.store.(t.len) <- { time; pid; kind; label };
+    t.len <- t.len + 1
+  end
 
-let entries t = List.rev t.entries
-let clear t = t.entries <- []
+let length t = t.len
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.store.(i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.store.(i)
+  done;
+  !acc
+
+let entries t = List.init t.len (fun i -> t.store.(i))
+
+let clear t =
+  t.store <- [||];
+  t.len <- 0
 
 let pp_kind ppf = function
   | Send -> Format.pp_print_string ppf "send"
@@ -68,5 +104,5 @@ let render_diagram ?(column_width = 24) ?(exclude_substrings = [])
       Buffer.add_char buffer '\n'
     end
   in
-  List.iter add_row (entries t);
+  iter t add_row;
   Buffer.contents buffer

@@ -23,8 +23,21 @@ val set_enabled : t -> bool -> unit
     accumulating millions of entries. *)
 
 val record : t -> Sim_time.t -> pid:int -> kind -> string -> unit
+
+val length : t -> int
+(** Number of recorded entries. *)
+
+val iter : t -> (entry -> unit) -> unit
+(** Apply a function to every entry in chronological order without
+    materializing an entry list (entries are stored in a growable array). *)
+
+val fold : t -> init:'acc -> f:('acc -> entry -> 'acc) -> 'acc
+(** Chronological left fold over the recorded entries, also allocation-free
+    with respect to the trace itself. *)
+
 val entries : t -> entry list
-(** In chronological order. *)
+(** In chronological order. Builds a fresh list; prefer {!iter} / {!fold}
+    for large traces. *)
 
 val clear : t -> unit
 

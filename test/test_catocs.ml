@@ -234,6 +234,29 @@ let test_stability_drains_buffers () =
         (Stack.unstable_count stack))
     w.stacks
 
+let test_stability_lag_metric () =
+  (* every released message contributes one send->stable lag sample, and the
+     lag can never be smaller than one network traversal *)
+  let w = make_world ~n:3 ~latency:(Net.Fixed 500) () in
+  for k = 1 to 10 do
+    Stack.multicast w.stacks.(k mod 3) k
+  done;
+  run w (Sim_time.seconds 1);
+  Array.iteri
+    (fun i stack ->
+      let lag =
+        (Stack.metrics stack).Repro_catocs.Metrics.stability_lag_us
+      in
+      check_int
+        (Printf.sprintf "member %d sampled all messages" i)
+        10
+        (Stats.Summary.count lag);
+      check_bool
+        (Printf.sprintf "member %d lag exceeds one hop" i)
+        true
+        (Stats.Summary.min lag >= 500.0))
+    w.stacks
+
 let test_metrics_header_overhead () =
   let causal = make_world ~n:4 ~ordering:Config.Causal () in
   let fifo = make_world ~n:4 ~ordering:Config.Fifo () in
@@ -1054,6 +1077,8 @@ let () =
       ( "stability",
         [
           Alcotest.test_case "buffers drain" `Quick test_stability_drains_buffers;
+          Alcotest.test_case "stability lag sampled" `Quick
+            test_stability_lag_metric;
           Alcotest.test_case "header overhead" `Quick test_metrics_header_overhead;
         ] );
       ( "view-change",

@@ -496,6 +496,27 @@ let test_trace_exclude_and_limit () =
   check_bool "first kept" true (contains "send m1");
   check_bool "limit applied" false (contains "recv m2")
 
+let test_trace_iter_fold () =
+  let t = Trace.create () in
+  Trace.set_enabled t true;
+  for i = 1 to 5 do
+    Trace.record t (100 * i) ~pid:(i mod 2) Trace.Send (Printf.sprintf "m%d" i)
+  done;
+  check_int "length" 5 (Trace.length t);
+  (* iter visits every entry in chronological order *)
+  let seen = ref [] in
+  Trace.iter t (fun e -> seen := e.Trace.time :: !seen);
+  Alcotest.(check (list int)) "iter in order" [ 100; 200; 300; 400; 500 ]
+    (List.rev !seen);
+  (* fold agrees with the materialized entries list *)
+  let folded =
+    Trace.fold t ~init:[] ~f:(fun acc e -> e :: acc) |> List.rev
+  in
+  check_bool "fold = entries" true (folded = Trace.entries t);
+  Trace.clear t;
+  check_int "iter after clear" 0
+    (Trace.fold t ~init:0 ~f:(fun acc _ -> acc + 1))
+
 let test_trace_render_contains_events () =
   let t = Trace.create () in
   Trace.set_enabled t true;
@@ -587,6 +608,7 @@ let () =
         [
           Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
           Alcotest.test_case "records in order" `Quick test_trace_records_in_order;
+          Alcotest.test_case "iter and fold" `Quick test_trace_iter_fold;
           Alcotest.test_case "diagram contains events" `Quick
             test_trace_render_contains_events;
           Alcotest.test_case "exclude and limit" `Quick test_trace_exclude_and_limit;
