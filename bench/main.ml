@@ -6,17 +6,22 @@
    message transmission and reception" claim at the CPU level.
 
    With [--json] it instead produces BENCH_delivery.json: ns/op
-   micro-benchmarks of the delivery queue (indexed vs reference
-   implementation, with and without a permanently blocked backlog) plus
-   end-to-end simulated-throughput and peak-buffering curves from the
-   Section 5 scaling experiment at n = 4/16/64/256. [--smoke] shrinks
-   quotas and sizes for CI; [--out FILE] overrides the output path. The
-   schema is documented in EXPERIMENTS.md. *)
+   micro-benchmarks of the delivery queue and the stability tracker
+   (optimized vs reference implementation, with and without a permanently
+   blocked/unstable backlog) plus end-to-end simulated-throughput and
+   peak-buffering curves from the Section 5 scaling experiment at
+   n = 4/16/64/256/512. [--smoke] shrinks quotas and sizes for CI;
+   [--out FILE] overrides the output path. [--validate FILE] checks the
+   schema, and with [--baseline FILE] additionally fails on a >30%
+   deliveries-per-cpu-second regression at any (impl, group size) present
+   in both files. The schema is documented in EXPERIMENTS.md. *)
 
 module Registry = Repro_experiments.Registry
 module Scaling = Repro_experiments.Scaling
 module Config = Repro_catocs.Config
 module Delivery_queue = Repro_catocs.Delivery_queue
+module Stability = Repro_catocs.Stability
+module Metrics = Repro_catocs.Metrics
 module Wire = Repro_catocs.Wire
 module Json = Repro_analyze.Json
 
@@ -165,26 +170,98 @@ let queue_cycle_bench ~impl ~senders ~blocked =
            Vector_clock.set local 0 s
          | None -> failwith "bench: steady-state message not deliverable"))
 
+let stability_impl_name = function
+  | Stability.Incremental -> "incremental"
+  | Stability.Reference -> "reference"
+
+(* Steady-state stability cycle: one multicast from sender 0 is buffered,
+   then every member's matrix row is observed with a clock covering it, so
+   the message stabilises and is released at the last observation — on top
+   of [backlog] messages from the other senders that never stabilise. The
+   reference implementation rescans the whole buffer on every observation;
+   the incremental one pops exactly the released message. *)
+let stability_cycle_bench ~impl ~members ~backlog =
+  let open Bechamel in
+  let metrics = Metrics.create () in
+  let st = Stability.create ~impl ~group_size:members ~metrics ~graph:None () in
+  let next_id = ref 0 in
+  let mk ~rank ~vt =
+    incr next_id;
+    { Wire.msg_id = !next_id; origin = rank; sender_rank = rank; view_id = 0;
+      vt; meta = Wire.Causal_meta; payload = 0; payload_bytes = 16;
+      sent_at = Sim_time.zero; piggyback = [] }
+  in
+  let per_sender = Array.make members 0 in
+  for i = 0 to backlog - 1 do
+    (* from senders other than 0; no row but their own ever covers their
+       sequence numbers, so these stay buffered for the whole run *)
+    let rank = if members > 1 then 1 + (i mod (members - 1)) else 0 in
+    per_sender.(rank) <- per_sender.(rank) + 1;
+    let vt = Vector_clock.create members in
+    Vector_clock.set vt rank per_sender.(rank);
+    Stability.note_sent_or_delivered st (mk ~rank ~vt)
+  done;
+  let seq = ref 0 in
+  let gossip = Vector_clock.create members in
+  let name =
+    Printf.sprintf "stab-release/%s/n%d/b%d" (stability_impl_name impl)
+      members backlog
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr seq;
+         let vt = Vector_clock.create members in
+         Vector_clock.set vt 0 !seq;
+         Stability.note_sent_or_delivered st (mk ~rank:0 ~vt);
+         Vector_clock.set gossip 0 !seq;
+         for r = 0 to members - 1 do
+           Stability.observe_vc st ~rank:r ~now:Sim_time.zero gossip
+         done;
+         if Stability.unstable_count st <> backlog then
+           failwith "bench: stability steady state broken"))
+
 let micro_section ~smoke =
   let open Bechamel in
-  let configs =
+  let dq_configs =
     if smoke then [ (4, 0); (16, 64) ]
     else [ (4, 0); (16, 0); (64, 0); (256, 0); (64, 256); (256, 1024) ]
   in
-  let impls = [ Delivery_queue.Indexed; Delivery_queue.Reference ] in
-  let specs =
+  let stab_configs =
+    if smoke then [ (4, 0); (16, 64) ]
+    else [ (4, 0); (16, 0); (64, 0); (64, 256); (256, 1024) ]
+  in
+  let dq_specs =
     List.concat_map
       (fun impl ->
         List.map
           (fun (senders, blocked) ->
-            (impl, senders, blocked,
+            let name =
+              Printf.sprintf "dq-add-take/%s/n%d/b%d" (impl_name impl) senders
+                blocked
+            in
+            (name, impl_name impl, senders, blocked,
              queue_cycle_bench ~impl ~senders ~blocked))
-          configs)
-      impls
+          dq_configs)
+      [ Delivery_queue.Indexed; Delivery_queue.Reference ]
   in
+  let stab_specs =
+    List.concat_map
+      (fun impl ->
+        List.map
+          (fun (members, backlog) ->
+            let name =
+              Printf.sprintf "stab-release/%s/n%d/b%d"
+                (stability_impl_name impl) members backlog
+            in
+            (name, stability_impl_name impl, members, backlog,
+             stability_cycle_bench ~impl ~members ~backlog))
+          stab_configs)
+      [ Stability.Incremental; Stability.Reference ]
+  in
+  let specs = dq_specs @ stab_specs in
   let tests =
-    Test.make_grouped ~name:"delivery-queue"
-      (List.map (fun (_, _, _, t) -> t) specs)
+    Test.make_grouped ~name:"delivery-path"
+      (List.map (fun (_, _, _, _, t) -> t) specs)
   in
   let cfg =
     if smoke then Benchmark.cfg ~limit:200 ~quota:(Time.second 0.05) ()
@@ -210,28 +287,28 @@ let micro_section ~smoke =
       results None
   in
   List.map
-    (fun (impl, senders, blocked, _) ->
-      let name =
-        Printf.sprintf "dq-add-take/%s/n%d/b%d" (impl_name impl) senders
-          blocked
-      in
+    (fun (name, impl_str, senders, blocked, _) ->
       let ns = match estimate_for name with Some e -> e | None -> Float.nan in
-      Printf.printf "  micro %-40s %10s ns/op\n" name (json_float ns);
+      Printf.printf "  micro %-48s %10s ns/op\n" name (json_float ns);
       Printf.sprintf
         "    { \"name\": %S, \"impl\": %S, \"senders\": %d, \"blocked\": %d, \
          \"ns_per_op\": %s }"
-        name (impl_name impl) senders blocked (json_float ns))
+        name impl_str senders blocked (json_float ns))
     specs
 
 let e2e_section ~smoke =
-  let sizes = if smoke then [ 4; 16 ] else [ 4; 16; 64; 256 ] in
+  let sizes = if smoke then [ 4; 16 ] else [ 4; 16; 64; 256; 512 ] in
   (* keep the event count roughly constant across sizes: the multicast
      fan-out makes delivered work ~ n^2 x duration *)
+  (* smoke runs the same workload as full at the sizes it keeps, so its
+     deliveries_per_cpu_second are directly comparable to a committed
+     full-mode baseline (the --baseline regression gate relies on this);
+     n <= 16 costs well under a CPU second *)
   let duration_for n =
-    if smoke then Sim_time.ms 50
-    else if n <= 16 then Sim_time.seconds 1
+    if n <= 16 then Sim_time.seconds 1
     else if n <= 64 then Sim_time.ms 300
-    else Sim_time.ms 60
+    else if n <= 256 then Sim_time.ms 60
+    else Sim_time.ms 20
   in
   let impls = [ Config.Indexed_queue; Config.Reference_queue ] in
   List.concat_map
@@ -305,7 +382,25 @@ let emit_json ~smoke ~out =
 (* --validate: the BENCH_delivery.json schema check (used by CI)       *)
 (* ------------------------------------------------------------------ *)
 
-let validate ?expect_mode file =
+(* [fail] exits the process; the [assert false]es keep it monomorphic *)
+let load_json ~(fail : string -> unit) file =
+  let contents =
+    try
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e ->
+      fail e;
+      assert false
+  in
+  match Json.of_string contents with
+  | Ok j -> j
+  | Error e ->
+    fail e;
+    assert false
+
+let validate ?expect_mode ?baseline file =
   let fail fmt =
     Printf.ksprintf
       (fun s ->
@@ -313,17 +408,7 @@ let validate ?expect_mode file =
         exit 1)
       fmt
   in
-  let contents =
-    try
-      let ic = open_in_bin file in
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      s
-    with Sys_error e -> fail "%s" e
-  in
-  let doc =
-    match Json.of_string contents with Ok j -> j | Error e -> fail "%s" e
-  in
+  let doc = load_json ~fail:(fun s -> fail "%s" s) file in
   let get ?(from = doc) key =
     match Json.member key from with
     | Some v -> v
@@ -371,12 +456,16 @@ let validate ?expect_mode file =
   let e2e = rows "end_to_end" in
   (* both queue implementations must report identical simulated deliveries *)
   let by_size : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let rates : (string * int, float) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun row ->
-      ignore (str_field row "impl");
+      let impl = str_field row "impl" in
       let size = int_field row "group_size" in
       let deliveries = int_field row "deliveries" in
       number_or_null row "deliveries_per_cpu_second";
+      (match Json.to_float (get ~from:row "deliveries_per_cpu_second") with
+      | Some r -> Hashtbl.replace rates (impl, size) r
+      | None -> ());
       ignore (int_field row "peak_node_unstable_msgs");
       match Hashtbl.find_opt by_size size with
       | None -> Hashtbl.add by_size size deliveries
@@ -386,11 +475,60 @@ let validate ?expect_mode file =
           size d deliveries)
     e2e;
   Printf.printf "%s OK: %d micro rows, %d e2e rows (mode %s)\n" file
-    (List.length micro) (List.length e2e) mode
+    (List.length micro) (List.length e2e) mode;
+  (* --baseline: fail on a >30% throughput regression at any
+     (impl, group size) present in both files *)
+  match baseline with
+  | None -> ()
+  | Some bfile ->
+    let bfail fmt =
+      Printf.ksprintf
+        (fun s ->
+          Printf.eprintf "%s: baseline comparison failed: %s\n" bfile s;
+          exit 1)
+        fmt
+    in
+    let bdoc = load_json ~fail:(fun s -> bfail "%s" s) bfile in
+    let brows =
+      match Json.member "end_to_end" bdoc with
+      | Some l -> (
+        match Json.to_list l with
+        | Some l -> l
+        | None -> bfail "\"end_to_end\" must be an array")
+      | None -> bfail "missing key \"end_to_end\""
+    in
+    let compared = ref 0 in
+    List.iter
+      (fun row ->
+        match
+          ( Option.bind (Json.member "impl" row) Json.to_str,
+            Option.bind (Json.member "group_size" row) Json.to_int,
+            Option.bind
+              (Json.member "deliveries_per_cpu_second" row)
+              Json.to_float )
+        with
+        | Some impl, Some size, Some base_rate when base_rate > 0. -> (
+          match Hashtbl.find_opt rates (impl, size) with
+          | Some fresh when fresh < 0.7 *. base_rate ->
+            bfail
+              "throughput regression at %s n=%d: %.0f deliveries/cpu-s is \
+               below 70%% of baseline %.0f"
+              impl size fresh base_rate
+          | Some _ ->
+            incr compared
+          | None -> ())
+        | _ -> ())
+      brows;
+    if !compared = 0 then
+      bfail "no (impl, group_size) rows in common with %s" file;
+    Printf.printf
+      "baseline %s OK: %d shared throughput points within 30%% of baseline\n"
+      bfile !compared
 
 let () =
   let json = ref false and smoke = ref false and out = ref "BENCH_delivery.json" in
   let validate_file = ref None and expect_mode = ref None in
+  let baseline = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest -> json := true; parse rest
@@ -398,16 +536,17 @@ let () =
     | "--out" :: file :: rest -> out := file; parse rest
     | "--validate" :: file :: rest -> validate_file := Some file; parse rest
     | "--expect-mode" :: mode :: rest -> expect_mode := Some mode; parse rest
+    | "--baseline" :: file :: rest -> baseline := Some file; parse rest
     | arg :: _ ->
       Printf.eprintf
         "unknown argument %s (expected --json [--smoke] [--out FILE] | \
-         --validate FILE [--expect-mode MODE])\n"
+         --validate FILE [--expect-mode MODE] [--baseline FILE])\n"
         arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   match !validate_file with
-  | Some file -> validate ?expect_mode:!expect_mode file
+  | Some file -> validate ?expect_mode:!expect_mode ?baseline:!baseline file
   | None ->
     if !json then emit_json ~smoke:!smoke ~out:!out
     else begin

@@ -10,6 +10,8 @@ type transport_mode =
 
 type queue_impl = Indexed_queue | Reference_queue
 
+type stability_impl = Incremental_stability | Reference_stability
+
 type t = {
   ordering : ordering;
   gossip_period : Sim_time.t;
@@ -19,12 +21,14 @@ type t = {
   payload_bytes : int;
   track_graph : bool;
   queue_impl : queue_impl;
+  stability_impl : stability_impl;
 }
 
 let default =
   { ordering = Causal; gossip_period = Sim_time.ms 20; transport = Bare;
     failure_detection = Oracle; piggyback_history = false;
-    payload_bytes = 256; track_graph = true; queue_impl = Indexed_queue }
+    payload_bytes = 256; track_graph = true; queue_impl = Indexed_queue;
+    stability_impl = Incremental_stability }
 
 let ordering_name = function
   | Fifo -> "fifo"

@@ -30,6 +30,16 @@ type queue_impl =
           selectable so whole-stack runs can be differentially compared
           against the optimized path *)
 
+type stability_impl =
+  | Incremental_stability
+      (** per-sender deques released off cached matrix-clock minima,
+          amortized O(newly stable) — the default
+          ({!Stability.Incremental}) *)
+  | Reference_stability
+      (** the original full-buffer rescan on every observation
+          ({!Stability.Reference}), selectable for whole-stack differential
+          comparison *)
+
 type t = {
   ordering : ordering;
   gossip_period : Sim_time.t;
@@ -46,6 +56,8 @@ type t = {
       (** maintain the shared active-causal-graph (Section 5 metrics);
           costs memory at large scale *)
   queue_impl : queue_impl;  (** delivery-queue implementation selector *)
+  stability_impl : stability_impl;
+      (** stability-tracker implementation selector *)
 }
 
 val default : t

@@ -93,6 +93,16 @@ module Indexed = struct
     mutable last_chaos : bool;
     mutable size : int;
     mutable next_arrival : int;
+    mutable sole : ('a entry * 'a sender) option;
+        (* the single buffered entry (and its sender record) when
+           [size = 1], None if unknown after a removal: lets the
+           uncontended add/take cycle check the delivery condition directly
+           instead of running the sync / recheck / heap machinery. While
+           set, the entry's recheck flag is deferred — it is raised the
+           moment a second entry forces the slow path. *)
+    mutable last_sender : 'a sender option;
+        (* memoized last [add] lookup; valid as long as the record is in
+           [senders] (records are only dropped by [drain]) *)
   }
 
   type nonrec 'a t = 'a q
@@ -106,7 +116,9 @@ module Indexed = struct
       last_local = [||];
       last_chaos = false;
       size = 0;
-      next_arrival = 0 }
+      next_arrival = 0;
+      sole = None;
+      last_sender = None }
 
   let length t = t.size
 
@@ -241,14 +253,21 @@ module Indexed = struct
   let add t pending =
     let rank = pending.data.Wire.sender_rank in
     let s =
-      match Hashtbl.find_opt t.senders rank with
-      | Some s -> s
-      | None ->
+      match t.last_sender with
+      | Some s when s.rank = rank -> s
+      | _ ->
         let s =
-          { rank; slots = [||]; head = 0; base = 0; window = 0; count = 0;
-            cand = None }
+          match Hashtbl.find_opt t.senders rank with
+          | Some s -> s
+          | None ->
+            let s =
+              { rank; slots = [||]; head = 0; base = 0; window = 0;
+                count = 0; cand = None }
+            in
+            Hashtbl.add t.senders rank s;
+            s
         in
-        Hashtbl.add t.senders rank s;
+        t.last_sender <- Some s;
         s
     in
     let seq = Vector_clock.get pending.data.Wire.vt rank in
@@ -259,18 +278,48 @@ module Indexed = struct
     s.slots.(i) <- s.slots.(i) @ [ entry ];
     s.count <- s.count + 1;
     t.size <- t.size + 1;
-    (* a later arrival can only create a candidate, never displace one *)
-    if s.cand = None then flag_recheck t rank
+    if t.size = 1 then t.sole <- Some (entry, s)
+    else begin
+      (* hand a previously sole entry (whose recheck was deferred) to the
+         slow-path machinery along with the new one *)
+      (match t.sole with
+      | Some (_, prev) -> flag_recheck t prev.rank
+      | None -> ());
+      t.sole <- None;
+      (* a later arrival can only create a candidate, never displace one *)
+      if s.cand = None then flag_recheck t rank
+    end
 
   let remove_entry t s entry =
     let seq = Vector_clock.get entry.pending.data.Wire.vt s.rank in
     let i = slot_index s seq in
-    s.slots.(i) <- List.filter (fun e -> e.arrival <> entry.arrival) s.slots.(i);
+    (match s.slots.(i) with
+    | [ e ] when e.arrival = entry.arrival -> s.slots.(i) <- []
+    | l -> s.slots.(i) <- List.filter (fun e -> e.arrival <> entry.arrival) l);
     s.count <- s.count - 1;
     t.size <- t.size - 1;
-    if s.count = 0 then Hashtbl.remove t.senders s.rank else compact s
+    t.sole <- None;
+    (* the sender record is kept even when empty: the uncontended add/take
+       cycle would otherwise re-allocate the record and its slot ring on
+       every message *)
+    compact s
 
-  let take_deliverable t ~local =
+  (* Single-entry fast path: check the condition directly and bypass the
+     sync / recheck / heap machinery. Skipping [sync] here leaves
+     [last_local] stale-low, which is safe — a later sync sees a larger
+     delta and re-checks at most too many senders, never too few. *)
+  let rec take_deliverable t ~local =
+    if t.size = 0 then None
+    else
+      match t.sole with
+      | Some (entry, s) when condition_holds t.mode ~local entry.pending ->
+        remove_entry t s entry;
+        s.cand <- None;  (* a stale heap key now points at nothing *)
+        Some entry.pending
+      | Some _ -> None  (* the one buffered entry is blocked *)
+      | None -> take_slow t ~local
+
+  and take_slow t ~local =
     sync t ~local;
     if Hashtbl.length t.recheck > 0 then begin
       Hashtbl.iter
@@ -322,6 +371,8 @@ module Indexed = struct
     Hashtbl.reset t.waiting;
     t.last_local <- [||];
     t.size <- 0;
+    t.sole <- None;
+    t.last_sender <- None;
     all
 end
 

@@ -7,14 +7,19 @@ let make_view ~view_id members =
 
 let size view = Array.length view.members
 
+(* members are sorted (make_view sort_uniq's), so rank lookup can bisect *)
 let rank_of view pid =
-  let n = Array.length view.members in
-  let rec search i =
-    if i >= n then None
-    else if view.members.(i) = pid then Some i
-    else search (i + 1)
+  let members = view.members in
+  let rec search lo hi =
+    if lo > hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let v = members.(mid) in
+      if v = pid then Some mid
+      else if v < pid then search (mid + 1) hi
+      else search lo (mid - 1)
   in
-  search 0
+  search 0 (Array.length members - 1)
 
 let rank_of_exn view pid =
   match rank_of view pid with

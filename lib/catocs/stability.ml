@@ -1,59 +1,250 @@
-type 'a t = {
-  matrix : Matrix_clock.t;
-  buffer : (Wire.msg_id, 'a Wire.data) Hashtbl.t;
-  metrics : Metrics.t;
-  graph : Causality.t option;
-  mutable bytes : int;
-}
+(* Releasing a stable message is identical bookkeeping in both
+   implementations; only the strategy for *finding* newly stable messages
+   differs. *)
+let release_message ~metrics ~graph ~now (data : 'a Wire.data) =
+  let bytes = Wire.buffered_bytes data in
+  Metrics.note_unstable_removed metrics ~bytes;
+  Stats.Summary.add metrics.Metrics.stability_lag_us
+    (float_of_int (Sim_time.to_us (Sim_time.sub now data.Wire.sent_at)));
+  match graph with
+  | Some graph -> Causality.remove_stable graph data.Wire.msg_id
+  | None -> ()
 
-let create ~group_size ~metrics ~graph =
-  { matrix = Matrix_clock.create group_size; buffer = Hashtbl.create 64;
-    metrics; graph; bytes = 0 }
+(* ------------------------------------------------------------------------- *)
+(* Reference implementation: one hashtable of buffered messages, rescanned in
+   full against the matrix minima on every observation. O(buffer) per
+   release pass — correct and obviously so, kept as the differential-testing
+   baseline for the incremental implementation below. *)
 
-let note_sent_or_delivered t (data : 'a Wire.data) =
-  if not (Hashtbl.mem t.buffer data.Wire.msg_id) then begin
-    Hashtbl.add t.buffer data.Wire.msg_id data;
-    let bytes = Wire.buffered_bytes data in
-    t.bytes <- t.bytes + bytes;
-    Metrics.note_unstable_added t.metrics ~bytes
-  end;
-  Matrix_clock.update_row t.matrix data.Wire.sender_rank data.Wire.vt
+module Reference = struct
+  type 'a q = {
+    matrix : Matrix_clock.t;
+    buffer : (Wire.msg_id, 'a Wire.data) Hashtbl.t;
+    metrics : Metrics.t;
+    graph : Causality.t option;
+    mutable bytes : int;
+  }
 
-let release_stable t ~now =
-  let stable_ids =
-    Hashtbl.fold
-      (fun id (data : 'a Wire.data) acc ->
-        let sender = data.Wire.sender_rank in
-        let seq = Vector_clock.get data.Wire.vt sender in
-        if Matrix_clock.stable t.matrix ~sender ~seq then (id, data) :: acc
-        else acc)
-      t.buffer []
-  in
-  let release (id, data) =
-    Hashtbl.remove t.buffer id;
-    let bytes = Wire.buffered_bytes data in
-    t.bytes <- t.bytes - bytes;
-    Metrics.note_unstable_removed t.metrics ~bytes;
-    Stats.Summary.add t.metrics.Metrics.stability_lag_us
-      (float_of_int (Sim_time.to_us (Sim_time.sub now data.Wire.sent_at)));
-    match t.graph with
-    | Some graph -> Causality.remove_stable graph id
-    | None -> ()
-  in
-  List.iter release stable_ids
+  type nonrec 'a t = 'a q
+
+  let create ~group_size ~metrics ~graph =
+    { matrix = Matrix_clock.create group_size; buffer = Hashtbl.create 64;
+      metrics; graph; bytes = 0 }
+
+  let note_sent_or_delivered t (data : 'a Wire.data) =
+    if not (Hashtbl.mem t.buffer data.Wire.msg_id) then begin
+      Hashtbl.add t.buffer data.Wire.msg_id data;
+      let bytes = Wire.buffered_bytes data in
+      t.bytes <- t.bytes + bytes;
+      Metrics.note_unstable_added t.metrics ~bytes
+    end;
+    Matrix_clock.update_row t.matrix data.Wire.sender_rank data.Wire.vt
+
+  let release_stable t ~now =
+    let stable_ids =
+      Hashtbl.fold
+        (fun id (data : 'a Wire.data) acc ->
+          let sender = data.Wire.sender_rank in
+          let seq = Vector_clock.get data.Wire.vt sender in
+          if Matrix_clock.stable t.matrix ~sender ~seq then (id, data) :: acc
+          else acc)
+        t.buffer []
+    in
+    let release (id, data) =
+      Hashtbl.remove t.buffer id;
+      t.bytes <- t.bytes - Wire.buffered_bytes data;
+      release_message ~metrics:t.metrics ~graph:t.graph ~now data
+    in
+    List.iter release stable_ids
+
+  let observe_vc t ~rank ~now vc =
+    Matrix_clock.update_row t.matrix rank vc;
+    release_stable t ~now
+
+  let self_observe t ~rank ~now vc = observe_vc t ~rank ~now vc
+
+  let unstable t =
+    Hashtbl.fold (fun _ data acc -> data :: acc) t.buffer []
+    |> List.sort (fun (a : 'a Wire.data) b ->
+           Int.compare a.Wire.msg_id b.Wire.msg_id)
+
+  let unstable_count t = Hashtbl.length t.buffer
+  let unstable_bytes t = t.bytes
+
+  let matrix t = t.matrix
+end
+
+(* ------------------------------------------------------------------------- *)
+(* Incremental implementation.
+
+   Per-sender deques hold buffered messages in ascending sequence order (the
+   causal/FIFO delivery condition guarantees per-sender in-order buffering
+   within a view, so pushes are naturally sorted and a max-seq watermark
+   doubles as the duplicate check). The matrix clock reports exactly which
+   columns' minima advanced on each row merge; those columns are marked
+   dirty, and an observation pops only the deque prefixes whose sequence
+   numbers just crossed the advanced minimum — amortized O(newly stable)
+   per release pass instead of O(buffer x group). A message is always
+   buffered strictly before it can be stable (our own matrix row trails our
+   deliveries), so every release is triggered by a later minimum advance
+   and none is missed. *)
+
+module Incremental = struct
+  type 'a q = {
+    matrix : Matrix_clock.t;
+    pending : 'a Wire.data Queue.t array;  (* index = sender rank *)
+    highest : int array;  (* highest seq buffered per sender (dedup) *)
+    mutable dirty : int list;  (* columns whose cached minimum advanced *)
+    dirty_mark : bool array;
+    metrics : Metrics.t;
+    graph : Causality.t option;
+    mutable count : int;
+    mutable bytes : int;
+  }
+
+  type nonrec 'a t = 'a q
+
+  let create ~group_size ~metrics ~graph =
+    { matrix = Matrix_clock.create group_size;
+      pending = Array.init group_size (fun _ -> Queue.create ());
+      highest = Array.make group_size 0;
+      dirty = [];
+      dirty_mark = Array.make group_size false;
+      metrics; graph; count = 0; bytes = 0 }
+
+  let mark_dirty t s =
+    if not t.dirty_mark.(s) then begin
+      t.dirty_mark.(s) <- true;
+      t.dirty <- s :: t.dirty
+    end
+
+  let note_sent_or_delivered t (data : 'a Wire.data) =
+    let sender = data.Wire.sender_rank in
+    let seq = Vector_clock.get data.Wire.vt sender in
+    if seq > t.highest.(sender) then begin
+      t.highest.(sender) <- seq;
+      Queue.push data t.pending.(sender);
+      let bytes = Wire.buffered_bytes data in
+      t.bytes <- t.bytes + bytes;
+      t.count <- t.count + 1;
+      Metrics.note_unstable_added t.metrics ~bytes
+    end;
+    Matrix_clock.update_row_tracked t.matrix sender data.Wire.vt
+      ~advanced:(fun s -> mark_dirty t s)
+
+  (* Pop every deque prefix covered by its column's (already advanced)
+     minimum. Dirty columns marked during [note_sent_or_delivered] are
+     drained here too: releases happen only at observation points, exactly
+     like the reference implementation. *)
+  let release_dirty t ~now =
+    match t.dirty with
+    | [] -> ()
+    | dirty ->
+      t.dirty <- [];
+      List.iter
+        (fun s ->
+          t.dirty_mark.(s) <- false;
+          let q = t.pending.(s) in
+          let min_seq = Matrix_clock.min_component t.matrix s in
+          let go = ref true in
+          while !go do
+            match Queue.peek_opt q with
+            | Some (data : 'a Wire.data)
+              when Vector_clock.get data.Wire.vt s <= min_seq ->
+              ignore (Queue.pop q);
+              t.bytes <- t.bytes - Wire.buffered_bytes data;
+              t.count <- t.count - 1;
+              release_message ~metrics:t.metrics ~graph:t.graph ~now data
+            | Some _ | None -> go := false
+          done)
+        dirty
+
+  let observe_vc t ~rank ~now vc =
+    Matrix_clock.update_row_tracked t.matrix rank vc
+      ~advanced:(fun s -> mark_dirty t s);
+    release_dirty t ~now
+
+  let self_observe t ~rank ~now vc = observe_vc t ~rank ~now vc
+
+  (* k-way merge of the per-sender deques: each is ascending in msg_id
+     (per-sender send order), so no sort is needed. *)
+  let unstable t =
+    let lists = Array.map (fun q -> List.of_seq (Queue.to_seq q)) t.pending in
+    let heap = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+    Array.iteri
+      (fun r l ->
+        match l with
+        | [] -> ()
+        | (d : 'a Wire.data) :: _ -> Heap.push heap (d.Wire.msg_id, r))
+      lists;
+    let out = ref [] in
+    let go = ref true in
+    while !go do
+      match Heap.pop heap with
+      | None -> go := false
+      | Some (_, r) -> (
+        match lists.(r) with
+        | d :: rest ->
+          out := d :: !out;
+          lists.(r) <- rest;
+          (match rest with
+           | (d' : 'a Wire.data) :: _ -> Heap.push heap (d'.Wire.msg_id, r)
+           | [] -> ())
+        | [] -> ())
+    done;
+    List.rev !out
+
+  let unstable_count t = t.count
+  let unstable_bytes t = t.bytes
+
+  let matrix t = t.matrix
+end
+
+(* ------------------------------------------------------------------------- *)
+(* Dispatch: one branch per call, mirroring [Delivery_queue], so whole-stack
+   runs can select either implementation from configuration alone. *)
+
+type impl = Incremental | Reference
+
+type 'a t =
+  | Incremental_s of 'a Incremental.t
+  | Reference_s of 'a Reference.t
+
+let create ?(impl = Incremental) ~group_size ~metrics ~graph () =
+  match impl with
+  | Incremental ->
+    Incremental_s (Incremental.create ~group_size ~metrics ~graph)
+  | Reference -> Reference_s (Reference.create ~group_size ~metrics ~graph)
+
+let impl_of = function Incremental_s _ -> Incremental | Reference_s _ -> Reference
+
+let note_sent_or_delivered t data =
+  match t with
+  | Incremental_s q -> Incremental.note_sent_or_delivered q data
+  | Reference_s q -> Reference.note_sent_or_delivered q data
 
 let observe_vc t ~rank ~now vc =
-  Matrix_clock.update_row t.matrix rank vc;
-  release_stable t ~now
+  match t with
+  | Incremental_s q -> Incremental.observe_vc q ~rank ~now vc
+  | Reference_s q -> Reference.observe_vc q ~rank ~now vc
 
-let self_observe t ~rank ~now vc = observe_vc t ~rank ~now vc
+let self_observe t ~rank ~now vc =
+  match t with
+  | Incremental_s q -> Incremental.self_observe q ~rank ~now vc
+  | Reference_s q -> Reference.self_observe q ~rank ~now vc
 
-let unstable t =
-  Hashtbl.fold (fun _ data acc -> data :: acc) t.buffer []
-  |> List.sort (fun (a : 'a Wire.data) b ->
-         Int.compare a.Wire.msg_id b.Wire.msg_id)
+let unstable = function
+  | Incremental_s q -> Incremental.unstable q
+  | Reference_s q -> Reference.unstable q
 
-let unstable_count t = Hashtbl.length t.buffer
-let unstable_bytes t = t.bytes
+let unstable_count = function
+  | Incremental_s q -> Incremental.unstable_count q
+  | Reference_s q -> Reference.unstable_count q
 
-let matrix t = t.matrix
+let unstable_bytes = function
+  | Incremental_s q -> Incremental.unstable_bytes q
+  | Reference_s q -> Reference.unstable_bytes q
+
+let matrix = function
+  | Incremental_s q -> Incremental.matrix q
+  | Reference_s q -> Reference.matrix q

@@ -7,20 +7,43 @@
     gossip; a matrix clock summarises it.
 
     Section 5's scaling claim is about precisely this buffer: its occupancy
-    is exported to {!Metrics} on every change. *)
+    is exported to {!Metrics} on every change.
+
+    Two interchangeable implementations live behind one dispatch type
+    (selected via {!Config.stability_impl}):
+
+    - {!Incremental} (the default): per-sender sequence-ordered deques plus
+      the matrix clock's cached column minima — a release pass pops only
+      the messages whose sequence number just crossed an advanced minimum,
+      amortized O(newly stable) instead of a full buffer rescan.
+    - {!Reference}: the original hashtable buffer rescanned in full on
+      every observation, O(buffer x group) — kept as the differential-
+      testing baseline (see [test/test_stability_equiv.ml]).
+
+    Both release exactly the same [(msg_id, release-time)] sets on any
+    delivery-legal call sequence. *)
 
 type 'a t
 
+type impl = Incremental | Reference
+
 val create :
+  ?impl:impl ->
   group_size:int ->
   metrics:Metrics.t ->
   graph:Causality.t option ->
+  unit ->
   'a t
+(** [impl] defaults to [Incremental]. *)
+
+val impl_of : 'a t -> impl
 
 val note_sent_or_delivered : 'a t -> 'a Wire.data -> unit
 (** Buffer a message (sender buffers its own multicasts immediately; members
     buffer on delivery). Merges the message's timestamp into the origin's
-    matrix row. Idempotent per message id. *)
+    matrix row. Idempotent per message id. Within one instance, calls for a
+    given sender must arrive in ascending sequence order — the causal/FIFO
+    delivery condition guarantees this. *)
 
 val observe_vc : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
 (** Merge a member's reported vector clock and release newly stable
@@ -37,3 +60,35 @@ val unstable_count : 'a t -> int
 val unstable_bytes : 'a t -> int
 
 val matrix : 'a t -> Matrix_clock.t
+
+(** The two concrete implementations, exposed for direct micro-benchmarks
+    and differential tests (no dispatch overhead). *)
+module Reference : sig
+  type 'a t
+
+  val create :
+    group_size:int -> metrics:Metrics.t -> graph:Causality.t option -> 'a t
+
+  val note_sent_or_delivered : 'a t -> 'a Wire.data -> unit
+  val observe_vc : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
+  val self_observe : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
+  val unstable : 'a t -> 'a Wire.data list
+  val unstable_count : 'a t -> int
+  val unstable_bytes : 'a t -> int
+  val matrix : 'a t -> Matrix_clock.t
+end
+
+module Incremental : sig
+  type 'a t
+
+  val create :
+    group_size:int -> metrics:Metrics.t -> graph:Causality.t option -> 'a t
+
+  val note_sent_or_delivered : 'a t -> 'a Wire.data -> unit
+  val observe_vc : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
+  val self_observe : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
+  val unstable : 'a t -> 'a Wire.data list
+  val unstable_count : 'a t -> int
+  val unstable_bytes : 'a t -> int
+  val matrix : 'a t -> Matrix_clock.t
+end

@@ -39,9 +39,10 @@ let group_id shared = shared.group_id
 type flush_state = {
   new_view_id : int;
   survivors : Engine.pid list;  (* flush participants: current live members *)
+  survivor_set : Pid_set.t;  (* same pids, for O(log n) membership *)
   new_members : Engine.pid list;  (* survivors plus any admitted joiners *)
-  mutable flush_from : Engine.pid list;
-  mutable done_from : Engine.pid list;  (* coordinator only *)
+  mutable flush_from : Pid_set.t;
+  mutable done_from : Pid_set.t;  (* coordinator only *)
   mutable done_sent : bool;
   started_at : Sim_time.t;
 }
@@ -86,7 +87,7 @@ type 'a t = {
          the outbox is not yet drained, so multicasts they issue must keep
          queueing or they would be stamped ahead of sends suppressed during
          the flush — a per-sender FIFO inversion *)
-  mutable failed_members : Engine.pid list;
+  mutable failed_members : Pid_set.t;
   mutable deferred_lamport_gossip : (int * int * int) list;
       (* (rank, required per-sender seq, lamport time): a gossiped Lamport
          time may only gate total-order release once every data message the
@@ -129,6 +130,14 @@ let queue_impl (config : Config.t) =
 let make_queue (config : Config.t) =
   Delivery_queue.create ~impl:(queue_impl config) (queue_mode config)
 
+let stability_impl (config : Config.t) =
+  match config.Config.stability_impl with
+  | Config.Incremental_stability -> Stability.Incremental
+  | Config.Reference_stability -> Stability.Reference
+
+let make_stability (config : Config.t) ~group_size ~metrics ~graph =
+  Stability.create ~impl:(stability_impl config) ~group_size ~metrics ~graph ()
+
 let self t = t.self
 let shared_of t = t.shared
 let config_of t = t.config
@@ -157,11 +166,18 @@ let endpoint t =
   | Some e -> e
   | None -> invalid_arg "Stack: endpoint not initialised"
 
-let other_members t =
-  Array.to_list t.view.Group.members |> List.filter (fun p -> p <> t.self)
+(* allocation-free fan-out over the view: the hot multicast/broadcast paths
+   must not build an (n-1)-element recipient list per message *)
+let iter_other_members t f =
+  let members = t.view.Group.members in
+  for i = 0 to Array.length members - 1 do
+    let p = Array.unsafe_get members i in
+    if p <> t.self then f p
+  done
 
 let broadcast_proto t proto =
-  List.iter (fun dst -> Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst proto) (other_members t)
+  iter_other_members t (fun dst ->
+      Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst proto)
 
 (* --- graph bookkeeping (Section 5 active causal graph) ----------------- *)
 
@@ -199,8 +215,12 @@ let final_deliver t (pending : 'a Delivery_queue.pending) =
       (float_of_int (Sim_time.sub now data.Wire.sent_at));
     if wait > 0 then
       t.metrics.Metrics.delayed_messages <- t.metrics.Metrics.delayed_messages + 1;
-    Trace.record (Engine.trace t.engine) now ~pid:t.self Trace.Deliver
-      (Format.asprintf "msg#%d" data.Wire.msg_id);
+    (* the label is formatted eagerly, so skip it entirely when tracing is
+       off — this runs once per delivery *)
+    let trace = Engine.trace t.engine in
+    if Trace.enabled trace then
+      Trace.record trace now ~pid:t.self Trace.Deliver
+        (Format.asprintf "msg#%d" data.Wire.msg_id);
     t.callbacks.deliver ~sender:data.Wire.origin data.Wire.payload
   end
 
@@ -333,8 +353,8 @@ let rec on_data t (data : 'a Wire.data) =
 let make_data t payload =
   let msg_id = t.shared.next_msg_id in
   t.shared.next_msg_id <- msg_id + 1;
-  let vt = Vector_clock.copy t.vc in
-  Vector_clock.tick vt t.rank;
+  (* one immutable snapshot per multicast, shared by every recipient *)
+  let vt = Vector_clock.copy_tick t.vc t.rank in
   let meta =
     match t.config.Config.ordering with
     | Config.Fifo -> Wire.Fifo_meta
@@ -356,21 +376,30 @@ let make_data t payload =
     payload_bytes = t.config.Config.payload_bytes;
     sent_at = Engine.now t.engine; piggyback }
 
-let transmit t data ~recipients =
+let account_send t data ~recipient_count =
   t.metrics.Metrics.multicasts_sent <- t.metrics.Metrics.multicasts_sent + 1;
   let overhead_per_copy =
     Wire.header_bytes data + (Wire.wire_bytes data - Wire.buffered_bytes data)
   in
   t.metrics.Metrics.header_bytes <-
-    t.metrics.Metrics.header_bytes + (overhead_per_copy * List.length recipients);
-  register_in_graph t data;
+    t.metrics.Metrics.header_bytes + (overhead_per_copy * recipient_count);
+  register_in_graph t data
+
+let transmit t data ~recipients =
+  account_send t data ~recipient_count:(List.length recipients);
   List.iter
     (fun dst -> Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst (Wire.Data data))
     recipients;
   (* the local copy goes through the same receive path *)
   on_data t data
 
-let do_multicast t payload = transmit t (make_data t payload) ~recipients:(other_members t)
+let do_multicast t payload =
+  let data = make_data t payload in
+  account_send t data ~recipient_count:(Group.size t.view - 1);
+  iter_other_members t (fun dst ->
+      Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst
+        (Wire.Data data));
+  on_data t data
 
 (* Transmit outbox entries in order; a multicast issued from a delivery
    callback mid-drain (while [t.installing]) re-enters the outbox and is
@@ -431,7 +460,7 @@ let coordinator_of survivors = List.fold_left min max_int survivors
 
 let flush_complete t flush =
   List.for_all
-    (fun p -> p = t.self || List.mem p flush.flush_from)
+    (fun p -> p = t.self || Pid_set.mem p flush.flush_from)
     flush.survivors
 
 let maybe_finish_flush t flush =
@@ -439,7 +468,7 @@ let maybe_finish_flush t flush =
     flush.done_sent <- true;
     let coordinator = coordinator_of flush.survivors in
     if t.self = coordinator then
-      flush.done_from <- t.self :: flush.done_from
+      flush.done_from <- Pid_set.add t.self flush.done_from
     else begin
       t.metrics.Metrics.control_messages <- t.metrics.Metrics.control_messages + 1;
       t.metrics.Metrics.flush_messages <- t.metrics.Metrics.flush_messages + 1;
@@ -508,8 +537,8 @@ let install_view t flush =
   t.seq_queue <- Total_order.Sequencer_queue.create ();
   t.lamport_queue <- Total_order.Lamport_queue.create ~group_size:(Group.size new_view);
   t.stability <-
-    Stability.create ~group_size:(Group.size new_view) ~metrics:t.metrics
-      ~graph:t.shared.graph;
+    make_stability t.config ~group_size:(Group.size new_view)
+      ~metrics:t.metrics ~graph:t.shared.graph;
   t.next_global_seq <- 0;
   t.deferred_lamport_gossip <- [];
   t.status <- Normal;
@@ -538,17 +567,20 @@ let install_view t flush =
    adopt the set carried in it, so staggered failure detection still
    converges on one view. *)
 let begin_flush t ~new_view_id ~survivors ~new_members =
+  let survivor_set = Pid_set.of_list survivors in
   let flush =
-    { new_view_id; survivors; new_members; flush_from = [ t.self ];
-      done_from = []; done_sent = false; started_at = Engine.now t.engine }
+    { new_view_id; survivors; survivor_set; new_members;
+      flush_from = Pid_set.of_list [ t.self ];
+      done_from = Pid_set.empty; done_sent = false;
+      started_at = Engine.now t.engine }
   in
   t.status <- Flushing flush;
   (* anyone the agreed set excludes is de facto failed *)
   t.failed_members <-
-    List.sort_uniq Int.compare
-      (List.filter (fun p -> not (List.mem p survivors))
-         (Array.to_list t.view.Group.members)
-       @ t.failed_members);
+    Array.fold_left
+      (fun acc p ->
+        if Pid_set.mem p survivor_set then acc else Pid_set.add p acc)
+      t.failed_members t.view.Group.members;
   (* The flush contribution is everything this member HOLDS from the old
      view: its unstable sent-or-delivered messages, plus messages still
      blocked in its delivery queue. The queue contents matter when the
@@ -592,16 +624,14 @@ let begin_flush t ~new_view_id ~survivors ~new_members =
    plus a state transfer once the flush completes. *)
 let start_view_change t ~failed ~joined =
   (match failed with
-   | Some pid ->
-     if not (List.mem pid t.failed_members) then
-       t.failed_members <- pid :: t.failed_members
+   | Some pid -> t.failed_members <- Pid_set.add pid t.failed_members
    | None -> ());
   let joined = joined @ t.pending_joins in
   t.pending_joins <- [];
   (* a recovered process may re-join under its old pid: admitting it
      supersedes its failure record *)
   t.failed_members <-
-    List.filter (fun p -> not (List.mem p joined)) t.failed_members;
+    List.fold_left (fun acc j -> Pid_set.remove j acc) t.failed_members joined;
   let new_view_id =
     match t.status with
     | Normal | Joining _ -> t.view.Group.view_id + 1
@@ -609,12 +639,15 @@ let start_view_change t ~failed ~joined =
   in
   let survivors =
     Array.to_list t.view.Group.members
-    |> List.filter (fun p -> not (List.mem p t.failed_members))
+    |> List.filter (fun p -> not (Pid_set.mem p t.failed_members))
   in
+  let survivor_set = Pid_set.of_list survivors in
   let new_members =
     survivors
     @ List.filter
-        (fun j -> (not (List.mem j survivors)) && not (List.mem j t.failed_members))
+        (fun j ->
+          (not (Pid_set.mem j survivor_set))
+          && not (Pid_set.mem j t.failed_members))
         (List.sort_uniq Int.compare joined)
   in
   begin_flush t ~new_view_id ~survivors ~new_members
@@ -642,22 +675,23 @@ let rec on_flush t ~src ~new_view_id ~survivors ~unstable ~orders =
       orders;
     List.iter (fun data -> on_data t data) unstable;
     release_total_queues t;
-    if not (List.mem src flush.flush_from) then
-      flush.flush_from <- src :: flush.flush_from;
+    flush.flush_from <- Pid_set.add src flush.flush_from;
     maybe_finish_flush t flush;
     (* the coordinator may already have everyone's done *)
     (match t.status with
      | Flushing f
        when f.new_view_id = new_view_id
             && t.self = coordinator_of f.survivors
-            && List.length f.done_from >= List.length f.survivors ->
+            && Pid_set.cardinal f.done_from >= List.length f.survivors ->
        broadcast_new_view t f
      | Flushing _ | Normal | Joining _ -> ())
   | Flushing _ | Normal | Joining _ -> ()
 
 and broadcast_new_view t flush =
   let joiners =
-    List.filter (fun p -> not (List.mem p flush.survivors)) flush.new_members
+    List.filter
+      (fun p -> not (Pid_set.mem p flush.survivor_set))
+      flush.new_members
   in
   (* install first so the state snapshot reflects every old-view delivery *)
   install_view t flush;
@@ -688,9 +722,8 @@ let on_flush_done t ~new_view_id ~from =
   | Flushing flush
     when flush.new_view_id = new_view_id
          && t.self = coordinator_of flush.survivors ->
-    if not (List.mem from flush.done_from) then
-      flush.done_from <- from :: flush.done_from;
-    if List.length flush.done_from >= List.length flush.survivors then
+    flush.done_from <- Pid_set.add from flush.done_from;
+    if Pid_set.cardinal flush.done_from >= List.length flush.survivors then
       broadcast_new_view t flush
   | Flushing _ | Normal | Joining _ -> ()
 
@@ -704,8 +737,8 @@ let install_join t join ~view_id ~members ~state =
   t.seq_queue <- Total_order.Sequencer_queue.create ();
   t.lamport_queue <- Total_order.Lamport_queue.create ~group_size:(Group.size new_view);
   t.stability <-
-    Stability.create ~group_size:(Group.size new_view) ~metrics:t.metrics
-      ~graph:t.shared.graph;
+    make_stability t.config ~group_size:(Group.size new_view)
+      ~metrics:t.metrics ~graph:t.shared.graph;
   t.next_global_seq <- 0;
   t.deferred_lamport_gossip <- [];
   t.status <- Normal;
@@ -734,7 +767,9 @@ let on_new_view t ~view_id ~members =
   else
   match t.status with
   | Flushing flush when flush.new_view_id = view_id ->
-    install_view t { flush with survivors = members; new_members = members }
+    install_view t
+      { flush with survivors = members;
+        survivor_set = Pid_set.of_list members; new_members = members }
   | Joining join ->
     (match join.pending_view with
      | Some (existing, _) when existing >= view_id -> ()
@@ -807,10 +842,11 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
       seq_queue = Total_order.Sequencer_queue.create ();
       lamport_queue = Total_order.Lamport_queue.create ~group_size:(Group.size view);
       stability =
-        Stability.create ~group_size:(Group.size view) ~metrics
+        make_stability config ~group_size:(Group.size view) ~metrics
           ~graph:shared.graph;
       next_global_seq = 0; status = Normal; outbox = []; installing = false;
-      failed_members = []; deferred_lamport_gossip = []; future_proto = [];
+      failed_members = Pid_set.empty; deferred_lamport_gossip = [];
+      future_proto = [];
       replay_proto = (fun _ -> ()); pending_joins = [];
       trigger_pending_joins = (fun () -> ());
       get_state = (fun () -> ""); set_state = (fun _ -> ());
@@ -863,7 +899,7 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
          let now = Engine.now engine in
          Array.iter
            (fun peer ->
-             if peer <> self && not (List.mem peer t.failed_members) then begin
+             if peer <> self && not (Pid_set.mem peer t.failed_members) then begin
                let last =
                  Option.value ~default:created_at
                    (Hashtbl.find_opt t.last_seen peer)

@@ -36,7 +36,8 @@ let reaction_budget = 240
 
 let max_reaction_depth = 3
 
-let execute ?(queue_impl = Config.Indexed_queue) ~seed ~ordering
+let execute ?(queue_impl = Config.Indexed_queue)
+    ?(stability_impl = Config.Incremental_stability) ~seed ~ordering
     (plan : Fault_plan.t) =
   let net =
     Net.create
@@ -53,6 +54,7 @@ let execute ?(queue_impl = Config.Indexed_queue) ~seed ~ordering
       transport = Config.Reliable { rto = Sim_time.ms 10; max_retries = 400 };
       failure_detection = Config.Oracle;
       queue_impl;
+      stability_impl;
     }
   in
   let oracle = Oracle.create () in
@@ -190,8 +192,10 @@ let execute ?(queue_impl = Config.Indexed_queue) ~seed ~ordering
   in
   (oracle, survivors)
 
-let violation_of ?queue_impl ~seed ~ordering plan =
-  let oracle, survivors = execute ?queue_impl ~seed ~ordering plan in
+let violation_of ?queue_impl ?stability_impl ~seed ~ordering plan =
+  let oracle, survivors =
+    execute ?queue_impl ?stability_impl ~seed ~ordering plan
+  in
   match Oracle.check oracle ~ordering ~survivors with
   | Some v -> Some (v, oracle)
   | None -> None
@@ -200,9 +204,10 @@ let violation_of ?queue_impl ~seed ~ordering plan =
    fault list, then drop single faults (last first) while the plan still
    fails. Every candidate is a full deterministic re-execution, so the
    shrunk plan is guaranteed to still reproduce a violation. *)
-let shrink_plan ?queue_impl ~seed ~ordering plan (v0, o0) =
+let shrink_plan ?queue_impl ?stability_impl ~seed ~ordering plan (v0, o0) =
   let fails faults =
-    violation_of ?queue_impl ~seed ~ordering (Fault_plan.with_faults plan faults)
+    violation_of ?queue_impl ?stability_impl ~seed ~ordering
+      (Fault_plan.with_faults plan faults)
   in
   let faults = Array.of_list plan.Fault_plan.faults in
   let n = Array.length faults in
@@ -232,8 +237,10 @@ let make_report ~seed ~ordering ~shrunk plan (violation, oracle) =
   in
   { seed; ordering; plan; violation; trace; shrunk }
 
-let replay ?queue_impl ~ordering ~seed plan =
-  let oracle, survivors = execute ?queue_impl ~seed ~ordering plan in
+let replay ?queue_impl ?stability_impl ~ordering ~seed plan =
+  let oracle, survivors =
+    execute ?queue_impl ?stability_impl ~seed ~ordering plan
+  in
   match Oracle.check oracle ~ordering ~survivors with
   | None ->
     Pass
@@ -245,9 +252,11 @@ let replay ?queue_impl ~ordering ~seed plan =
     Fail (make_report ~seed ~ordering ~shrunk:false plan (violation, oracle))
 
 let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true)
-    ?queue_impl ~ordering ~seed () =
+    ?queue_impl ?stability_impl ~ordering ~seed () =
   let plan = Fault_plan.generate ~seed profile in
-  let oracle, survivors = execute ?queue_impl ~seed ~ordering plan in
+  let oracle, survivors =
+    execute ?queue_impl ?stability_impl ~seed ~ordering plan
+  in
   match Oracle.check oracle ~ordering ~survivors with
   | None ->
     Pass
@@ -258,7 +267,8 @@ let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true)
   | Some violation ->
     if shrink then
       let plan', best =
-        shrink_plan ?queue_impl ~seed ~ordering plan (violation, oracle)
+        shrink_plan ?queue_impl ?stability_impl ~seed ~ordering plan
+          (violation, oracle)
       in
       Fail (make_report ~seed ~ordering ~shrunk:true plan' best)
     else Fail (make_report ~seed ~ordering ~shrunk:false plan (violation, oracle))
@@ -271,14 +281,16 @@ type sweep_result = {
 }
 
 let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
-    ?(start_seed = 0) ?on_seed ?queue_impl ~ordering ~seeds () =
+    ?(start_seed = 0) ?on_seed ?queue_impl ?stability_impl ~ordering ~seeds () =
   let rec go i acc_pass acc_s acc_d =
     if i >= seeds then
       { passed = acc_pass; failed = None; total_sends = acc_s;
         total_deliveries = acc_d }
     else
       let seed = start_seed + i in
-      match run_seed ~profile ~shrink ?queue_impl ~ordering ~seed () with
+      match
+        run_seed ~profile ~shrink ?queue_impl ?stability_impl ~ordering ~seed ()
+      with
       | Pass { sends; deliveries } ->
         (match on_seed with Some f -> f ~seed ~ok:true | None -> ());
         go (i + 1) (acc_pass + 1) (acc_s + sends) (acc_d + deliveries)
@@ -291,8 +303,10 @@ let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
 
 (* --- execution export for the offline analyzer ----------------------------- *)
 
-let exec_of_plan ?queue_impl ~ordering ~seed plan =
-  let oracle, survivors = execute ?queue_impl ~seed ~ordering plan in
+let exec_of_plan ?queue_impl ?stability_impl ~ordering ~seed plan =
+  let oracle, survivors =
+    execute ?queue_impl ?stability_impl ~seed ~ordering plan
+  in
   let verdict =
     match Oracle.check oracle ~ordering ~survivors with
     | None ->
@@ -309,9 +323,10 @@ let exec_of_plan ?queue_impl ~ordering ~seed plan =
   in
   (Oracle.to_exec oracle ~ordering ~label, verdict)
 
-let exec_of_seed ?(profile = Fault_plan.default_profile) ?queue_impl ~ordering
-    ~seed () =
-  exec_of_plan ?queue_impl ~ordering ~seed (Fault_plan.generate ~seed profile)
+let exec_of_seed ?(profile = Fault_plan.default_profile) ?queue_impl
+    ?stability_impl ~ordering ~seed () =
+  exec_of_plan ?queue_impl ?stability_impl ~ordering ~seed
+    (Fault_plan.generate ~seed profile)
 
 let pp_report fmt r =
   Format.fprintf fmt

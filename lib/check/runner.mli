@@ -31,6 +31,7 @@ val ordering_of_string : string -> Repro_catocs.Config.ordering option
 
 val replay :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
+  ?stability_impl:Repro_catocs.Config.stability_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   Fault_plan.t ->
@@ -43,6 +44,7 @@ val run_seed :
   ?profile:Fault_plan.profile ->
   ?shrink:bool ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
+  ?stability_impl:Repro_catocs.Config.stability_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   unit ->
@@ -51,7 +53,8 @@ val run_seed :
     failing run before reporting. [queue_impl] (default [Indexed_queue])
     selects the delivery-queue implementation the stacks run on, so the
     same seeds can differentially exercise the optimized and reference
-    buffering paths. *)
+    buffering paths; [stability_impl] (default [Incremental_stability]) does
+    the same for the stability tracker. *)
 
 type sweep_result = {
   passed : int;
@@ -66,6 +69,7 @@ val sweep :
   ?start_seed:int ->
   ?on_seed:(seed:int -> ok:bool -> unit) ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
+  ?stability_impl:Repro_catocs.Config.stability_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seeds:int ->
   unit ->
@@ -75,6 +79,7 @@ val sweep :
 
 val exec_of_plan :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
+  ?stability_impl:Repro_catocs.Config.stability_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   Fault_plan.t ->
@@ -86,6 +91,7 @@ val exec_of_plan :
 val exec_of_seed :
   ?profile:Fault_plan.profile ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
+  ?stability_impl:Repro_catocs.Config.stability_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   unit ->

@@ -1,24 +1,64 @@
-type t = Vector_clock.t array
+(* Rows are merged monotonically, so each column's minimum only ever
+   advances. The cache keeps, per column, the current minimum and how many
+   rows sit exactly at it: a row leaving the minimum decrements the count,
+   and only when the count hits zero is the column rescanned — O(rows) per
+   actual advance of the minimum, O(1) for every other update. *)
+type t = {
+  rows : Vector_clock.t array;
+  mins : int array;  (* cached per-column minima *)
+  at_min : int array;  (* rows whose component equals the cached minimum *)
+}
 
-let create n = Array.init n (fun _ -> Vector_clock.create n)
+let create n =
+  { rows = Array.init n (fun _ -> Vector_clock.create n);
+    mins = Array.make n 0;
+    at_min = Array.make n n }
 
-let size = Array.length
+let size t = Array.length t.rows
 
-let row t i = t.(i)
+let row t i = t.rows.(i)
 
-let update_row t i vc = Vector_clock.merge_into t.(i) vc
-
-let min_component t s =
+let rescan_column t s =
   let best = ref max_int in
-  for i = 0 to Array.length t - 1 do
-    let v = Vector_clock.get t.(i) s in
-    if v < !best then best := v
+  let count = ref 0 in
+  for i = 0 to Array.length t.rows - 1 do
+    let v = Vector_clock.get t.rows.(i) s in
+    if v < !best then begin
+      best := v;
+      count := 1
+    end
+    else if v = !best then incr count
   done;
-  !best
+  t.mins.(s) <- !best;
+  t.at_min.(s) <- !count
 
-let stable t ~sender ~seq = min_component t sender >= seq
+let update_row_tracked t i vc ~advanced =
+  let r = t.rows.(i) in
+  let n = Vector_clock.size r in
+  if Vector_clock.size vc <> n then
+    invalid_arg "Matrix_clock.update_row: size mismatch";
+  for s = 0 to n - 1 do
+    let fresh = Vector_clock.get vc s in
+    let old = Vector_clock.get r s in
+    if fresh > old then begin
+      Vector_clock.set r s fresh;
+      if old = t.mins.(s) then begin
+        t.at_min.(s) <- t.at_min.(s) - 1;
+        if t.at_min.(s) = 0 then begin
+          rescan_column t s;
+          advanced s
+        end
+      end
+    end
+  done
+
+let update_row t i vc = update_row_tracked t i vc ~advanced:(fun _ -> ())
+
+let min_component t s = t.mins.(s)
+
+let stable t ~sender ~seq = t.mins.(sender) >= seq
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a@]"
     (Format.pp_print_list Vector_clock.pp)
-    (Array.to_list t)
+    (Array.to_list t.rows)

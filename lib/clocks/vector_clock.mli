@@ -18,6 +18,11 @@ val set : t -> int -> int -> unit
 val tick : t -> int -> unit
 (** [tick t i] increments component [i] (a send event at member [i]). *)
 
+val copy_tick : t -> int -> t
+(** [copy_tick t i] is [copy t] followed by [tick _ i] in a single pass:
+    the immutable per-multicast timestamp snapshot, allocated once and
+    shared by every recipient. *)
+
 val merge_into : t -> t -> unit
 (** [merge_into dst src] takes the componentwise maximum into [dst]. *)
 

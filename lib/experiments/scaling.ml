@@ -19,14 +19,16 @@ type point = {
    so we hold the shared context *)
 let measure_with_graph ?(processing_time = Sim_time.zero)
     ?(duration = Sim_time.seconds 1) ?(send_period = Sim_time.ms 10)
-    ?(queue_impl = Config.Indexed_queue) ?(track_graph = true) ~seed n =
+    ?(queue_impl = Config.Indexed_queue)
+    ?(stability_impl = Config.Incremental_stability) ?(track_graph = true)
+    ~seed n =
   let net =
     Net.create ~latency:(Net.Uniform (500, 5_000)) ~processing_time ()
   in
   let engine = Engine.create ~seed ~net () in
   let config =
     { Config.default with
-      Config.ordering = Config.Causal; queue_impl; track_graph }
+      Config.ordering = Config.Causal; queue_impl; stability_impl; track_graph }
   in
   let pids =
     List.init n (fun i ->
@@ -89,11 +91,11 @@ let measure_with_graph ?(processing_time = Sim_time.zero)
     deliveries_total = Engine.messages_delivered engine }
 
 let sweep ?(sizes = [ 4; 8; 16; 32; 48 ]) ?(seed = 11L) ?processing_time
-    ?duration ?send_period ?queue_impl ?track_graph () =
+    ?duration ?send_period ?queue_impl ?stability_impl ?track_graph () =
   List.map
     (fun n ->
       measure_with_graph ?processing_time ?duration ?send_period ?queue_impl
-        ?track_graph ~seed n)
+        ?stability_impl ?track_graph ~seed n)
     sizes
 
 let table points =

@@ -23,13 +23,14 @@ type point = {
 val sweep :
   ?sizes:int list -> ?seed:int64 -> ?processing_time:Sim_time.t ->
   ?duration:Sim_time.t -> ?send_period:Sim_time.t ->
-  ?queue_impl:Repro_catocs.Config.queue_impl -> ?track_graph:bool -> unit ->
-  point list
+  ?queue_impl:Repro_catocs.Config.queue_impl ->
+  ?stability_impl:Repro_catocs.Config.stability_impl ->
+  ?track_graph:bool -> unit -> point list
 (** [duration] bounds the send phase (default 1 simulated second);
     [send_period] is the per-process multicast period (default 10 ms);
-    [queue_impl] selects the delivery-queue implementation under test;
-    [track_graph] can be disabled to exclude shared-graph bookkeeping from
-    throughput measurements. *)
+    [queue_impl] selects the delivery-queue implementation under test, and
+    [stability_impl] the stability tracker; [track_graph] can be disabled to
+    exclude shared-graph bookkeeping from throughput measurements. *)
 
 val table : point list -> Table.t
 (** Includes fitted log-log growth exponents in the notes. *)

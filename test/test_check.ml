@@ -72,6 +72,31 @@ let test_cross_impl_verdicts () =
         (List.init 10 Fun.id))
     Runner.orderings
 
+let test_cross_stability_verdicts () =
+  (* The incremental and reference stability trackers are whole-stack
+     equivalent too: flush rounds re-multicast exactly the unstable
+     messages, so a divergent release would change deliveries and break
+     the fingerprint. *)
+  List.iter
+    (fun (name, ordering) ->
+      List.iter
+        (fun seed ->
+          let incremental =
+            Runner.fingerprint
+              (Runner.run_seed ~stability_impl:Config.Incremental_stability
+                 ~ordering ~seed ())
+          in
+          let reference =
+            Runner.fingerprint
+              (Runner.run_seed ~stability_impl:Config.Reference_stability
+                 ~ordering ~seed ())
+          in
+          check_string
+            (Printf.sprintf "%s seed %d cross-stability" name seed)
+            incremental reference)
+        (List.init 10 Fun.id))
+    Runner.orderings
+
 let test_plan_generation_deterministic () =
   let profile = Fault_plan.default_profile in
   let show plan = Format.asprintf "%a" Fault_plan.pp plan in
@@ -162,6 +187,8 @@ let () =
             test_deterministic_verdicts;
           Alcotest.test_case "indexed = reference fingerprints" `Slow
             test_cross_impl_verdicts;
+          Alcotest.test_case "incremental = reference stability fingerprints"
+            `Slow test_cross_stability_verdicts;
           Alcotest.test_case "plan generation" `Quick
             test_plan_generation_deterministic;
         ] );

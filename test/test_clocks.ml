@@ -296,6 +296,68 @@ let test_matrix_rows_monotone () =
   Alcotest.(check (list int)) "merge, not overwrite" [ 5; 7 ]
     (Vector_clock.to_list (Matrix_clock.row m 0))
 
+(* cached-minima bookkeeping: the [advanced] callback must fire exactly for
+   the columns whose minimum increased, and the cache must survive merges
+   that lower no component (row "overwrites") and stale rows *)
+
+let tracked m i vc =
+  let advanced = ref [] in
+  Matrix_clock.update_row_tracked m i (vc_of vc) ~advanced:(fun s ->
+      advanced := s :: !advanced);
+  List.sort Int.compare !advanced
+
+let test_matrix_tracked_advance () =
+  let m = Matrix_clock.create 3 in
+  Alcotest.(check (list int)) "rows 1,2 still at zero" []
+    (tracked m 0 [ 2; 1; 0 ]);
+  Alcotest.(check (list int)) "row 2 still at zero" []
+    (tracked m 1 [ 1; 1; 0 ]);
+  Alcotest.(check (list int)) "columns 0 and 1 cross together" [ 0; 1 ]
+    (tracked m 2 [ 3; 1; 0 ]);
+  check_int "column 0 minimum" 1 (Matrix_clock.min_component m 0);
+  check_int "column 1 minimum" 1 (Matrix_clock.min_component m 1);
+  check_int "column 2 minimum" 0 (Matrix_clock.min_component m 2)
+
+let test_matrix_tracked_row_overwrite () =
+  (* merging a vector that is lower in some components must neither lower
+     the cached minima nor fire the callback for untouched columns *)
+  let m = Matrix_clock.create 3 in
+  ignore (tracked m 0 [ 2; 1; 0 ]);
+  ignore (tracked m 1 [ 1; 1; 0 ]);
+  ignore (tracked m 2 [ 3; 1; 0 ]);
+  Alcotest.(check (list int)) "lower components ignored by merge" []
+    (tracked m 0 [ 1; 0; 5 ]);
+  Alcotest.(check (list int)) "row kept componentwise max" [ 2; 1; 5 ]
+    (Vector_clock.to_list (Matrix_clock.row m 0));
+  check_int "column 2 minimum still pinned by rows 1,2" 0
+    (Matrix_clock.min_component m 2)
+
+let test_matrix_tracked_stale_row () =
+  let m = Matrix_clock.create 2 in
+  ignore (tracked m 0 [ 3; 2 ]);
+  ignore (tracked m 1 [ 3; 2 ]);
+  Alcotest.(check (list int)) "dominated update advances nothing" []
+    (tracked m 1 [ 2; 1 ]);
+  check_int "column 0 minimum unchanged" 3 (Matrix_clock.min_component m 0);
+  check_int "column 1 minimum unchanged" 2 (Matrix_clock.min_component m 1)
+
+let test_matrix_tracked_singleton () =
+  (* a single-process group: every own-row advance is immediately the
+     column minimum, so stability tracks the row directly *)
+  let m = Matrix_clock.create 1 in
+  check_bool "seq 1 initially unstable" false
+    (Matrix_clock.stable m ~sender:0 ~seq:1);
+  Alcotest.(check (list int)) "first advance" [ 0 ] (tracked m 0 [ 1 ]);
+  check_bool "seq 1 stable" true (Matrix_clock.stable m ~sender:0 ~seq:1);
+  Alcotest.(check (list int)) "second advance" [ 0 ] (tracked m 0 [ 2 ]);
+  check_int "minimum is the row" 2 (Matrix_clock.min_component m 0)
+
+let test_matrix_update_size_mismatch () =
+  let m = Matrix_clock.create 2 in
+  Alcotest.check_raises "size mismatch rejected"
+    (Invalid_argument "Matrix_clock.update_row: size mismatch") (fun () ->
+      Matrix_clock.update_row m 0 (vc_of [ 1; 2; 3 ]))
+
 (* --- Causality DAG ------------------------------------------------------- *)
 
 let test_causality_precedes_transitive () =
@@ -401,6 +463,15 @@ let () =
           Alcotest.test_case "stability" `Quick test_matrix_stability;
           Alcotest.test_case "min component" `Quick test_matrix_min_component;
           Alcotest.test_case "rows monotone" `Quick test_matrix_rows_monotone;
+          Alcotest.test_case "tracked advance" `Quick test_matrix_tracked_advance;
+          Alcotest.test_case "tracked row overwrite" `Quick
+            test_matrix_tracked_row_overwrite;
+          Alcotest.test_case "tracked stale row" `Quick
+            test_matrix_tracked_stale_row;
+          Alcotest.test_case "tracked singleton group" `Quick
+            test_matrix_tracked_singleton;
+          Alcotest.test_case "update size mismatch" `Quick
+            test_matrix_update_size_mismatch;
         ] );
       ( "causality",
         [
