@@ -24,6 +24,7 @@ module Stability = Repro_catocs.Stability
 module Metrics = Repro_catocs.Metrics
 module Wire = Repro_catocs.Wire
 module Json = Repro_analyze.Json
+module Obs_log = Repro_obs.Log
 
 let microbenchmarks () =
   let open Bechamel in
@@ -359,11 +360,73 @@ let e2e_section ~smoke =
         sizes)
     impls
 
+(* Telemetry overhead at the end-to-end level: the same n=64 scaling run
+   with no log, with an attached-but-disabled log (the production default:
+   one load + one branch per would-be event) and with logging enabled. The
+   disabled path is gated at [obs_gate_pct]; each variant's throughput is
+   the best of [runs] repetitions (min-time, the standard way to damp
+   scheduler noise out of a comparison). *)
+let obs_gate_pct = 2.0
+
+let obs_section ~smoke =
+  let n = if smoke then 16 else 64 in
+  let duration = if smoke then Sim_time.seconds 3 else Sim_time.ms 300 in
+  let runs = 5 in
+  let deliveries = ref 0 in
+  let run_once make_obs =
+    let obs = make_obs () in
+    let t0 = Sys.time () in
+    let point =
+      Scaling.measure_with_graph ?obs ~duration ~seed:11L ~track_graph:false n
+    in
+    let cpu = Sys.time () -. t0 in
+    deliveries := point.Scaling.deliveries_total;
+    if cpu > 0. then float_of_int point.Scaling.deliveries_total /. cpu
+    else 0.0
+  in
+  (* The three variants are interleaved round-robin (after one discarded
+     warm-up) rather than run in sequential blocks: slow drift in machine
+     load then hits all variants about equally instead of landing on
+     whichever block it overlaps, and best-of-[runs] per variant discards
+     the transient slowdowns that remain. *)
+  let variants =
+    [|
+      (fun () -> None);
+      (fun () -> Some (Obs_log.create ~enabled:false ()));
+      (fun () -> Some (Obs_log.create ()));
+    |]
+  in
+  ignore (run_once variants.(0));
+  let best = Array.make (Array.length variants) 0.0 in
+  for _round = 1 to runs do
+    Array.iteri
+      (fun i v -> best.(i) <- Float.max best.(i) (run_once v))
+      variants
+  done;
+  let off = best.(0) and disabled = best.(1) and enabled = best.(2) in
+  let delta base v = (base -. v) /. base *. 100.0 in
+  let disabled_delta = delta off disabled and enabled_delta = delta off enabled in
+  Printf.printf
+    "  obs n=%-3d no-log %10.0f msg/s | disabled %10.0f (%+.2f%%) | enabled \
+     %10.0f (%+.2f%%)  gate %.1f%%\n%!"
+    n off disabled disabled_delta enabled enabled_delta obs_gate_pct;
+  Printf.sprintf
+    "    { \"group_size\": %d, \"sim_duration_ms\": %d, \"runs\": %d, \
+     \"deliveries\": %d, \"no_log_rate\": %s, \"disabled_rate\": %s, \
+     \"enabled_rate\": %s, \"disabled_delta_pct\": %s, \
+     \"enabled_delta_pct\": %s, \"gate_pct\": %s }"
+    n
+    (Sim_time.to_us duration / 1000)
+    runs !deliveries (json_float off) (json_float disabled)
+    (json_float enabled) (json_float disabled_delta) (json_float enabled_delta)
+    (json_float obs_gate_pct)
+
 let emit_json ~smoke ~out =
   Printf.printf "delivery-path benchmark (%s mode)\n%!"
     (if smoke then "smoke" else "full");
   let micro = micro_section ~smoke in
   let e2e = e2e_section ~smoke in
+  let obs = obs_section ~smoke in
   let oc = open_out out in
   output_string oc "{\n";
   output_string oc "  \"schema_version\": 1,\n";
@@ -373,6 +436,9 @@ let emit_json ~smoke ~out =
   output_string oc "\n  ],\n";
   output_string oc "  \"end_to_end\": [\n";
   output_string oc (String.concat ",\n" e2e);
+  output_string oc "\n  ],\n";
+  output_string oc "  \"obs_overhead\": [\n";
+  output_string oc obs;
   output_string oc "\n  ]\n";
   output_string oc "}\n";
   close_out oc;
@@ -474,8 +540,38 @@ let validate ?expect_mode ?baseline file =
         fail "group_size %d: implementations disagree on deliveries (%d vs %d)"
           size d deliveries)
     e2e;
-  Printf.printf "%s OK: %d micro rows, %d e2e rows (mode %s)\n" file
-    (List.length micro) (List.length e2e) mode;
+  (* obs_overhead is optional (absent from pre-telemetry files); when
+     present, the attached-but-disabled log must cost less than its own
+     recorded gate (the <2% zero-allocation-path guarantee) *)
+  let obs_rows =
+    match Json.member "obs_overhead" doc with
+    | None -> []
+    | Some l -> (
+      match Json.to_list l with
+      | Some l -> l
+      | None -> fail "\"obs_overhead\" must be an array")
+  in
+  List.iter
+    (fun row ->
+      ignore (int_field row "group_size");
+      ignore (int_field row "runs");
+      ignore (int_field row "deliveries");
+      number_or_null row "no_log_rate";
+      number_or_null row "enabled_delta_pct";
+      match
+        ( Json.to_float (get ~from:row "disabled_delta_pct"),
+          Json.to_float (get ~from:row "gate_pct") )
+      with
+      | Some delta, Some gate ->
+        if delta > gate then
+          fail
+            "telemetry disabled-path overhead %.2f%% exceeds the %.1f%% gate \
+             at n=%d"
+            delta gate (int_field row "group_size")
+      | _ -> fail "obs_overhead deltas must be numbers")
+    obs_rows;
+  Printf.printf "%s OK: %d micro rows, %d e2e rows, %d obs rows (mode %s)\n"
+    file (List.length micro) (List.length e2e) (List.length obs_rows) mode;
   (* --baseline: fail on a >30% throughput regression at any
      (impl, group size) present in both files *)
   match baseline with

@@ -1,0 +1,222 @@
+(* repro-trace: export registered experiment runs as telemetry traces.
+
+   `list` shows the registered scenarios (the paper's figure executions and
+   the n=64 scaling run), `export` writes one as Chrome trace-event JSON
+   (loadable in Perfetto / chrome://tracing) or JSONL, and `validate`
+   re-parses the exports and checks their structure — the CI trace-export
+   step runs it over every scenario. *)
+
+module Telemetry = Repro_experiments.Telemetry
+module Log = Repro_obs.Log
+module Export = Repro_obs.Export
+module Span = Repro_obs.Span
+module Json = Repro_analyze.Json
+
+let with_scenario name f =
+  match Telemetry.find name with
+  | Some s -> f s
+  | None ->
+    Printf.eprintf "unknown scenario %S (one of: %s)\n" name
+      (String.concat ", "
+         (List.map (fun s -> s.Telemetry.name) Telemetry.all));
+    2
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* --- list ------------------------------------------------------------------ *)
+
+let run_list () =
+  List.iter
+    (fun s -> Printf.printf "%-18s %s\n" s.Telemetry.name s.Telemetry.descr)
+    Telemetry.all;
+  0
+
+(* --- export ---------------------------------------------------------------- *)
+
+let render fmt (log, names) =
+  match fmt with
+  | "chrome" -> Export.chrome_trace ~names log
+  | "jsonl" -> Export.jsonl log
+  | _ -> assert false
+
+let default_out fmt name =
+  Printf.sprintf "TRACE_%s.%s" name
+    (if fmt = "chrome" then "json" else "jsonl")
+
+let run_export name fmt out =
+  with_scenario name (fun s ->
+      let (log, _) as r = s.Telemetry.run () in
+      let out = match out with Some o -> o | None -> default_out fmt s.Telemetry.name in
+      write_file out (render fmt r);
+      Printf.printf "%s: %d records (%d dropped) -> %s\n" s.Telemetry.name
+        (Log.length log) (Log.dropped log) out;
+      0)
+
+(* --- validate -------------------------------------------------------------- *)
+
+let validate_chrome name json =
+  match Json.of_string json with
+  | Error e ->
+    Printf.eprintf "%s: chrome export is not valid JSON: %s\n" name e;
+    1
+  | Ok doc ->
+    (match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+     | None ->
+       Printf.eprintf "%s: chrome export lacks a traceEvents array\n" name;
+       1
+     | Some events ->
+       let bad = ref 0 and spans = ref 0 in
+       List.iter
+         (fun ev ->
+           let str k = Option.bind (Json.member k ev) Json.to_str in
+           let num k = Option.bind (Json.member k ev) Json.to_float in
+           (match str "ph" with
+            | Some "X" ->
+              incr spans;
+              if num "ts" = None || num "dur" = None || num "pid" = None then
+                incr bad
+            | Some ("C" | "i" | "M") -> ()
+            | Some _ | None -> incr bad))
+         events;
+       if events = [] then begin
+         Printf.eprintf "%s: chrome export has no events\n" name;
+         1
+       end
+       else if !bad > 0 then begin
+         Printf.eprintf "%s: %d malformed trace events\n" name !bad;
+         1
+       end
+       else begin
+         Printf.printf "%s: chrome OK (%d events, %d spans)\n" name
+           (List.length events) !spans;
+         0
+       end)
+
+let validate_jsonl name jsonl =
+  let lines =
+    String.split_on_char '\n' jsonl |> List.filter (fun l -> l <> "")
+  in
+  let bad =
+    List.filter
+      (fun line ->
+        match Json.of_string line with
+        | Error _ -> true
+        | Ok obj ->
+          Option.bind (Json.member "at" obj) Json.to_int = None
+          || Option.bind (Json.member "event" obj) Json.to_str = None
+          || Option.bind (Json.member "layer" obj) Json.to_str = None)
+      lines
+  in
+  if lines = [] then begin
+    Printf.eprintf "%s: jsonl export is empty\n" name;
+    1
+  end
+  else if bad <> [] then begin
+    Printf.eprintf "%s: %d malformed jsonl lines, first: %s\n" name
+      (List.length bad) (List.hd bad);
+    1
+  end
+  else begin
+    Printf.printf "%s: jsonl OK (%d lines)\n" name (List.length lines);
+    0
+  end
+
+(* The spans must decompose end-to-end latency exactly:
+   transit + ordering-wait = send -> deliver, per delivered copy. *)
+let validate_spans name log =
+  let spans = Span.of_log log in
+  let broken =
+    List.filter
+      (fun sp ->
+        match (Span.transit_us sp, Span.ordering_wait_us sp, Span.end_to_end_us sp) with
+        | Some t, Some o, Some e -> t + o <> e
+        | _ -> false)
+      spans
+  in
+  if broken <> [] then begin
+    Printf.eprintf "%s: %d spans violate transit + ordering-wait = end-to-end\n"
+      name (List.length broken);
+    1
+  end
+  else begin
+    Printf.printf "%s: spans OK (%d, partition exact)\n" name
+      (List.length spans);
+    0
+  end
+
+let run_validate names =
+  let names =
+    if names = [] then List.map (fun s -> s.Telemetry.name) Telemetry.all
+    else names
+  in
+  let rc =
+    List.fold_left
+      (fun rc name ->
+        max rc
+          (with_scenario name (fun s ->
+               let log, proc_names = s.Telemetry.run () in
+               let c = validate_chrome name (Export.chrome_trace ~names:proc_names log) in
+               let j = validate_jsonl name (Export.jsonl log) in
+               let p = validate_spans name log in
+               max c (max j p))))
+      0 names
+  in
+  if rc = 0 then print_endline "all exports valid";
+  rc
+
+(* --- command line ----------------------------------------------------------- *)
+
+open Cmdliner
+
+let fmt_arg =
+  Arg.(
+    value
+    & opt (enum [ ("chrome", "chrome"); ("jsonl", "jsonl") ]) "chrome"
+    & info [ "format"; "f" ] ~docv:"FMT"
+        ~doc:"Export format: chrome (trace-event JSON) or jsonl.")
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the registered telemetry scenarios.")
+    Term.(const run_list $ const ())
+
+let export_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see list).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Output path (default TRACE_<scenario>.<ext>).")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Run a scenario and write its telemetry trace.")
+    Term.(const run_export $ name_arg $ fmt_arg $ out_arg)
+
+let validate_cmd =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SCENARIO" ~doc:"Scenarios to validate (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Run scenarios, re-parse both export formats and check span \
+          structure; non-zero exit on any malformed output.")
+    Term.(const run_validate $ names_arg)
+
+let cmd =
+  let doc = "Telemetry trace exporter for registered experiment runs." in
+  Cmd.group (Cmd.info "repro-trace" ~doc) [ list_cmd; export_cmd; validate_cmd ]
+
+let () = exit (Cmd.eval' cmd)

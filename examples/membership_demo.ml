@@ -28,7 +28,7 @@ let () =
     Stack.create_group ~engine
       ~config:{ Config.default with Config.ordering = Config.Causal }
       ~names:[ "r0"; "r1"; "r2" ]
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let wire stack label =

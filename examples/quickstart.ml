@@ -17,7 +17,7 @@ let () =
     Stack.create_group ~engine
       ~config:{ Config.default with Config.ordering = Config.Causal }
       ~names:[ "alice"; "bob"; "carol"; "dave" ]
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
 

@@ -211,3 +211,27 @@ let of_trace ?(label = "trace") ?ordering entries =
       | Trace.Recv -> ())
     entries;
   Recorder.exec r
+
+let of_log ?(label = "obs log") ?ordering ?(names = []) log =
+  let r = Recorder.create ?ordering ~label () in
+  List.iter (fun (pid, name) -> Recorder.add_process r ~pid ~name) names;
+  (* obs uid -> recorder uid: the log's ids are wire msg ids, the
+     recorder allocates its own dense sequence *)
+  let uids : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Repro_obs.Log.iter log (fun { Repro_obs.Event.at; event; _ } ->
+      match event with
+      | Repro_obs.Event.Span_send { uid; pid; bytes = _ } ->
+        Hashtbl.replace uids uid (Recorder.note_send r ~sender:pid ~at ())
+      | Repro_obs.Event.Span_delivered { uid; pid } ->
+        (match Hashtbl.find_opt uids uid with
+         | Some u -> Recorder.note_delivery r ~pid ~uid:u ~at
+         | None ->
+           invalid_arg
+             (Printf.sprintf
+                "Exec.of_log: delivery of unknown message uid %d at pid %d"
+                uid pid))
+      | Repro_obs.Event.Span_recv _ | Repro_obs.Event.Span_queued _
+      | Repro_obs.Event.Span_stable _ | Repro_obs.Event.View_flush_start _
+      | Repro_obs.Event.View_flush_end _ | Repro_obs.Event.Retransmit _
+      | Repro_obs.Event.Gauge_sample _ -> ());
+  Recorder.exec r

@@ -122,3 +122,18 @@ val of_trace :
     a previously sent label (raises [Invalid_argument] otherwise); [Mark]
     entries become external events; [Recv] entries (transport arrival, not
     an application event) are ignored. *)
+
+val of_log :
+  ?label:string ->
+  ?ordering:ordering_discipline ->
+  ?names:(int * string) list ->
+  Repro_obs.Log.t ->
+  t
+(** Ingest a structured telemetry log ([lib/obs]): [Span_send] records
+    become sends (the log's wire message ids are re-mapped to dense
+    recorder uids) and [Span_delivered] records become deliveries. A
+    delivery whose send is not in the log — e.g. overwritten after the
+    ring filled — raises [Invalid_argument]. [names] labels processes as
+    in {!Recorder.add_process}. Intermediate lifecycle records (recv,
+    queued, stable), flush markers, retransmissions and gauges carry no
+    happened-before information and are skipped. *)

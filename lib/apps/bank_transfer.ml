@@ -62,7 +62,7 @@ let run_catocs (config : config) =
     Stack.create_group ~engine
       ~config:{ Config.default with Config.ordering = Config.Total_sequencer }
       ~names:(List.init config.replicas (fun i -> Printf.sprintf "bank%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let balances =

@@ -79,7 +79,7 @@ let run ?recorder config =
   let stacks =
     Stack.create_group ~engine ~config:group_config
       ~names:(List.init config.servers (fun i -> Printf.sprintf "srv%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   (match recorder with

@@ -92,7 +92,7 @@ let run_catocs (config : config) =
   let stacks =
     Stack.create_group ~engine ~config:group_config
       ~names:(List.init config.drillers (fun i -> Printf.sprintf "driller%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let states =

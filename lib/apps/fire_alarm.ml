@@ -39,7 +39,7 @@ type result = {
 let pp_msg ppf r =
   Format.fprintf ppf "%s(t%d)" (if r.burning then "FIRE" else "fire-out") r.trial
 
-let run ?(capture_diagram = false) ?recorder config =
+let run ?(capture_diagram = false) ?obs ?recorder config =
   let net = Net.create ~latency:config.latency () in
   let engine =
     Engine.create ~seed:config.seed ~net
@@ -52,9 +52,9 @@ let run ?(capture_diagram = false) ?recorder config =
   in
   let group_config = { Config.default with Config.ordering = config.ordering } in
   let stacks =
-    Stack.create_group ~engine ~config:group_config
+    Stack.create_group ?obs ~engine ~config:group_config
       ~names:[ "furnace-P"; "observer-Q"; "monitor-R" ]
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
   in
   let furnace, observer, monitor =
     match stacks with

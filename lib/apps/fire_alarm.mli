@@ -35,9 +35,11 @@ type result = {
 
 val run :
   ?capture_diagram:bool ->
+  ?obs:Repro_obs.Log.t ->
   ?recorder:Repro_analyze.Exec.Recorder.t ->
   config ->
   result
 (** With [recorder], every report multicast and delivery is recorded, and
     successive reports of one trial get a channel edge labelled "physical
-    world" — the external channel the transport cannot see. *)
+    world" — the external channel the transport cannot see. [obs] attaches
+    a telemetry log to the group. *)

@@ -58,7 +58,7 @@ let run config =
   let stacks =
     Stack.create_group ~engine ~config:group_config
       ~names:(List.init config.readers (fun i -> Printf.sprintf "site%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let rng = Rng.split (Engine.rng engine) in

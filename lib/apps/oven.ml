@@ -79,7 +79,7 @@ let run_catocs (config : config) =
     Stack.create_group ~engine
       ~config:{ Config.default with Config.ordering = Config.Causal; transport }
       ~names:[ "sensor"; "controller"; "monitor" ]
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let sensor = stacks.(0) and controller = stacks.(1) and monitor = stacks.(2) in

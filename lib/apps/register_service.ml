@@ -52,7 +52,7 @@ let run (config : config) =
     Stack.create_group ~engine
       ~config:{ Config.default with Config.ordering = Config.Causal }
       ~names:(List.init config.replicas (fun i -> Printf.sprintf "reg%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let stores = Array.init config.replicas (fun _ -> Hashtbl.create 8) in

@@ -141,7 +141,7 @@ let run_van_renesse (config : config) ops background_rpcs =
     Stack.create_group ~engine
       ~config:{ Config.default with Config.ordering = Config.Causal }
       ~names
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let monitor = stacks.(config.workers) in

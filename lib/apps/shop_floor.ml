@@ -40,7 +40,7 @@ let pp_msg ppf = function
   | Notify { lot; action; version } ->
     Format.fprintf ppf "notify %s %s v%d" action lot version
 
-let run ?(capture_diagram = false) ?recorder config =
+let run ?(capture_diagram = false) ?obs ?recorder config =
   let net = Net.create ~latency:config.latency () in
   let engine =
     Engine.create ~seed:config.seed ~net
@@ -77,9 +77,9 @@ let run ?(capture_diagram = false) ?recorder config =
   (* the group: two SFC instances plus the observing client workstation *)
   let group_config = { Config.default with Config.ordering = Config.Causal } in
   let stacks =
-    Stack.create_group ~engine ~config:group_config
+    Stack.create_group ?obs ~engine ~config:group_config
       ~names:[ "sfc1"; "sfc2"; "observer" ]
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
   in
   let sfc1, sfc2, observer =
     match stacks with

@@ -38,9 +38,12 @@ type result = {
 
 val run :
   ?capture_diagram:bool ->
+  ?obs:Repro_obs.Log.t ->
   ?recorder:Repro_analyze.Exec.Recorder.t ->
   config ->
   result
 (** With [recorder], every Notify multicast, its deliveries, the database
     writes, and one channel edge per consecutive same-lot version pair
-    (labelled "shared database") are recorded for the causal sanitizer. *)
+    (labelled "shared database") are recorded for the causal sanitizer.
+    [obs] attaches a telemetry log to the CATOCS group (the database and
+    client endpoints sit outside the group and emit nothing). *)

@@ -28,14 +28,14 @@ type result = {
   mean_display_lag_us : float;
 }
 
-let run config =
+let run ?obs config =
   let net = Net.create ~latency:config.latency () in
   let engine = Engine.create ~seed:config.seed ~net () in
   let group_config = { Config.default with Config.ordering = config.ordering } in
   let stacks =
-    Stack.create_group ~engine ~config:group_config
+    Stack.create_group ?obs ~engine ~config:group_config
       ~names:[ "option-pricing"; "theoretic-pricing"; "monitor" ]
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
   in
   let option_server, theo_server, monitor =
     match stacks with

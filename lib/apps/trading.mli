@@ -40,4 +40,5 @@ type result = {
       (** dep-cache cost: delay from theo arrival to exposure *)
 }
 
-val run : config -> result
+val run : ?obs:Repro_obs.Log.t -> config -> result
+(** [obs] attaches a telemetry log to the group. *)

@@ -382,33 +382,50 @@ end
 
 type impl = Indexed | Reference
 
-type 'a t = Indexed_q of 'a Indexed.t | Reference_q of 'a Reference.t
+type 'a q = Indexed_q of 'a Indexed.t | Reference_q of 'a Reference.t
 
-let create ?(impl = Indexed) mode =
-  match impl with
-  | Indexed -> Indexed_q (Indexed.create mode)
-  | Reference -> Reference_q (Reference.create mode)
+type 'a t = {
+  q : 'a q;
+  obs : (Repro_obs.Log.t * int) option;  (* telemetry log, owner pid *)
+}
 
-let impl_of = function Indexed_q _ -> Indexed | Reference_q _ -> Reference
+let create ?(impl = Indexed) ?obs mode =
+  let q =
+    match impl with
+    | Indexed -> Indexed_q (Indexed.create mode)
+    | Reference -> Reference_q (Reference.create mode)
+  in
+  { q; obs }
+
+let impl_of t =
+  match t.q with Indexed_q _ -> Indexed | Reference_q _ -> Reference
 
 let add t pending =
-  match t with
+  (match t.obs with
+   | Some (log, pid) ->
+     Repro_obs.Log.span_queued log ~at:pending.arrived_at
+       ~uid:pending.data.Wire.msg_id ~pid
+   | None -> ());
+  match t.q with
   | Indexed_q q -> Indexed.add q pending
   | Reference_q q -> Reference.add q pending
 
-let length = function
+let length t =
+  match t.q with
   | Indexed_q q -> Indexed.length q
   | Reference_q q -> Reference.length q
 
 let take_deliverable t ~local =
-  match t with
+  match t.q with
   | Indexed_q q -> Indexed.take_deliverable q ~local
   | Reference_q q -> Reference.take_deliverable q ~local
 
-let drain = function
+let drain t =
+  match t.q with
   | Indexed_q q -> Indexed.drain q
   | Reference_q q -> Reference.drain q
 
-let to_list = function
+let to_list t =
+  match t.q with
   | Indexed_q q -> Indexed.to_list q
   | Reference_q q -> Reference.to_list q

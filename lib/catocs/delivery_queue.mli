@@ -38,8 +38,10 @@ val chaos_disable_causal_check : bool ref
 
 type impl = Indexed | Reference
 
-val create : ?impl:impl -> mode -> 'a t
-(** [impl] defaults to [Indexed]. *)
+val create : ?impl:impl -> ?obs:Repro_obs.Log.t * int -> mode -> 'a t
+(** [impl] defaults to [Indexed]. [obs] is the telemetry log plus the
+    owning process id: every {!add} then emits an [Obs.Event.Span_queued]
+    record stamped with the message's arrival time. *)
 
 val impl_of : 'a t -> impl
 

@@ -10,13 +10,15 @@
 type 'a t
 
 val create :
+  ?obs:Repro_obs.Log.t ->
   engine:'a Wire.t Transport.packet Engine.t ->
   self:Engine.pid ->
   mode:Config.transport_mode ->
   ?on_direct:(src:Engine.pid -> 'a -> unit) ->
   unit ->
   'a t
-(** Installs itself as the engine handler for [self]. *)
+(** Installs itself as the engine handler for [self]. [obs] is handed to
+    the transport (retransmission telemetry). *)
 
 val self : 'a t -> Engine.pid
 val engine : 'a t -> 'a Wire.t Transport.packet Engine.t

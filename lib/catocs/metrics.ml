@@ -40,6 +40,9 @@ let note_unstable_removed t ~bytes =
   t.unstable_count <- t.unstable_count - 1
 
 let merge_into acc m =
+  Stats.Summary.merge acc.delivery_delay_us m.delivery_delay_us;
+  Stats.Summary.merge acc.transit_us m.transit_us;
+  Stats.Summary.merge acc.stability_lag_us m.stability_lag_us;
   acc.multicasts_sent <- acc.multicasts_sent + m.multicasts_sent;
   acc.data_received <- acc.data_received + m.data_received;
   acc.delivered <- acc.delivered + m.delivered;

@@ -40,4 +40,7 @@ val note_unstable_removed : t -> bytes:int -> unit
 
 val merge_into : t -> t -> unit
 (** [merge_into acc m] accumulates counters (sums counts and bytes, keeps
-    peak maxima; summaries are not merged). Used for group-level totals. *)
+    peak maxima) and folds the three latency summaries into [acc] via
+    {!Stats.Summary.merge}, so group-level totals report delay/transit/
+    stability-lag distributions over every member's messages. [m] is left
+    unmodified. *)

@@ -1,11 +1,15 @@
 (* Releasing a stable message is identical bookkeeping in both
    implementations; only the strategy for *finding* newly stable messages
    differs. *)
-let release_message ~metrics ~graph ~now (data : 'a Wire.data) =
+let release_message ~metrics ~graph ~obs ~now (data : 'a Wire.data) =
   let bytes = Wire.buffered_bytes data in
   Metrics.note_unstable_removed metrics ~bytes;
   Stats.Summary.add metrics.Metrics.stability_lag_us
     (float_of_int (Sim_time.to_us (Sim_time.sub now data.Wire.sent_at)));
+  (match obs with
+   | Some (log, pid) ->
+     Repro_obs.Log.span_stable log ~at:now ~uid:data.Wire.msg_id ~pid
+   | None -> ());
   match graph with
   | Some graph -> Causality.remove_stable graph data.Wire.msg_id
   | None -> ()
@@ -22,14 +26,15 @@ module Reference = struct
     buffer : (Wire.msg_id, 'a Wire.data) Hashtbl.t;
     metrics : Metrics.t;
     graph : Causality.t option;
+    obs : (Repro_obs.Log.t * int) option;
     mutable bytes : int;
   }
 
   type nonrec 'a t = 'a q
 
-  let create ~group_size ~metrics ~graph =
+  let create ?obs ~group_size ~metrics ~graph () =
     { matrix = Matrix_clock.create group_size; buffer = Hashtbl.create 64;
-      metrics; graph; bytes = 0 }
+      metrics; graph; obs; bytes = 0 }
 
   let note_sent_or_delivered t (data : 'a Wire.data) =
     if not (Hashtbl.mem t.buffer data.Wire.msg_id) then begin
@@ -53,7 +58,7 @@ module Reference = struct
     let release (id, data) =
       Hashtbl.remove t.buffer id;
       t.bytes <- t.bytes - Wire.buffered_bytes data;
-      release_message ~metrics:t.metrics ~graph:t.graph ~now data
+      release_message ~metrics:t.metrics ~graph:t.graph ~obs:t.obs ~now data
     in
     List.iter release stable_ids
 
@@ -98,19 +103,20 @@ module Incremental = struct
     dirty_mark : bool array;
     metrics : Metrics.t;
     graph : Causality.t option;
+    obs : (Repro_obs.Log.t * int) option;
     mutable count : int;
     mutable bytes : int;
   }
 
   type nonrec 'a t = 'a q
 
-  let create ~group_size ~metrics ~graph =
+  let create ?obs ~group_size ~metrics ~graph () =
     { matrix = Matrix_clock.create group_size;
       pending = Array.init group_size (fun _ -> Queue.create ());
       highest = Array.make group_size 0;
       dirty = [];
       dirty_mark = Array.make group_size false;
-      metrics; graph; count = 0; bytes = 0 }
+      metrics; graph; obs; count = 0; bytes = 0 }
 
   let mark_dirty t s =
     if not t.dirty_mark.(s) then begin
@@ -154,7 +160,8 @@ module Incremental = struct
               ignore (Queue.pop q);
               t.bytes <- t.bytes - Wire.buffered_bytes data;
               t.count <- t.count - 1;
-              release_message ~metrics:t.metrics ~graph:t.graph ~now data
+              release_message ~metrics:t.metrics ~graph:t.graph ~obs:t.obs
+                ~now data
             | Some _ | None -> go := false
           done)
         dirty
@@ -210,11 +217,11 @@ type 'a t =
   | Incremental_s of 'a Incremental.t
   | Reference_s of 'a Reference.t
 
-let create ?(impl = Incremental) ~group_size ~metrics ~graph () =
+let create ?(impl = Incremental) ?obs ~group_size ~metrics ~graph () =
   match impl with
   | Incremental ->
-    Incremental_s (Incremental.create ~group_size ~metrics ~graph)
-  | Reference -> Reference_s (Reference.create ~group_size ~metrics ~graph)
+    Incremental_s (Incremental.create ?obs ~group_size ~metrics ~graph ())
+  | Reference -> Reference_s (Reference.create ?obs ~group_size ~metrics ~graph ())
 
 let impl_of = function Incremental_s _ -> Incremental | Reference_s _ -> Reference
 

@@ -29,12 +29,15 @@ type impl = Incremental | Reference
 
 val create :
   ?impl:impl ->
+  ?obs:Repro_obs.Log.t * int ->
   group_size:int ->
   metrics:Metrics.t ->
   graph:Causality.t option ->
   unit ->
   'a t
-(** [impl] defaults to [Incremental]. *)
+(** [impl] defaults to [Incremental]. [obs] is the telemetry log plus the
+    owning process id: every release then emits an [Obs.Event.Span_stable]
+    record alongside the [Metrics.stability_lag_us] sample. *)
 
 val impl_of : 'a t -> impl
 
@@ -67,7 +70,12 @@ module Reference : sig
   type 'a t
 
   val create :
-    group_size:int -> metrics:Metrics.t -> graph:Causality.t option -> 'a t
+    ?obs:Repro_obs.Log.t * int ->
+    group_size:int ->
+    metrics:Metrics.t ->
+    graph:Causality.t option ->
+    unit ->
+    'a t
 
   val note_sent_or_delivered : 'a t -> 'a Wire.data -> unit
   val observe_vc : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
@@ -82,7 +90,12 @@ module Incremental : sig
   type 'a t
 
   val create :
-    group_size:int -> metrics:Metrics.t -> graph:Causality.t option -> 'a t
+    ?obs:Repro_obs.Log.t * int ->
+    group_size:int ->
+    metrics:Metrics.t ->
+    graph:Causality.t option ->
+    unit ->
+    'a t
 
   val note_sent_or_delivered : 'a t -> 'a Wire.data -> unit
   val observe_vc : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit

@@ -15,6 +15,8 @@ type shared = {
   group_id : int;
   shared_config : Config.t;
   graph : Causality.t option;
+  obs : Repro_obs.Log.t option;
+      (* one telemetry log for the whole group: events carry the pid *)
   mutable next_msg_id : int;
   id_index : (int * int * int, Wire.msg_id) Hashtbl.t;
       (* (view_id, rank, per-sender seq) -> msg_id, for graph arcs *)
@@ -22,7 +24,7 @@ type shared = {
 
 let next_group_id = ref 0
 
-let make_shared ?group_id (config : Config.t) =
+let make_shared ?group_id ?obs (config : Config.t) =
   let group_id =
     match group_id with
     | Some id -> id
@@ -30,10 +32,12 @@ let make_shared ?group_id (config : Config.t) =
   in
   { group_id; shared_config = config;
     graph = (if config.Config.track_graph then Some (Causality.create ()) else None);
+    obs;
     next_msg_id = 0;
     id_index = Hashtbl.create 256 }
 
 let shared_graph shared = shared.graph
+let shared_obs shared = shared.obs
 let group_id shared = shared.group_id
 
 type flush_state = {
@@ -127,16 +131,17 @@ let queue_impl (config : Config.t) =
   | Config.Indexed_queue -> Delivery_queue.Indexed
   | Config.Reference_queue -> Delivery_queue.Reference
 
-let make_queue (config : Config.t) =
-  Delivery_queue.create ~impl:(queue_impl config) (queue_mode config)
+let make_queue ?obs (config : Config.t) =
+  Delivery_queue.create ~impl:(queue_impl config) ?obs (queue_mode config)
 
 let stability_impl (config : Config.t) =
   match config.Config.stability_impl with
   | Config.Incremental_stability -> Stability.Incremental
   | Config.Reference_stability -> Stability.Reference
 
-let make_stability (config : Config.t) ~group_size ~metrics ~graph =
-  Stability.create ~impl:(stability_impl config) ~group_size ~metrics ~graph ()
+let make_stability ?obs (config : Config.t) ~group_size ~metrics ~graph =
+  Stability.create ~impl:(stability_impl config) ?obs ~group_size ~metrics
+    ~graph ()
 
 let self t = t.self
 let shared_of t = t.shared
@@ -155,6 +160,42 @@ let pending_count t =
   Delivery_queue.length t.queue
   + Total_order.Sequencer_queue.data_count t.seq_queue
   + Total_order.Lamport_queue.length t.lamport_queue
+
+(* telemetry: (log, owner pid) pair handed to the per-stack queues *)
+let obs_pair shared ~self =
+  match shared.obs with Some log -> Some (log, self) | None -> None
+
+let note_flush_start t ~view_id =
+  match t.shared.obs with
+  | Some log ->
+    Repro_obs.Log.flush_start log ~at:(Engine.now t.engine) ~pid:t.self
+      ~view_id
+  | None -> ()
+
+let note_flush_end t ~view_id =
+  match t.shared.obs with
+  | Some log ->
+    Repro_obs.Log.flush_end log ~at:(Engine.now t.engine) ~pid:t.self ~view_id
+  | None -> ()
+
+(* One gauge sample per tracked quantity; wire to [Engine.every] for the
+   periodic time series the scaling experiments export. All four summands
+   are maintained counters, so a sample is O(1). *)
+let record_gauges t =
+  match t.shared.obs with
+  | None -> ()
+  | Some log ->
+    if Repro_obs.Log.enabled log then begin
+      let at = Engine.now t.engine in
+      Repro_obs.Log.gauge log ~at ~pid:t.self Repro_obs.Event.Unstable_msgs
+        (Stability.unstable_count t.stability);
+      Repro_obs.Log.gauge log ~at ~pid:t.self Repro_obs.Event.Unstable_bytes
+        (Stability.unstable_bytes t.stability);
+      Repro_obs.Log.gauge log ~at ~pid:t.self Repro_obs.Event.Queue_depth
+        (Delivery_queue.length t.queue);
+      Repro_obs.Log.gauge log ~at ~pid:t.self Repro_obs.Event.Blocked_msgs
+        (pending_count t)
+    end
 
 let is_ejected t = t.ejected
 
@@ -221,6 +262,11 @@ let final_deliver t (pending : 'a Delivery_queue.pending) =
     if Trace.enabled trace then
       Trace.record trace now ~pid:t.self Trace.Deliver
         (Format.asprintf "msg#%d" data.Wire.msg_id);
+    (match t.shared.obs with
+     | Some log ->
+       Repro_obs.Log.span_delivered log ~at:now ~uid:data.Wire.msg_id
+         ~pid:t.self
+     | None -> ());
     t.callbacks.deliver ~sender:data.Wire.origin data.Wire.payload
   end
 
@@ -330,6 +376,11 @@ let rec on_data t (data : 'a Wire.data) =
     let pending =
       { Delivery_queue.data; arrived_at = Engine.now t.engine }
     in
+    (match t.shared.obs with
+     | Some log ->
+       Repro_obs.Log.span_recv log ~at:pending.Delivery_queue.arrived_at
+         ~uid:data.Wire.msg_id ~pid:t.self
+     | None -> ());
     if data.Wire.origin = t.self then begin
       (* A sender's own multicast is deliverable by construction — its
          dependencies are exactly what the sender had delivered when it was
@@ -353,6 +404,11 @@ let rec on_data t (data : 'a Wire.data) =
 let make_data t payload =
   let msg_id = t.shared.next_msg_id in
   t.shared.next_msg_id <- msg_id + 1;
+  (match t.shared.obs with
+   | Some log ->
+     Repro_obs.Log.span_send log ~at:(Engine.now t.engine) ~uid:msg_id
+       ~pid:t.self ~bytes:t.config.Config.payload_bytes
+   | None -> ());
   (* one immutable snapshot per multicast, shared by every recipient *)
   let vt = Vector_clock.copy_tick t.vc t.rank in
   let meta =
@@ -478,6 +534,7 @@ let maybe_finish_flush t flush =
   end
 
 let install_view t flush =
+  note_flush_end t ~view_id:flush.new_view_id;
   (* Anything still blocked is undeliverable in the old view: the flush
      guaranteed every survivor holds the same message set, so dropping the
      remainder is group-consistent. This drop IS the atomicity-without-
@@ -533,11 +590,13 @@ let install_view t flush =
   t.view <- new_view;
   t.rank <- Group.rank_of_exn new_view t.self;
   t.vc <- Vector_clock.create (Group.size new_view);
-  t.queue <- make_queue t.config;
-  t.seq_queue <- Total_order.Sequencer_queue.create ();
-  t.lamport_queue <- Total_order.Lamport_queue.create ~group_size:(Group.size new_view);
+  let obs = obs_pair t.shared ~self:t.self in
+  t.queue <- make_queue ?obs t.config;
+  t.seq_queue <- Total_order.Sequencer_queue.create ?obs ();
+  t.lamport_queue <-
+    Total_order.Lamport_queue.create ?obs ~group_size:(Group.size new_view) ();
   t.stability <-
-    make_stability t.config ~group_size:(Group.size new_view)
+    make_stability ?obs t.config ~group_size:(Group.size new_view)
       ~metrics:t.metrics ~graph:t.shared.graph;
   t.next_global_seq <- 0;
   t.deferred_lamport_gossip <- [];
@@ -567,6 +626,13 @@ let install_view t flush =
    adopt the set carried in it, so staggered failure detection still
    converges on one view. *)
 let begin_flush t ~new_view_id ~survivors ~new_members =
+  (* a restart abandons the round in progress: close its telemetry span
+     before opening the new one *)
+  (match t.status with
+   | Flushing f when f.new_view_id <> new_view_id ->
+     note_flush_end t ~view_id:f.new_view_id
+   | Flushing _ | Normal | Joining _ -> ());
+  note_flush_start t ~view_id:new_view_id;
   let survivor_set = Pid_set.of_list survivors in
   let flush =
     { new_view_id; survivors; survivor_set; new_members;
@@ -733,11 +799,13 @@ let install_join t join ~view_id ~members ~state =
   t.view <- new_view;
   t.rank <- Group.rank_of_exn new_view t.self;
   t.vc <- Vector_clock.create (Group.size new_view);
-  t.queue <- make_queue t.config;
-  t.seq_queue <- Total_order.Sequencer_queue.create ();
-  t.lamport_queue <- Total_order.Lamport_queue.create ~group_size:(Group.size new_view);
+  let obs = obs_pair t.shared ~self:t.self in
+  t.queue <- make_queue ?obs t.config;
+  t.seq_queue <- Total_order.Sequencer_queue.create ?obs ();
+  t.lamport_queue <-
+    Total_order.Lamport_queue.create ?obs ~group_size:(Group.size new_view) ();
   t.stability <-
-    make_stability t.config ~group_size:(Group.size new_view)
+    make_stability ?obs t.config ~group_size:(Group.size new_view)
       ~metrics:t.metrics ~graph:t.shared.graph;
   t.next_global_seq <- 0;
   t.deferred_lamport_gossip <- [];
@@ -761,7 +829,11 @@ let maybe_install_join t join =
 
 let on_new_view t ~view_id ~members =
   if not (List.mem t.self members) then begin
-    (match t.status with Flushing _ -> t.status <- Normal | Normal | Joining _ -> ());
+    (match t.status with
+     | Flushing f ->
+       note_flush_end t ~view_id:f.new_view_id;
+       t.status <- Normal
+     | Normal | Joining _ -> ());
     t.eject ()
   end
   else
@@ -832,17 +904,19 @@ let handle_proto t ~src (proto : 'a Wire.proto) =
 let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callbacks () =
   let rank = Group.rank_of_exn view self in
   let metrics = Metrics.create () in
+  let obs = obs_pair shared ~self in
   let t =
     { engine; shared; config; self; callbacks; metrics;
       lamport = Lamport.create (); delivered_ids = Hashtbl.create 256;
       causal_seen = Hashtbl.create 256;
       endpoint = None; view; rank;
       vc = Vector_clock.create (Group.size view);
-      queue = make_queue config;
-      seq_queue = Total_order.Sequencer_queue.create ();
-      lamport_queue = Total_order.Lamport_queue.create ~group_size:(Group.size view);
+      queue = make_queue ?obs config;
+      seq_queue = Total_order.Sequencer_queue.create ?obs ();
+      lamport_queue =
+        Total_order.Lamport_queue.create ?obs ~group_size:(Group.size view) ();
       stability =
-        make_stability config ~group_size:(Group.size view) ~metrics
+        make_stability ?obs config ~group_size:(Group.size view) ~metrics
           ~graph:shared.graph;
       next_global_seq = 0; status = Normal; outbox = []; installing = false;
       failed_members = Pid_set.empty; deferred_lamport_gossip = [];
@@ -857,7 +931,8 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
     match shared_endpoint with
     | Some e -> e
     | None ->
-      Endpoint.create ~engine ~self ~mode:config.Config.transport
+      Endpoint.create ?obs:shared.obs ~engine ~self
+        ~mode:config.Config.transport
         ~on_direct:(fun ~src payload -> t.callbacks.direct ~src payload)
         ()
   in
@@ -947,12 +1022,12 @@ let shutdown t =
   t.cancel_gossip ();
   t.callbacks <- null_callbacks
 
-let create_group ~engine ~config ~names ~make_callbacks =
+let create_group ?obs ~engine ~config ~names ~make_callbacks () =
   let pids =
     List.map (fun n -> Engine.spawn engine ~name:n (fun _ _ -> ())) names
   in
   let view = Group.make_view ~view_id:0 pids in
-  let shared = make_shared config in
+  let shared = make_shared ?obs config in
   List.map
     (fun pid ->
       create ~engine ~shared ~config ~view ~self:pid

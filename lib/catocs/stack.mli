@@ -38,11 +38,15 @@ type shared
 (** Group-wide context: message-id allocation, the shared active causal
     graph, and the id index used to materialise graph arcs. *)
 
-val make_shared : ?group_id:int -> Config.t -> shared
+val make_shared : ?group_id:int -> ?obs:Repro_obs.Log.t -> Config.t -> shared
 (** Group ids default to a fresh id from a global counter; pass one only to
-    pin a stable identifier. *)
+    pin a stable identifier. [obs] attaches a telemetry log shared by every
+    stack of the group: each member then emits lifecycle span events
+    (send/recv/queued/delivered/stable), view-flush markers and retransmit
+    instants into it (see {!Repro_obs.Event}). *)
 
 val shared_graph : shared -> Causality.t option
+val shared_obs : shared -> Repro_obs.Log.t option
 val group_id : shared -> int
 
 type 'a t
@@ -62,13 +66,16 @@ val create :
     endpoint is created and the stack is its only group. *)
 
 val create_group :
+  ?obs:Repro_obs.Log.t ->
   engine:'a Wire.t Transport.packet Engine.t ->
   config:Config.t ->
   names:string list ->
   make_callbacks:(Engine.pid -> 'a callbacks) ->
+  unit ->
   'a t list
 (** Spawn one process per name, form the initial view over all of them, and
-    return their stacks (in name order). *)
+    return their stacks (in name order). [obs] is threaded to
+    {!make_shared}. *)
 
 val multicast : 'a t -> 'a -> unit
 (** Multicast to the current view. During a flush, sends are queued and
@@ -89,6 +96,13 @@ val unstable_count : 'a t -> int
 val unstable_bytes : 'a t -> int
 val pending_count : 'a t -> int
 (** Messages currently blocked in ordering queues. *)
+
+val record_gauges : 'a t -> unit
+(** Sample this member's occupancy gauges (unstable msgs/bytes, delivery
+    queue depth, blocked count) into the group's telemetry log, stamped at
+    the engine's current time. O(1); a no-op when the group has no log or
+    logging is disabled. Meant to be driven periodically via
+    [Engine.every]. *)
 
 val is_flushing : 'a t -> bool
 

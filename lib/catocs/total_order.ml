@@ -7,13 +7,19 @@ module Sequencer_queue = struct
         (* every assignment ever seen this view, kept after release: a view
            change must hand peers the orders they missed (the sequencer may
            have crashed right after sending them to only some members) *)
+    obs : (Repro_obs.Log.t * int) option;
   }
 
-  let create () =
+  let create ?obs () =
     { next_release = 0; orders = Hashtbl.create 32; data = Hashtbl.create 32;
-      known = Hashtbl.create 32 }
+      known = Hashtbl.create 32; obs }
 
   let add_data t pending =
+    (match t.obs with
+     | Some (log, pid) ->
+       Repro_obs.Log.span_queued log ~at:pending.Delivery_queue.arrived_at
+         ~uid:pending.Delivery_queue.data.Wire.msg_id ~pid
+     | None -> ());
     Hashtbl.replace t.data pending.Delivery_queue.data.Wire.msg_id pending
 
   let add_order t ~msg_id ~global_seq =
@@ -59,13 +65,19 @@ module Lamport_queue = struct
     mutable size : int;  (* O(1) [length], sampled by metrics loops *)
     latest_seen : int array;  (* per rank, -1 until first observation *)
     active : bool array;
+    obs : (Repro_obs.Log.t * int) option;
   }
 
-  let create ~group_size =
+  let create ?obs ~group_size () =
     { entries = []; size = 0; latest_seen = Array.make group_size (-1);
-      active = Array.make group_size true }
+      active = Array.make group_size true; obs }
 
   let add t pending ~stamp =
+    (match t.obs with
+     | Some (log, pid) ->
+       Repro_obs.Log.span_queued log ~at:pending.Delivery_queue.arrived_at
+         ~uid:pending.Delivery_queue.data.Wire.msg_id ~pid
+     | None -> ());
     let entry = { stamp; pending } in
     let rec insert = function
       | [] -> [ entry ]

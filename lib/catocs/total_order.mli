@@ -14,7 +14,9 @@
 module Sequencer_queue : sig
   type 'a t
 
-  val create : unit -> 'a t
+  val create : ?obs:Repro_obs.Log.t * int -> unit -> 'a t
+  (** [obs] = telemetry log + owner pid: {!add_data} then emits
+      [Obs.Event.Span_queued] stamped with the message's arrival time. *)
 
   val add_data : 'a t -> 'a Delivery_queue.pending -> unit
   val add_order : 'a t -> msg_id:Wire.msg_id -> global_seq:int -> unit
@@ -40,7 +42,8 @@ end
 module Lamport_queue : sig
   type 'a t
 
-  val create : group_size:int -> 'a t
+  val create : ?obs:Repro_obs.Log.t * int -> group_size:int -> unit -> 'a t
+  (** [obs] as in {!Sequencer_queue.create}, emitted on {!add}. *)
 
   val add : 'a t -> 'a Delivery_queue.pending -> stamp:Lamport.stamp -> unit
 

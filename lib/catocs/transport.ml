@@ -18,6 +18,7 @@ type 'w t = {
   engine : 'w packet Engine.t;
   self : Engine.pid;
   mode : Config.transport_mode;
+  obs : Repro_obs.Log.t option;
   on_deliver : src:Engine.pid -> 'w -> unit;
   senders : (Engine.pid, 'w send_channel) Hashtbl.t;
   receivers : (Engine.pid, 'w recv_channel) Hashtbl.t;
@@ -25,8 +26,8 @@ type 'w t = {
   mutable retransmissions : int;
 }
 
-let create ~engine ~self ~mode ~on_deliver =
-  { engine; self; mode; on_deliver; senders = Hashtbl.create 8;
+let create ?obs ~engine ~self ~mode ~on_deliver () =
+  { engine; self; mode; obs; on_deliver; senders = Hashtbl.create 8;
     receivers = Hashtbl.create 8; packets_sent = 0; retransmissions = 0 }
 
 let packets_sent t = t.packets_sent
@@ -68,6 +69,11 @@ let rec arm_retransmit t dst ch ~rto ~max_retries =
           else begin
             Hashtbl.replace ch.unacked seq (payload, attempts + 1);
             t.retransmissions <- t.retransmissions + 1;
+            (match t.obs with
+             | Some log ->
+               Repro_obs.Log.retransmit log ~at:(Engine.now t.engine)
+                 ~pid:t.self ~dst ~seq ~attempt:(attempts + 1)
+             | None -> ());
             emit t ~dst (Seg { seq; payload })
           end
         in

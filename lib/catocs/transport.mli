@@ -17,12 +17,16 @@ type 'w packet =
 type 'w t
 
 val create :
+  ?obs:Repro_obs.Log.t ->
   engine:'w packet Engine.t ->
   self:Engine.pid ->
   mode:Config.transport_mode ->
   on_deliver:(src:Engine.pid -> 'w -> unit) ->
+  unit ->
   'w t
-(** The caller must route the engine envelopes of [self] to {!handle}. *)
+(** The caller must route the engine envelopes of [self] to {!handle}.
+    With [obs], every [Reliable]-mode retransmission emits an
+    [Obs.Event.Retransmit] record. *)
 
 val send : 'w t -> dst:Engine.pid -> 'w -> unit
 val handle : 'w t -> 'w packet Engine.envelope -> unit

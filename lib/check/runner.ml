@@ -104,7 +104,7 @@ let execute ?(queue_impl = Config.Indexed_queue)
     }
   in
   let names = List.init plan.Fault_plan.n_members (Printf.sprintf "p%d") in
-  let group = Stack.create_group ~engine ~config ~names ~make_callbacks in
+  let group = Stack.create_group ~engine ~config ~names ~make_callbacks () in
   let initial = Array.of_list (List.map Stack.self group) in
   let all_initial = Array.to_list initial in
   List.iter

@@ -23,7 +23,7 @@ let gossip_measure ~seed ~group_size ~period_ms =
   let stacks =
     Stack.create_group ~engine ~config
       ~names:(List.init group_size (fun i -> Printf.sprintf "p%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   Array.iteri
@@ -101,7 +101,7 @@ let piggyback_measure ~seed ~piggyback ~drop =
   let stacks =
     Stack.create_group ~engine ~config
       ~names:(List.init group_size (fun i -> Printf.sprintf "p%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let sends = ref 0 in

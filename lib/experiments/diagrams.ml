@@ -14,7 +14,7 @@ type fig1_outcome = {
   deliveries : (int * string list) list;  (* member index, delivery order *)
 }
 
-let fig1_run ?recorder () =
+let fig1_run ?obs ?recorder () =
   let net = Net.create ~latency:(Net.Uniform (1_000, 3_000)) () in
   let engine =
     Engine.create ~seed:3L ~net
@@ -22,10 +22,10 @@ let fig1_run ?recorder () =
   in
   Trace.set_enabled (Engine.trace engine) true;
   let stacks =
-    Stack.create_group ~engine
+    Stack.create_group ?obs ~engine
       ~config:{ Config.default with Config.ordering = Config.Causal }
       ~names:[ "P"; "Q"; "R" ]
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let p = stacks.(0) and q = stacks.(1) and r = stacks.(2) in

@@ -1,6 +1,21 @@
 (** Event-diagram reproductions of the paper's figures, regenerated from
     actual protocol executions rather than drawn by hand. *)
 
+type fig1_outcome = {
+  diagram : string;
+  deliveries : (int * string list) list;  (** member index, delivery order *)
+}
+
+val fig1_run :
+  ?obs:Repro_obs.Log.t ->
+  ?recorder:Repro_analyze.Exec.Recorder.t ->
+  unit ->
+  fig1_outcome
+(** The Figure 1 execution itself: m1 from Q, P reacting with m2, then the
+    concurrent m3/m4. [obs] attaches a telemetry log to the group (the
+    source for the exported Figure 1 trace); [recorder] feeds the causal
+    sanitizer. *)
+
 val fig1_causal_order : unit -> string
 (** Figure 1: the 3-process diagram — m1 causally precedes m2 and m4; m3
     and m4 are concurrent. Rendered from a CBCAST run. *)

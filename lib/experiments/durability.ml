@@ -18,7 +18,7 @@ let catocs_trial ~seed ~group_size ~k =
   let stacks =
     Stack.create_group ~engine ~config
       ~names:(List.init group_size (fun i -> Printf.sprintf "p%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let delivered = Array.make group_size false in

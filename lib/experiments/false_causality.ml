@@ -22,7 +22,7 @@ let measure ~seed ~group_size ~ordering ~jitter_max_ms =
   let stacks =
     Stack.create_group ~engine ~config
       ~names:(List.init group_size (fun i -> Printf.sprintf "p%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   (* independent periodic senders: no semantic relation between streams *)
@@ -90,7 +90,7 @@ let record ?(group_size = 4) ?(ordering = Config.Causal) ?(jitter_max_ms = 10)
   let stacks =
     Stack.create_group ~engine ~config
       ~names:(List.init group_size (fun i -> Printf.sprintf "p%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   Array.iter

@@ -24,7 +24,7 @@ let run_once ~seed ~group_size ~crash =
   let stacks =
     Stack.create_group ~engine ~config
       ~names:(List.init group_size (fun i -> Printf.sprintf "p%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let probe_delivered = ref 0 in

@@ -17,7 +17,7 @@ let measure ~seed ~ordering ~group_size =
   let stacks =
     Stack.create_group ~engine ~config
       ~names:(List.init group_size (fun i -> Printf.sprintf "p%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   Array.iteri

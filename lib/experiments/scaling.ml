@@ -17,7 +17,8 @@ type point = {
 
 (* the graph peaks need the shared causal graph: rebuild the group manually
    so we hold the shared context *)
-let measure_with_graph ?(processing_time = Sim_time.zero)
+let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
+    ?(processing_time = Sim_time.zero)
     ?(duration = Sim_time.seconds 1) ?(send_period = Sim_time.ms 10)
     ?(queue_impl = Config.Indexed_queue)
     ?(stability_impl = Config.Incremental_stability) ?(track_graph = true)
@@ -35,7 +36,7 @@ let measure_with_graph ?(processing_time = Sim_time.zero)
         Engine.spawn engine ~name:(Printf.sprintf "p%d" i) (fun _ _ -> ()))
   in
   let view = Repro_catocs.Group.make_view ~view_id:0 pids in
-  let shared = Stack.make_shared config in
+  let shared = Stack.make_shared ?obs config in
   let stacks =
     List.map
       (fun pid ->
@@ -53,6 +54,13 @@ let measure_with_graph ?(processing_time = Sim_time.zero)
           peak_arcs := max !peak_arcs (Causality.live_arcs graph)
         | None -> ())
   in
+  let cancel_gauges =
+    match obs with
+    | None -> Fun.id
+    | Some _ ->
+      Engine.every engine ~period:gauge_period (fun () ->
+          Array.iter Stack.record_gauges stacks)
+  in
   Array.iteri
     (fun i stack ->
       let cancel =
@@ -64,6 +72,7 @@ let measure_with_graph ?(processing_time = Sim_time.zero)
       Engine.at engine duration cancel)
     stacks;
   Engine.at engine (Sim_time.add duration (Sim_time.ms 150)) cancel_sampler;
+  Engine.at engine (Sim_time.add duration (Sim_time.ms 150)) cancel_gauges;
   Engine.run ~until:(Sim_time.add duration (Sim_time.ms 200)) engine;
   let peak_msgs = ref 0 and peak_bytes = ref 0 and system_bytes = ref 0 in
   let delay = Stats.Summary.create () in

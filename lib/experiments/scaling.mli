@@ -20,6 +20,24 @@ type point = {
   deliveries_total : int;  (** application-level deliveries across the group *)
 }
 
+val measure_with_graph :
+  ?obs:Repro_obs.Log.t ->
+  ?gauge_period:Sim_time.t ->
+  ?processing_time:Sim_time.t ->
+  ?duration:Sim_time.t ->
+  ?send_period:Sim_time.t ->
+  ?queue_impl:Repro_catocs.Config.queue_impl ->
+  ?stability_impl:Repro_catocs.Config.stability_impl ->
+  ?track_graph:bool ->
+  seed:int64 ->
+  int ->
+  point
+(** One measured run at group size [n]. With [obs], the group's stacks log
+    lifecycle spans into it and every member's occupancy gauges (unstable
+    msgs/bytes, queue depth, blocked count) are sampled every
+    [gauge_period] (default 10 ms) — the source for the n=64 scaling trace
+    export. *)
+
 val sweep :
   ?sizes:int list -> ?seed:int64 -> ?processing_time:Sim_time.t ->
   ?duration:Sim_time.t -> ?send_period:Sim_time.t ->

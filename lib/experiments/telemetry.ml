@@ -1,0 +1,66 @@
+module Shop_floor = Repro_apps.Shop_floor
+module Fire_alarm = Repro_apps.Fire_alarm
+module Trading = Repro_apps.Trading
+
+type scenario = {
+  name : string;
+  descr : string;
+  run : unit -> Repro_obs.Log.t * (int * string) list;
+}
+
+(* Group members are spawned first and in name order by
+   [Stack.create_group], so their pids are 0..n-1 deterministically; any
+   extra endpoints (database, client) spawn after the group and emit no
+   telemetry. *)
+let numbered names = List.mapi (fun i n -> (i, n)) names
+
+let fig1 () =
+  let log = Repro_obs.Log.create () in
+  ignore (Diagrams.fig1_run ~obs:log ());
+  (log, numbered [ "P"; "Q"; "R" ])
+
+let fig2 () =
+  let log = Repro_obs.Log.create () in
+  ignore
+    (Shop_floor.run ~obs:log
+       { Shop_floor.default_config with Shop_floor.trials = 3 });
+  (log, numbered [ "sfc1"; "sfc2"; "observer" ])
+
+let fig3 () =
+  let log = Repro_obs.Log.create () in
+  ignore
+    (Fire_alarm.run ~obs:log
+       { Fire_alarm.default_config with Fire_alarm.trials = 3 });
+  (log, numbered [ "furnace-P"; "observer-Q"; "monitor-R" ])
+
+let fig4 () =
+  let log = Repro_obs.Log.create () in
+  ignore
+    (Trading.run ~obs:log { Trading.default_config with Trading.ticks = 40 });
+  (log, numbered [ "option-pricing"; "theoretic-pricing"; "monitor" ])
+
+let scaling64 () =
+  let log = Repro_obs.Log.create () in
+  ignore
+    (Scaling.measure_with_graph ~obs:log ~duration:(Sim_time.ms 200) ~seed:11L
+       64);
+  (log, numbered (List.init 64 (Printf.sprintf "p%d")))
+
+let all =
+  [ { name = "fig1";
+      descr = "Figure 1 causal-order diagram run (P/Q/R, m1..m4)";
+      run = fig1 };
+    { name = "fig2-shop-floor";
+      descr = "Figure 2 shop-floor hidden-channel run (3 lots)";
+      run = fig2 };
+    { name = "fig3-fire-alarm";
+      descr = "Figure 3 fire-alarm external-channel run (3 trials)";
+      run = fig3 };
+    { name = "fig4-trading";
+      descr = "Figure 4 trading false-crossing run (40 ticks)";
+      run = fig4 };
+    { name = "scaling-n64";
+      descr = "64-member buffering-scaling run with per-node gauge sampling";
+      run = scaling64 } ]
+
+let find name = List.find_opt (fun s -> s.name = name) all

@@ -1,0 +1,17 @@
+(** Registered telemetry scenarios: the runs the [repro-trace] CLI can
+    export.
+
+    Each scenario replays one of the paper's figure executions (or the
+    Section 5 scaling run) with a telemetry log attached to the group and
+    returns the filled log plus the pid-to-name mapping for the exporters'
+    track labels. Runs are deterministic: a scenario exports byte-identical
+    traces on every invocation (the golden-file tests rely on this). *)
+
+type scenario = {
+  name : string;  (** CLI identifier, e.g. ["fig2-shop-floor"] *)
+  descr : string;
+  run : unit -> Repro_obs.Log.t * (int * string) list;
+}
+
+val all : scenario list
+val find : string -> scenario option

@@ -1,0 +1,53 @@
+type layer = Transport | Ordering | Stability | View | App
+
+let layer_name = function
+  | Transport -> "transport"
+  | Ordering -> "ordering"
+  | Stability -> "stability"
+  | View -> "view"
+  | App -> "app"
+
+type gauge =
+  | Unstable_msgs
+  | Unstable_bytes
+  | Queue_depth
+  | Blocked_msgs
+
+let gauge_name = function
+  | Unstable_msgs -> "unstable_msgs"
+  | Unstable_bytes -> "unstable_bytes"
+  | Queue_depth -> "queue_depth"
+  | Blocked_msgs -> "blocked_msgs"
+
+type event =
+  | Span_send of { uid : int; pid : int; bytes : int }
+  | Span_recv of { uid : int; pid : int }
+  | Span_queued of { uid : int; pid : int }
+  | Span_delivered of { uid : int; pid : int }
+  | Span_stable of { uid : int; pid : int }
+  | View_flush_start of { pid : int; view_id : int }
+  | View_flush_end of { pid : int; view_id : int }
+  | Retransmit of { pid : int; dst : int; seq : int; attempt : int }
+  | Gauge_sample of { pid : int; gauge : gauge; value : int }
+
+type record = { at : Sim_time.t; layer : layer; event : event }
+
+let layer_of = function
+  | Span_send _ | Span_delivered _ -> App
+  | Span_recv _ | Retransmit _ -> Transport
+  | Span_queued _ -> Ordering
+  | Span_stable _ -> Stability
+  | View_flush_start _ | View_flush_end _ -> View
+  | Gauge_sample { gauge = Unstable_msgs | Unstable_bytes; _ } -> Stability
+  | Gauge_sample { gauge = Queue_depth | Blocked_msgs; _ } -> Ordering
+
+let event_name = function
+  | Span_send _ -> "span_send"
+  | Span_recv _ -> "span_recv"
+  | Span_queued _ -> "span_queued"
+  | Span_delivered _ -> "span_delivered"
+  | Span_stable _ -> "span_stable"
+  | View_flush_start _ -> "view_flush_start"
+  | View_flush_end _ -> "view_flush_end"
+  | Retransmit _ -> "retransmit"
+  | Gauge_sample _ -> "gauge_sample"

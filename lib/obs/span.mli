@@ -1,0 +1,54 @@
+(** Per-message lifecycle spans assembled from a telemetry log.
+
+    One span per (message uid, receiving process): the five lifecycle
+    timestamps of that copy. The phase durations partition end-to-end
+    latency {e exactly} (an invariant qcheck-tested in [test/test_obs.ml]):
+
+    {v
+    sent_at ----transit----> recv_at ----ordering_wait----> delivered_at
+    transit_us + ordering_wait_us = end_to_end_us
+    v}
+
+    [recv_at] is the copy's arrival into the ordering layer; the origin's
+    own loopback copy "arrives" at its send instant, so its transit is 0.
+    [queued_at] is set only for copies that had to park in an ordering
+    queue; [stable_at] only once the local stability tracker released the
+    message. Missing timestamps (message still in flight / queued / unstable
+    when the run ended) leave the corresponding option [None]. *)
+
+type t = {
+  uid : int;
+  origin : int;  (** sending pid *)
+  pid : int;  (** receiving pid (this copy's process) *)
+  bytes : int;  (** payload bytes, from the send event *)
+  sent_at : Sim_time.t;
+  recv_at : Sim_time.t option;
+  queued_at : Sim_time.t option;
+  delivered_at : Sim_time.t option;
+  stable_at : Sim_time.t option;
+}
+
+val transit_us : t -> int option  (** send -> arrival *)
+
+val ordering_wait_us : t -> int option  (** arrival -> delivery *)
+
+val end_to_end_us : t -> int option  (** send -> delivery *)
+
+val stability_lag_us : t -> int option  (** delivery -> local stability *)
+
+val of_log : Log.t -> t list
+(** All spans, sorted by (uid, pid). Lifecycle events whose uid was never
+    sent within the log's retained window (the ring overwrote the send) are
+    dropped; duplicate events for one (uid, pid) keep the earliest. *)
+
+(** A flush round observed at one process. *)
+type flush = {
+  f_pid : int;
+  f_view_id : int;
+  started_at : Sim_time.t;
+  ended_at : Sim_time.t option;  (** [None]: still flushing at log end *)
+}
+
+val flushes_of_log : Log.t -> flush list
+(** Start/end pairs matched per (pid, view_id) in order, sorted by
+    (started_at, pid, view_id). *)

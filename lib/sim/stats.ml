@@ -1,4 +1,6 @@
 module Summary = struct
+  let reservoir_capacity = 1024
+
   type t = {
     mutable count : int;
     mutable mean : float;
@@ -6,16 +8,42 @@ module Summary = struct
     mutable min : float;
     mutable max : float;
     mutable sum : float;
-    mutable samples : float list;
+    mutable samples : float array;  (* reservoir; [retained] slots are live *)
+    mutable retained : int;
+    rng : Rng.t;
   }
 
+  (* Every summary seeds its reservoir from the same constant: results depend
+     only on the sequence of [add]/[merge] calls, never on creation order. *)
   let create () =
     { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity;
-      sum = 0.0; samples = [] }
+      sum = 0.0; samples = [||]; retained = 0;
+      rng = Rng.create 0x5337A75EEDL }
 
-  (* Welford's online algorithm keeps mean/variance numerically stable; the
-     raw samples are also retained for exact percentiles (experiment sample
-     counts are small enough that this is cheap). *)
+  let store t x =
+    if t.retained < reservoir_capacity then begin
+      (* still filling: grow the backing array by doubling up to the cap *)
+      let len = Array.length t.samples in
+      if t.retained = len then begin
+        let grown =
+          Array.make (Stdlib.min reservoir_capacity (Stdlib.max 16 (2 * len))) 0.0
+        in
+        Array.blit t.samples 0 grown 0 len;
+        t.samples <- grown
+      end;
+      t.samples.(t.retained) <- x;
+      t.retained <- t.retained + 1
+    end
+    else begin
+      (* Algorithm R: the n-th sample replaces a random slot with
+         probability cap/n, keeping the reservoir uniform over all inputs. *)
+      let j = Rng.int t.rng t.count in
+      if j < reservoir_capacity then t.samples.(j) <- x
+    end
+
+  (* Welford's online algorithm keeps mean/variance numerically stable; a
+     bounded reservoir of raw samples backs the percentiles (exact until
+     [reservoir_capacity] samples, uniform-subsample estimates beyond). *)
   let add t x =
     t.count <- t.count + 1;
     let delta = x -. t.mean in
@@ -24,9 +52,10 @@ module Summary = struct
     if x < t.min then t.min <- x;
     if x > t.max then t.max <- x;
     t.sum <- t.sum +. x;
-    t.samples <- x :: t.samples
+    store t x
 
   let count t = t.count
+  let retained t = t.retained
   let mean t = if t.count = 0 then nan else t.mean
 
   let stddev t =
@@ -39,11 +68,44 @@ module Summary = struct
   let percentile t p =
     if t.count = 0 then nan
     else begin
-      let sorted = Array.of_list t.samples in
+      let sorted = Array.sub t.samples 0 t.retained in
       Array.sort Float.compare sorted;
-      let rank = int_of_float (Float.round (p *. float_of_int (t.count - 1))) in
-      let rank = Stdlib.max 0 (Stdlib.min (t.count - 1) rank) in
+      let rank =
+        int_of_float (Float.round (p *. float_of_int (t.retained - 1)))
+      in
+      let rank = Stdlib.max 0 (Stdlib.min (t.retained - 1) rank) in
       sorted.(rank)
+    end
+
+  let merge acc other =
+    if other.count > 0 then begin
+      (* Chan et al.'s pairwise update for the moments. *)
+      let na = float_of_int acc.count and nb = float_of_int other.count in
+      let n = na +. nb in
+      let delta = other.mean -. acc.mean in
+      let mean = acc.mean +. (delta *. nb /. n) in
+      let m2 = acc.m2 +. other.m2 +. (delta *. delta *. na *. nb /. n) in
+      (* Reservoir: when everything both sides ever saw is still retained,
+         concatenation is exact; otherwise draw [cap] samples choosing the
+         source in proportion to its true (not retained) population. *)
+      if acc.count + other.count <= reservoir_capacity then
+        Array.iter (fun x -> store acc x) (Array.sub other.samples 0 other.retained)
+      else begin
+        let merged =
+          Array.init reservoir_capacity (fun _ ->
+              if Rng.float acc.rng n < na && acc.retained > 0 then
+                acc.samples.(Rng.int acc.rng acc.retained)
+              else other.samples.(Rng.int acc.rng other.retained))
+        in
+        acc.samples <- merged;
+        acc.retained <- reservoir_capacity
+      end;
+      acc.count <- acc.count + other.count;
+      acc.mean <- mean;
+      acc.m2 <- m2;
+      if other.min < acc.min then acc.min <- other.min;
+      if other.max > acc.max then acc.max <- other.max;
+      acc.sum <- acc.sum +. other.sum
     end
 
   let pp ppf t =

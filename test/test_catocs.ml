@@ -31,7 +31,7 @@ let make_world ?(n = 3) ?(ordering = Config.Causal)
   let stacks =
     Stack.create_group ~engine ~config
       ~names:(List.init n (fun i -> Printf.sprintf "p%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let deliveries = Array.make n [] in
@@ -514,7 +514,7 @@ let test_piggyback_fills_partial_multicast_gap () =
   let config = { Config.default with Config.piggyback_history = true } in
   let stacks =
     Stack.create_group ~engine ~config ~names:[ "a"; "b"; "c" ]
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let got = ref [] in
@@ -536,7 +536,7 @@ let test_transport_gives_up_after_max_retries () =
   let ta =
     Transport.create ~engine ~self:a
       ~mode:(Config.Reliable { rto = Sim_time.ms 5; max_retries = 4 })
-      ~on_deliver:(fun ~src:_ _ -> ())
+      ~on_deliver:(fun ~src:_ _ -> ()) ()
   in
   Engine.set_handler engine a (fun _ env -> Transport.handle ta env);
   ignore b;
@@ -557,7 +557,7 @@ let make_heartbeat_world ?(n = 3) ?(latency = Net.Uniform (500, 3_000)) ?(seed =
   let stacks =
     Stack.create_group ~engine ~config
       ~names:(List.init n (fun i -> Printf.sprintf "p%d" i))
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   (engine, stacks, net)
@@ -731,7 +731,7 @@ let test_loss_without_reliability_blocks_causal () =
   let config = Config.default in
   let stacks =
     Stack.create_group ~engine ~config ~names:[ "a"; "b"; "c" ]
-      ~make_callbacks:(fun _ -> Stack.null_callbacks)
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
   in
   let delivered_at_2 = ref 0 in
@@ -759,12 +759,13 @@ let test_transport_fifo_reassembly () =
     Transport.create ~engine ~self:b
       ~mode:(Config.Reliable { rto = Sim_time.ms 50; max_retries = 10 })
       ~on_deliver:(fun ~src:_ v -> got := v :: !got)
+      ()
   in
   Engine.set_handler engine b (fun _ env -> Transport.handle tb env);
   let ta =
     Transport.create ~engine ~self:a
       ~mode:(Config.Reliable { rto = Sim_time.ms 50; max_retries = 10 })
-      ~on_deliver:(fun ~src:_ _ -> ())
+      ~on_deliver:(fun ~src:_ _ -> ()) ()
   in
   Engine.set_handler engine a (fun _ env -> Transport.handle ta env);
   for i = 1 to 50 do
@@ -785,12 +786,13 @@ let test_transport_retransmits_on_loss () =
     Transport.create ~engine ~self:b
       ~mode:(Config.Reliable { rto = Sim_time.ms 10; max_retries = 100 })
       ~on_deliver:(fun ~src:_ _ -> incr got)
+      ()
   in
   Engine.set_handler engine b (fun _ env -> Transport.handle tb env);
   let ta =
     Transport.create ~engine ~self:a
       ~mode:(Config.Reliable { rto = Sim_time.ms 10; max_retries = 100 })
-      ~on_deliver:(fun ~src:_ _ -> ())
+      ~on_deliver:(fun ~src:_ _ -> ()) ()
   in
   Engine.set_handler engine a (fun _ env -> Transport.handle ta env);
   for i = 1 to 30 do
@@ -854,7 +856,7 @@ let test_sequencer_queue_contiguous_release () =
    | None -> Alcotest.fail "expected release")
 
 let test_lamport_queue_release_rule () =
-  let q = Total_order.Lamport_queue.create ~group_size:3 in
+  let q = Total_order.Lamport_queue.create ~group_size:3 () in
   let p id = { Delivery_queue.data = mk_data ~msg_id:id ~sender_rank:0 ~vt:[ 1; 0 ] ();
                arrived_at = 0 } in
   Total_order.Lamport_queue.add q (p 1) ~stamp:{ Lamport.time = 5; node = 0 };
@@ -868,7 +870,7 @@ let test_lamport_queue_release_rule () =
   check_bool "empty after" true (Total_order.Lamport_queue.take_ready q = None)
 
 let test_lamport_queue_deactivate_unblocks () =
-  let q = Total_order.Lamport_queue.create ~group_size:3 in
+  let q = Total_order.Lamport_queue.create ~group_size:3 () in
   let p id = { Delivery_queue.data = mk_data ~msg_id:id ~sender_rank:0 ~vt:[ 1; 0 ] ();
                arrived_at = 0 } in
   Total_order.Lamport_queue.add q (p 1) ~stamp:{ Lamport.time = 5; node = 0 };

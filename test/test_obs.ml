@@ -1,0 +1,370 @@
+(* Telemetry subsystem tests: ring-buffer log semantics, exact span
+   partitioning (qcheck), the bounded histogram against exact summaries,
+   reservoir-sampled Stats.Summary, metrics merging, structured-event
+   ingestion into the analyzer, and golden-file exporter output for the
+   Figure 1-4 scenario traces. *)
+
+module Log = Repro_obs.Log
+module Event = Repro_obs.Event
+module Span = Repro_obs.Span
+module Export = Repro_obs.Export
+module Histo = Repro_obs.Histo
+module Telemetry = Repro_experiments.Telemetry
+module Metrics = Repro_catocs.Metrics
+module Exec = Repro_analyze.Exec
+
+(* --- log ring buffer -------------------------------------------------------- *)
+
+let test_log_ring () =
+  let log = Log.create ~cap:8 () in
+  for i = 0 to 19 do
+    Log.span_send log ~at:i ~uid:i ~pid:0 ~bytes:8
+  done;
+  Alcotest.(check int) "length capped" 8 (Log.length log);
+  Alcotest.(check int) "dropped oldest" 12 (Log.dropped log);
+  let uids =
+    let acc = ref [] in
+    Log.iter log (fun r ->
+        match r.Event.event with
+        | Event.Span_send { uid; _ } -> acc := uid :: !acc
+        | _ -> ());
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "chronological tail window"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ] uids
+
+let test_log_disabled () =
+  let log = Log.create ~enabled:false () in
+  Log.span_send log ~at:1 ~uid:0 ~pid:0 ~bytes:8;
+  Log.span_delivered log ~at:2 ~uid:0 ~pid:0;
+  Log.gauge log ~at:3 ~pid:0 Event.Queue_depth 4;
+  Alcotest.(check int) "disabled log records nothing" 0 (Log.length log);
+  Log.set_enabled log true;
+  Log.span_send log ~at:4 ~uid:1 ~pid:0 ~bytes:8;
+  Alcotest.(check int) "re-enabled log records" 1 (Log.length log)
+
+(* --- span assembly and the exact latency partition -------------------------- *)
+
+(* Random per-copy lifecycles: each message i is sent at [t0], and each of
+   two receivers gets the copy after its own transit and ordering delays.
+   The partition transit + ordering-wait = end-to-end must be exact for
+   every assembled span. *)
+let span_partition_prop timings =
+  let log = Log.create () in
+  List.iteri
+    (fun uid (t0, d_transit, d_wait) ->
+      Log.span_send log ~at:t0 ~uid ~pid:0 ~bytes:64;
+      List.iter
+        (fun pid ->
+          let recv = t0 + (d_transit * (pid + 1)) in
+          let deliver = recv + (d_wait * (pid + 1)) in
+          Log.span_recv log ~at:recv ~uid ~pid;
+          Log.span_delivered log ~at:deliver ~uid ~pid)
+        [ 0; 1 ])
+    timings;
+  let spans = Span.of_log log in
+  List.length spans = 2 * List.length timings
+  && List.for_all
+       (fun sp ->
+         match
+           (Span.transit_us sp, Span.ordering_wait_us sp, Span.end_to_end_us sp)
+         with
+         | Some t, Some o, Some e -> t >= 0 && o >= 0 && t + o = e
+         | _ -> false)
+       spans
+
+let span_partition_qcheck =
+  QCheck.Test.make ~count:200 ~name:"span partition is exact"
+    QCheck.(list (triple small_nat small_nat small_nat))
+    span_partition_prop
+
+(* The same invariant on a real protocol run. *)
+let test_span_partition_fig1 () =
+  let scenario = Option.get (Telemetry.find "fig1") in
+  let log, _ = scenario.Telemetry.run () in
+  let spans = Span.of_log log in
+  Alcotest.(check bool) "spans found" true (spans <> []);
+  List.iter
+    (fun sp ->
+      match
+        (Span.transit_us sp, Span.ordering_wait_us sp, Span.end_to_end_us sp)
+      with
+      | Some t, Some o, Some e ->
+        Alcotest.(check int)
+          (Printf.sprintf "uid %d at pid %d" sp.Span.uid sp.Span.pid)
+          e (t + o)
+      | _ -> Alcotest.fail "fig1 span missing lifecycle timestamps")
+    spans
+
+let test_span_incomplete () =
+  let log = Log.create () in
+  Log.span_send log ~at:10 ~uid:7 ~pid:1 ~bytes:32;
+  Log.span_recv log ~at:15 ~uid:7 ~pid:2;
+  (* no delivery: the run ended with the copy still queued *)
+  Log.span_delivered log ~at:16 ~uid:99 ~pid:2;
+  (* delivery whose send fell off the ring: dropped entirely *)
+  match Span.of_log log with
+  | [ sp ] ->
+    Alcotest.(check int) "uid" 7 sp.Span.uid;
+    Alcotest.(check (option int)) "transit" (Some 5) (Span.transit_us sp);
+    Alcotest.(check (option int)) "no e2e" None (Span.end_to_end_us sp);
+    Alcotest.(check (option int)) "no lag" None (Span.stability_lag_us sp)
+  | spans ->
+    Alcotest.failf "expected exactly one span, got %d" (List.length spans)
+
+(* --- histogram vs exact summary --------------------------------------------- *)
+
+let histo_percentile_prop values =
+  let values = List.map (fun v -> float_of_int (1 + v)) values in
+  let h = Histo.create () and s = Stats.Summary.create () in
+  List.iter
+    (fun v ->
+      Histo.add h v;
+      Stats.Summary.add s v)
+    values;
+  List.for_all
+    (fun p ->
+      let exact = Stats.Summary.percentile s p in
+      let est = Histo.percentile h p in
+      (* reservoir stays exact below its cap, so [exact] is the true value;
+         the histogram midpoint is within its advertised relative error *)
+      Float.abs (est -. exact) <= (Histo.max_relative_error *. exact) +. 1e-9)
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
+let histo_percentile_qcheck =
+  QCheck.Test.make ~count:300
+    ~name:"histo percentiles within 3.125% of exact summary"
+    QCheck.(list_of_size Gen.(1 -- 400) (int_bound 9_999_999))
+    histo_percentile_prop
+
+let histo_merge_prop (a, b) =
+  let a = List.map (fun v -> float_of_int (1 + v)) a in
+  let b = List.map (fun v -> float_of_int (1 + v)) b in
+  let ha = Histo.create () and hb = Histo.create () and hc = Histo.create () in
+  List.iter (Histo.add ha) a;
+  List.iter (Histo.add hb) b;
+  List.iter (Histo.add hc) (a @ b);
+  Histo.merge ha hb;
+  Histo.count ha = Histo.count hc
+  && Histo.buckets ha = Histo.buckets hc
+  && Float.abs (Histo.sum ha -. Histo.sum hc) <= 1e-6 *. (1. +. Histo.sum hc)
+  && (a @ b = [] || (Histo.min ha = Histo.min hc && Histo.max ha = Histo.max hc))
+
+let histo_merge_qcheck =
+  QCheck.Test.make ~count:300 ~name:"histo merge = histogram of concatenation"
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 200) (int_bound 999_999))
+        (list_of_size Gen.(0 -- 200) (int_bound 999_999)))
+    histo_merge_prop
+
+let test_histo_extremes () =
+  let h = Histo.create () in
+  List.iter (Histo.add h) [ 3.0; 1000.0; 42.0 ];
+  Alcotest.(check (float 0.0)) "p0 exact min" 3.0 (Histo.percentile h 0.0);
+  Alcotest.(check (float 0.0)) "p100 exact max" 1000.0 (Histo.percentile h 1.0);
+  Alcotest.(check int) "count" 3 (Histo.count h)
+
+(* --- reservoir-sampled summaries -------------------------------------------- *)
+
+let test_reservoir_bounded_and_deterministic () =
+  let fill () =
+    let s = Stats.Summary.create () in
+    let rng = Rng.create 77L in
+    for _ = 1 to 50_000 do
+      Stats.Summary.add s (Rng.float rng 1000.0)
+    done;
+    s
+  in
+  let a = fill () and b = fill () in
+  Alcotest.(check int) "count exact" 50_000 (Stats.Summary.count a);
+  Alcotest.(check int) "retained bounded" Stats.Summary.reservoir_capacity
+    (Stats.Summary.retained a);
+  Alcotest.(check (float 0.0)) "deterministic p50"
+    (Stats.Summary.percentile a 0.5)
+    (Stats.Summary.percentile b 0.5);
+  (* a uniform[0,1000) stream: the subsampled median lands near 500 *)
+  let p50 = Stats.Summary.percentile a 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "subsampled p50 plausible (%.1f)" p50)
+    true
+    (p50 > 400.0 && p50 < 600.0)
+
+let test_reservoir_exact_below_cap () =
+  let s = Stats.Summary.create () in
+  for i = 100 downto 1 do
+    Stats.Summary.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "all retained" 100 (Stats.Summary.retained s);
+  (* nearest-rank: rank = round(p * 99), half away from zero *)
+  Alcotest.(check (float 0.0)) "p50 exact" 51.0 (Stats.Summary.percentile s 0.5);
+  Alcotest.(check (float 0.0)) "p99 exact" 99.0 (Stats.Summary.percentile s 0.99)
+
+let test_summary_merge_exact () =
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  let whole = Stats.Summary.create () in
+  for i = 1 to 60 do
+    Stats.Summary.add a (float_of_int i);
+    Stats.Summary.add whole (float_of_int i)
+  done;
+  for i = 61 to 100 do
+    Stats.Summary.add b (float_of_int i);
+    Stats.Summary.add whole (float_of_int i)
+  done;
+  Stats.Summary.merge a b;
+  Alcotest.(check int) "count" 100 (Stats.Summary.count a);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.Summary.mean whole)
+    (Stats.Summary.mean a);
+  Alcotest.(check (float 1e-9)) "stddev" (Stats.Summary.stddev whole)
+    (Stats.Summary.stddev a);
+  Alcotest.(check (float 0.0)) "min" 1.0 (Stats.Summary.min a);
+  Alcotest.(check (float 0.0)) "max" 100.0 (Stats.Summary.max a);
+  (* both reservoirs were complete, so the merge concatenated exactly *)
+  Alcotest.(check (float 0.0)) "p50 exact after merge"
+    (Stats.Summary.percentile whole 0.5)
+    (Stats.Summary.percentile a 0.5)
+
+let test_summary_merge_overflow () =
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  let rng = Rng.create 5L in
+  for _ = 1 to 3000 do
+    Stats.Summary.add a (Rng.float rng 100.0)
+  done;
+  for _ = 1 to 3000 do
+    Stats.Summary.add b (900.0 +. Rng.float rng 100.0)
+  done;
+  let exact_mean =
+    (Stats.Summary.mean a +. Stats.Summary.mean b) /. 2.0
+  in
+  Stats.Summary.merge a b;
+  Alcotest.(check int) "count" 6000 (Stats.Summary.count a);
+  Alcotest.(check int) "retained capped" Stats.Summary.reservoir_capacity
+    (Stats.Summary.retained a);
+  Alcotest.(check (float 1e-6)) "moments merged exactly" exact_mean
+    (Stats.Summary.mean a);
+  (* equal populations around 50 and 950: the median sits in the gap *)
+  let p50 = Stats.Summary.percentile a 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "merged p50 between the modes (%.1f)" p50)
+    true
+    (p50 >= 50.0 && p50 <= 1000.0);
+  let p10 = Stats.Summary.percentile a 0.1 and p90 = Stats.Summary.percentile a 0.9 in
+  Alcotest.(check bool) "low tail from a" true (p10 < 100.0);
+  Alcotest.(check bool) "high tail from b" true (p90 > 900.0)
+
+let test_metrics_merge_summaries () =
+  let acc = Metrics.create () and m = Metrics.create () in
+  Stats.Summary.add acc.Metrics.delivery_delay_us 10.0;
+  Stats.Summary.add m.Metrics.delivery_delay_us 30.0;
+  Stats.Summary.add m.Metrics.transit_us 7.0;
+  Stats.Summary.add m.Metrics.stability_lag_us 5.0;
+  m.Metrics.delivered <- 2;
+  Metrics.merge_into acc m;
+  Alcotest.(check int) "delay count merged" 2
+    (Stats.Summary.count acc.Metrics.delivery_delay_us);
+  Alcotest.(check (float 1e-9)) "delay mean merged" 20.0
+    (Stats.Summary.mean acc.Metrics.delivery_delay_us);
+  Alcotest.(check int) "transit count merged" 1
+    (Stats.Summary.count acc.Metrics.transit_us);
+  Alcotest.(check int) "stability count merged" 1
+    (Stats.Summary.count acc.Metrics.stability_lag_us);
+  Alcotest.(check int) "counters still merged" 2 acc.Metrics.delivered;
+  Alcotest.(check int) "source untouched" 1
+    (Stats.Summary.count m.Metrics.delivery_delay_us)
+
+(* --- structured-event ingestion into the analyzer ---------------------------- *)
+
+let test_exec_of_log_fig1 () =
+  let scenario = Option.get (Telemetry.find "fig1") in
+  let log, names = scenario.Telemetry.run () in
+  let exec = Exec.of_log ~label:"fig1 obs" ~ordering:Exec.Causal_order ~names log in
+  Alcotest.(check int) "four multicasts" 4 (List.length exec.Exec.sends);
+  Alcotest.(check int) "all copies delivered" 12
+    (List.length exec.Exec.deliveries);
+  Alcotest.(check string) "names mapped" "Q" (Exec.process_name exec 1)
+
+let test_exec_of_log_unknown_delivery () =
+  let log = Log.create () in
+  Log.span_delivered log ~at:5 ~uid:3 ~pid:0;
+  Alcotest.check_raises "unknown send rejected"
+    (Invalid_argument "Exec.of_log: delivery of unknown message uid 3 at pid 0")
+    (fun () -> ignore (Exec.of_log log))
+
+(* --- golden exporter output -------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden ~golden actual =
+  let expected = read_file golden in
+  if String.equal expected actual then ()
+  else begin
+    let exp_lines = String.split_on_char '\n' expected in
+    let act_lines = String.split_on_char '\n' actual in
+    let rec first_diff i = function
+      | e :: es, a :: as_ ->
+        if String.equal e a then first_diff (i + 1) (es, as_)
+        else Some (i, e, a)
+      | [], a :: _ -> Some (i, "<eof>", a)
+      | e :: _, [] -> Some (i, e, "<eof>")
+      | [], [] -> None
+    in
+    match first_diff 1 (exp_lines, act_lines) with
+    | Some (line, e, a) ->
+      Alcotest.failf
+        "%s: exporter output diverged at line %d\n  golden: %s\n  actual: %s\n\
+         (regenerate with: dune exec bin/trace_cli.exe -- export <scenario>)"
+        golden line e a
+    | None -> Alcotest.failf "%s: outputs differ only in line endings" golden
+  end
+
+let golden_case name =
+  Alcotest.test_case name `Quick (fun () ->
+      let scenario = Option.get (Telemetry.find name) in
+      let log, names = scenario.Telemetry.run () in
+      check_golden
+        ~golden:(Printf.sprintf "golden/%s_chrome.json" name)
+        (Export.chrome_trace ~names log);
+      check_golden
+        ~golden:(Printf.sprintf "golden/%s.jsonl" name)
+        (Export.jsonl log))
+
+let () =
+  Alcotest.run "repro_obs"
+    [
+      ( "log",
+        [ Alcotest.test_case "ring overwrites oldest" `Quick test_log_ring;
+          Alcotest.test_case "disabled path records nothing" `Quick
+            test_log_disabled ] );
+      ( "spans",
+        [ QCheck_alcotest.to_alcotest span_partition_qcheck;
+          Alcotest.test_case "fig1 partition exact" `Quick
+            test_span_partition_fig1;
+          Alcotest.test_case "incomplete lifecycles" `Quick
+            test_span_incomplete ] );
+      ( "histo",
+        [ QCheck_alcotest.to_alcotest histo_percentile_qcheck;
+          QCheck_alcotest.to_alcotest histo_merge_qcheck;
+          Alcotest.test_case "exact extremes" `Quick test_histo_extremes ] );
+      ( "summary",
+        [ Alcotest.test_case "reservoir bounded + deterministic" `Quick
+            test_reservoir_bounded_and_deterministic;
+          Alcotest.test_case "exact below cap" `Quick
+            test_reservoir_exact_below_cap;
+          Alcotest.test_case "merge exact-concat" `Quick
+            test_summary_merge_exact;
+          Alcotest.test_case "merge past the cap" `Quick
+            test_summary_merge_overflow;
+          Alcotest.test_case "metrics merge includes summaries" `Quick
+            test_metrics_merge_summaries ] );
+      ( "analyze",
+        [ Alcotest.test_case "fig1 log ingested" `Quick test_exec_of_log_fig1;
+          Alcotest.test_case "unknown delivery rejected" `Quick
+            test_exec_of_log_unknown_delivery ] );
+      ( "golden",
+        List.map golden_case
+          [ "fig1"; "fig2-shop-floor"; "fig3-fire-alarm"; "fig4-trading" ] );
+    ]

@@ -38,8 +38,8 @@ let show_ids l = String.concat "," (List.map string_of_int l)
 
 let run_equiv n ops =
   let metrics_i = Metrics.create () and metrics_r = Metrics.create () in
-  let inc = S.Incremental.create ~group_size:n ~metrics:metrics_i ~graph:None in
-  let re = S.Reference.create ~group_size:n ~metrics:metrics_r ~graph:None in
+  let inc = S.Incremental.create ~group_size:n ~metrics:metrics_i ~graph:None () in
+  let re = S.Reference.create ~group_size:n ~metrics:metrics_r ~graph:None () in
   let dvc = Array.init n (fun _ -> Vector_clock.create n) in
   let in_flight = ref [] in
   let next_id = ref 0 in
