@@ -99,10 +99,16 @@ let deceit_exec () =
   Recorder.exec recorder
 
 let experiments : (string * (unit -> Exec.t)) list =
+  let pc = Repro_catocs.Config.Pc_causal in
   [
-    ("fig1", Diagrams.fig1_exec);
-    ("fig2", Diagrams.fig2_exec);
-    ("fig3", Diagrams.fig3_exec);
+    ("fig1", (fun () -> Diagrams.fig1_exec ()));
+    ("fig2", (fun () -> Diagrams.fig2_exec ()));
+    ("fig3", (fun () -> Diagrams.fig3_exec ()));
+    (* the same executions over the PC-broadcast causal layer: fig1 stays
+       clean, the fig2/fig3 channels stay hidden — `--expect` pins both *)
+    ("fig1-pc", (fun () -> Diagrams.fig1_exec ~causal_impl:pc ()));
+    ("fig2-pc", (fun () -> Diagrams.fig2_exec ~causal_impl:pc ()));
+    ("fig3-pc", (fun () -> Diagrams.fig3_exec ~causal_impl:pc ()));
     ("false-causality", (fun () -> False_causality.record ()));
     ("deceit-store", deceit_exec);
   ]
@@ -199,7 +205,9 @@ let experiment_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"NAME"
-          ~doc:"fig1, fig2, fig3, false-causality or deceit-store.")
+          ~doc:
+            "fig1, fig2, fig3 (with -pc variants for the PC-broadcast \
+             causal layer), false-causality or deceit-store.")
   in
   let expects =
     Arg.(

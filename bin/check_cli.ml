@@ -27,13 +27,22 @@ let parse_orderings = function
     in
     go [] names
 
-let run_check seeds start_seed ordering_names members duration_ms root_sends
-    max_faults no_shrink no_crashes no_partitions no_loss no_joins verbose =
-  match parse_orderings ordering_names with
-  | Error msg ->
+let parse_causal_impl = function
+  | "bss" | "vector" -> Ok Config.Vector_causal
+  | "pc" -> Ok Config.Pc_causal
+  | s ->
+    Error (Printf.sprintf "unknown causal impl %S (one of: bss, pc)" s)
+
+let run_check seeds start_seed ordering_names causal_impl_name members
+    duration_ms root_sends max_faults no_shrink no_crashes no_partitions
+    no_loss no_joins verbose =
+  match
+    (parse_orderings ordering_names, parse_causal_impl causal_impl_name)
+  with
+  | Error msg, _ | _, Error msg ->
     prerr_endline msg;
     2
-  | Ok orderings ->
+  | Ok orderings, Ok causal_impl ->
     let profile =
       {
         Fault_plan.members;
@@ -59,7 +68,7 @@ let run_check seeds start_seed ordering_names members duration_ms root_sends
         start_seed;
       let r =
         Runner.sweep ~profile ~shrink:(not no_shrink) ~start_seed ?on_seed
-          ~ordering ~seeds ()
+          ~causal_impl ~ordering ~seeds ()
       in
       match r.Runner.failed with
       | None ->
@@ -94,6 +103,14 @@ let cmd =
           ~doc:
             "Ordering mode(s) to check: fbcast, cbcast, abcast, lamport or \
              all. Repeatable.")
+  in
+  let causal_impl =
+    Arg.(
+      value & opt string "bss"
+      & info [ "causal-impl" ] ~docv:"IMPL"
+          ~doc:
+            "Causal-delivery implementation for the causal-layer modes: bss \
+             (vector timestamps) or pc (PC-broadcast constant metadata).")
   in
   let members =
     Arg.(
@@ -145,8 +162,8 @@ let cmd =
   Cmd.v
     (Cmd.info "repro-check" ~doc)
     Term.(
-      const run_check $ seeds $ start_seed $ ordering $ members $ duration_ms
-      $ root_sends $ max_faults $ no_shrink $ no_crashes $ no_partitions
-      $ no_loss $ no_joins $ verbose)
+      const run_check $ seeds $ start_seed $ ordering $ causal_impl $ members
+      $ duration_ms $ root_sends $ max_faults $ no_shrink $ no_crashes
+      $ no_partitions $ no_loss $ no_joins $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,13 +11,14 @@ type config = {
   event_gap : Sim_time.t;
   latency : Net.latency;
   ordering : Config.ordering;
+  causal_impl : Config.causal_impl;
   clock_accuracy_us : int;
 }
 
 let default_config =
   { seed = 1L; trials = 200; event_gap = Sim_time.ms 6;
     latency = Net.Uniform (500, 15_000); ordering = Config.Causal;
-    clock_accuracy_us = 1000 }
+    causal_impl = Config.Vector_causal; clock_accuracy_us = 1000 }
 
 (* [mark] is the recorder uid of the multicast (0 when not recording), so
    deliveries can be attributed without a payload lookup table. *)
@@ -50,7 +51,10 @@ let run ?(capture_diagram = false) ?obs ?recorder config =
     Rt_clock.create ~accuracy_us:config.clock_accuracy_us
       (Rng.split (Engine.rng engine))
   in
-  let group_config = { Config.default with Config.ordering = config.ordering } in
+  let group_config =
+    Config.with_causal_impl config.causal_impl
+      { Config.default with Config.ordering = config.ordering }
+  in
   let stacks =
     Stack.create_group ?obs ~engine ~config:group_config
       ~names:[ "furnace-P"; "observer-Q"; "monitor-R" ]

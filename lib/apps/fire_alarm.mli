@@ -20,6 +20,9 @@ type config = {
   latency : Net.latency;
   ordering : Repro_catocs.Config.ordering;
       (** the paper notes the anomaly survives total ordering too *)
+  causal_impl : Repro_catocs.Config.causal_impl;
+      (** and it survives a change of causal implementation: the external
+          channel is invisible to BSS and PC-broadcast alike *)
   clock_accuracy_us : int;
 }
 

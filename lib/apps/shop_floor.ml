@@ -11,11 +11,12 @@ type config = {
   trials : int;
   request_gap : Sim_time.t;
   latency : Net.latency;
+  causal_impl : Config.causal_impl;
 }
 
 let default_config =
   { seed = 1L; trials = 200; request_gap = Sim_time.ms 8;
-    latency = Net.Uniform (500, 12_000) }
+    latency = Net.Uniform (500, 12_000); causal_impl = Config.Vector_causal }
 
 type result = {
   trials : int;
@@ -75,7 +76,10 @@ let run ?(capture_diagram = false) ?obs ?recorder config =
        | None -> ())
   in
   (* the group: two SFC instances plus the observing client workstation *)
-  let group_config = { Config.default with Config.ordering = Config.Causal } in
+  let group_config =
+    Config.with_causal_impl config.causal_impl
+      { Config.default with Config.ordering = Config.Causal }
+  in
   let stacks =
     Stack.create_group ?obs ~engine ~config:group_config
       ~names:[ "sfc1"; "sfc2"; "observer" ]

@@ -20,6 +20,9 @@ type config = {
   request_gap : Sim_time.t;
       (** how long after "start" the "stop" request is issued *)
   latency : Net.latency;
+  causal_impl : Repro_catocs.Config.causal_impl;
+      (** the anomaly is implementation-independent: it shows under BSS and
+          PC-broadcast alike, because the channel is outside the transport *)
 }
 
 val default_config : config

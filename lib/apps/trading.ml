@@ -8,13 +8,14 @@ type config = {
   tick_interval : Sim_time.t;
   latency : Net.latency;
   ordering : Config.ordering;
+  causal_impl : Config.causal_impl;
   spread : float;
 }
 
 let default_config =
   { seed = 1L; ticks = 400; tick_interval = Sim_time.ms 4;
     latency = Net.Uniform (500, 15_000); ordering = Config.Causal;
-    spread = 0.01 }
+    causal_impl = Config.Vector_causal; spread = 0.01 }
 
 type msg =
   | Option_tick of { version : int; price : float }
@@ -31,7 +32,10 @@ type result = {
 let run ?obs config =
   let net = Net.create ~latency:config.latency () in
   let engine = Engine.create ~seed:config.seed ~net () in
-  let group_config = { Config.default with Config.ordering = config.ordering } in
+  let group_config =
+    Config.with_causal_impl config.causal_impl
+      { Config.default with Config.ordering = config.ordering }
+  in
   let stacks =
     Stack.create_group ?obs ~engine ~config:group_config
       ~names:[ "option-pricing"; "theoretic-pricing"; "monitor" ]

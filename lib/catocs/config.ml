@@ -6,11 +6,16 @@ type failure_detection =
 
 type transport_mode =
   | Bare
+  | Fifo_order
   | Reliable of { rto : Sim_time.t; max_retries : int }
 
 type queue_impl = Indexed_queue | Reference_queue
 
 type stability_impl = Incremental_stability | Reference_stability
+
+type causal_impl = Vector_causal | Pc_causal
+
+type pc_overlay = Pc_full_mesh | Pc_tree of { fanout : int }
 
 type t = {
   ordering : ordering;
@@ -22,16 +27,35 @@ type t = {
   track_graph : bool;
   queue_impl : queue_impl;
   stability_impl : stability_impl;
+  causal_impl : causal_impl;
+  pc_overlay : pc_overlay;
 }
 
 let default =
   { ordering = Causal; gossip_period = Sim_time.ms 20; transport = Bare;
     failure_detection = Oracle; piggyback_history = false;
     payload_bytes = 256; track_graph = true; queue_impl = Indexed_queue;
-    stability_impl = Incremental_stability }
+    stability_impl = Incremental_stability; causal_impl = Vector_causal;
+    pc_overlay = Pc_full_mesh }
 
 let ordering_name = function
   | Fifo -> "fifo"
   | Causal -> "causal"
   | Total_sequencer -> "total-seq"
   | Total_lamport -> "total-lamport"
+
+let causal_impl_name = function
+  | Vector_causal -> "bss"
+  | Pc_causal -> "pc"
+
+(* PC-broadcast is a causal-layer replacement: it only changes how the
+   [Causal] ordering is achieved. The total-order modes keep their
+   vector-timestamp causal substrate. *)
+let pc_active t = t.causal_impl = Pc_causal && t.ordering = Causal
+
+let with_causal_impl causal_impl t =
+  { t with causal_impl;
+    transport =
+      (match (causal_impl, t.transport) with
+       | Pc_causal, Bare -> Fifo_order
+       | (Pc_causal | Vector_causal), _ -> t.transport) }

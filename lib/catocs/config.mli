@@ -18,6 +18,12 @@ type failure_detection =
 
 type transport_mode =
   | Bare  (** raw network: no acks; suitable for lossless configurations *)
+  | Fifo_order
+      (** per-link sequencing and in-order reassembly without acks or
+          retransmission: every (src, dst) pair behaves as a FIFO channel
+          under reordering networks, but loss is not repaired. The cheap
+          substrate PC-broadcast ({!causal_impl}) needs on lossless
+          configurations; use [Reliable] when messages can be dropped. *)
   | Reliable of { rto : Sim_time.t; max_retries : int }
       (** positive ack + retransmission, FIFO reassembly *)
 
@@ -40,6 +46,29 @@ type stability_impl =
           ({!Stability.Reference}), selectable for whole-stack differential
           comparison *)
 
+type causal_impl =
+  | Vector_causal
+      (** BSS causal delivery: O(group) vector timestamps piggybacked on
+          every message, receiver-side buffering against the delivery
+          condition — the 1993 CATOCS design the paper critiques *)
+  | Pc_causal
+      (** PC-broadcast (Nédelec et al., SRDS 2018): causal order from FIFO
+          overlay links plus forward-on-first-delivery, so each message
+          carries O(1) control information regardless of group size. Only
+          affects [Causal] ordering; requires FIFO links ([Fifo_order] or
+          [Reliable] transport under reordering/lossy networks). *)
+
+type pc_overlay =
+  | Pc_full_mesh
+      (** every member forwards to every other: 1-hop delivery latency,
+          maximal redundancy — the configuration whose delivery behavior is
+          differentially pinned against [Vector_causal] *)
+  | Pc_tree of { fanout : int }
+      (** deterministic [fanout]-ary spanning tree over ranks: each
+          broadcast crosses each tree edge once (n-1 transmissions, like a
+          direct multicast) at the price of depth-many hops; the
+          configuration the large-scale sweeps use *)
+
 type t = {
   ordering : ordering;
   gossip_period : Sim_time.t;
@@ -58,10 +87,27 @@ type t = {
   queue_impl : queue_impl;  (** delivery-queue implementation selector *)
   stability_impl : stability_impl;
       (** stability-tracker implementation selector *)
+  causal_impl : causal_impl;
+      (** causal-delivery implementation selector (BSS vs PC-broadcast) *)
+  pc_overlay : pc_overlay;
+      (** dissemination overlay used when [causal_impl = Pc_causal] *)
 }
 
 val default : t
 (** Causal ordering, 20ms gossip, bare transport, oracle failure detection,
-    256-byte payloads, graph tracking on. *)
+    256-byte payloads, graph tracking on, BSS causal delivery over a full
+    mesh. *)
 
 val ordering_name : ordering -> string
+
+val causal_impl_name : causal_impl -> string
+(** ["bss"] or ["pc"] — the labels benches and CLIs use. *)
+
+val pc_active : t -> bool
+(** True when this configuration runs the PC-broadcast causal layer:
+    [causal_impl = Pc_causal] and [ordering = Causal]. *)
+
+val with_causal_impl : causal_impl -> t -> t
+(** Select the causal implementation, upgrading a [Bare] transport to
+    [Fifo_order] when PC-broadcast is chosen — its causality argument needs
+    FIFO links, and a [Reliable] transport already provides them. *)

@@ -79,6 +79,13 @@ type 'a t = {
   mutable view : Group.view;
   mutable rank : int;
   mutable vc : Vector_clock.t;
+  mutable pc : Pc_causal.t option;
+      (* PC-broadcast causal-layer state (overlay, link barrier, arrival
+         records); [Some] iff [Config.pc_active config]. Rebuilt on every
+         view install. In PC mode [vc] is not wire-carried: it is
+         reconstructed from delivery order (component [o] = highest
+         contiguously delivered origin sequence of rank [o]), which keeps
+         the gossip/stability/flush machinery working unchanged. *)
   mutable queue : 'a Delivery_queue.t;
   mutable seq_queue : 'a Total_order.Sequencer_queue.t;
   mutable lamport_queue : 'a Total_order.Lamport_queue.t;
@@ -122,9 +129,15 @@ type 'a t = {
 }
 
 let queue_mode (config : Config.t) =
-  match config.Config.ordering with
-  | Config.Fifo | Config.Total_lamport -> Delivery_queue.Fifo_gap
-  | Config.Causal | Config.Total_sequencer -> Delivery_queue.Causal_full
+  if Config.pc_active config then
+    (* PC-broadcast: FIFO links plus forward-on-first-delivery make each
+       link's receive order causally consistent, so a per-origin contiguity
+       gate is all the delivery condition needs — no vector comparison *)
+    Delivery_queue.Fifo_gap
+  else
+    match config.Config.ordering with
+    | Config.Fifo | Config.Total_lamport -> Delivery_queue.Fifo_gap
+    | Config.Causal | Config.Total_sequencer -> Delivery_queue.Causal_full
 
 let queue_impl (config : Config.t) =
   match config.Config.queue_impl with
@@ -220,6 +233,44 @@ let broadcast_proto t proto =
   iter_other_members t (fun dst ->
       Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst proto)
 
+(* --- PC-broadcast wiring ------------------------------------------------- *)
+
+(* (Re)build the PC overlay state for the current view. [prev_members] holds
+   the members of the view this install replaced: a link between two
+   carried-over members stays open (its FIFO channel never broke and the
+   flush made their message sets agree), while a link involving a member new
+   to the view starts closed and runs the ping/pong barrier before data
+   flows on it. At initial group creation every member is "carried over", so
+   all links start open and no pings are sent. *)
+let reset_pc t ~prev_members =
+  if not (Config.pc_active t.config) then t.pc <- None
+  else begin
+    let view = t.view in
+    let self_fresh = not (Pid_set.mem t.self prev_members) in
+    let link_fresh peer_rank =
+      self_fresh || not (Pid_set.mem (Group.member view peer_rank) prev_members)
+    in
+    let pc =
+      Pc_causal.create t.config ~rank:t.rank ~group_size:(Group.size view)
+        ~link_fresh
+    in
+    t.pc <- Some pc;
+    let stats = Pc_causal.stats pc in
+    List.iter
+      (fun peer_rank ->
+        stats.Pc_causal.pings_sent <- stats.Pc_causal.pings_sent + 1;
+        t.metrics.Metrics.control_messages <-
+          t.metrics.Metrics.control_messages + 1;
+        Endpoint.send_proto (endpoint t) ~group:t.shared.group_id
+          ~dst:(Group.member view peer_rank)
+          (Wire.Pc_ping { view_id = view.Group.view_id; from_rank = t.rank }))
+      (Pc_causal.fresh_links pc)
+  end
+
+let pc_stats t = Option.map Pc_causal.stats t.pc
+
+let pc_neighbors t = Option.map Pc_causal.neighbors t.pc
+
 (* --- graph bookkeeping (Section 5 active causal graph) ----------------- *)
 
 let register_in_graph t (data : 'a Wire.data) =
@@ -306,6 +357,33 @@ let causal_deliver t (pending : 'a Delivery_queue.pending) =
   Vector_clock.set t.vc sender (Vector_clock.get data.Wire.vt sender);
   Stability.note_sent_or_delivered t.stability data;
   Stability.self_observe t.stability ~rank:t.rank ~now:(Engine.now t.engine) t.vc;
+  (* PC forward-on-first-delivery. This must run BEFORE the application
+     callback below: a reaction multicast issued synchronously from the
+     delivery would otherwise be sent ahead of this message's forwarded
+     copy on shared FIFO links, and a neighbor could deliver the reaction
+     before its trigger — exactly the causal inversion PC's structural
+     argument forbids. Forwarding a message we are about to deliver is
+     safe: it is causally deliverable here, hence on our outgoing links. *)
+  (match t.pc with
+   | None -> ()
+   | Some pc ->
+     let from_rank = Pc_causal.take_arrival pc data.Wire.msg_id in
+     if data.Wire.origin <> t.self then begin
+       match t.status with
+       | Normal ->
+         let stats = Pc_causal.stats pc in
+         List.iter
+           (fun r ->
+             stats.Pc_causal.forwards <- stats.Pc_causal.forwards + 1;
+             t.metrics.Metrics.header_bytes <-
+               t.metrics.Metrics.header_bytes + Wire.header_bytes data;
+             Endpoint.send_proto (endpoint t) ~group:t.shared.group_id
+               ~dst:(Group.member t.view r) (Wire.Data data))
+           (Pc_causal.forward_targets pc ~from_rank ~origin_rank:sender)
+       | Flushing _ | Joining _ ->
+         (* the flush round itself disseminates the message set *)
+         ()
+     end);
   match t.config.Config.ordering with
   | Config.Fifo | Config.Causal -> final_deliver t pending
   | Config.Total_sequencer ->
@@ -329,7 +407,7 @@ let causal_deliver t (pending : 'a Delivery_queue.pending) =
        Total_order.Lamport_queue.add t.lamport_queue pending ~stamp;
        Total_order.Lamport_queue.observe_time t.lamport_queue
          ~rank:data.Wire.sender_rank stamp.Lamport.time
-     | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta ->
+     | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta | Wire.Pc_meta _ ->
        (* a misconfigured peer; deliver FIFO to stay live *)
        final_deliver t pending)
   end
@@ -358,7 +436,7 @@ let drain_deliverables t =
   apply_deferred_gossip t;
   release_total_queues t
 
-let rec on_data t (data : 'a Wire.data) =
+let rec on_data t ?(src_rank = -1) (data : 'a Wire.data) =
   (* piggybacked predecessors are just data messages: feed them through the
      same path (duplicates are dropped by the delivered/seen-ids check) *)
   List.iter (fun d -> on_data t d) data.Wire.piggyback;
@@ -370,9 +448,15 @@ let rec on_data t (data : 'a Wire.data) =
           && not (Hashtbl.mem t.delivered_ids data.Wire.msg_id)
           && not (Hashtbl.mem t.causal_seen data.Wire.msg_id)
   then begin
+    match t.pc with
+    | Some pc when Pc_causal.is_queued pc data.Wire.msg_id ->
+      (* PC's forwarding redundancy: a copy of a message already sitting in
+         the delivery queue; drop it before it reaches the queue *)
+      Pc_causal.note_duplicate pc
+    | _ ->
     (match data.Wire.meta with
      | Wire.Lamport_meta stamp -> ignore (Lamport.observe t.lamport stamp.Lamport.time)
-     | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta -> ());
+     | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta | Wire.Pc_meta _ -> ());
     let pending =
       { Delivery_queue.data; arrived_at = Engine.now t.engine }
     in
@@ -394,10 +478,21 @@ let rec on_data t (data : 'a Wire.data) =
       drain_deliverables t
     end
     else begin
+      (match t.pc with
+       | Some pc ->
+         (* record the arrival link so the forward on delivery can skip it *)
+         Pc_causal.note_queued pc ~msg_id:data.Wire.msg_id ~from_rank:src_rank
+       | None -> ());
       Delivery_queue.add t.queue pending;
       drain_deliverables t
     end
   end
+  else
+    match t.pc with
+    | Some pc when data.Wire.view_id = t.view.Group.view_id ->
+      (* redundant copy of an already-delivered message *)
+      Pc_causal.note_duplicate pc
+    | _ -> ()
 
 (* --- multicast ---------------------------------------------------------- *)
 
@@ -410,13 +505,29 @@ let make_data t payload =
        ~pid:t.self ~bytes:t.config.Config.payload_bytes
    | None -> ());
   (* one immutable snapshot per multicast, shared by every recipient *)
-  let vt = Vector_clock.copy_tick t.vc t.rank in
-  let meta =
-    match t.config.Config.ordering with
-    | Config.Fifo -> Wire.Fifo_meta
-    | Config.Causal -> Wire.Causal_meta
-    | Config.Total_sequencer -> Wire.Seq_meta
-    | Config.Total_lamport -> Wire.Lamport_meta (Lamport.stamp t.lamport ~node:t.rank)
+  let vt, meta =
+    match t.pc with
+    | Some _ ->
+      (* PC mode: the wire carries only (origin, origin_seq). The in-memory
+         vt is sparse — just our own ticked component — which is exactly
+         what the delivery-queue gap check, causal_deliver's clock advance
+         and the stability sender-row merge read; any receiver could
+         reconstruct it locally, so it is not charged to header_bytes. *)
+      let seq = Vector_clock.get t.vc t.rank + 1 in
+      let vt = Vector_clock.create (Group.size t.view) in
+      Vector_clock.set vt t.rank seq;
+      (vt, Wire.Pc_meta { origin_seq = seq })
+    | None ->
+      let vt = Vector_clock.copy_tick t.vc t.rank in
+      let meta =
+        match t.config.Config.ordering with
+        | Config.Fifo -> Wire.Fifo_meta
+        | Config.Causal -> Wire.Causal_meta
+        | Config.Total_sequencer -> Wire.Seq_meta
+        | Config.Total_lamport ->
+          Wire.Lamport_meta (Lamport.stamp t.lamport ~node:t.rank)
+      in
+      (vt, meta)
   in
   let piggyback =
     if t.config.Config.piggyback_history then
@@ -451,10 +562,31 @@ let transmit t data ~recipients =
 
 let do_multicast t payload =
   let data = make_data t payload in
-  account_send t data ~recipient_count:(Group.size t.view - 1);
-  iter_other_members t (fun dst ->
-      Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst
-        (Wire.Data data));
+  (match t.pc with
+   | None ->
+     account_send t data ~recipient_count:(Group.size t.view - 1);
+     iter_other_members t (fun dst ->
+         Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst
+           (Wire.Data data))
+   | Some pc ->
+     (* overlay dissemination: the initial copies go to our overlay
+        neighbors only; forwarding on delivery carries them the rest of the
+        way. Closed (barrier-pending) links are skipped — the pong-triggered
+        unstable retransmission covers them. *)
+     let stats = Pc_causal.stats pc in
+     let sent = ref 0 in
+     Array.iter
+       (fun r ->
+         if Pc_causal.link_open pc ~peer_rank:r then begin
+           incr sent;
+           Endpoint.send_proto (endpoint t) ~group:t.shared.group_id
+             ~dst:(Group.member t.view r) (Wire.Data data)
+         end
+         else
+           stats.Pc_causal.barrier_deferred <-
+             stats.Pc_causal.barrier_deferred + 1)
+       (Pc_causal.neighbors pc);
+     account_send t data ~recipient_count:!sent);
   on_data t data
 
 (* Transmit outbox entries in order; a multicast issued from a delivery
@@ -602,6 +734,7 @@ let install_view t flush =
   t.deferred_lamport_gossip <- [];
   t.status <- Normal;
   t.installing <- true;
+  reset_pc t ~prev_members:(Pid_set.of_list old_members);
   t.metrics.Metrics.view_changes <- t.metrics.Metrics.view_changes + 1;
   t.metrics.Metrics.suppressed_us <-
     t.metrics.Metrics.suppressed_us
@@ -811,6 +944,8 @@ let install_join t join ~view_id ~members ~state =
   t.deferred_lamport_gossip <- [];
   t.status <- Normal;
   t.installing <- true;
+  (* a joiner is new to every link: the full barrier runs on each of them *)
+  reset_pc t ~prev_members:Pid_set.empty;
   t.set_state state;
   t.metrics.Metrics.view_changes <- t.metrics.Metrics.view_changes + 1;
   t.callbacks.view_change new_view;
@@ -883,7 +1018,60 @@ let handle_proto t ~src (proto : 'a Wire.proto) =
   else begin
     if src >= 0 then Hashtbl.replace t.last_seen src (Engine.now t.engine);
     match proto with
-  | Wire.Data data -> on_data t data
+  | Wire.Data data ->
+    (* the transport-level sender (origin or PC forwarder), as a rank in the
+       current view; -1 for replays and senders outside the view *)
+    let src_rank =
+      if src >= 0 && Group.mem t.view src then Group.rank_of_exn t.view src
+      else -1
+    in
+    on_data t ~src_rank data
+  | Wire.Pc_ping { view_id; from_rank } ->
+    if view_id > t.view.Group.view_id then
+      t.future_proto <- (view_id, proto) :: t.future_proto
+    else if view_id = t.view.Group.view_id then (
+      match t.pc with
+      | Some pc ->
+        let stats = Pc_causal.stats pc in
+        stats.Pc_causal.pongs_sent <- stats.Pc_causal.pongs_sent + 1;
+        t.metrics.Metrics.control_messages <-
+          t.metrics.Metrics.control_messages + 1;
+        Endpoint.send_proto (endpoint t) ~group:t.shared.group_id
+          ~dst:(Group.member t.view from_rank)
+          (Wire.Pc_pong
+             { view_id; from_rank = t.rank;
+               delivered = Vector_clock.copy t.vc })
+      | None -> ())
+  | Wire.Pc_pong { view_id; from_rank; delivered } ->
+    if view_id > t.view.Group.view_id then
+      t.future_proto <- (view_id, proto) :: t.future_proto
+    else if view_id = t.view.Group.view_id then (
+      match t.pc with
+      | Some pc when not (Pc_causal.link_open pc ~peer_rank:from_rank) ->
+        Pc_causal.open_link pc ~peer_rank:from_rank;
+        (* open_link is a no-op for a non-neighbor; re-check before
+           retransmitting anything *)
+        if Pc_causal.link_open pc ~peer_rank:from_rank then begin
+          (* Start the fresh link FIFO-causal: resend exactly the messages
+             the peer's delivered-counts say it lacks, in msg-id order
+             (causally consistent under globally-sequenced stamping). The
+             unstable buffer is a complete source — anything the peer is
+             missing cannot have stabilised, since stability requires
+             delivery by every member including the peer. *)
+          let missing =
+            Pc_causal.missing_for ~delivered (Stability.unstable t.stability)
+          in
+          let stats = Pc_causal.stats pc in
+          stats.Pc_causal.barrier_retransmits <-
+            stats.Pc_causal.barrier_retransmits + List.length missing;
+          let dst = Group.member t.view from_rank in
+          List.iter
+            (fun d ->
+              Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst
+                (Wire.Data d))
+            missing
+        end
+      | Some _ | None -> ())
   | Wire.Seq_order { view_id; msg_id; global_seq } ->
     if view_id > t.view.Group.view_id then
       t.future_proto <- (view_id, proto) :: t.future_proto
@@ -911,6 +1099,7 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
       causal_seen = Hashtbl.create 256;
       endpoint = None; view; rank;
       vc = Vector_clock.create (Group.size view);
+      pc = None;
       queue = make_queue ?obs config;
       seq_queue = Total_order.Sequencer_queue.create ?obs ();
       lamport_queue =
@@ -939,6 +1128,8 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
   Endpoint.register_group endpoint ~group:shared.group_id (fun ~src proto ->
       handle_proto t ~src proto);
   t.endpoint <- Some endpoint;
+  (* every initial member is "carried over": links start open, no barrier *)
+  reset_pc t ~prev_members:(Pid_set.of_list (Array.to_list view.Group.members));
   t.cancel_gossip <-
     Engine.every engine ~owner:self ~period:config.Config.gossip_period
       (fun () -> send_gossip t);

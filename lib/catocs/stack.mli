@@ -97,6 +97,14 @@ val unstable_bytes : 'a t -> int
 val pending_count : 'a t -> int
 (** Messages currently blocked in ordering queues. *)
 
+val pc_stats : 'a t -> Pc_causal.stats option
+(** PC-broadcast operational counters (forwards, duplicates, barrier
+    traffic); [None] unless [Config.pc_active]. The PC state is rebuilt on
+    every view install, so counters are per-view, not per-lifetime. *)
+
+val pc_neighbors : 'a t -> int array option
+(** Current overlay neighbor ranks; [None] unless [Config.pc_active]. *)
+
 val record_gauges : 'a t -> unit
 (** Sample this member's occupancy gauges (unstable msgs/bytes, delivery
     queue depth, blocked count) into the group's telemetry log, stamped at

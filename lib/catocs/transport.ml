@@ -85,6 +85,15 @@ let rec arm_retransmit t dst ch ~rto ~max_retries =
 let send t ~dst payload =
   match t.mode with
   | Config.Bare -> emit t ~dst (Raw payload)
+  | Config.Fifo_order ->
+    (* sequence-and-reorder only: the receiver reassembles each (src, dst)
+       stream in send order, turning a reordering network into FIFO links —
+       the substrate PC-broadcast assumes. No acks, so a dropped segment
+       stalls the link; use [Reliable] under loss. *)
+    let ch = sender_channel t dst in
+    let seq = ch.next_seq in
+    ch.next_seq <- seq + 1;
+    emit t ~dst (Seg { seq; payload })
   | Config.Reliable { rto; max_retries } ->
     let ch = sender_channel t dst in
     let seq = ch.next_seq in
@@ -116,7 +125,11 @@ let handle_seg t src seq payload =
       drain ()
   in
   drain ();
-  emit t ~dst:src (Ack { upto = ch.next_expected - 1 })
+  (* acks exist only for the retransmission mode; a Fifo_order receiver
+     stays silent *)
+  match t.mode with
+  | Config.Reliable _ -> emit t ~dst:src (Ack { upto = ch.next_expected - 1 })
+  | Config.Bare | Config.Fifo_order -> ()
 
 let handle t (env : 'w packet Engine.envelope) =
   match env.payload with

@@ -5,6 +5,7 @@ type order_meta =
   | Causal_meta
   | Seq_meta
   | Lamport_meta of Lamport.stamp
+  | Pc_meta of { origin_seq : int }
 
 type 'a data = {
   msg_id : msg_id;
@@ -36,6 +37,8 @@ type 'a proto =
   | New_view of { view_id : int; members : Engine.pid list }
   | Join_request of { joiner : Engine.pid }
   | State_transfer of { view_id : int; state : string }
+  | Pc_ping of { view_id : int; from_rank : int }
+  | Pc_pong of { view_id : int; from_rank : int; delivered : Vector_clock.t }
 
 type 'a t =
   | Proto of int * 'a proto
@@ -46,6 +49,10 @@ let header_bytes data =
   | Fifo_meta -> 8
   | Causal_meta | Seq_meta -> 8 + Vector_clock.encoded_size_bytes data.vt
   | Lamport_meta _ -> 16
+  (* PC-broadcast carries only (origin, per-origin sequence): constant in
+     group size — the in-memory [vt] field is receiver-reconstructible and
+     never on the wire *)
+  | Pc_meta _ -> 16
 
 let buffered_bytes data = data.payload_bytes + header_bytes data
 
@@ -69,4 +76,8 @@ let pp pp_payload ppf = function
   | Proto (_, Join_request { joiner }) -> Format.fprintf ppf "join-req(p%d)" joiner
   | Proto (_, State_transfer { view_id; state }) ->
     Format.fprintf ppf "state(v%d,%dB)" view_id (String.length state)
+  | Proto (_, Pc_ping { view_id; from_rank }) ->
+    Format.fprintf ppf "pc-ping(v%d,r%d)" view_id from_rank
+  | Proto (_, Pc_pong { view_id; from_rank; _ }) ->
+    Format.fprintf ppf "pc-pong(v%d,r%d)" view_id from_rank
   | Direct payload -> Format.fprintf ppf "direct(%a)" pp_payload payload

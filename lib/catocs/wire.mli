@@ -16,6 +16,14 @@ type order_meta =
       (** causal delivery plus sequencer-assigned total order (ABCAST) *)
   | Lamport_meta of Lamport.stamp
       (** total order by Lamport timestamp, released on stability *)
+  | Pc_meta of { origin_seq : int }
+      (** PC-broadcast causal delivery: the only wire-carried control
+          information is the origin's per-view send sequence — O(1) in
+          group size. The [data.vt] field still exists in memory (sparse:
+          only the origin component is set) because the stability and graph
+          layers read it, but a receiver can reconstruct it locally from
+          [(origin, origin_seq)], so it is not charged to
+          {!header_bytes}. *)
 
 type 'a data = {
   msg_id : msg_id;
@@ -52,6 +60,14 @@ type 'a proto =
   | New_view of { view_id : int; members : Engine.pid list }
   | Join_request of { joiner : Engine.pid }
   | State_transfer of { view_id : int; state : string }
+  | Pc_ping of { view_id : int; from_rank : int }
+      (** PC-broadcast link barrier: sent on every fresh overlay link at
+          view install; the peer answers with {!Pc_pong} *)
+  | Pc_pong of { view_id : int; from_rank : int; delivered : Vector_clock.t }
+      (** opens the link: [delivered] is the responder's per-origin
+          delivered counts, so the sender can retransmit exactly the
+          unstable messages the peer is missing (one O(group) control
+          message per link establishment, amortised over the epoch) *)
 
 type 'a t =
   | Proto of int * 'a proto

@@ -37,7 +37,8 @@ let reaction_budget = 240
 let max_reaction_depth = 3
 
 let execute ?(queue_impl = Config.Indexed_queue)
-    ?(stability_impl = Config.Incremental_stability) ~seed ~ordering
+    ?(stability_impl = Config.Incremental_stability)
+    ?(causal_impl = Config.Vector_causal) ~seed ~ordering
     (plan : Fault_plan.t) =
   let net =
     Net.create
@@ -55,6 +56,12 @@ let execute ?(queue_impl = Config.Indexed_queue)
       failure_detection = Config.Oracle;
       queue_impl;
       stability_impl;
+      causal_impl;
+      (* the checker always exercises PC over the full mesh: overlay
+         routing is orthogonal to the ordering properties under test, and
+         the mesh keeps every member one forwarding hop away even when
+         partitions sever the direct link *)
+      pc_overlay = Config.Pc_full_mesh;
     }
   in
   let oracle = Oracle.create () in
@@ -192,9 +199,9 @@ let execute ?(queue_impl = Config.Indexed_queue)
   in
   (oracle, survivors)
 
-let violation_of ?queue_impl ?stability_impl ~seed ~ordering plan =
+let violation_of ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan =
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ~seed ~ordering plan
+    execute ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan
   in
   match Oracle.check oracle ~ordering ~survivors with
   | Some v -> Some (v, oracle)
@@ -204,9 +211,10 @@ let violation_of ?queue_impl ?stability_impl ~seed ~ordering plan =
    fault list, then drop single faults (last first) while the plan still
    fails. Every candidate is a full deterministic re-execution, so the
    shrunk plan is guaranteed to still reproduce a violation. *)
-let shrink_plan ?queue_impl ?stability_impl ~seed ~ordering plan (v0, o0) =
+let shrink_plan ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan
+    (v0, o0) =
   let fails faults =
-    violation_of ?queue_impl ?stability_impl ~seed ~ordering
+    violation_of ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering
       (Fault_plan.with_faults plan faults)
   in
   let faults = Array.of_list plan.Fault_plan.faults in
@@ -237,9 +245,9 @@ let make_report ~seed ~ordering ~shrunk plan (violation, oracle) =
   in
   { seed; ordering; plan; violation; trace; shrunk }
 
-let replay ?queue_impl ?stability_impl ~ordering ~seed plan =
+let replay ?queue_impl ?stability_impl ?causal_impl ~ordering ~seed plan =
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ~seed ~ordering plan
+    execute ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan
   in
   match Oracle.check oracle ~ordering ~survivors with
   | None ->
@@ -252,10 +260,10 @@ let replay ?queue_impl ?stability_impl ~ordering ~seed plan =
     Fail (make_report ~seed ~ordering ~shrunk:false plan (violation, oracle))
 
 let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true)
-    ?queue_impl ?stability_impl ~ordering ~seed () =
+    ?queue_impl ?stability_impl ?causal_impl ~ordering ~seed () =
   let plan = Fault_plan.generate ~seed profile in
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ~seed ~ordering plan
+    execute ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan
   in
   match Oracle.check oracle ~ordering ~survivors with
   | None ->
@@ -267,8 +275,8 @@ let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true)
   | Some violation ->
     if shrink then
       let plan', best =
-        shrink_plan ?queue_impl ?stability_impl ~seed ~ordering plan
-          (violation, oracle)
+        shrink_plan ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering
+          plan (violation, oracle)
       in
       Fail (make_report ~seed ~ordering ~shrunk:true plan' best)
     else Fail (make_report ~seed ~ordering ~shrunk:false plan (violation, oracle))
@@ -281,7 +289,8 @@ type sweep_result = {
 }
 
 let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
-    ?(start_seed = 0) ?on_seed ?queue_impl ?stability_impl ~ordering ~seeds () =
+    ?(start_seed = 0) ?on_seed ?queue_impl ?stability_impl ?causal_impl
+    ~ordering ~seeds () =
   let rec go i acc_pass acc_s acc_d =
     if i >= seeds then
       { passed = acc_pass; failed = None; total_sends = acc_s;
@@ -289,7 +298,8 @@ let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
     else
       let seed = start_seed + i in
       match
-        run_seed ~profile ~shrink ?queue_impl ?stability_impl ~ordering ~seed ()
+        run_seed ~profile ~shrink ?queue_impl ?stability_impl ?causal_impl
+          ~ordering ~seed ()
       with
       | Pass { sends; deliveries } ->
         (match on_seed with Some f -> f ~seed ~ok:true | None -> ());
@@ -303,9 +313,9 @@ let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
 
 (* --- execution export for the offline analyzer ----------------------------- *)
 
-let exec_of_plan ?queue_impl ?stability_impl ~ordering ~seed plan =
+let exec_of_plan ?queue_impl ?stability_impl ?causal_impl ~ordering ~seed plan =
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ~seed ~ordering plan
+    execute ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan
   in
   let verdict =
     match Oracle.check oracle ~ordering ~survivors with
@@ -324,8 +334,8 @@ let exec_of_plan ?queue_impl ?stability_impl ~ordering ~seed plan =
   (Oracle.to_exec oracle ~ordering ~label, verdict)
 
 let exec_of_seed ?(profile = Fault_plan.default_profile) ?queue_impl
-    ?stability_impl ~ordering ~seed () =
-  exec_of_plan ?queue_impl ?stability_impl ~ordering ~seed
+    ?stability_impl ?causal_impl ~ordering ~seed () =
+  exec_of_plan ?queue_impl ?stability_impl ?causal_impl ~ordering ~seed
     (Fault_plan.generate ~seed profile)
 
 let pp_report fmt r =

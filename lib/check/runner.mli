@@ -32,6 +32,7 @@ val ordering_of_string : string -> Repro_catocs.Config.ordering option
 val replay :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
+  ?causal_impl:Repro_catocs.Config.causal_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   Fault_plan.t ->
@@ -45,6 +46,7 @@ val run_seed :
   ?shrink:bool ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
+  ?causal_impl:Repro_catocs.Config.causal_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   unit ->
@@ -54,7 +56,10 @@ val run_seed :
     selects the delivery-queue implementation the stacks run on, so the
     same seeds can differentially exercise the optimized and reference
     buffering paths; [stability_impl] (default [Incremental_stability]) does
-    the same for the stability tracker. *)
+    the same for the stability tracker; [causal_impl] (default
+    [Vector_causal]) selects the causal-delivery algorithm — BSS
+    vector-timestamp piggybacking or PC-broadcast constant-metadata
+    forwarding over the full mesh. *)
 
 type sweep_result = {
   passed : int;
@@ -70,6 +75,7 @@ val sweep :
   ?on_seed:(seed:int -> ok:bool -> unit) ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
+  ?causal_impl:Repro_catocs.Config.causal_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seeds:int ->
   unit ->
@@ -80,6 +86,7 @@ val sweep :
 val exec_of_plan :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
+  ?causal_impl:Repro_catocs.Config.causal_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   Fault_plan.t ->
@@ -92,6 +99,7 @@ val exec_of_seed :
   ?profile:Fault_plan.profile ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
+  ?causal_impl:Repro_catocs.Config.causal_impl ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   unit ->

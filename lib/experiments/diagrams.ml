@@ -14,7 +14,7 @@ type fig1_outcome = {
   deliveries : (int * string list) list;  (* member index, delivery order *)
 }
 
-let fig1_run ?obs ?recorder () =
+let fig1_run ?obs ?recorder ?(causal_impl = Config.Vector_causal) () =
   let net = Net.create ~latency:(Net.Uniform (1_000, 3_000)) () in
   let engine =
     Engine.create ~seed:3L ~net
@@ -23,7 +23,9 @@ let fig1_run ?obs ?recorder () =
   Trace.set_enabled (Engine.trace engine) true;
   let stacks =
     Stack.create_group ?obs ~engine
-      ~config:{ Config.default with Config.ordering = Config.Causal }
+      ~config:
+        (Config.with_causal_impl causal_impl
+           { Config.default with Config.ordering = Config.Causal })
       ~names:[ "P"; "Q"; "R" ]
       ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
@@ -163,11 +165,11 @@ let fig3_external_channel () =
 
 (* --- recorded executions for the causal sanitizer -------------------------- *)
 
-let fig1_exec () =
+let fig1_exec ?causal_impl () =
   let recorder =
     Recorder.create ~ordering:Exec.Causal_order ~label:"fig1 causal order" ()
   in
-  ignore (fig1_run ~recorder ());
+  ignore (fig1_run ~recorder ?causal_impl ());
   Recorder.exec recorder
 
 (* Shared seed-search shell for the Figure 2/3 anomaly executions: run the
@@ -187,18 +189,18 @@ let search_exec ~label ~anomalous run_seed =
   in
   search 1
 
-let fig2_exec () =
+let fig2_exec ?(causal_impl = Config.Vector_causal) () =
   search_exec ~label:"fig2 shop-floor"
     ~anomalous:(fun r -> r.Shop_floor.naive_anomalies > 0)
     (fun ~recorder seed ->
       Shop_floor.run ~recorder
         { Shop_floor.default_config with
-          Shop_floor.seed = Int64.of_int seed; trials = 1 })
+          Shop_floor.seed = Int64.of_int seed; trials = 1; causal_impl })
 
-let fig3_exec () =
+let fig3_exec ?(causal_impl = Config.Vector_causal) () =
   search_exec ~label:"fig3 fire-alarm"
     ~anomalous:(fun r -> r.Fire_alarm.naive_anomalies > 0)
     (fun ~recorder seed ->
       Fire_alarm.run ~recorder
         { Fire_alarm.default_config with
-          Fire_alarm.seed = Int64.of_int seed; trials = 1 })
+          Fire_alarm.seed = Int64.of_int seed; trials = 1; causal_impl })

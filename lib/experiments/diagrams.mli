@@ -9,12 +9,14 @@ type fig1_outcome = {
 val fig1_run :
   ?obs:Repro_obs.Log.t ->
   ?recorder:Repro_analyze.Exec.Recorder.t ->
+  ?causal_impl:Repro_catocs.Config.causal_impl ->
   unit ->
   fig1_outcome
 (** The Figure 1 execution itself: m1 from Q, P reacting with m2, then the
     concurrent m3/m4. [obs] attaches a telemetry log to the group (the
     source for the exported Figure 1 trace); [recorder] feeds the causal
-    sanitizer. *)
+    sanitizer; [causal_impl] selects the causal layer (the figure's
+    delivery properties must hold under both). *)
 
 val fig1_causal_order : unit -> string
 (** Figure 1: the 3-process diagram — m1 causally precedes m2 and m4; m3
@@ -31,16 +33,19 @@ val fig3_external_channel : unit -> string
 val fig1_table : unit -> Table.t
 (** A machine-checkable summary of the Figure 1 properties. *)
 
-val fig1_exec : unit -> Repro_analyze.Exec.t
+val fig1_exec :
+  ?causal_impl:Repro_catocs.Config.causal_impl -> unit -> Repro_analyze.Exec.t
 (** The Figure 1 run as a recorded execution for the causal sanitizer: all
     ordering flows through the transport, so the analyzer should report no
-    findings. *)
+    findings — under either causal implementation. *)
 
-val fig2_exec : unit -> Repro_analyze.Exec.t
+val fig2_exec :
+  ?causal_impl:Repro_catocs.Config.causal_impl -> unit -> Repro_analyze.Exec.t
 (** The Figure 2 shop-floor anomaly (first anomalous seed) as a recorded
     execution: one channel edge per lot through the shared database, which
     the analyzer reports as a hidden channel. *)
 
-val fig3_exec : unit -> Repro_analyze.Exec.t
+val fig3_exec :
+  ?causal_impl:Repro_catocs.Config.causal_impl -> unit -> Repro_analyze.Exec.t
 (** The Figure 3 fire-alarm anomaly: channel edges through the physical
     world between successive reports of one trial. *)

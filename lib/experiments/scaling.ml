@@ -12,7 +12,9 @@ type point = {
   mean_delivery_delay_us : float;
   mean_transit_us : float;  (* send -> deliver, including receiver queueing *)
   messages_total : int;
-  deliveries_total : int;  (* application-level deliveries across the group *)
+  deliveries_total : int;  (* engine-level deliveries, incl. control traffic *)
+  app_deliveries_total : int;  (* application callbacks across the group *)
+  header_bytes_total : int;  (* ordering metadata sent, summed over members *)
 }
 
 (* the graph peaks need the shared causal graph: rebuild the group manually
@@ -20,16 +22,28 @@ type point = {
 let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
     ?(processing_time = Sim_time.zero)
     ?(duration = Sim_time.seconds 1) ?(send_period = Sim_time.ms 10)
+    ?gossip_period
     ?(queue_impl = Config.Indexed_queue)
-    ?(stability_impl = Config.Incremental_stability) ?(track_graph = true)
+    ?(stability_impl = Config.Incremental_stability)
+    ?(causal_impl = Config.Vector_causal)
+    ?(pc_overlay = Config.Pc_full_mesh) ?(track_graph = true)
     ~seed n =
   let net =
     Net.create ~latency:(Net.Uniform (500, 5_000)) ~processing_time ()
   in
   let engine = Engine.create ~seed ~net () in
   let config =
-    { Config.default with
-      Config.ordering = Config.Causal; queue_impl; stability_impl; track_graph }
+    (* PC-broadcast's structural causality argument needs FIFO links: the
+       helper turns this reordering (but lossless) network into exactly
+       that by upgrading the bare transport to per-link sequencing. BSS is
+       insensitive to reordering, so it keeps the bare baseline. *)
+    Config.with_causal_impl causal_impl
+      { Config.default with
+        Config.ordering = Config.Causal; queue_impl; stability_impl;
+        pc_overlay; track_graph;
+        gossip_period =
+          Option.value gossip_period
+            ~default:Config.default.Config.gossip_period }
   in
   let pids =
     List.init n (fun i ->
@@ -75,6 +89,8 @@ let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
   Engine.at engine (Sim_time.add duration (Sim_time.ms 150)) cancel_gauges;
   Engine.run ~until:(Sim_time.add duration (Sim_time.ms 200)) engine;
   let peak_msgs = ref 0 and peak_bytes = ref 0 and system_bytes = ref 0 in
+  let header_bytes = ref 0 in
+  let app_deliveries = ref 0 in
   let delay = Stats.Summary.create () in
   let transit = Stats.Summary.create () in
   Array.iter
@@ -83,6 +99,8 @@ let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
       peak_msgs := max !peak_msgs m.Metrics.peak_unstable_count;
       peak_bytes := max !peak_bytes m.Metrics.peak_unstable_bytes;
       system_bytes := !system_bytes + m.Metrics.peak_unstable_bytes;
+      header_bytes := !header_bytes + m.Metrics.header_bytes;
+      app_deliveries := !app_deliveries + m.Metrics.delivered;
       let mean = Stats.Summary.mean m.Metrics.delivery_delay_us in
       if not (Float.is_nan mean) then Stats.Summary.add delay mean;
       let mean_transit = Stats.Summary.mean m.Metrics.transit_us in
@@ -97,14 +115,18 @@ let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
     mean_delivery_delay_us = Stats.Summary.mean delay;
     mean_transit_us = Stats.Summary.mean transit;
     messages_total = Engine.messages_sent engine;
-    deliveries_total = Engine.messages_delivered engine }
+    deliveries_total = Engine.messages_delivered engine;
+    app_deliveries_total = !app_deliveries;
+    header_bytes_total = !header_bytes }
 
 let sweep ?(sizes = [ 4; 8; 16; 32; 48 ]) ?(seed = 11L) ?processing_time
-    ?duration ?send_period ?queue_impl ?stability_impl ?track_graph () =
+    ?duration ?send_period ?gossip_period ?queue_impl ?stability_impl
+    ?causal_impl ?pc_overlay ?track_graph () =
   List.map
     (fun n ->
-      measure_with_graph ?processing_time ?duration ?send_period ?queue_impl
-        ?stability_impl ?track_graph ~seed n)
+      measure_with_graph ?processing_time ?duration ?send_period
+        ?gossip_period ?queue_impl ?stability_impl ?causal_impl ?pc_overlay
+        ?track_graph ~seed n)
     sizes
 
 let table points =

@@ -17,7 +17,16 @@ type point = {
   mean_transit_us : float;
       (** end-to-end send->deliver, including receiver queueing *)
   messages_total : int;
-  deliveries_total : int;  (** application-level deliveries across the group *)
+  deliveries_total : int;
+      (** engine-level deliveries across the group, including control
+          traffic (gossip, acks, overlay forwards) *)
+  app_deliveries_total : int;
+      (** application deliver-callback invocations across the group — the
+          denominator for per-delivery metadata cost *)
+  header_bytes_total : int;
+      (** ordering metadata transmitted, summed over members: the quantity
+          whose per-delivery mean is O(group) for BSS vector timestamps and
+          O(1) for PC-broadcast *)
 }
 
 val measure_with_graph :
@@ -26,8 +35,11 @@ val measure_with_graph :
   ?processing_time:Sim_time.t ->
   ?duration:Sim_time.t ->
   ?send_period:Sim_time.t ->
+  ?gossip_period:Sim_time.t ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
+  ?causal_impl:Repro_catocs.Config.causal_impl ->
+  ?pc_overlay:Repro_catocs.Config.pc_overlay ->
   ?track_graph:bool ->
   seed:int64 ->
   int ->
@@ -41,14 +53,22 @@ val measure_with_graph :
 val sweep :
   ?sizes:int list -> ?seed:int64 -> ?processing_time:Sim_time.t ->
   ?duration:Sim_time.t -> ?send_period:Sim_time.t ->
+  ?gossip_period:Sim_time.t ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
+  ?causal_impl:Repro_catocs.Config.causal_impl ->
+  ?pc_overlay:Repro_catocs.Config.pc_overlay ->
   ?track_graph:bool -> unit -> point list
 (** [duration] bounds the send phase (default 1 simulated second);
     [send_period] is the per-process multicast period (default 10 ms);
-    [queue_impl] selects the delivery-queue implementation under test, and
-    [stability_impl] the stability tracker; [track_graph] can be disabled to
-    exclude shared-graph bookkeeping from throughput measurements. *)
+    [gossip_period] overrides the stability-gossip period (large sweeps
+    slow it down to bound the n^2 gossip volume); [queue_impl] selects the
+    delivery-queue implementation under test, and [stability_impl] the
+    stability tracker; [causal_impl] selects BSS vector timestamps or
+    PC-broadcast constant metadata (PC runs switch the transport to
+    [Fifo_order] and disseminate over [pc_overlay]); [track_graph] can be
+    disabled to exclude shared-graph bookkeeping from throughput
+    measurements. *)
 
 val table : point list -> Table.t
 (** Includes fitted log-log growth exponents in the notes. *)

@@ -19,6 +19,13 @@ let fig1 () =
   ignore (Diagrams.fig1_run ~obs:log ());
   (log, numbered [ "P"; "Q"; "R" ])
 
+let fig1_pc () =
+  let log = Repro_obs.Log.create () in
+  ignore
+    (Diagrams.fig1_run ~obs:log
+       ~causal_impl:Repro_catocs.Config.Pc_causal ());
+  (log, numbered [ "P"; "Q"; "R" ])
+
 let fig2 () =
   let log = Repro_obs.Log.create () in
   ignore
@@ -46,6 +53,16 @@ let scaling64 () =
        64);
   (log, numbered (List.init 64 (Printf.sprintf "p%d")))
 
+(* The same 64-member run over PC-broadcast: the unstable-bytes gauges in
+   this trace carry O(1) per-message metadata instead of 64-entry vectors —
+   the visual counterpart of the BENCH_delivery.json metadata curves. *)
+let scaling_metadata () =
+  let log = Repro_obs.Log.create () in
+  ignore
+    (Scaling.measure_with_graph ~obs:log ~duration:(Sim_time.ms 200)
+       ~causal_impl:Repro_catocs.Config.Pc_causal ~seed:11L 64);
+  (log, numbered (List.init 64 (Printf.sprintf "p%d")))
+
 let all =
   [ { name = "fig1";
       descr = "Figure 1 causal-order diagram run (P/Q/R, m1..m4)";
@@ -59,8 +76,16 @@ let all =
     { name = "fig4-trading";
       descr = "Figure 4 trading false-crossing run (40 ticks)";
       run = fig4 };
+    { name = "fig1-pc";
+      descr = "Figure 1 run over the PC-broadcast causal layer";
+      run = fig1_pc };
     { name = "scaling-n64";
       descr = "64-member buffering-scaling run with per-node gauge sampling";
-      run = scaling64 } ]
+      run = scaling64 };
+    { name = "scaling-metadata";
+      descr =
+        "64-member scaling run under PC-broadcast constant metadata \
+         (unstable-bytes gauges)";
+      run = scaling_metadata } ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

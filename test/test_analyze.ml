@@ -17,6 +17,7 @@ module Fault_plan = Repro_check.Fault_plan
 module Diagrams = Repro_experiments.Diagrams
 module False_causality = Repro_experiments.False_causality
 module Deceit_store = Repro_apps.Deceit_store
+module Trading = Repro_apps.Trading
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -375,6 +376,60 @@ let test_false_causality_experiment () =
   check_int "fifo has no false causality" 0
     (count_kind Finding.False_causality fifo.Analyzer.findings)
 
+(* --- figures under PC-broadcast ---------------------------------------------- *)
+
+(* The paper's anomalies are about what the transport cannot see, so they
+   are invariant under the causal implementation: swapping BSS vector
+   timestamps for PC-broadcast constant metadata must leave fig1 clean and
+   figs 2-4 anomalous. These mirror the `repro-analyze experiment fig*-pc
+   --expect ...` CLI assertions CI runs. *)
+
+let test_fig1_pc_clean () =
+  let result =
+    Analyzer.analyze (Diagrams.fig1_exec ~causal_impl:Config.Pc_causal ())
+  in
+  check_int "zero findings" 0 (List.length result.Analyzer.findings)
+
+let test_fig2_pc_hidden_channel () =
+  let findings =
+    (Analyzer.analyze (Diagrams.fig2_exec ~causal_impl:Config.Pc_causal ()))
+      .Analyzer.findings
+  in
+  check_bool "hidden-channel reported" true
+    (has_kind Finding.Hidden_channel findings);
+  check_bool "blames the database" true
+    (List.exists
+       (fun f ->
+         f.Finding.kind = Finding.Hidden_channel
+         && contains ~sub:"database" f.Finding.summary)
+       findings)
+
+let test_fig3_pc_hidden_channel () =
+  let findings =
+    (Analyzer.analyze (Diagrams.fig3_exec ~causal_impl:Config.Pc_causal ()))
+      .Analyzer.findings
+  in
+  check_bool "hidden-channel reported" true
+    (has_kind Finding.Hidden_channel findings);
+  check_bool "blames the physical world" true
+    (List.exists
+       (fun f ->
+         f.Finding.kind = Finding.Hidden_channel
+         && contains ~sub:"physical world" f.Finding.summary)
+       findings)
+
+let test_fig4_pc_false_crossing () =
+  (* Figure 4 has no recorded execution (the constraint is semantic, not
+     happened-before): assert on the app's own counters under PC. *)
+  let r =
+    Trading.run
+      { Trading.default_config with Trading.causal_impl = Config.Pc_causal }
+  in
+  check_bool "naive display shows false crossings under pc" true
+    (r.Trading.naive_false_crossings > 0);
+  check_int "dependency fields still fix it" 0
+    r.Trading.dep_cache_false_crossings
+
 (* --- checker integration ----------------------------------------------------- *)
 
 let test_clean_cbcast_run_is_silent () =
@@ -511,6 +566,16 @@ let () =
             test_deceit_store_hidden_channel;
           Alcotest.test_case "false causality experiment" `Quick
             test_false_causality_experiment;
+        ] );
+      ( "figures-pc",
+        [
+          Alcotest.test_case "fig1 clean under pc" `Quick test_fig1_pc_clean;
+          Alcotest.test_case "fig2 shop floor under pc" `Quick
+            test_fig2_pc_hidden_channel;
+          Alcotest.test_case "fig3 fire alarm under pc" `Quick
+            test_fig3_pc_hidden_channel;
+          Alcotest.test_case "fig4 trading under pc" `Quick
+            test_fig4_pc_false_crossing;
         ] );
       ( "checker",
         [

@@ -5,6 +5,7 @@
 
 module Config = Repro_catocs.Config
 module Delivery_queue = Repro_catocs.Delivery_queue
+module Pc_causal = Repro_catocs.Pc_causal
 module Runner = Repro_check.Runner
 module Fault_plan = Repro_check.Fault_plan
 module Oracle = Repro_check.Oracle
@@ -20,8 +21,8 @@ let check_string = Alcotest.(check string)
    and the oracles must find no violation. *)
 let sweep_seeds = 100
 
-let test_sweep ?queue_impl ordering () =
-  let result = Runner.sweep ?queue_impl ~ordering ~seeds:sweep_seeds () in
+let test_sweep ?queue_impl ?causal_impl ordering () =
+  let result = Runner.sweep ?queue_impl ?causal_impl ~ordering ~seeds:sweep_seeds () in
   (match result.Runner.failed with
   | None -> ()
   | Some report ->
@@ -33,6 +34,11 @@ let test_sweep ?queue_impl ordering () =
    the oracles must hold for both implementations of the buffering path. *)
 let test_sweep_reference ordering () =
   test_sweep ~queue_impl:Config.Reference_queue ordering ()
+
+(* The PC-broadcast causal implementation under the full fault battery:
+   same oracles, same 100 seeds. Only the causal layer dispatches on it,
+   so cbcast is the interesting mode. *)
+let test_sweep_pc () = test_sweep ~causal_impl:Config.Pc_causal Config.Causal ()
 
 (* --- determinism --------------------------------------------------------- *)
 
@@ -96,6 +102,73 @@ let test_cross_stability_verdicts () =
             incremental reference)
         (List.init 10 Fun.id))
     Runner.orderings
+
+let test_pc_deterministic_verdicts () =
+  (* The PC path is as deterministic as the BSS one: forwarding, the link
+     barrier and retransmission all key off the engine schedule only. *)
+  List.iter
+    (fun seed ->
+      let a =
+        Runner.fingerprint
+          (Runner.run_seed ~causal_impl:Config.Pc_causal
+             ~ordering:Config.Causal ~seed ())
+      in
+      let b =
+        Runner.fingerprint
+          (Runner.run_seed ~causal_impl:Config.Pc_causal
+             ~ordering:Config.Causal ~seed ())
+      in
+      check_string (Printf.sprintf "pc seed %d" seed) a b)
+    [ 0; 7; 42 ]
+
+let test_pc_cross_impl_verdicts () =
+  (* Within the PC family the queue and stability implementations are still
+     whole-stack interchangeable: byte-identical fingerprints. (Vector vs
+     pc fingerprints are deliberately NOT compared byte-for-byte — relayed
+     copies shift delivery instants, so only verdict agreement is specified;
+     see test_vector_pc_agreement.) *)
+  List.iter
+    (fun seed ->
+      let indexed =
+        Runner.fingerprint
+          (Runner.run_seed ~queue_impl:Config.Indexed_queue
+             ~causal_impl:Config.Pc_causal ~ordering:Config.Causal ~seed ())
+      in
+      let reference =
+        Runner.fingerprint
+          (Runner.run_seed ~queue_impl:Config.Reference_queue
+             ~causal_impl:Config.Pc_causal ~ordering:Config.Causal ~seed ())
+      in
+      check_string (Printf.sprintf "pc seed %d cross-queue" seed) indexed
+        reference;
+      let incremental =
+        Runner.fingerprint
+          (Runner.run_seed ~stability_impl:Config.Incremental_stability
+             ~causal_impl:Config.Pc_causal ~ordering:Config.Causal ~seed ())
+      in
+      let ref_stab =
+        Runner.fingerprint
+          (Runner.run_seed ~stability_impl:Config.Reference_stability
+             ~causal_impl:Config.Pc_causal ~ordering:Config.Causal ~seed ())
+      in
+      check_string
+        (Printf.sprintf "pc seed %d cross-stability" seed)
+        incremental ref_stab)
+    (List.init 10 Fun.id)
+
+let test_vector_pc_agreement () =
+  (* The two causal implementations must agree on the verdict for every
+     seed: both pass the oracles under the same fault plan. *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (name, causal_impl) ->
+          match Runner.run_seed ~causal_impl ~ordering:Config.Causal ~seed () with
+          | Runner.Pass _ -> ()
+          | Runner.Fail r ->
+            Alcotest.failf "%s fails seed %d:@.%a" name seed Runner.pp_report r)
+        [ ("bss", Config.Vector_causal); ("pc", Config.Pc_causal) ])
+    (List.init 10 Fun.id)
 
 let test_plan_generation_deterministic () =
   let profile = Fault_plan.default_profile in
@@ -162,6 +235,58 @@ let test_broken_bss_deterministic () =
   let b = find_broken_report () in
   check_string "identical counterexample reports" (show a) (show b)
 
+(* Same drill for PC-broadcast: its causal guarantee rests entirely on
+   forward-on-first-delivery over FIFO links. Turn the forwarding off and
+   the per-origin contiguity gate alone must let a reaction overtake its
+   trigger somewhere in the 100-seed budget. *)
+let with_broken_pc_forwarding f =
+  Pc_causal.chaos_disable_forwarding := true;
+  Fun.protect
+    ~finally:(fun () -> Pc_causal.chaos_disable_forwarding := false)
+    f
+
+let find_broken_pc_report () =
+  with_broken_pc_forwarding (fun () ->
+      let result =
+        Runner.sweep ~causal_impl:Config.Pc_causal ~ordering:Config.Causal
+          ~seeds:sweep_seeds ()
+      in
+      match result.Runner.failed with
+      | Some report -> report
+      | None ->
+        Alcotest.fail "checker failed to catch disabled PC forwarding")
+
+let test_broken_pc_is_caught () =
+  let report = find_broken_pc_report () in
+  check_string "causal oracle convicts" "causal-order"
+    report.Runner.violation.Oracle.oracle;
+  check_bool "counterexample was shrunk" true report.Runner.shrunk;
+  with_broken_pc_forwarding (fun () ->
+      match
+        Runner.replay ~causal_impl:Config.Pc_causal
+          ~ordering:report.Runner.ordering ~seed:report.Runner.seed
+          report.Runner.plan
+      with
+      | Runner.Fail replayed ->
+        check_string "replay convicts the same oracle"
+          report.Runner.violation.Oracle.oracle
+          replayed.Runner.violation.Oracle.oracle
+      | Runner.Pass _ -> Alcotest.fail "shrunk plan no longer reproduces");
+  (* with forwarding restored, the very same seed passes again *)
+  match
+    Runner.run_seed ~causal_impl:Config.Pc_causal ~ordering:Config.Causal
+      ~seed:report.Runner.seed ()
+  with
+  | Runner.Pass _ -> ()
+  | Runner.Fail r ->
+    Alcotest.failf "healed pc stack still fails:@.%a" Runner.pp_report r
+
+let test_broken_pc_deterministic () =
+  let show r = Format.asprintf "%a" Runner.pp_report r in
+  let a = find_broken_pc_report () in
+  let b = find_broken_pc_report () in
+  check_string "identical pc counterexample reports" (show a) (show b)
+
 (* --- suite --------------------------------------------------------------- *)
 
 let () =
@@ -181,10 +306,22 @@ let () =
               (Printf.sprintf "%s %d seeds clean" name sweep_seeds)
               `Slow (test_sweep_reference ordering))
           Runner.orderings );
+      ( "sweeps-pc",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "cbcast/pc %d seeds clean" sweep_seeds)
+            `Slow test_sweep_pc;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "same seed same verdict" `Quick
             test_deterministic_verdicts;
+          Alcotest.test_case "pc same seed same verdict" `Quick
+            test_pc_deterministic_verdicts;
+          Alcotest.test_case "pc cross queue/stability fingerprints" `Slow
+            test_pc_cross_impl_verdicts;
+          Alcotest.test_case "bss and pc verdicts agree" `Slow
+            test_vector_pc_agreement;
           Alcotest.test_case "indexed = reference fingerprints" `Slow
             test_cross_impl_verdicts;
           Alcotest.test_case "incremental = reference stability fingerprints"
@@ -198,5 +335,9 @@ let () =
             test_broken_bss_is_caught;
           Alcotest.test_case "conviction deterministic" `Slow
             test_broken_bss_deterministic;
+          Alcotest.test_case "broken PC forwarding caught and shrunk" `Slow
+            test_broken_pc_is_caught;
+          Alcotest.test_case "pc conviction deterministic" `Slow
+            test_broken_pc_deterministic;
         ] );
     ]
