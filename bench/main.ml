@@ -11,14 +11,17 @@
    blocked/unstable backlog) plus two end-to-end curve families from the
    Section 5 scaling experiment: the "queue" family (indexed vs reference
    delivery queue, n = 4/16/64/256/512) and the "causal" family (BSS
-   vector timestamps vs PC-broadcast constant metadata, up to n = 1024 —
-   the per-delivery metadata curve that is linear for bss and flat for
-   pc). [--smoke] shrinks quotas and sizes for CI (causal capped at
-   n = 256 — the n = 1024 point needs ~20 GB for the group's O(n^2)
-   matrix clocks and lives in the committed full-mode baseline).
+   vector timestamps vs PC-broadcast constant metadata vs hybrid
+   buffering — the per-delivery metadata curve that is linear for bss and
+   flat for pc/hybrid; bss runs the dense stability tracker to n = 1024,
+   pc and hybrid run the sparse tracker to n = 4096, with a measured
+   per-point peak-heap column). [--smoke] shrinks quotas and sizes for CI
+   (causal capped at n = 256 — the n = 1024 bss point needs ~20 GB for
+   the group's O(n^2) matrix clocks and lives in the committed full-mode
+   baseline).
    [--out FILE] overrides the output path. [--validate FILE] checks the schema, pins the
-   within-family delivery agreement and the pc metadata flatness, and with
-   [--baseline FILE] additionally fails on a >30%
+   within-family delivery agreement and the pc/hybrid metadata flatness,
+   and with [--baseline FILE] additionally fails on a >30%
    deliveries-per-cpu-second or peak-unstable-bytes regression at any
    (impl, group size) present in both files. The schema is documented in
    EXPERIMENTS.md. *)
@@ -368,19 +371,70 @@ let e2e_section ~smoke =
         sizes)
     impls
 
-(* The causal-implementation family: the same Section 5 workload run once
-   with BSS vector timestamps and once with PC-broadcast constant metadata,
-   up to n = 1024. The headline column is mean ordering-metadata bytes per
-   delivery: ~8n for bss, flat for pc. PC disseminates over an 8-ary
-   spanning tree at every size (full-mesh forwarding is O(n^2) copies per
-   broadcast — the overlay the differential tests pin is exercised there);
-   gossip slows down at large n to bound the n^2 control volume. *)
+(* The causal-implementation family: the same Section 5 workload run with
+   BSS vector timestamps, PC-broadcast constant metadata and hybrid
+   buffering (PC plus sender-side delivered-knowledge suppression). The
+   headline column is mean ordering-metadata bytes per delivery: ~8n for
+   bss, flat for pc and hybrid. PC-family runs disseminate over an 8-ary
+   spanning tree at every size and track stability through the sparse
+   matrix clock — the combination that makes the n = 2048 and n = 4096
+   points honest: the dense tracker alone would need ~128 GB at n = 4096
+   (n^2 rows of n boxed ints), the sparse one adopts the shared gossip
+   snapshots by reference. bss keeps the dense tracker (its committed
+   baseline) and stops at n = 1024. Gossip slows down at large n to bound
+   the n^2 control volume; per-point [peak_heap_words] records what each
+   point actually cost. *)
+
+(* Each causal point runs in a forked child with a fresh major heap: the
+   OCaml 5.1 runtime never returns heap chunks to the OS (compaction is a
+   no-op), so an in-process [heap_words] reading would report the maximum
+   over every point run so far instead of this point's own footprint. The
+   child prints its progress line directly (it shares stdout) and ships
+   the JSON row back over a pipe. *)
+let in_fresh_process f =
+  flush stdout;
+  flush stderr;
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close rd;
+    let row =
+      try f ()
+      with e ->
+        prerr_endline (Printexc.to_string e);
+        Stdlib.exit 1
+    in
+    let oc = Unix.out_channel_of_descr wr in
+    output_string oc row;
+    flush oc;
+    Stdlib.exit 0
+  | pid ->
+    Unix.close wr;
+    let ic = Unix.in_channel_of_descr rd in
+    let buf = Buffer.create 1024 in
+    let chunk = Bytes.create 65536 in
+    let rec go () =
+      let k = input ic chunk 0 (Bytes.length chunk) in
+      if k > 0 then begin
+        Buffer.add_subbytes buf chunk 0 k;
+        go ()
+      end
+    in
+    go ();
+    close_in ic;
+    (match snd (Unix.waitpid [] pid) with
+     | Unix.WEXITED 0 -> ()
+     | _ -> failwith "bench: forked causal point failed");
+    Buffer.contents buf
 let causal_e2e_section ~smoke =
-  (* smoke stops at n = 256: every member tracks stability through an
-     O(n^2) matrix clock, so the n = 1024 point needs ~20 GB of heap for
-     the group's clocks alone — a full-mode (committed-baseline) number.
-     The 4..256 span already shows bss metadata growing ~65x over flat pc. *)
-  let sizes = if smoke then [ 4; 16; 256 ] else [ 4; 16; 64; 256; 1024 ] in
+  (* smoke stops at n = 256: the bss member stacks alone need ~20 GB at
+     n = 1024. The 4..256 span already shows bss metadata growing ~65x
+     over flat pc/hybrid. *)
+  let sizes_for impl_str =
+    if smoke then [ 4; 16; 256 ]
+    else if impl_str = "bss" then [ 4; 16; 64; 256; 1024 ]
+    else [ 4; 16; 64; 256; 1024; 2048; 4096 ]
+  in
   let duration_for n =
     if n <= 16 then Sim_time.seconds 1
     else if n <= 64 then Sim_time.ms 300
@@ -392,22 +446,33 @@ let causal_e2e_section ~smoke =
        vc-bearing messages at once (~17 GB of transient heap) and dwarfs
        the data traffic; push the period past the run horizon — stability
        still spreads via the timestamps piggybacked on data messages, and
-       both implementations get the identical configuration *)
+       all implementations get the identical configuration *)
     if n <= 64 then None
     else if n <= 256 then Some (Sim_time.ms 50)
     else Some (Sim_time.ms 500)
   in
-  let impls = [ (Config.Vector_causal, "bss"); (Config.Pc_causal, "pc") ] in
+  let impls =
+    [ (Config.Vector_causal, "bss");
+      (Config.Pc_causal, "pc");
+      (Config.Hybrid_causal, "hybrid") ]
+  in
   List.concat_map
     (fun (causal_impl, impl_str) ->
+      let stability_clock, clock_str =
+        match causal_impl with
+        | Config.Vector_causal -> (Config.Dense_clock, "dense")
+        | Config.Pc_causal | Config.Hybrid_causal ->
+          (Config.Sparse_clock, "sparse")
+      in
       List.map
         (fun n ->
+          in_fresh_process @@ fun () ->
           let duration = duration_for n in
           let t0 = Sys.time () in
           let point =
             match
               Scaling.sweep ~sizes:[ n ] ~seed:11L ~duration
-                ?gossip_period:(gossip_for n) ~causal_impl
+                ?gossip_period:(gossip_for n) ~causal_impl ~stability_clock
                 ~pc_overlay:(Config.Pc_tree { fanout = 8 })
                 ~track_graph:false ()
             with
@@ -415,6 +480,9 @@ let causal_e2e_section ~smoke =
             | _ -> assert false
           in
           let cpu = Sys.time () -. t0 in
+          (* the child's major heap grew from a fresh start to whatever
+             this point forced the runtime to hold — its high-water mark *)
+          let heap_words = (Gc.quick_stat ()).Gc.heap_words in
           let rate =
             if cpu > 0. then float_of_int point.Scaling.deliveries_total /. cpu
             else Float.nan
@@ -429,12 +497,14 @@ let causal_e2e_section ~smoke =
             else Float.nan
           in
           Printf.printf
-            "  causal %-4s n=%-4d deliveries=%-8d cpu=%6.2fs  %10.0f msg/s  \
-             meta/delivery=%6.1f B  peak-buf=%d B\n%!"
+            "  causal %-6s n=%-4d deliveries=%-8d cpu=%6.2fs  %10.0f msg/s  \
+             meta/delivery=%6.1f B  peak-buf=%d B  heap=%d MW\n%!"
             impl_str n point.Scaling.deliveries_total cpu rate mean_header
-            point.Scaling.peak_node_unstable_bytes;
+            point.Scaling.peak_node_unstable_bytes
+            (heap_words / 1_000_000);
           Printf.sprintf
             "    { \"impl\": %S, \"family\": \"causal\", \"group_size\": %d, \
+             \"stability_clock\": %S, \
              \"sim_duration_ms\": %d, \
              \"messages_sent\": %d, \"deliveries\": %d, \
              \"cpu_seconds\": %s, \"deliveries_per_cpu_second\": %s, \
@@ -444,8 +514,9 @@ let causal_e2e_section ~smoke =
              \"mean_delivery_delay_us\": %s, \
              \"app_deliveries\": %d, \
              \"header_bytes_total\": %d, \
-             \"mean_header_bytes_per_delivery\": %s }"
-            impl_str n
+             \"mean_header_bytes_per_delivery\": %s, \
+             \"peak_heap_words\": %d }"
+            impl_str n clock_str
             (Sim_time.to_us duration / 1000)
             point.Scaling.messages_total point.Scaling.deliveries_total
             (json_float cpu) (json_float rate)
@@ -454,8 +525,9 @@ let causal_e2e_section ~smoke =
             point.Scaling.system_unstable_bytes
             (json_float point.Scaling.mean_delivery_delay_us)
             point.Scaling.app_deliveries_total
-            point.Scaling.header_bytes_total (json_float mean_header))
-        sizes)
+            point.Scaling.header_bytes_total (json_float mean_header)
+            heap_words)
+        (sizes_for impl_str))
     impls
 
 (* Telemetry overhead at the end-to-end level: the same n=64 scaling run
@@ -467,6 +539,13 @@ let causal_e2e_section ~smoke =
 let obs_gate_pct = 2.0
 
 let obs_section ~smoke =
+  (* forked AND ordered before the e2e sections (fork is copy-on-write, so
+     a late fork would inherit the bloated post-e2e heap anyway): with the
+     comparison run on a major heap inflated by earlier sections, the GC
+     tax on the inherited garbage lands unevenly across the three variants
+     — measured as a fake +4..12% on the disabled path that a small-heap
+     process reproducibly puts back under 1% *)
+  in_fresh_process @@ fun () ->
   let n = if smoke then 16 else 64 in
   let duration = if smoke then Sim_time.seconds 3 else Sim_time.ms 300 in
   let runs = 5 in
@@ -522,9 +601,12 @@ let obs_section ~smoke =
 let emit_json ~smoke ~out =
   Printf.printf "delivery-path benchmark (%s mode)\n%!"
     (if smoke then "smoke" else "full");
+  (* obs first: its variant comparison needs the pristine small heap (see
+     obs_section); the sections that only *read* their own child's heap or
+     don't measure memory at all run after *)
+  let obs = obs_section ~smoke in
   let micro = micro_section ~smoke in
   let e2e = e2e_section ~smoke @ causal_e2e_section ~smoke in
-  let obs = obs_section ~smoke in
   let oc = open_out out in
   output_string oc "{\n";
   output_string oc "  \"schema_version\": 1,\n";
@@ -658,6 +740,13 @@ let validate ?expect_mode ?baseline file =
         ignore (int_field row "app_deliveries");
         ignore (int_field row "header_bytes_total");
         number_or_null row "mean_header_bytes_per_delivery";
+        (* added with the hybrid family: absent from older files *)
+        (match Json.member "peak_heap_words" row with
+         | Some _ -> ignore (int_field row "peak_heap_words")
+         | None -> ());
+        (match Json.member "stability_clock" row with
+         | Some _ -> ignore (str_field row "stability_clock")
+         | None -> ());
         match Json.to_float (get ~from:row "mean_header_bytes_per_delivery") with
         | Some m ->
           let l =
@@ -681,43 +770,48 @@ let validate ?expect_mode ?baseline file =
              (%d vs %d)"
             size d deliveries)
     e2e;
-  (* the causal family's headline claim: pc ordering metadata per delivery
-     stays flat as the group grows, while bss grows linearly with it *)
-  (match Hashtbl.find_opt header_means "pc" with
-   | None -> ()
-   | Some { contents = pc_means } ->
-     let vals = List.map snd pc_means in
-     let lo = List.fold_left Float.min Float.infinity vals in
-     let hi = List.fold_left Float.max 0.0 vals in
-     if List.length vals >= 2 && hi > 1.5 *. lo then
-       fail
-         "pc metadata per delivery is not flat across group sizes: %.1f .. \
-          %.1f B (> 1.5x spread)"
-         lo hi;
-     match Hashtbl.find_opt header_means "bss" with
-     | None -> ()
-     | Some { contents = bss_means } ->
-       let shared =
-         List.filter_map
-           (fun (n, pc_m) ->
-             Option.map (fun bss_m -> (n, bss_m, pc_m))
-               (List.assoc_opt n bss_means))
-           pc_means
-       in
-       (match
-          List.fold_left
-            (fun acc ((n, _, _) as p) ->
-              match acc with
-              | Some ((n', _, _) as p') -> Some (if n > n' then p else p')
-              | None -> Some p)
-            None shared
-        with
-        | Some (n, bss_m, pc_m) when n >= 64 && bss_m <= pc_m ->
+  (* the causal family's headline claim: constant-metadata ordering (pc and
+     hybrid alike) stays flat per delivery as the group grows, while bss
+     grows linearly with it *)
+  let flat_impls = [ "pc"; "hybrid" ] in
+  List.iter
+    (fun flat_impl ->
+      match Hashtbl.find_opt header_means flat_impl with
+      | None -> ()
+      | Some { contents = means } ->
+        let vals = List.map snd means in
+        let lo = List.fold_left Float.min Float.infinity vals in
+        let hi = List.fold_left Float.max 0.0 vals in
+        if List.length vals >= 2 && hi > 1.5 *. lo then
           fail
-            "at n=%d bss metadata per delivery (%.1f B) should exceed pc's \
-             (%.1f B)"
-            n bss_m pc_m
-        | Some _ | None -> ()));
+            "%s metadata per delivery is not flat across group sizes: %.1f \
+             .. %.1f B (> 1.5x spread)"
+            flat_impl lo hi;
+        match Hashtbl.find_opt header_means "bss" with
+        | None -> ()
+        | Some { contents = bss_means } ->
+          let shared =
+            List.filter_map
+              (fun (n, flat_m) ->
+                Option.map (fun bss_m -> (n, bss_m, flat_m))
+                  (List.assoc_opt n bss_means))
+              means
+          in
+          (match
+             List.fold_left
+               (fun acc ((n, _, _) as p) ->
+                 match acc with
+                 | Some ((n', _, _) as p') -> Some (if n > n' then p else p')
+                 | None -> Some p)
+               None shared
+           with
+           | Some (n, bss_m, flat_m) when n >= 64 && bss_m <= flat_m ->
+             fail
+               "at n=%d bss metadata per delivery (%.1f B) should exceed \
+                %s's (%.1f B)"
+               n bss_m flat_impl flat_m
+           | Some _ | None -> ()))
+    flat_impls;
   (* obs_overhead is optional (absent from pre-telemetry files); when
      present, the attached-but-disabled log must cost less than its own
      recorded gate (the <2% zero-allocation-path guarantee) *)

@@ -100,6 +100,7 @@ let deceit_exec () =
 
 let experiments : (string * (unit -> Exec.t)) list =
   let pc = Repro_catocs.Config.Pc_causal in
+  let hybrid = Repro_catocs.Config.Hybrid_causal in
   [
     ("fig1", (fun () -> Diagrams.fig1_exec ()));
     ("fig2", (fun () -> Diagrams.fig2_exec ()));
@@ -109,6 +110,11 @@ let experiments : (string * (unit -> Exec.t)) list =
     ("fig1-pc", (fun () -> Diagrams.fig1_exec ~causal_impl:pc ()));
     ("fig2-pc", (fun () -> Diagrams.fig2_exec ~causal_impl:pc ()));
     ("fig3-pc", (fun () -> Diagrams.fig3_exec ~causal_impl:pc ()));
+    (* and over hybrid buffering: same delivery order, same verdicts — the
+       sender-side refinements must not change what the sanitizer sees *)
+    ("fig1-hybrid", (fun () -> Diagrams.fig1_exec ~causal_impl:hybrid ()));
+    ("fig2-hybrid", (fun () -> Diagrams.fig2_exec ~causal_impl:hybrid ()));
+    ("fig3-hybrid", (fun () -> Diagrams.fig3_exec ~causal_impl:hybrid ()));
     ("false-causality", (fun () -> False_causality.record ()));
     ("deceit-store", deceit_exec);
   ]
@@ -206,8 +212,9 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME"
           ~doc:
-            "fig1, fig2, fig3 (with -pc variants for the PC-broadcast \
-             causal layer), false-causality or deceit-store.")
+            "fig1, fig2, fig3 (with -pc and -hybrid variants for the \
+             PC-broadcast and hybrid-buffering causal layers), \
+             false-causality or deceit-store.")
   in
   let expects =
     Arg.(

@@ -13,9 +13,11 @@ type queue_impl = Indexed_queue | Reference_queue
 
 type stability_impl = Incremental_stability | Reference_stability
 
-type causal_impl = Vector_causal | Pc_causal
+type causal_impl = Vector_causal | Pc_causal | Hybrid_causal
 
 type pc_overlay = Pc_full_mesh | Pc_tree of { fanout : int }
+
+type stability_clock = Dense_clock | Sparse_clock
 
 type t = {
   ordering : ordering;
@@ -29,6 +31,7 @@ type t = {
   stability_impl : stability_impl;
   causal_impl : causal_impl;
   pc_overlay : pc_overlay;
+  stability_clock : stability_clock;
 }
 
 let default =
@@ -36,7 +39,7 @@ let default =
     failure_detection = Oracle; piggyback_history = false;
     payload_bytes = 256; track_graph = true; queue_impl = Indexed_queue;
     stability_impl = Incremental_stability; causal_impl = Vector_causal;
-    pc_overlay = Pc_full_mesh }
+    pc_overlay = Pc_full_mesh; stability_clock = Dense_clock }
 
 let ordering_name = function
   | Fifo -> "fifo"
@@ -47,15 +50,26 @@ let ordering_name = function
 let causal_impl_name = function
   | Vector_causal -> "bss"
   | Pc_causal -> "pc"
+  | Hybrid_causal -> "hybrid"
 
-(* PC-broadcast is a causal-layer replacement: it only changes how the
-   [Causal] ordering is achieved. The total-order modes keep their
-   vector-timestamp causal substrate. *)
-let pc_active t = t.causal_impl = Pc_causal && t.ordering = Causal
+let stability_clock_name = function
+  | Dense_clock -> "dense"
+  | Sparse_clock -> "sparse"
+
+(* PC-broadcast and its hybrid-buffering refinement are causal-layer
+   replacements: they only change how the [Causal] ordering is achieved.
+   The total-order modes keep their vector-timestamp causal substrate. *)
+let pc_active t =
+  (match t.causal_impl with
+   | Pc_causal | Hybrid_causal -> true
+   | Vector_causal -> false)
+  && t.ordering = Causal
+
+let hybrid_active t = t.causal_impl = Hybrid_causal && t.ordering = Causal
 
 let with_causal_impl causal_impl t =
   { t with causal_impl;
     transport =
       (match (causal_impl, t.transport) with
-       | Pc_causal, Bare -> Fifo_order
-       | (Pc_causal | Vector_causal), _ -> t.transport) }
+       | (Pc_causal | Hybrid_causal), Bare -> Fifo_order
+       | (Pc_causal | Hybrid_causal | Vector_causal), _ -> t.transport) }

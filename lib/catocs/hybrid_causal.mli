@@ -1,0 +1,67 @@
+(** Hybrid-buffering causal delivery: sender-side per-link state layered
+    over the {!Pc_causal} substrate (Almeida 2024).
+
+    Two refinements, both invisible to receivers: forwards a peer provably
+    already delivered are {e suppressed} (removing exactly the would-be
+    duplicates, so delivery logs stay byte-identical to plain
+    PC-broadcast), and copies for a barrier-pending link are {e parked} in
+    a per-link buffer drained by the pong's delivered vector instead of
+    rescanning the whole unstable buffer. Per-member state is
+    O(degree x group) words — linear in group size on bounded-degree
+    overlays. Selected via [Config.causal_impl = Hybrid_causal]; the
+    delivery machinery stays in [Stack]. *)
+
+type stats = {
+  mutable suppressed : int;
+      (** forwards withheld because the peer already delivered the message *)
+  mutable parked : int;  (** copies buffered on barrier-pending links *)
+  mutable drained : int;  (** parked copies sent when a pong opened a link *)
+  mutable drain_dropped : int;
+      (** parked copies discarded at drain — the pong proved them redundant *)
+}
+
+type 'a t
+
+val create : group_size:int -> neighbors:int array -> 'a t
+(** [neighbors] is the overlay neighbor set ({!Pc_causal.neighbors});
+    knowledge and park buffers are per-neighbor. Rebuilt alongside the PC
+    state on every view install. *)
+
+val stats : 'a t -> stats
+
+val known_seq : 'a t -> peer:int -> origin:int -> int
+(** Highest sequence of [origin] that [peer] is known to have delivered
+    (contiguously); 0 for a non-neighbor. *)
+
+val note_copy : 'a t -> peer:int -> origin:int -> seq:int -> unit
+(** A copy of ([origin], [seq]) arrived from [peer] — first copy or
+    duplicate alike: the peer delivered it before sending, so its
+    knowledge advances to [seq]. *)
+
+val note_delivered_vector : 'a t -> peer:int -> Vector_clock.t -> unit
+(** [peer] reported its delivered-counts vector (gossip or barrier pong);
+    merge it into the link's knowledge. *)
+
+val needs_copy : 'a t -> peer:int -> origin:int -> seq:int -> bool
+(** The drain condition: true when [peer] is not yet known to have
+    delivered ([origin], [seq]) — the copy must be sent. Inverted by
+    {!chaos_invert_drain}. *)
+
+val note_suppressed : 'a t -> unit
+
+val park : 'a t -> peer:int -> 'a Wire.data -> unit
+(** Buffer a copy for a barrier-pending link, in send order. *)
+
+val parked_count : 'a t -> peer:int -> int
+
+val drain : 'a t -> peer:int -> delivered:Vector_clock.t -> 'a Wire.data list
+(** The pong from [peer] arrived: absorb [delivered] into the link's
+    knowledge and return the parked copies the peer still needs, in park
+    order (causally consistent on the FIFO link). Empty when the buffer
+    was empty or every copy proved redundant — the empty-ack case. *)
+
+val chaos_invert_drain : bool ref
+(** Test hook: invert {!needs_copy} everywhere it gates a send. All
+    first-time forwards are then suppressed and drains ship only redundant
+    copies — the stack degrades to bare FIFO links and the checker's
+    causal oracle must convict (see [test/test_check.ml]). *)

@@ -131,7 +131,8 @@ let forward_targets t ~from_rank ~origin_rank =
 
 let origin_seq (data : 'a Wire.data) =
   match data.Wire.meta with
-  | Wire.Pc_meta { origin_seq } -> origin_seq
+  | Wire.Pc_meta { origin_seq } | Wire.Hybrid_meta { origin_seq } ->
+    origin_seq
   | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta | Wire.Lamport_meta _ ->
     (* a misconfigured peer: fall back to the timestamp component *)
     Vector_clock.get data.Wire.vt data.Wire.sender_rank

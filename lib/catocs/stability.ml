@@ -22,7 +22,7 @@ let release_message ~metrics ~graph ~obs ~now (data : 'a Wire.data) =
 
 module Reference = struct
   type 'a q = {
-    matrix : Matrix_clock.t;
+    matrix : Group_clock.t;
     buffer : (Wire.msg_id, 'a Wire.data) Hashtbl.t;
     metrics : Metrics.t;
     graph : Causality.t option;
@@ -32,9 +32,9 @@ module Reference = struct
 
   type nonrec 'a t = 'a q
 
-  let create ?obs ~group_size ~metrics ~graph () =
-    { matrix = Matrix_clock.create group_size; buffer = Hashtbl.create 64;
-      metrics; graph; obs; bytes = 0 }
+  let create ?clock ?obs ~group_size ~metrics ~graph () =
+    { matrix = Group_clock.create ?impl:clock group_size;
+      buffer = Hashtbl.create 64; metrics; graph; obs; bytes = 0 }
 
   let note_sent_or_delivered t (data : 'a Wire.data) =
     if not (Hashtbl.mem t.buffer data.Wire.msg_id) then begin
@@ -43,7 +43,7 @@ module Reference = struct
       t.bytes <- t.bytes + bytes;
       Metrics.note_unstable_added t.metrics ~bytes
     end;
-    Matrix_clock.update_row t.matrix data.Wire.sender_rank data.Wire.vt
+    Group_clock.update_row t.matrix data.Wire.sender_rank data.Wire.vt
 
   let release_stable t ~now =
     let stable_ids =
@@ -51,7 +51,7 @@ module Reference = struct
         (fun id (data : 'a Wire.data) acc ->
           let sender = data.Wire.sender_rank in
           let seq = Vector_clock.get data.Wire.vt sender in
-          if Matrix_clock.stable t.matrix ~sender ~seq then (id, data) :: acc
+          if Group_clock.stable t.matrix ~sender ~seq then (id, data) :: acc
           else acc)
         t.buffer []
     in
@@ -63,10 +63,13 @@ module Reference = struct
     List.iter release stable_ids
 
   let observe_vc t ~rank ~now vc =
-    Matrix_clock.update_row t.matrix rank vc;
+    Group_clock.update_row t.matrix rank vc;
     release_stable t ~now
 
-  let self_observe t ~rank ~now vc = observe_vc t ~rank ~now vc
+  (* our own running clock is mutable — never adopted by reference *)
+  let self_observe t ~rank ~now vc =
+    Group_clock.update_row ~live:true t.matrix rank vc;
+    release_stable t ~now
 
   let unstable t =
     Hashtbl.fold (fun _ data acc -> data :: acc) t.buffer []
@@ -96,7 +99,7 @@ end
 
 module Incremental = struct
   type 'a q = {
-    matrix : Matrix_clock.t;
+    matrix : Group_clock.t;
     pending : 'a Wire.data Queue.t array;  (* index = sender rank *)
     highest : int array;  (* highest seq buffered per sender (dedup) *)
     mutable dirty : int list;  (* columns whose cached minimum advanced *)
@@ -110,8 +113,8 @@ module Incremental = struct
 
   type nonrec 'a t = 'a q
 
-  let create ?obs ~group_size ~metrics ~graph () =
-    { matrix = Matrix_clock.create group_size;
+  let create ?clock ?obs ~group_size ~metrics ~graph () =
+    { matrix = Group_clock.create ?impl:clock group_size;
       pending = Array.init group_size (fun _ -> Queue.create ());
       highest = Array.make group_size 0;
       dirty = [];
@@ -135,7 +138,7 @@ module Incremental = struct
       t.count <- t.count + 1;
       Metrics.note_unstable_added t.metrics ~bytes
     end;
-    Matrix_clock.update_row_tracked t.matrix sender data.Wire.vt
+    Group_clock.update_row_tracked t.matrix sender data.Wire.vt
       ~advanced:(fun s -> mark_dirty t s)
 
   (* Pop every deque prefix covered by its column's (already advanced)
@@ -151,7 +154,7 @@ module Incremental = struct
         (fun s ->
           t.dirty_mark.(s) <- false;
           let q = t.pending.(s) in
-          let min_seq = Matrix_clock.min_component t.matrix s in
+          let min_seq = Group_clock.min_component t.matrix s in
           let go = ref true in
           while !go do
             match Queue.peek_opt q with
@@ -167,11 +170,15 @@ module Incremental = struct
         dirty
 
   let observe_vc t ~rank ~now vc =
-    Matrix_clock.update_row_tracked t.matrix rank vc
+    Group_clock.update_row_tracked t.matrix rank vc
       ~advanced:(fun s -> mark_dirty t s);
     release_dirty t ~now
 
-  let self_observe t ~rank ~now vc = observe_vc t ~rank ~now vc
+  (* our own running clock is mutable — never adopted by reference *)
+  let self_observe t ~rank ~now vc =
+    Group_clock.update_row_tracked ~live:true t.matrix rank vc
+      ~advanced:(fun s -> mark_dirty t s);
+    release_dirty t ~now
 
   (* k-way merge of the per-sender deques: each is ascending in msg_id
      (per-sender send order), so no sort is needed. *)
@@ -217,11 +224,12 @@ type 'a t =
   | Incremental_s of 'a Incremental.t
   | Reference_s of 'a Reference.t
 
-let create ?(impl = Incremental) ?obs ~group_size ~metrics ~graph () =
+let create ?(impl = Incremental) ?clock ?obs ~group_size ~metrics ~graph () =
   match impl with
   | Incremental ->
-    Incremental_s (Incremental.create ?obs ~group_size ~metrics ~graph ())
-  | Reference -> Reference_s (Reference.create ?obs ~group_size ~metrics ~graph ())
+    Incremental_s (Incremental.create ?clock ?obs ~group_size ~metrics ~graph ())
+  | Reference ->
+    Reference_s (Reference.create ?clock ?obs ~group_size ~metrics ~graph ())
 
 let impl_of = function Incremental_s _ -> Incremental | Reference_s _ -> Reference
 

@@ -29,15 +29,18 @@ type impl = Incremental | Reference
 
 val create :
   ?impl:impl ->
+  ?clock:Group_clock.impl ->
   ?obs:Repro_obs.Log.t * int ->
   group_size:int ->
   metrics:Metrics.t ->
   graph:Causality.t option ->
   unit ->
   'a t
-(** [impl] defaults to [Incremental]. [obs] is the telemetry log plus the
-    owning process id: every release then emits an [Obs.Event.Span_stable]
-    record alongside the [Metrics.stability_lag_us] sample. *)
+(** [impl] defaults to [Incremental]; [clock] selects the matrix-clock
+    representation (default [Dense] — see {!Config.stability_clock}).
+    [obs] is the telemetry log plus the owning process id: every release
+    then emits an [Obs.Event.Span_stable] record alongside the
+    [Metrics.stability_lag_us] sample. *)
 
 val impl_of : 'a t -> impl
 
@@ -62,7 +65,7 @@ val unstable : 'a t -> 'a Wire.data list
 val unstable_count : 'a t -> int
 val unstable_bytes : 'a t -> int
 
-val matrix : 'a t -> Matrix_clock.t
+val matrix : 'a t -> Group_clock.t
 
 (** The two concrete implementations, exposed for direct micro-benchmarks
     and differential tests (no dispatch overhead). *)
@@ -70,6 +73,7 @@ module Reference : sig
   type 'a t
 
   val create :
+    ?clock:Group_clock.impl ->
     ?obs:Repro_obs.Log.t * int ->
     group_size:int ->
     metrics:Metrics.t ->
@@ -83,13 +87,14 @@ module Reference : sig
   val unstable : 'a t -> 'a Wire.data list
   val unstable_count : 'a t -> int
   val unstable_bytes : 'a t -> int
-  val matrix : 'a t -> Matrix_clock.t
+  val matrix : 'a t -> Group_clock.t
 end
 
 module Incremental : sig
   type 'a t
 
   val create :
+    ?clock:Group_clock.impl ->
     ?obs:Repro_obs.Log.t * int ->
     group_size:int ->
     metrics:Metrics.t ->
@@ -103,5 +108,5 @@ module Incremental : sig
   val unstable : 'a t -> 'a Wire.data list
   val unstable_count : 'a t -> int
   val unstable_bytes : 'a t -> int
-  val matrix : 'a t -> Matrix_clock.t
+  val matrix : 'a t -> Group_clock.t
 end

@@ -86,6 +86,11 @@ type 'a t = {
          reconstructed from delivery order (component [o] = highest
          contiguously delivered origin sequence of rank [o]), which keeps
          the gossip/stability/flush machinery working unchanged. *)
+  mutable hybrid : 'a Hybrid_causal.t option;
+      (* hybrid-buffering refinements over the PC substrate (per-link
+         delivered-knowledge and park buffers); [Some] iff
+         [Config.hybrid_active config]. Rebuilt with [pc] on every view
+         install. *)
   mutable queue : 'a Delivery_queue.t;
   mutable seq_queue : 'a Total_order.Sequencer_queue.t;
   mutable lamport_queue : 'a Total_order.Lamport_queue.t;
@@ -152,9 +157,14 @@ let stability_impl (config : Config.t) =
   | Config.Incremental_stability -> Stability.Incremental
   | Config.Reference_stability -> Stability.Reference
 
+let stability_clock (config : Config.t) =
+  match config.Config.stability_clock with
+  | Config.Dense_clock -> Group_clock.Dense
+  | Config.Sparse_clock -> Group_clock.Sparse
+
 let make_stability ?obs (config : Config.t) ~group_size ~metrics ~graph =
-  Stability.create ~impl:(stability_impl config) ?obs ~group_size ~metrics
-    ~graph ()
+  Stability.create ~impl:(stability_impl config)
+    ~clock:(stability_clock config) ?obs ~group_size ~metrics ~graph ()
 
 let self t = t.self
 let shared_of t = t.shared
@@ -243,7 +253,10 @@ let broadcast_proto t proto =
    flows on it. At initial group creation every member is "carried over", so
    all links start open and no pings are sent. *)
 let reset_pc t ~prev_members =
-  if not (Config.pc_active t.config) then t.pc <- None
+  if not (Config.pc_active t.config) then begin
+    t.pc <- None;
+    t.hybrid <- None
+  end
   else begin
     let view = t.view in
     let self_fresh = not (Pid_set.mem t.self prev_members) in
@@ -255,6 +268,12 @@ let reset_pc t ~prev_members =
         ~link_fresh
     in
     t.pc <- Some pc;
+    t.hybrid <-
+      (if Config.hybrid_active t.config then
+         Some
+           (Hybrid_causal.create ~group_size:(Group.size view)
+              ~neighbors:(Pc_causal.neighbors pc))
+       else None);
     let stats = Pc_causal.stats pc in
     List.iter
       (fun peer_rank ->
@@ -270,6 +289,8 @@ let reset_pc t ~prev_members =
 let pc_stats t = Option.map Pc_causal.stats t.pc
 
 let pc_neighbors t = Option.map Pc_causal.neighbors t.pc
+
+let hybrid_stats t = Option.map Hybrid_causal.stats t.hybrid
 
 (* --- graph bookkeeping (Section 5 active causal graph) ----------------- *)
 
@@ -372,14 +393,37 @@ let causal_deliver t (pending : 'a Delivery_queue.pending) =
        match t.status with
        | Normal ->
          let stats = Pc_causal.stats pc in
-         List.iter
-           (fun r ->
-             stats.Pc_causal.forwards <- stats.Pc_causal.forwards + 1;
-             t.metrics.Metrics.header_bytes <-
-               t.metrics.Metrics.header_bytes + Wire.header_bytes data;
-             Endpoint.send_proto (endpoint t) ~group:t.shared.group_id
-               ~dst:(Group.member t.view r) (Wire.Data data))
-           (Pc_causal.forward_targets pc ~from_rank ~origin_rank:sender)
+         let send_forward r =
+           stats.Pc_causal.forwards <- stats.Pc_causal.forwards + 1;
+           t.metrics.Metrics.header_bytes <-
+             t.metrics.Metrics.header_bytes + Wire.header_bytes data;
+           Endpoint.send_proto (endpoint t) ~group:t.shared.group_id
+             ~dst:(Group.member t.view r) (Wire.Data data)
+         in
+         let targets =
+           Pc_causal.forward_targets pc ~from_rank ~origin_rank:sender
+         in
+         (match t.hybrid with
+          | None -> List.iter send_forward targets
+          | Some h ->
+            (* delivered-knowledge suppression: skip peers that provably
+               already delivered this message (the copy would be dropped
+               as a duplicate on arrival) *)
+            let seq = Pc_causal.origin_seq data in
+            List.iter
+              (fun r ->
+                if Hybrid_causal.needs_copy h ~peer:r ~origin:sender ~seq
+                then send_forward r
+                else Hybrid_causal.note_suppressed h)
+              targets;
+            (* barrier-pending links are absent from [targets]: park their
+               copies for the pong-triggered drain instead of falling back
+               to the unstable-buffer rescan *)
+            List.iter
+              (fun r ->
+                if r <> from_rank && r <> sender then
+                  Hybrid_causal.park h ~peer:r data)
+              (Pc_causal.fresh_links pc))
        | Flushing _ | Joining _ ->
          (* the flush round itself disseminates the message set *)
          ()
@@ -407,7 +451,8 @@ let causal_deliver t (pending : 'a Delivery_queue.pending) =
        Total_order.Lamport_queue.add t.lamport_queue pending ~stamp;
        Total_order.Lamport_queue.observe_time t.lamport_queue
          ~rank:data.Wire.sender_rank stamp.Lamport.time
-     | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta | Wire.Pc_meta _ ->
+     | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta | Wire.Pc_meta _
+     | Wire.Hybrid_meta _ ->
        (* a misconfigured peer; deliver FIFO to stay live *)
        final_deliver t pending)
   end
@@ -441,6 +486,14 @@ let rec on_data t ?(src_rank = -1) (data : 'a Wire.data) =
      same path (duplicates are dropped by the delivered/seen-ids check) *)
   List.iter (fun d -> on_data t d) data.Wire.piggyback;
   t.metrics.Metrics.data_received <- t.metrics.Metrics.data_received + 1;
+  (* hybrid delivered-knowledge: every copy arriving from a peer — first
+     copy or duplicate alike — proves the peer delivered it before
+     sending *)
+  (match t.hybrid with
+   | Some h when src_rank >= 0 && data.Wire.view_id = t.view.Group.view_id ->
+     Hybrid_causal.note_copy h ~peer:src_rank ~origin:data.Wire.sender_rank
+       ~seq:(Pc_causal.origin_seq data)
+   | _ -> ());
   if data.Wire.view_id > t.view.Group.view_id then
     t.future_proto <-
       (data.Wire.view_id, Wire.Data data) :: t.future_proto
@@ -456,7 +509,8 @@ let rec on_data t ?(src_rank = -1) (data : 'a Wire.data) =
     | _ ->
     (match data.Wire.meta with
      | Wire.Lamport_meta stamp -> ignore (Lamport.observe t.lamport stamp.Lamport.time)
-     | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta | Wire.Pc_meta _ -> ());
+     | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta | Wire.Pc_meta _
+     | Wire.Hybrid_meta _ -> ());
     let pending =
       { Delivery_queue.data; arrived_at = Engine.now t.engine }
     in
@@ -516,7 +570,12 @@ let make_data t payload =
       let seq = Vector_clock.get t.vc t.rank + 1 in
       let vt = Vector_clock.create (Group.size t.view) in
       Vector_clock.set vt t.rank seq;
-      (vt, Wire.Pc_meta { origin_seq = seq })
+      let meta =
+        if Config.hybrid_active t.config then
+          Wire.Hybrid_meta { origin_seq = seq }
+        else Wire.Pc_meta { origin_seq = seq }
+      in
+      (vt, meta)
     | None ->
       let vt = Vector_clock.copy_tick t.vc t.rank in
       let meta =
@@ -582,9 +641,14 @@ let do_multicast t payload =
            Endpoint.send_proto (endpoint t) ~group:t.shared.group_id
              ~dst:(Group.member t.view r) (Wire.Data data)
          end
-         else
+         else begin
            stats.Pc_causal.barrier_deferred <-
-             stats.Pc_causal.barrier_deferred + 1)
+             stats.Pc_causal.barrier_deferred + 1;
+           (* hybrid: park the copy for the pong-triggered drain *)
+           match t.hybrid with
+           | Some h -> Hybrid_causal.park h ~peer:r data
+           | None -> ()
+         end)
        (Pc_causal.neighbors pc);
      account_send t data ~recipient_count:!sent);
   on_data t data
@@ -632,6 +696,11 @@ let send_gossip t =
 let on_gossip t ~view_id ~rank ~vc ~lamport =
   if view_id = t.view.Group.view_id then begin
     Stability.observe_vc t.stability ~rank ~now:(Engine.now t.engine) vc;
+    (* the gossiped vector is the gossiper's delivered counts: free hybrid
+       suppression knowledge *)
+    (match t.hybrid with
+     | Some h -> Hybrid_causal.note_delivered_vector h ~peer:rank vc
+     | None -> ());
     ignore (Lamport.observe t.lamport lamport);
     let gossiper_sent = Vector_clock.get vc rank in
     if Vector_clock.get t.vc rank >= gossiper_sent then
@@ -1059,7 +1128,14 @@ let handle_proto t ~src (proto : 'a Wire.proto) =
              missing cannot have stabilised, since stability requires
              delivery by every member including the peer. *)
           let missing =
-            Pc_causal.missing_for ~delivered (Stability.unstable t.stability)
+            match t.hybrid with
+            | Some h ->
+              (* hybrid: the per-link park buffer holds exactly what this
+                 link withheld, filtered by the pong's delivered vector —
+                 no unstable-buffer rescan *)
+              Hybrid_causal.drain h ~peer:from_rank ~delivered
+            | None ->
+              Pc_causal.missing_for ~delivered (Stability.unstable t.stability)
           in
           let stats = Pc_causal.stats pc in
           stats.Pc_causal.barrier_retransmits <-
@@ -1100,6 +1176,7 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
       endpoint = None; view; rank;
       vc = Vector_clock.create (Group.size view);
       pc = None;
+      hybrid = None;
       queue = make_queue ?obs config;
       seq_queue = Total_order.Sequencer_queue.create ?obs ();
       lamport_queue =

@@ -38,7 +38,8 @@ let max_reaction_depth = 3
 
 let execute ?(queue_impl = Config.Indexed_queue)
     ?(stability_impl = Config.Incremental_stability)
-    ?(causal_impl = Config.Vector_causal) ~seed ~ordering
+    ?(causal_impl = Config.Vector_causal)
+    ?(stability_clock = Config.Dense_clock) ~seed ~ordering
     (plan : Fault_plan.t) =
   let net =
     Net.create
@@ -57,6 +58,7 @@ let execute ?(queue_impl = Config.Indexed_queue)
       queue_impl;
       stability_impl;
       causal_impl;
+      stability_clock;
       (* the checker always exercises PC over the full mesh: overlay
          routing is orthogonal to the ordering properties under test, and
          the mesh keeps every member one forwarding hop away even when
@@ -199,9 +201,9 @@ let execute ?(queue_impl = Config.Indexed_queue)
   in
   (oracle, survivors)
 
-let violation_of ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan =
+let violation_of ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan =
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan
+    execute ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
   in
   match Oracle.check oracle ~ordering ~survivors with
   | Some v -> Some (v, oracle)
@@ -211,10 +213,10 @@ let violation_of ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan =
    fault list, then drop single faults (last first) while the plan still
    fails. Every candidate is a full deterministic re-execution, so the
    shrunk plan is guaranteed to still reproduce a violation. *)
-let shrink_plan ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan
+let shrink_plan ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
     (v0, o0) =
   let fails faults =
-    violation_of ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering
+    violation_of ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering
       (Fault_plan.with_faults plan faults)
   in
   let faults = Array.of_list plan.Fault_plan.faults in
@@ -245,9 +247,9 @@ let make_report ~seed ~ordering ~shrunk plan (violation, oracle) =
   in
   { seed; ordering; plan; violation; trace; shrunk }
 
-let replay ?queue_impl ?stability_impl ?causal_impl ~ordering ~seed plan =
+let replay ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed plan =
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan
+    execute ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
   in
   match Oracle.check oracle ~ordering ~survivors with
   | None ->
@@ -260,10 +262,10 @@ let replay ?queue_impl ?stability_impl ?causal_impl ~ordering ~seed plan =
     Fail (make_report ~seed ~ordering ~shrunk:false plan (violation, oracle))
 
 let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true)
-    ?queue_impl ?stability_impl ?causal_impl ~ordering ~seed () =
+    ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed () =
   let plan = Fault_plan.generate ~seed profile in
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan
+    execute ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
   in
   match Oracle.check oracle ~ordering ~survivors with
   | None ->
@@ -275,7 +277,7 @@ let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true)
   | Some violation ->
     if shrink then
       let plan', best =
-        shrink_plan ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering
+        shrink_plan ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering
           plan (violation, oracle)
       in
       Fail (make_report ~seed ~ordering ~shrunk:true plan' best)
@@ -289,7 +291,7 @@ type sweep_result = {
 }
 
 let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
-    ?(start_seed = 0) ?on_seed ?queue_impl ?stability_impl ?causal_impl
+    ?(start_seed = 0) ?on_seed ?queue_impl ?stability_impl ?causal_impl ?stability_clock
     ~ordering ~seeds () =
   let rec go i acc_pass acc_s acc_d =
     if i >= seeds then
@@ -298,7 +300,7 @@ let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
     else
       let seed = start_seed + i in
       match
-        run_seed ~profile ~shrink ?queue_impl ?stability_impl ?causal_impl
+        run_seed ~profile ~shrink ?queue_impl ?stability_impl ?causal_impl ?stability_clock
           ~ordering ~seed ()
       with
       | Pass { sends; deliveries } ->
@@ -313,9 +315,9 @@ let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
 
 (* --- execution export for the offline analyzer ----------------------------- *)
 
-let exec_of_plan ?queue_impl ?stability_impl ?causal_impl ~ordering ~seed plan =
+let exec_of_plan ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed plan =
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ?causal_impl ~seed ~ordering plan
+    execute ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
   in
   let verdict =
     match Oracle.check oracle ~ordering ~survivors with
@@ -334,8 +336,8 @@ let exec_of_plan ?queue_impl ?stability_impl ?causal_impl ~ordering ~seed plan =
   (Oracle.to_exec oracle ~ordering ~label, verdict)
 
 let exec_of_seed ?(profile = Fault_plan.default_profile) ?queue_impl
-    ?stability_impl ?causal_impl ~ordering ~seed () =
-  exec_of_plan ?queue_impl ?stability_impl ?causal_impl ~ordering ~seed
+    ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed () =
+  exec_of_plan ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed
     (Fault_plan.generate ~seed profile)
 
 let pp_report fmt r =

@@ -33,6 +33,7 @@ val replay :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
+  ?stability_clock:Repro_catocs.Config.stability_clock ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   Fault_plan.t ->
@@ -47,6 +48,7 @@ val run_seed :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
+  ?stability_clock:Repro_catocs.Config.stability_clock ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   unit ->
@@ -76,6 +78,7 @@ val sweep :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
+  ?stability_clock:Repro_catocs.Config.stability_clock ->
   ordering:Repro_catocs.Config.ordering ->
   seeds:int ->
   unit ->
@@ -87,6 +90,7 @@ val exec_of_plan :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
+  ?stability_clock:Repro_catocs.Config.stability_clock ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   Fault_plan.t ->
@@ -100,6 +104,7 @@ val exec_of_seed :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
+  ?stability_clock:Repro_catocs.Config.stability_clock ->
   ordering:Repro_catocs.Config.ordering ->
   seed:int ->
   unit ->

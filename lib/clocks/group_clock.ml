@@ -1,0 +1,54 @@
+(* Representation dispatch for the stability matrix clock, mirroring the
+   [Stability]/[Delivery_queue] pattern: one branch per call so whole-stack
+   runs select the dense or sparse representation from configuration
+   alone. *)
+
+type impl = Dense | Sparse
+
+type t = Dense_c of Matrix_clock.t | Sparse_c of Sparse_matrix_clock.t
+
+let create ?(impl = Dense) n =
+  match impl with
+  | Dense -> Dense_c (Matrix_clock.create n)
+  | Sparse -> Sparse_c (Sparse_matrix_clock.create n)
+
+let impl_of = function Dense_c _ -> Dense | Sparse_c _ -> Sparse
+
+let size = function
+  | Dense_c m -> Matrix_clock.size m
+  | Sparse_c m -> Sparse_matrix_clock.size m
+
+(* The dense implementation copies every merged component into its own
+   row storage, so [live] vectors need no special handling there. *)
+let update_row ?live t i vc =
+  match t with
+  | Dense_c m ->
+    ignore live;
+    Matrix_clock.update_row m i vc
+  | Sparse_c m -> Sparse_matrix_clock.update_row ?live m i vc
+
+let update_row_tracked ?live t i vc ~advanced =
+  match t with
+  | Dense_c m ->
+    ignore live;
+    Matrix_clock.update_row_tracked m i vc ~advanced
+  | Sparse_c m -> Sparse_matrix_clock.update_row_tracked ?live m i vc ~advanced
+
+let min_component t s =
+  match t with
+  | Dense_c m -> Matrix_clock.min_component m s
+  | Sparse_c m -> Sparse_matrix_clock.min_component m s
+
+let stable t ~sender ~seq =
+  match t with
+  | Dense_c m -> Matrix_clock.stable m ~sender ~seq
+  | Sparse_c m -> Sparse_matrix_clock.stable m ~sender ~seq
+
+let row_get t i s =
+  match t with
+  | Dense_c m -> Vector_clock.get (Matrix_clock.row m i) s
+  | Sparse_c m -> Sparse_matrix_clock.row_get m i s
+
+let pp ppf = function
+  | Dense_c m -> Matrix_clock.pp ppf m
+  | Sparse_c m -> Sparse_matrix_clock.pp ppf m

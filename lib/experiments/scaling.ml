@@ -26,6 +26,7 @@ let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
     ?(queue_impl = Config.Indexed_queue)
     ?(stability_impl = Config.Incremental_stability)
     ?(causal_impl = Config.Vector_causal)
+    ?(stability_clock = Config.Dense_clock)
     ?(pc_overlay = Config.Pc_full_mesh) ?(track_graph = true)
     ~seed n =
   let net =
@@ -40,7 +41,7 @@ let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
     Config.with_causal_impl causal_impl
       { Config.default with
         Config.ordering = Config.Causal; queue_impl; stability_impl;
-        pc_overlay; track_graph;
+        stability_clock; pc_overlay; track_graph;
         gossip_period =
           Option.value gossip_period
             ~default:Config.default.Config.gossip_period }
@@ -121,12 +122,12 @@ let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
 
 let sweep ?(sizes = [ 4; 8; 16; 32; 48 ]) ?(seed = 11L) ?processing_time
     ?duration ?send_period ?gossip_period ?queue_impl ?stability_impl
-    ?causal_impl ?pc_overlay ?track_graph () =
+    ?causal_impl ?stability_clock ?pc_overlay ?track_graph () =
   List.map
     (fun n ->
       measure_with_graph ?processing_time ?duration ?send_period
-        ?gossip_period ?queue_impl ?stability_impl ?causal_impl ?pc_overlay
-        ?track_graph ~seed n)
+        ?gossip_period ?queue_impl ?stability_impl ?causal_impl
+        ?stability_clock ?pc_overlay ?track_graph ~seed n)
     sizes
 
 let table points =

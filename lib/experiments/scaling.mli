@@ -39,6 +39,7 @@ val measure_with_graph :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
+  ?stability_clock:Repro_catocs.Config.stability_clock ->
   ?pc_overlay:Repro_catocs.Config.pc_overlay ->
   ?track_graph:bool ->
   seed:int64 ->
@@ -57,6 +58,7 @@ val sweep :
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
+  ?stability_clock:Repro_catocs.Config.stability_clock ->
   ?pc_overlay:Repro_catocs.Config.pc_overlay ->
   ?track_graph:bool -> unit -> point list
 (** [duration] bounds the send phase (default 1 simulated second);

@@ -26,6 +26,13 @@ let fig1_pc () =
        ~causal_impl:Repro_catocs.Config.Pc_causal ());
   (log, numbered [ "P"; "Q"; "R" ])
 
+let fig1_hybrid () =
+  let log = Repro_obs.Log.create () in
+  ignore
+    (Diagrams.fig1_run ~obs:log
+       ~causal_impl:Repro_catocs.Config.Hybrid_causal ());
+  (log, numbered [ "P"; "Q"; "R" ])
+
 let fig2 () =
   let log = Repro_obs.Log.create () in
   ignore
@@ -63,6 +70,18 @@ let scaling_metadata () =
        ~causal_impl:Repro_catocs.Config.Pc_causal ~seed:11L 64);
   (log, numbered (List.init 64 (Printf.sprintf "p%d")))
 
+(* The scaling run that the n=4096 bench points rely on: hybrid buffering
+   over the PC overlay with the sparse stability tracker. Delivery timing
+   is identical to the dense-clock run (the tracker only changes storage),
+   so the trace doubles as a visual regression for that equivalence. *)
+let scaling_sparse () =
+  let log = Repro_obs.Log.create () in
+  ignore
+    (Scaling.measure_with_graph ~obs:log ~duration:(Sim_time.ms 200)
+       ~causal_impl:Repro_catocs.Config.Hybrid_causal
+       ~stability_clock:Repro_catocs.Config.Sparse_clock ~seed:11L 64);
+  (log, numbered (List.init 64 (Printf.sprintf "p%d")))
+
 let all =
   [ { name = "fig1";
       descr = "Figure 1 causal-order diagram run (P/Q/R, m1..m4)";
@@ -82,10 +101,18 @@ let all =
     { name = "scaling-n64";
       descr = "64-member buffering-scaling run with per-node gauge sampling";
       run = scaling64 };
+    { name = "fig1-hybrid";
+      descr = "Figure 1 run over hybrid-buffering causal delivery";
+      run = fig1_hybrid };
     { name = "scaling-metadata";
       descr =
         "64-member scaling run under PC-broadcast constant metadata \
          (unstable-bytes gauges)";
-      run = scaling_metadata } ]
+      run = scaling_metadata };
+    { name = "scaling-sparse";
+      descr =
+        "64-member scaling run, hybrid causal delivery over the sparse \
+         stability tracker";
+      run = scaling_sparse } ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

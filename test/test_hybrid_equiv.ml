@@ -1,0 +1,614 @@
+(* Three-way differential battery pinning the hybrid-buffering causal
+   implementation to both the PC-broadcast and the BSS vector-timestamp
+   implementations at the whole-stack level.
+
+   The hybrid refinements are sender-side only, so the spec is inherited
+   from test_pc_equiv verbatim, now with three runs per trial:
+
+   - Strict battery: under a lossless fixed-latency full mesh with no
+     churn, runs consume no engine randomness and every first copy is the
+     direct one — delivery logs (origin, payload, instant) must be
+     byte-identical across all three implementations. Suppression may only
+     remove would-be duplicates, never a first copy; any divergence here
+     means it suppressed too much.
+
+   - Fault battery: partitions and joins let PC/hybrid deliver earlier
+     than BSS (relaying is their advantage), so instant-equality is the
+     wrong spec. Per member, across all three: the delivered payload set
+     and the per-origin projection of root messages must agree; within
+     each run a reaction is never delivered before its trigger; a joiner
+     delivers, per origin, a contiguous suffix of the old members' view.
+
+   - Directed drain edge cases: the per-link park buffer replaces PC's
+     unstable-buffer rescan, so its boundary behaviours get pinned
+     explicitly — the empty ack (a pong with nothing parked), a
+     self-origin copy parked at the view-install instant, a parked copy
+     the pong proves redundant (drain_dropped), and suppression actually
+     removing duplicates on a full mesh without touching the logs. *)
+
+module Config = Repro_catocs.Config
+module Stack = Repro_catocs.Stack
+module Group = Repro_catocs.Group
+module Pc_causal = Repro_catocs.Pc_causal
+module Hybrid_causal = Repro_catocs.Hybrid_causal
+
+(* --- scenarios ----------------------------------------------------------- *)
+
+type scenario = {
+  n : int;  (* initial members *)
+  sends : (int * int) list;  (* (at_us, sender idx); payload = list index *)
+  partition : (int * int * int list) option;  (* at_us, heal_us, left idxs *)
+  join_at : int option;  (* one new member joins via member 0 *)
+  horizon_us : int;
+}
+
+let show_scenario s =
+  Printf.sprintf "n=%d sends=[%s] partition=%s join=%s"
+    s.n
+    (String.concat ";"
+       (List.map (fun (t, m) -> Printf.sprintf "m%d@%d" m t) s.sends))
+    (match s.partition with
+     | None -> "none"
+     | Some (at, heal, left) ->
+       Printf.sprintf "[%s]@%d..%d"
+         (String.concat "," (List.map string_of_int left))
+         at heal)
+    (match s.join_at with None -> "none" | Some t -> string_of_int t)
+
+(* Deterministic causal depth, as in test_pc_equiv: member i reacts to a
+   root payload p with (p + i) mod 4 = 0 by multicasting a pure function of
+   (p, i). Only initial members react. *)
+let reaction_base = 1_000_000
+let reaction_of ~trigger ~member = reaction_base + (trigger * 8) + member
+let trigger_of reaction = (reaction - reaction_base) / 8
+
+let run_scenario ~causal_impl ~transport (s : scenario) =
+  let net = Net.create ~latency:(Net.Fixed 1_000) () in
+  let engine = Engine.create ~seed:9L ~net () in
+  let config =
+    { Config.default with Config.ordering = Config.Causal; causal_impl;
+      transport }
+  in
+  let logs = Array.make (s.n + 1) [] in
+  let stacks =
+    Stack.create_group ~engine ~config
+      ~names:(List.init s.n (fun i -> Printf.sprintf "p%d" i))
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun i stack ->
+      Stack.set_callbacks stack
+        { Stack.null_callbacks with
+          Stack.deliver =
+            (fun ~sender payload ->
+              logs.(i) <- (sender, payload, Engine.now engine) :: logs.(i);
+              if payload < reaction_base && (payload + i) mod 4 = 0 then
+                Stack.multicast stack (reaction_of ~trigger:payload ~member:i)) })
+    stacks;
+  List.iteri
+    (fun k (at, sender) ->
+      Engine.at engine (Sim_time.us at) (fun () ->
+          Stack.multicast stacks.(sender) k))
+    s.sends;
+  let joiner = ref None in
+  (match s.join_at with
+   | Some at ->
+     Engine.at engine (Sim_time.us at) (fun () ->
+         let pid = Engine.spawn engine ~name:"joiner" (fun _ _ -> ()) in
+         joiner :=
+           Some
+             (Stack.join ~engine ~shared:(Stack.shared_of stacks.(0)) ~config
+                ~self:pid ~contact:(Stack.self stacks.(0))
+                ~callbacks:
+                  { Stack.null_callbacks with
+                    Stack.deliver =
+                      (fun ~sender payload ->
+                        logs.(s.n) <-
+                          (sender, payload, Engine.now engine) :: logs.(s.n)) }
+                ()))
+   | None -> ());
+  (match s.partition with
+   | Some (at, heal_at, left) ->
+     Engine.at engine (Sim_time.us at) (fun () ->
+         let left_pids = List.map (fun i -> Stack.self stacks.(i)) left in
+         let right_pids =
+           Array.to_list stacks
+           |> List.mapi (fun i st -> (i, Stack.self st))
+           |> List.filter_map (fun (i, p) ->
+                  if List.mem i left then None else Some p)
+         in
+         let right_pids =
+           match !joiner with
+           | Some st -> Stack.self st :: right_pids
+           | None -> right_pids
+         in
+         Net.partition net left_pids right_pids);
+     Engine.at engine (Sim_time.us heal_at) (fun () -> Net.heal net)
+   | None -> ());
+  Engine.run ~until:(Sim_time.us s.horizon_us) engine;
+  (Array.map List.rev logs, Array.map Stack.self stacks, !joiner, stacks)
+
+(* --- log views ----------------------------------------------------------- *)
+
+let show_log l =
+  String.concat ","
+    (List.map (fun (o, p, t) -> Printf.sprintf "o%d/p%d@%d" o p t) l)
+
+let payloads l = List.map (fun (_, p, _) -> p) l
+
+let origin_roots l origin =
+  List.filter_map
+    (fun (o, p, _) -> if o = origin && p < reaction_base then Some p else None)
+    l
+
+let check_causal ~ctx l =
+  let all = payloads l in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      if p >= reaction_base then begin
+        let trig = trigger_of p in
+        if List.mem trig all && not (Hashtbl.mem seen trig) then
+          QCheck.Test.fail_reportf
+            "%s: reaction %d delivered before its trigger %d in [%s]" ctx p
+            trig (show_log l)
+      end;
+      Hashtbl.replace seen p ())
+    all
+
+let rec is_suffix ~of_:full suffix =
+  if List.length suffix > List.length full then false
+  else if suffix = full then true
+  else match full with [] -> suffix = [] | _ :: tl -> is_suffix ~of_:tl suffix
+
+(* --- strict battery ------------------------------------------------------ *)
+
+let impls =
+  [ ("bss", Config.Vector_causal); ("pc", Config.Pc_causal);
+    ("hybrid", Config.Hybrid_causal) ]
+
+let strict_equiv (s : scenario) =
+  let runs =
+    List.map
+      (fun (name, causal_impl) ->
+        let logs, _, _, _ =
+          run_scenario ~causal_impl ~transport:Config.Fifo_order s
+        in
+        (name, logs))
+      impls
+  in
+  let ref_name, ref_logs = List.hd runs in
+  List.iter
+    (fun (name, logs) ->
+      Array.iteri
+        (fun i la ->
+          let lb = logs.(i) in
+          if la <> lb then
+            QCheck.Test.fail_reportf
+              "member %d delivery logs differ@.%s: %s@.%s: %s" i ref_name
+              (show_log la) name (show_log lb))
+        ref_logs)
+    (List.tl runs);
+  true
+
+(* --- fault battery ------------------------------------------------------- *)
+
+let fault_equiv (s : scenario) =
+  let transport =
+    Config.Reliable { rto = Sim_time.ms 10; max_retries = 500 }
+  in
+  let runs =
+    List.map
+      (fun (name, causal_impl) ->
+        let logs, pids, _, _ = run_scenario ~causal_impl ~transport s in
+        (name, logs, pids))
+      impls
+  in
+  let ref_name, ref_logs, pids =
+    match runs with r :: _ -> r | [] -> assert false
+  in
+  List.iter
+    (fun (name, logs, _) ->
+      for i = 0 to s.n - 1 do
+        let a = ref_logs.(i) and b = logs.(i) in
+        let sa = List.sort Int.compare (payloads a) in
+        let sb = List.sort Int.compare (payloads b) in
+        if sa <> sb then
+          QCheck.Test.fail_reportf
+            "member %d delivered sets differ@.%s: %s@.%s: %s" i ref_name
+            (show_log a) name (show_log b);
+        Array.iter
+          (fun o ->
+            if origin_roots a o <> origin_roots b o then
+              QCheck.Test.fail_reportf
+                "member %d origin-%d projections differ@.%s: %s@.%s: %s" i o
+                ref_name (show_log a) name (show_log b))
+          pids
+      done)
+    (List.tl (List.map (fun (n, l, p) -> (n, l, p)) runs));
+  List.iter
+    (fun (name, logs, _) ->
+      Array.iteri
+        (fun i l -> check_causal ~ctx:(Printf.sprintf "%s m%d" name i) l)
+        logs)
+    runs;
+  (if s.join_at <> None then
+     List.iter
+       (fun (name, logs, _) ->
+         Array.iter
+           (fun o ->
+             let full = origin_roots logs.(0) o in
+             let j = origin_roots logs.(s.n) o in
+             if not (is_suffix ~of_:full j) then
+               QCheck.Test.fail_reportf
+                 "%s: joiner origin-%d [%s] not a suffix of [%s]" name o
+                 (String.concat "," (List.map string_of_int j))
+                 (String.concat "," (List.map string_of_int full)))
+           pids)
+       runs);
+  true
+
+(* --- generators ---------------------------------------------------------- *)
+
+let gen_sends n =
+  QCheck.Gen.(
+    list_size (int_range 5 40)
+      (pair (int_range 1_000 400_000) (int_range 0 (n - 1))))
+
+let gen_quiet =
+  QCheck.Gen.(
+    int_range 2 5 >>= fun n ->
+    gen_sends n >>= fun sends ->
+    return { n; sends; partition = None; join_at = None;
+             horizon_us = 1_200_000 })
+
+let gen_churn =
+  QCheck.Gen.(
+    int_range 3 5 >>= fun n ->
+    gen_sends n >>= fun sends ->
+    int_range 1 (n - 1) >>= fun split ->
+    int_range 20_000 200_000 >>= fun part_at ->
+    int_range 10_000 150_000 >>= fun part_dur ->
+    bool >>= fun with_partition ->
+    bool >>= fun with_join ->
+    int_range 20_000 250_000 >>= fun join_at ->
+    let partition =
+      if with_partition then
+        Some (part_at, part_at + part_dur, List.init split Fun.id)
+      else None
+    in
+    let join_at =
+      if with_join || not with_partition then Some join_at else None
+    in
+    return { n; sends; partition; join_at; horizon_us = 1_500_000 })
+
+let strict_test =
+  QCheck.Test.make
+    ~name:"strict: bss, pc and hybrid delivery logs identical (lossless)"
+    ~count:300
+    (QCheck.make ~print:show_scenario gen_quiet)
+    strict_equiv
+
+let fault_test =
+  QCheck.Test.make
+    ~name:
+      "faults: sets, per-origin order and causality agree across all three"
+    ~count:150
+    (QCheck.make ~print:show_scenario gen_churn)
+    fault_equiv
+
+(* --- directed: hybrid drain edge cases ----------------------------------- *)
+
+let hybrid_config ~transport =
+  { Config.default with Config.ordering = Config.Causal;
+    causal_impl = Config.Hybrid_causal; transport }
+
+let hstats_exn st =
+  match Stack.hybrid_stats st with
+  | Some s -> s
+  | None -> Alcotest.fail "hybrid stats missing on a hybrid stack"
+
+let count_in l p = List.length (List.filter (( = ) p) l)
+
+(* Empty ack: a member joins a quiet group. Nothing is in flight while the
+   link barrier is pending, so every pong drains an empty park buffer —
+   the links must still open (post-join traffic flows once, everywhere)
+   and no phantom copies may be parked or drained. *)
+let test_empty_ack_drain () =
+  let net = Net.create ~latency:(Net.Fixed 1_000) () in
+  let engine = Engine.create ~seed:11L ~net () in
+  let config = hybrid_config ~transport:Config.Fifo_order in
+  let logs = Array.make 4 [] in
+  let stacks =
+    Stack.create_group ~engine ~config ~names:[ "a"; "b"; "c" ]
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun i stack ->
+      Stack.set_callbacks stack
+        { Stack.null_callbacks with
+          Stack.deliver =
+            (fun ~sender payload ->
+              logs.(i) <- (sender, payload, Engine.now engine) :: logs.(i)) })
+    stacks;
+  let joiner = ref None in
+  Engine.at engine (Sim_time.ms 20) (fun () ->
+      let pid = Engine.spawn engine ~name:"joiner" (fun _ _ -> ()) in
+      joiner :=
+        Some
+          (Stack.join ~engine ~shared:(Stack.shared_of stacks.(0)) ~config
+             ~self:pid ~contact:(Stack.self stacks.(0))
+             ~callbacks:
+               { Stack.null_callbacks with
+                 Stack.deliver =
+                   (fun ~sender payload ->
+                     logs.(3) <- (sender, payload, Engine.now engine) :: logs.(3)) }
+             ()));
+  (* traffic well after the barrier settled *)
+  Array.iteri
+    (fun i stack ->
+      Engine.at engine (Sim_time.ms 200) (fun () ->
+          Stack.multicast stack (10 + i)))
+    stacks;
+  Engine.run ~until:(Sim_time.ms 600) engine;
+  Array.iter
+    (fun st ->
+      let h = hstats_exn st in
+      Alcotest.(check int) "nothing parked on a quiet join" 0
+        h.Hybrid_causal.parked;
+      Alcotest.(check int) "nothing drained on a quiet join" 0
+        h.Hybrid_causal.drained;
+      Alcotest.(check int) "nothing dropped at drain" 0
+        h.Hybrid_causal.drain_dropped)
+    stacks;
+  Array.iteri
+    (fun i l ->
+      List.iter
+        (fun p ->
+          Alcotest.(check int)
+            (Printf.sprintf "member %d sees %d exactly once" i p)
+            1
+            (count_in (payloads l) p))
+        [ 10; 11; 12 ])
+    (Array.map List.rev logs)
+
+(* Self-origin park: member 0 multicasts from its view_change callback the
+   instant the joiner's view installs, before any pong can have returned —
+   the copy toward the joiner must be parked (it is member 0's own message:
+   the do_multicast closed-link path, not the forward path) and drained by
+   the joiner's pong exactly once. *)
+let test_self_origin_park_drain () =
+  let net = Net.create ~latency:(Net.Fixed 1_000) () in
+  let engine = Engine.create ~seed:3L ~net () in
+  let config = hybrid_config ~transport:Config.Fifo_order in
+  let logs = Array.make 4 [] in
+  let stacks =
+    Stack.create_group ~engine ~config ~names:[ "a"; "b"; "c" ]
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun i stack ->
+      Stack.set_callbacks stack
+        { Stack.null_callbacks with
+          Stack.deliver =
+            (fun ~sender payload ->
+              logs.(i) <- (sender, payload, Engine.now engine) :: logs.(i));
+          view_change =
+            (fun v ->
+              if i = 0 && Group.size v = 4 then Stack.multicast stack 777) })
+    stacks;
+  let joiner = ref None in
+  Engine.at engine (Sim_time.ms 30) (fun () ->
+      let pid = Engine.spawn engine ~name:"joiner" (fun _ _ -> ()) in
+      joiner :=
+        Some
+          (Stack.join ~engine ~shared:(Stack.shared_of stacks.(0)) ~config
+             ~self:pid ~contact:(Stack.self stacks.(0))
+             ~callbacks:
+               { Stack.null_callbacks with
+                 Stack.deliver =
+                   (fun ~sender payload ->
+                     logs.(3) <- (sender, payload, Engine.now engine) :: logs.(3)) }
+             ()));
+  (* a later message from member 0 pins per-origin order across the barrier *)
+  Engine.at engine (Sim_time.ms 300) (fun () -> Stack.multicast stacks.(0) 10);
+  Engine.run ~until:(Sim_time.ms 800) engine;
+  let h0 = hstats_exn stacks.(0) in
+  Alcotest.(check bool) "member 0 parked the install-instant copy" true
+    (h0.Hybrid_causal.parked >= 1);
+  Alcotest.(check bool) "member 0 drained it on the pong" true
+    (h0.Hybrid_causal.drained >= 1);
+  let jp = payloads (List.rev logs.(3)) in
+  Alcotest.(check int) "joiner delivers 777 exactly once" 1 (count_in jp 777);
+  Alcotest.(check int) "joiner delivers 10 exactly once" 1 (count_in jp 10);
+  Array.iteri
+    (fun i l ->
+      let proj = List.filter (fun p -> p = 777 || p = 10) (payloads l) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d orders origin-0 across the barrier" i)
+        [ 777; 10 ] proj)
+    (Array.map List.rev logs)
+
+(* Late joiner, redundant park: member c (rank 2, not the coordinator) is
+   partitioned from the joiner before the join, so c's link to the joiner
+   stays barrier-pending long after everyone else's opened. c's multicast
+   parks on that link, reaches the joiner anyway through a and b's open
+   links, and when the healed barrier completes, the joiner's pong carries
+   a delivered vector that proves the parked copy redundant: the drain
+   discards it (drain_dropped) instead of sending a duplicate. *)
+let test_drain_drops_redundant () =
+  let net = Net.create ~latency:(Net.Fixed 1_000) () in
+  let engine = Engine.create ~seed:7L ~net () in
+  let config =
+    hybrid_config
+      ~transport:(Config.Reliable { rto = Sim_time.ms 10; max_retries = 100 })
+  in
+  let logs = Array.make 4 [] in
+  let stacks =
+    Stack.create_group ~engine ~config ~names:[ "a"; "b"; "c" ]
+      ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
+    |> Array.of_list
+  in
+  Array.iteri
+    (fun i stack ->
+      Stack.set_callbacks stack
+        { Stack.null_callbacks with
+          Stack.deliver =
+            (fun ~sender payload ->
+              logs.(i) <- (sender, payload, Engine.now engine) :: logs.(i)) })
+    stacks;
+  let jpid = ref None in
+  let joiner = ref None in
+  Engine.at engine (Sim_time.us 100) (fun () ->
+      jpid := Some (Engine.spawn engine ~name:"joiner" (fun _ _ -> ())));
+  Engine.at engine (Sim_time.ms 1) (fun () ->
+      match !jpid with
+      | Some pid -> Net.partition net [ Stack.self stacks.(2) ] [ pid ]
+      | None -> Alcotest.fail "joiner pid not spawned");
+  Engine.at engine (Sim_time.ms 30) (fun () ->
+      match !jpid with
+      | Some pid ->
+        joiner :=
+          Some
+            (Stack.join ~engine ~shared:(Stack.shared_of stacks.(0)) ~config
+               ~self:pid ~contact:(Stack.self stacks.(0))
+               ~callbacks:
+                 { Stack.null_callbacks with
+                   Stack.deliver =
+                     (fun ~sender payload ->
+                       logs.(3) <-
+                         (sender, payload, Engine.now engine) :: logs.(3)) }
+               ())
+      | None -> Alcotest.fail "joiner pid not spawned");
+  (* after a and b's links to the joiner opened, c's is still pending *)
+  Engine.at engine (Sim_time.ms 60) (fun () -> Stack.multicast stacks.(2) 777);
+  Engine.at engine (Sim_time.ms 120) (fun () -> Net.heal net);
+  Engine.run ~until:(Sim_time.ms 500) engine;
+  let hc = hstats_exn stacks.(2) in
+  Alcotest.(check bool) "c parked toward the joiner" true
+    (hc.Hybrid_causal.parked >= 1);
+  Alcotest.(check bool) "the pong proved the parked copy redundant" true
+    (hc.Hybrid_causal.drain_dropped >= 1);
+  let jp = payloads (List.rev logs.(3)) in
+  Alcotest.(check int) "joiner delivered 777 exactly once (via relays)" 1
+    (count_in jp 777);
+  (match List.rev logs.(3) with
+   | (_, 777, t) :: _ ->
+     Alcotest.(check bool) "the relayed copy beat the heal" true
+       (t < Sim_time.ms 120)
+   | _ -> Alcotest.fail "joiner log shape")
+
+(* The delivered-knowledge ledger behind suppression and drain filtering,
+   exercised at the module level. On this simulator's FIFO-reliable links
+   evidence of a peer's delivery can never overtake a data copy on the
+   same link, so the forward-path suppression branch is a safety net for
+   cross-link races the net cannot produce — the knowledge semantics are
+   pinned here directly, and the stack-level test below pins that the
+   forward path consults it without diverging from plain PC. *)
+let test_knowledge_ledger () =
+  let h = Hybrid_causal.create ~group_size:4 ~neighbors:[| 0; 2 |] in
+  Alcotest.(check int) "no knowledge initially" 0
+    (Hybrid_causal.known_seq h ~peer:2 ~origin:1);
+  Alcotest.(check bool) "copy needed when nothing known" true
+    (Hybrid_causal.needs_copy h ~peer:2 ~origin:1 ~seq:1);
+  (* a copy from the peer proves contiguous delivery through its seq *)
+  Hybrid_causal.note_copy h ~peer:2 ~origin:1 ~seq:3;
+  Alcotest.(check int) "copy advanced knowledge" 3
+    (Hybrid_causal.known_seq h ~peer:2 ~origin:1);
+  Alcotest.(check bool) "older copies now provably redundant" false
+    (Hybrid_causal.needs_copy h ~peer:2 ~origin:1 ~seq:3);
+  Alcotest.(check bool) "newer copies still needed" true
+    (Hybrid_causal.needs_copy h ~peer:2 ~origin:1 ~seq:4);
+  (* knowledge is monotone: a stale report never regresses it *)
+  Hybrid_causal.note_copy h ~peer:2 ~origin:1 ~seq:1;
+  Alcotest.(check int) "stale copy ignored" 3
+    (Hybrid_causal.known_seq h ~peer:2 ~origin:1);
+  (* a delivered vector merges componentwise *)
+  Hybrid_causal.note_delivered_vector h ~peer:2
+    (Vector_clock.of_list [ 5; 2; 0; 7 ]);
+  Alcotest.(check int) "vector advanced origin 0" 5
+    (Hybrid_causal.known_seq h ~peer:2 ~origin:0);
+  Alcotest.(check int) "vector could not regress origin 1" 3
+    (Hybrid_causal.known_seq h ~peer:2 ~origin:1);
+  Alcotest.(check int) "vector advanced origin 3" 7
+    (Hybrid_causal.known_seq h ~peer:2 ~origin:3);
+  (* non-neighbors have no ledger and always read as ignorant *)
+  Hybrid_causal.note_copy h ~peer:1 ~origin:0 ~seq:9;
+  Alcotest.(check int) "non-neighbor knowledge discarded" 0
+    (Hybrid_causal.known_seq h ~peer:1 ~origin:0)
+
+(* Forward parity under delivery skew: member 1 is isolated while 0
+   multicasts, so its copy arrives 100ms late (one Reliable retry) with
+   gossip queued behind it on the same FIFO links. The hybrid forward path
+   must consult the ledger, conclude the copy is still needed, and produce
+   byte-identical logs and identical forward/duplicate counters to plain
+   PC. *)
+let test_forward_parity_under_skew () =
+  let s =
+    { n = 3;
+      sends = [ (10_000, 0) ];
+      partition = Some (5_000, 75_000, [ 1 ]);
+      join_at = None; horizon_us = 500_000 }
+  in
+  let transport =
+    Config.Reliable { rto = Sim_time.ms 100; max_retries = 20 }
+  in
+  let logs_pc, _, _, stacks_pc =
+    run_scenario ~causal_impl:Config.Pc_causal ~transport s
+  in
+  let logs_hy, _, _, stacks_hy =
+    run_scenario ~causal_impl:Config.Hybrid_causal ~transport s
+  in
+  Array.iteri
+    (fun i la ->
+      Alcotest.(check string)
+        (Printf.sprintf "member %d logs identical" i)
+        (show_log la) (show_log logs_hy.(i)))
+    logs_pc;
+  let totals stacks =
+    Array.fold_left
+      (fun (f, d) st ->
+        match Stack.pc_stats st with
+        | Some s ->
+          (f + s.Pc_causal.forwards, d + s.Pc_causal.duplicates_dropped)
+        | None -> (f, d))
+      (0, 0) stacks
+  in
+  let f_pc, d_pc = totals stacks_pc and f_hy, d_hy = totals stacks_hy in
+  Alcotest.(check bool) "the skewed member forwarded" true (f_hy > 0);
+  Alcotest.(check (pair int int)) "forward and duplicate counts identical"
+    (f_pc, d_pc) (f_hy, d_hy)
+
+(* Directed strict regression: the same-instant interleaving test_pc_equiv
+   pins, now across all three implementations. *)
+let test_strict_directed () =
+  let s =
+    { n = 3;
+      sends =
+        [ (1_000, 0); (1_000, 1); (1_000, 2); (2_000, 0); (2_000, 0);
+          (3_500, 1); (3_500, 2); (50_000, 0); (50_001, 1); (50_002, 2) ];
+      partition = None; join_at = None; horizon_us = 600_000 }
+  in
+  Alcotest.(check bool) "strict three-way equivalence" true (strict_equiv s)
+
+let () =
+  Alcotest.run "hybrid_equiv"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest [ strict_test; fault_test ] );
+      ( "directed",
+        [ Alcotest.test_case "empty-ack drain" `Quick test_empty_ack_drain;
+          Alcotest.test_case "self-origin park and drain" `Quick
+            test_self_origin_park_drain;
+          Alcotest.test_case "drain drops redundant parked copies" `Quick
+            test_drain_drops_redundant;
+          Alcotest.test_case "delivered-knowledge ledger semantics" `Quick
+            test_knowledge_ledger;
+          Alcotest.test_case "forward parity under delivery skew" `Quick
+            test_forward_parity_under_skew;
+          Alcotest.test_case "strict directed interleaving" `Quick
+            test_strict_directed ] );
+    ]

@@ -1,0 +1,270 @@
+(* Differential battery pinning Sparse_matrix_clock to Matrix_clock: same
+   merges, same cached minima, same [advanced] callbacks in the same order,
+   on randomized interleavings of the update shapes the protocol produces —
+   shared immutable snapshots (gossip, data timestamps), live mutable
+   self-observations, and genuine mixtures that force eviction. Plus unit
+   tests for the interning/eviction machinery itself and a memory-shape
+   assertion that the tracker's marginal footprint is sub-quadratic (the
+   whole point: the n=4096 bench sweep runs on this). *)
+
+module Sparse = Sparse_matrix_clock
+
+let vc_of_list = Vector_clock.of_list
+
+(* --- randomized differential --------------------------------------------- *)
+
+(* Operation model: [vectors] simulates the group members' running clocks.
+   Ticks and merges evolve them; observations feed a tracker pair. An
+   [Observe] applies ONE immutable snapshot to several rows — physically
+   shared, exactly like a gossip vector fanning out — while [Live] passes
+   the member's running (mutable, later-ticked) clock with [~live:true],
+   the aliasing hazard the flag exists for. *)
+type op =
+  | Tick of int
+  | Merge of int * int  (* member i absorbs member j's clock *)
+  | Observe of int * int list  (* snapshot of member i -> rows *)
+  | Live of int  (* member i's running clock -> row i, live *)
+
+let show_op = function
+  | Tick i -> Printf.sprintf "tick %d" i
+  | Merge (i, j) -> Printf.sprintf "merge %d<-%d" i j
+  | Observe (i, rows) ->
+    Printf.sprintf "obs %d->[%s]" i
+      (String.concat "," (List.map string_of_int rows))
+  | Live i -> Printf.sprintf "live %d" i
+
+let show_case (n, ops) =
+  Printf.sprintf "n=%d [%s]" n (String.concat "; " (List.map show_op ops))
+
+let gen_case =
+  QCheck.Gen.(
+    int_range 2 8 >>= fun n ->
+    let member = int_range 0 (n - 1) in
+    let op =
+      frequency
+        [ (4, map (fun i -> Tick i) member);
+          (3, map2 (fun i j -> Merge (i, j)) member member);
+          (4,
+           map2
+             (fun i rows -> Observe (i, rows))
+             member
+             (list_size (int_range 1 (min 3 n)) member));
+          (2, map (fun i -> Live i) member) ]
+    in
+    list_size (int_range 1 60) op >>= fun ops -> return (n, ops))
+
+let run_case (n, ops) =
+  let dense = Matrix_clock.create n in
+  let sparse = Sparse.create n in
+  let vectors = Array.init n (fun _ -> Vector_clock.create n) in
+  let check_sync ctx =
+    for s = 0 to n - 1 do
+      let md = Matrix_clock.min_component dense s in
+      let ms = Sparse.min_component sparse s in
+      if md <> ms then
+        QCheck.Test.fail_reportf "%s: min_component %d: dense %d sparse %d"
+          ctx s md ms;
+      if
+        Matrix_clock.stable dense ~sender:s ~seq:md
+        <> Sparse.stable sparse ~sender:s ~seq:md
+      then QCheck.Test.fail_reportf "%s: stable(%d,%d) disagrees" ctx s md;
+      for i = 0 to n - 1 do
+        let d = Vector_clock.get (Matrix_clock.row dense i) s in
+        let sp = Sparse.row_get sparse i s in
+        if d <> sp then
+          QCheck.Test.fail_reportf "%s: row %d component %d: dense %d sparse %d"
+            ctx i s d sp
+      done
+    done
+  in
+  List.iteri
+    (fun k op ->
+      let ctx = Printf.sprintf "after op %d (%s)" k (show_op op) in
+      let apply rows vc ~live =
+        let adv_d = ref [] and adv_s = ref [] in
+        List.iter
+          (fun r ->
+            Matrix_clock.update_row_tracked dense r vc
+              ~advanced:(fun s -> adv_d := s :: !adv_d);
+            Sparse.update_row_tracked ~live sparse r vc
+              ~advanced:(fun s -> adv_s := s :: !adv_s))
+          rows;
+        if !adv_d <> !adv_s then
+          QCheck.Test.fail_reportf
+            "%s: advance callbacks differ: dense [%s] sparse [%s]" ctx
+            (String.concat "," (List.map string_of_int (List.rev !adv_d)))
+            (String.concat "," (List.map string_of_int (List.rev !adv_s)))
+      in
+      (match op with
+       | Tick i -> Vector_clock.tick vectors.(i) i
+       | Merge (i, j) -> Vector_clock.merge_into vectors.(i) vectors.(j)
+       | Observe (i, rows) ->
+         (* one physically shared snapshot, as gossip fan-out allocates *)
+         let snap = Vector_clock.copy vectors.(i) in
+         apply rows snap ~live:false
+       | Live i -> apply [ i ] vectors.(i) ~live:true);
+      check_sync ctx)
+    ops;
+  check_sync "final";
+  true
+
+let differential_test =
+  QCheck.Test.make
+    ~name:"sparse == dense: rows, minima, advance callbacks, stability"
+    ~count:500
+    (QCheck.make ~print:show_case gen_case)
+    run_case
+
+(* --- interning / eviction units ------------------------------------------ *)
+
+let test_interning () =
+  let t = Sparse.create 4 in
+  let snap = vc_of_list [ 1; 2; 3; 4 ] in
+  Sparse.update_row t 1 snap;
+  Sparse.update_row t 2 snap;
+  Alcotest.(check bool) "row 1 adopted the snapshot by reference" true
+    (Sparse.row_base_is t 1 snap);
+  Alcotest.(check bool) "row 2 shares the same snapshot" true
+    (Sparse.row_base_is t 2 snap);
+  Alcotest.(check bool) "row 1 not privately owned" false (Sparse.row_owned t 1);
+  Alcotest.(check int) "two adoptions counted" 2 (Sparse.interned t);
+  Alcotest.(check int) "no evictions" 0 (Sparse.materialized t);
+  (* effective values read through the shared base, diagonal included *)
+  Alcotest.(check (list int)) "row 1 value" [ 1; 2; 3; 4 ]
+    (Vector_clock.to_list (Sparse.row_snapshot t 1));
+  (* the diagonal override survives adoption of a snapshot that is behind
+     on the diagonal *)
+  let ahead = vc_of_list [ 5; 1; 6; 7 ] in
+  Sparse.update_row t 1 ahead;
+  Alcotest.(check bool) "re-adopted the dominating snapshot" true
+    (Sparse.row_base_is t 1 ahead);
+  Alcotest.(check int) "diagonal kept its max" 2 (Sparse.row_get t 1 1)
+
+let test_eviction_and_readoption () =
+  let t = Sparse.create 4 in
+  let snap = vc_of_list [ 1; 2; 3; 4 ] in
+  Sparse.update_row t 2 snap;
+  (* a mixture: ahead on 0, behind on 1 — cannot adopt, must materialize *)
+  let mixture = vc_of_list [ 2; 1; 0; 0 ] in
+  Sparse.update_row t 2 mixture;
+  Alcotest.(check bool) "row evicted into private storage" true
+    (Sparse.row_owned t 2);
+  Alcotest.(check int) "one eviction counted" 1 (Sparse.materialized t);
+  Alcotest.(check bool) "no longer aliases the snapshot" false
+    (Sparse.row_base_is t 2 snap);
+  Alcotest.(check (list int)) "componentwise max held" [ 2; 2; 3; 4 ]
+    (Vector_clock.to_list (Sparse.row_snapshot t 2));
+  (* mutating the mixture afterwards must not leak into the row *)
+  Vector_clock.set mixture 3 99;
+  Alcotest.(check int) "private storage, not an alias" 4 (Sparse.row_get t 2 3);
+  (* a later dominating snapshot re-adopts and frees the private row *)
+  let later = vc_of_list [ 9; 9; 9; 9 ] in
+  Sparse.update_row t 2 later;
+  Alcotest.(check bool) "re-adopted after eviction" true
+    (Sparse.row_base_is t 2 later);
+  Alcotest.(check bool) "private storage released" false (Sparse.row_owned t 2)
+
+let test_live_never_adopts () =
+  let t = Sparse.create 3 in
+  let live = vc_of_list [ 1; 1; 1 ] in
+  Sparse.update_row ~live:true t 0 live;
+  Alcotest.(check bool) "live vector not adopted" false
+    (Sparse.row_base_is t 0 live);
+  (* the caller keeps mutating its running clock; the row must not move *)
+  Vector_clock.set live 1 50;
+  Alcotest.(check int) "row unaffected by later mutation" 1
+    (Sparse.row_get t 0 1)
+
+let test_diagonal_fast_path () =
+  let t = Sparse.create 3 in
+  let snap = vc_of_list [ 0; 3; 0 ] in
+  (* advancing only the sender's own component (a BSS data timestamp seen
+     by its origin row) must neither adopt nor materialize *)
+  Sparse.update_row t 1 snap;
+  let before_m = Sparse.materialized t in
+  let next = vc_of_list [ 0; 4; 0 ] in
+  Sparse.update_row t 1 next;
+  Alcotest.(check int) "diagonal-only update stays in place" before_m
+    (Sparse.materialized t);
+  Alcotest.(check int) "diagonal advanced" 4 (Sparse.row_get t 1 1)
+
+(* --- memory shape --------------------------------------------------------- *)
+
+(* The tracker's marginal footprint — everything reachable from it that is
+   not a protocol-owned snapshot — must be sub-quadratic. Each member
+   gossips a fresh dominating vector per round (the steady state on a quiet
+   group), rows adopt by reference, and the snapshots are held alive
+   separately so the subtraction attributes them to the protocol, not the
+   tracker. Dense cost is ~n^2 words; sparse must scale ~linearly: growing
+   n by 4x may grow the marginal cost by at most 8x (quadratic would be
+   16x), and at n=1024 the sparse tracker must be far below dense. *)
+let sparse_marginal n =
+  let t = Sparse.create n in
+  let snaps = ref [] in
+  for round = 1 to 3 do
+    for i = 0 to n - 1 do
+      let vc = Vector_clock.create n in
+      for s = 0 to n - 1 do
+        Vector_clock.set vc s round
+      done;
+      snaps := vc :: !snaps;
+      Sparse.update_row t i vc
+    done
+  done;
+  let snaps = !snaps in
+  Obj.reachable_words (Obj.repr (t, snaps))
+  - Obj.reachable_words (Obj.repr snaps)
+
+let dense_words n =
+  let m = Matrix_clock.create n in
+  Obj.reachable_words (Obj.repr m)
+
+let test_memory_shape () =
+  let m256 = sparse_marginal 256 in
+  let m1024 = sparse_marginal 1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "marginal words grow sub-quadratically (%d -> %d)" m256
+       m1024)
+    true
+    (m1024 < 8 * m256);
+  let d1024 = dense_words 1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sparse marginal (%d) far below dense (%d) at n=1024"
+       m1024 d1024)
+    true
+    (m1024 * 20 < d1024)
+
+(* --- chaos hook sanity ---------------------------------------------------- *)
+
+let test_chaos_overstates () =
+  Fun.protect ~finally:(fun () -> Sparse.chaos_overstate_minima := false)
+  @@ fun () ->
+  let t = Sparse.create 3 in
+  Sparse.update_row t 0 (vc_of_list [ 5; 0; 0 ]);
+  Alcotest.(check int) "honest minimum is 0" 0 (Sparse.min_component t 0);
+  Sparse.chaos_overstate_minima := true;
+  Alcotest.(check int) "chaos reports the column max" 5
+    (Sparse.min_component t 0);
+  Alcotest.(check bool) "chaos declares unseen messages stable" true
+    (Sparse.stable t ~sender:0 ~seq:5)
+
+let () =
+  Alcotest.run "sparse_clock"
+    [
+      ("differential", [ QCheck_alcotest.to_alcotest differential_test ]);
+      ( "interning",
+        [ Alcotest.test_case "snapshots adopted by reference" `Quick
+            test_interning;
+          Alcotest.test_case "mixtures evict, dominators re-adopt" `Quick
+            test_eviction_and_readoption;
+          Alcotest.test_case "live vectors never adopted" `Quick
+            test_live_never_adopts;
+          Alcotest.test_case "diagonal-only updates stay in place" `Quick
+            test_diagonal_fast_path ] );
+      ( "memory",
+        [ Alcotest.test_case "marginal footprint sub-quadratic" `Quick
+            test_memory_shape ] );
+      ( "chaos",
+        [ Alcotest.test_case "overstate-minima hook lies as designed" `Quick
+            test_chaos_overstates ] );
+    ]
