@@ -145,11 +145,12 @@ let run_experiment name expects out fail_on =
       missing;
     if missing <> [] then 1 else status
 
-(* --- lint: source-level determinism scan ----------------------------------- *)
+(* --- lint: source-level determinism scan (reference implementation; the
+   AST-grounded analyzer lives in `repro-lint`, bin/lint_cli.ml) ----------- *)
 
 let run_lint dirs out =
   let dirs = if dirs = [] then [ "lib" ] else dirs in
-  let findings = List.concat_map (fun dir -> Lint.scan_dir dir) dirs in
+  let findings = List.concat_map (fun dir -> Lint.Reference.scan_dir dir) dirs in
   print_findings findings;
   write_out ~out
     (Analyzer.report_json ~mode:"lint"
@@ -243,7 +244,10 @@ let lint_cmd =
       value & pos_all string []
       & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib).")
   in
-  let doc = "Determinism lint: scan sources for ambient time / randomness." in
+  let doc =
+    "Determinism lint: scan sources for ambient time / randomness \
+     (substring reference scanner; prefer repro-lint for the AST analyzer)."
+  in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run_lint $ dirs $ out_arg)
 
 let cmd =

@@ -6,6 +6,9 @@ type kind =
   | Duplicate_uid
   | Stability_lag
   | Determinism_hazard
+  | Shared_mutable
+  | Aliasing_hazard
+  | Contract_violation
 
 type severity = Info | Warning | Error
 
@@ -27,6 +30,9 @@ let kind_name = function
   | Duplicate_uid -> "duplicate-uid"
   | Stability_lag -> "stability-lag"
   | Determinism_hazard -> "determinism-hazard"
+  | Shared_mutable -> "shared-mutable"
+  | Aliasing_hazard -> "aliasing-hazard"
+  | Contract_violation -> "contract-violation"
 
 let all_kinds =
   [
@@ -37,6 +43,9 @@ let all_kinds =
     Duplicate_uid;
     Stability_lag;
     Determinism_hazard;
+    Shared_mutable;
+    Aliasing_hazard;
+    Contract_violation;
   ]
 
 let kind_of_name name =

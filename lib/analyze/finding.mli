@@ -15,6 +15,17 @@ type kind =
   | Duplicate_uid  (** a uid sent or delivered more than once at a process *)
   | Stability_lag  (** a message's delivery lag is an extreme outlier *)
   | Determinism_hazard  (** source-level nondeterminism outside [lib/sim] *)
+  | Shared_mutable
+      (** module-level mutable state (the surface a domain-sharding refactor
+          must partition): top-level refs, mutable record fields, module-level
+          hash tables — reported by [repro-lint]'s aliasing inventory *)
+  | Aliasing_hazard
+      (** structural equality on values whose discipline is physical sharing
+          (interned clock rows compare by [==], not [=]) *)
+  | Contract_violation
+      (** a repo-level protocol contract is broken: a chaos hook with no
+          test/ mutation conviction, or a [Config] dispatch variant missing
+          from the checker, scaling or bench families *)
 
 type severity = Info | Warning | Error
 

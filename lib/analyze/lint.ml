@@ -1,159 +1,212 @@
-type rule = {
-  pattern : string;
-  reason : string;
-}
+(* The original substring determinism lint, demoted to the reference
+   implementation behind Repro_lint.Driver's [impl] dispatch (the AST
+   analyzer in lib/lint is the real one). Kept verbatim apart from the
+   token-boundary fix: a pattern now only matches at identifier
+   boundaries, so [Sys.time] no longer fires inside [Sys.times] and
+   [Random.] no longer fires inside [My_Random.]. *)
 
-let default_rules =
-  [
-    {
-      pattern = "Unix.gettimeofday";
-      reason = "wall-clock read; use the engine's simulated clock";
-    };
-    { pattern = "Unix.time"; reason = "wall-clock read; use Sim_time" };
-    { pattern = "Unix.sleep"; reason = "real-time delay; schedule via Engine.after" };
-    { pattern = "Sys.time"; reason = "process-timer read; use Sim_time" };
-    {
-      pattern = "Random.";
-      reason = "ambient stdlib PRNG (global state, self_init); use Sim.Rng";
-    };
-  ]
+module Reference = struct
+  type rule = {
+    pattern : string;
+    reason : string;
+  }
 
-(* Blank out comments ((* ... *), nested) and string literals, preserving
-   newlines and byte offsets, so rule patterns only ever match code. Char
-   literals are skipped too, lest '"' open a phantom string. *)
-let strip source =
-  let n = String.length source in
-  let out = Bytes.of_string source in
-  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
-  let i = ref 0 in
-  let depth = ref 0 in
-  while !i < n do
-    let c = source.[!i] in
-    if !depth > 0 then begin
-      if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+  let default_rules =
+    [
+      {
+        pattern = "Unix.gettimeofday";
+        reason = "wall-clock read; use the engine's simulated clock";
+      };
+      { pattern = "Unix.time"; reason = "wall-clock read; use Sim_time" };
+      { pattern = "Unix.sleep"; reason = "real-time delay; schedule via Engine.after" };
+      { pattern = "Sys.time"; reason = "process-timer read; use Sim_time" };
+      {
+        pattern = "Random.";
+        reason = "ambient stdlib PRNG (global state, self_init); use Sim.Rng";
+      };
+    ]
+
+  (* Blank out comments ((* ... *), nested) and string literals, preserving
+     newlines and byte offsets, so rule patterns only ever match code. Char
+     literals are skipped too, lest '"' open a phantom string. *)
+  let strip source =
+    let n = String.length source in
+    let out = Bytes.of_string source in
+    let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+    let i = ref 0 in
+    let depth = ref 0 in
+    while !i < n do
+      let c = source.[!i] in
+      if !depth > 0 then begin
+        if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+          blank !i;
+          blank (!i + 1);
+          incr depth;
+          i := !i + 2
+        end
+        else if c = '*' && !i + 1 < n && source.[!i + 1] = ')' then begin
+          blank !i;
+          blank (!i + 1);
+          decr depth;
+          i := !i + 2
+        end
+        else begin
+          blank !i;
+          incr i
+        end
+      end
+      else if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
         blank !i;
         blank (!i + 1);
-        incr depth;
+        depth := 1;
         i := !i + 2
       end
-      else if c = '*' && !i + 1 < n && source.[!i + 1] = ')' then begin
+      else if c = '"' then begin
+        blank !i;
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          (match source.[!i] with
+           | '\\' when !i + 1 < n ->
+             blank !i;
+             blank (!i + 1);
+             incr i
+           | '"' ->
+             blank !i;
+             closed := true
+           | _ -> blank !i);
+          incr i
+        done
+      end
+      else if c = '\'' && !i + 2 < n && source.[!i + 1] = '\\' then begin
+        (* escaped char literal: '\n', '\\', '\034', '\x22' *)
+        let j = ref (!i + 2) in
+        while !j < n && source.[!j] <> '\'' do
+          incr j
+        done;
+        for k = !i to min !j (n - 1) do
+          blank k
+        done;
+        i := !j + 1
+      end
+      else if c = '\'' && !i + 2 < n && source.[!i + 2] = '\'' then begin
         blank !i;
         blank (!i + 1);
-        decr depth;
-        i := !i + 2
+        blank (!i + 2);
+        i := !i + 3
       end
-      else begin
-        blank !i;
-        incr i
-      end
-    end
-    else if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
-      blank !i;
-      blank (!i + 1);
-      depth := 1;
-      i := !i + 2
-    end
-    else if c = '"' then begin
-      blank !i;
-      incr i;
-      let closed = ref false in
-      while (not !closed) && !i < n do
-        (match source.[!i] with
-         | '\\' when !i + 1 < n ->
-           blank !i;
-           blank (!i + 1);
-           incr i
-         | '"' ->
-           blank !i;
-           closed := true
-         | _ -> blank !i);
-        incr i
-      done
-    end
-    else if c = '\'' && !i + 2 < n && source.[!i + 1] = '\\' then begin
-      (* escaped char literal: '\n', '\\', '\034', '\x22' *)
-      let j = ref (!i + 2) in
-      while !j < n && source.[!j] <> '\'' do
-        incr j
-      done;
-      for k = !i to min !j (n - 1) do
-        blank k
-      done;
-      i := !j + 1
-    end
-    else if c = '\'' && !i + 2 < n && source.[!i + 2] = '\'' then begin
-      blank !i;
-      blank (!i + 1);
-      blank (!i + 2);
-      i := !i + 3
-    end
-    else incr i
-  done;
-  Bytes.to_string out
+      else incr i
+    done;
+    Bytes.to_string out
 
-let contains_at haystack pos needle =
-  let m = String.length needle in
-  pos + m <= String.length haystack && String.sub haystack pos m = needle
+  let is_ident_char = function
+    | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '\'' -> true
+    | _ -> false
 
-let scan_string ?(rules = default_rules) ~source contents =
-  let stripped = strip contents in
-  let lines = String.split_on_char '\n' stripped in
-  let raw_lines = Array.of_list (String.split_on_char '\n' contents) in
-  let findings = ref [] in
-  List.iteri
-    (fun idx line ->
-      List.iter
-        (fun rule ->
-          let hit = ref false in
-          String.iteri
-            (fun pos _ -> if contains_at line pos rule.pattern then hit := true)
-            line;
-          if !hit then
-            findings :=
-              {
-                Finding.kind = Finding.Determinism_hazard;
-                severity = Finding.Error;
-                source;
-                summary =
-                  Printf.sprintf "%s:%d uses %s (%s)" source (idx + 1)
-                    rule.pattern rule.reason;
-                uids = [];
-                pids = [];
-                evidence =
-                  (if idx < Array.length raw_lines then
-                     [ String.trim raw_lines.(idx) ]
-                   else []);
-              }
-              :: !findings)
-        rules)
-    lines;
-  List.rev !findings
+  (* A pattern occurrence only counts at token boundaries: the preceding
+     character must not extend an identifier ("XRandom." is not
+     "Random.", though "Stdlib.Random." still is), and — unless the
+     pattern itself ends mid-path with '.' — neither may the following
+     character ("Sys.times" is not "Sys.time"). *)
+  let contains_at haystack pos needle =
+    let m = String.length needle in
+    pos + m <= String.length haystack
+    && String.sub haystack pos m = needle
+    && (pos = 0 || not (is_ident_char haystack.[pos - 1]))
+    && (needle.[m - 1] = '.'
+        || pos + m = String.length haystack
+        || not (is_ident_char haystack.[pos + m]))
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  type hit = {
+    path : string;
+    line : int;  (** 1-based *)
+    rule : rule;
+    text : string;  (** the raw (unstripped) source line, trimmed *)
+  }
 
-let scan_file ?rules path = scan_string ?rules ~source:path (read_file path)
+  let scan_string_hits ?(rules = default_rules) ~source contents =
+    let stripped = strip contents in
+    let lines = String.split_on_char '\n' stripped in
+    let raw_lines = Array.of_list (String.split_on_char '\n' contents) in
+    let hits = ref [] in
+    List.iteri
+      (fun idx line ->
+        List.iter
+          (fun rule ->
+            let hit = ref false in
+            String.iteri
+              (fun pos _ -> if contains_at line pos rule.pattern then hit := true)
+              line;
+            if !hit then
+              hits :=
+                {
+                  path = source;
+                  line = idx + 1;
+                  rule;
+                  text =
+                    (if idx < Array.length raw_lines then
+                       String.trim raw_lines.(idx)
+                     else "");
+                }
+                :: !hits)
+          rules)
+      lines;
+    List.rev !hits
 
-let scan_dir ?rules ?(exclude_dirs = [ "sim" ]) root =
-  let files = ref [] in
-  let rec walk dir =
-    match Sys.readdir dir with
-    | exception Sys_error _ -> ()
-    | names ->
-      Array.sort String.compare names;
-      Array.iter
-        (fun name ->
-          let path = Filename.concat dir name in
-          if Sys.is_directory path then begin
-            if not (List.mem name exclude_dirs) then walk path
-          end
-          else if
-            Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
-          then files := path :: !files)
-        names
-  in
-  walk root;
-  List.concat_map (fun path -> scan_file ?rules path) (List.sort String.compare !files)
+  let finding_of_hit { path; line; rule; text } =
+    {
+      Finding.kind = Finding.Determinism_hazard;
+      severity = Finding.Error;
+      source = path;
+      summary =
+        Printf.sprintf "%s:%d uses %s (%s)" path line rule.pattern rule.reason;
+      uids = [];
+      pids = [];
+      evidence = (if text = "" then [] else [ text ]);
+    }
+
+  let scan_string ?rules ~source contents =
+    List.map finding_of_hit (scan_string_hits ?rules ~source contents)
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  let scan_file_hits ?rules path =
+    scan_string_hits ?rules ~source:path (read_file path)
+
+  let scan_file ?rules path = scan_string ?rules ~source:path (read_file path)
+
+  let walk_files ?(exclude_dirs = [ "sim" ]) root =
+    let files = ref [] in
+    let rec walk dir =
+      match Sys.readdir dir with
+      | exception Sys_error _ -> ()
+      | names ->
+        Array.sort String.compare names;
+        Array.iter
+          (fun name ->
+            let path = Filename.concat dir name in
+            if Sys.is_directory path then begin
+              if not (List.mem name exclude_dirs) then walk path
+            end
+            else if
+              Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+            then files := path :: !files)
+          names
+    in
+    walk root;
+    List.sort String.compare !files
+
+  let scan_dir_hits ?rules ?exclude_dirs root =
+    List.concat_map
+      (fun path -> scan_file_hits ?rules path)
+      (walk_files ?exclude_dirs root)
+
+  let scan_dir ?rules ?exclude_dirs root =
+    List.concat_map
+      (fun path -> scan_file ?rules path)
+      (walk_files ?exclude_dirs root)
+end

@@ -1,36 +1,57 @@
-(** Source-level determinism lint.
+(** Source-level determinism lint — reference implementation.
 
     The whole repository's claim to reproducibility rests on every run being
     a pure function of (seed, config): time must come from [Sim_time] via
-    the engine and randomness from [Sim.Rng]. This lint scans OCaml sources
-    for ambient-nondeterminism escape hatches — wall-clock reads, process
-    timers, the stdlib's global PRNG — that would silently break replay.
+    the engine and randomness from [Sim.Rng]. This module is the original
+    substring scanner for ambient-nondeterminism escape hatches, kept as
+    the reference behind [Repro_lint.Driver]'s implementation dispatch; the
+    AST-grounded analyzer in [lib/lint] is the production one.
 
     Comments and string literals are stripped before matching, so
-    documentation (and this lint's own rule table) cannot self-flag. *)
+    documentation (and this lint's own rule table) cannot self-flag, and
+    patterns only match at identifier token boundaries. *)
 
-type rule = {
-  pattern : string;  (** verbatim substring of stripped source *)
-  reason : string;
-}
+module Reference : sig
+  type rule = {
+    pattern : string;  (** verbatim substring of stripped source *)
+    reason : string;
+  }
 
-val default_rules : rule list
-(** [Unix.gettimeofday], [Unix.time], [Unix.sleep], [Sys.time],
-    [Random.] (the stdlib global PRNG, including [self_init]). *)
+  val default_rules : rule list
+  (** [Unix.gettimeofday], [Unix.time], [Unix.sleep], [Sys.time],
+      [Random.] (the stdlib global PRNG, including [self_init]). *)
 
-val strip : string -> string
-(** Replace comment and string-literal bytes with spaces (newlines kept, so
-    line numbers survive). Exposed for tests. *)
+  val strip : string -> string
+  (** Replace comment and string-literal bytes with spaces (newlines kept, so
+      line numbers survive). Exposed for tests. *)
 
-val scan_string : ?rules:rule list -> source:string -> string -> Finding.t list
-(** [scan_string ~source contents] lints one compilation unit; [source] is
-    the name used in findings (normally the file path). *)
+  type hit = {
+    path : string;
+    line : int;  (** 1-based *)
+    rule : rule;
+    text : string;  (** the raw (unstripped) source line, trimmed *)
+  }
 
-val scan_file : ?rules:rule list -> string -> Finding.t list
+  val scan_string_hits : ?rules:rule list -> source:string -> string -> hit list
+  (** Structured matches, one per (line, rule); the raw material both for
+      {!scan_string} and for [Repro_lint.Driver]'s reference mode. *)
 
-val scan_dir :
-  ?rules:rule list -> ?exclude_dirs:string list -> string -> Finding.t list
-(** Recursively lint every [.ml]/[.mli] under the directory, skipping any
-    subdirectory whose basename is in [exclude_dirs] (default [["sim"]]:
-    the simulator owns the clock and the PRNG, so it is exempt). Results
-    are sorted by path for determinism. *)
+  val finding_of_hit : hit -> Finding.t
+
+  val scan_string : ?rules:rule list -> source:string -> string -> Finding.t list
+  (** [scan_string ~source contents] lints one compilation unit; [source] is
+      the name used in findings (normally the file path). *)
+
+  val scan_file : ?rules:rule list -> string -> Finding.t list
+  val scan_file_hits : ?rules:rule list -> string -> hit list
+
+  val scan_dir :
+    ?rules:rule list -> ?exclude_dirs:string list -> string -> Finding.t list
+  (** Recursively lint every [.ml]/[.mli] under the directory, skipping any
+      subdirectory whose basename is in [exclude_dirs] (default [["sim"]]:
+      the simulator owns the clock and the PRNG, so it is exempt). Results
+      are sorted by path for determinism. *)
+
+  val scan_dir_hits :
+    ?rules:rule list -> ?exclude_dirs:string list -> string -> hit list
+end

@@ -1,0 +1,376 @@
+open Parsetree
+
+(* --- longident helpers ----------------------------------------------------- *)
+
+let flatten lid =
+  match Longident.flatten lid with path -> path | exception _ -> []
+
+let path_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> flatten txt
+  | _ -> []
+
+let path_str path = String.concat "." path
+
+let suffix_is tail path =
+  let lt = List.length tail and lp = List.length path in
+  lp >= lt
+  && List.filteri (fun i _ -> i >= lp - lt) path = tail
+
+(* --- suppression attributes ------------------------------------------------ *)
+
+(* [@repro.lint.allow "rule-id" ...] on an expression or value binding, or
+   [@@@repro.lint.allow ...] as a floating structure item (applies to the
+   rest of the file). An empty payload allows every rule. *)
+let allow_attr_name = "repro.lint.allow"
+
+let strings_of_payload payload =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self x ->
+          (match x.pexp_desc with
+           | Pexp_constant (Pconst_string (s, _, _)) -> acc := s :: !acc
+           | _ -> ());
+          Ast_iterator.default_iterator.expr self x);
+    }
+  in
+  (match payload with PStr str -> it.structure it str | _ -> ());
+  List.rev !acc
+
+let allows_of_attributes attrs =
+  List.concat_map
+    (fun attr ->
+      if attr.attr_name.Asttypes.txt = allow_attr_name then
+        match strings_of_payload attr.attr_payload with
+        | [] -> [ "*" ]
+        | rules -> rules
+      else [])
+    attrs
+
+(* --- scan context ----------------------------------------------------------- *)
+
+type ctx = {
+  unit_ : Src.t;
+  exempt_determinism : bool;
+  mutable enclosing : string;
+  mutable allow_stack : string list list;
+  mutable acc : Rule.t list;
+}
+
+let allowed ctx rule =
+  List.exists (fun set -> List.mem "*" set || List.mem rule set) ctx.allow_stack
+
+let with_allows ctx allows f =
+  if allows = [] then f ()
+  else begin
+    ctx.allow_stack <- allows :: ctx.allow_stack;
+    Fun.protect
+      ~finally:(fun () -> ctx.allow_stack <- List.tl ctx.allow_stack)
+      f
+  end
+
+let emit ctx ~rule ~loc ~symbol ~message =
+  let determinism =
+    match Rule.meta rule with
+    | Some m -> m.Rule.meta_family = Rule.Determinism
+    | None -> false
+  in
+  if allowed ctx rule then ()
+  else if determinism && ctx.exempt_determinism then ()
+  else begin
+    let line = loc.Location.loc_start.Lexing.pos_lnum in
+    let evidence =
+      match Src.line ctx.unit_ line with "" -> [] | text -> [ text ]
+    in
+    ctx.acc <-
+      Rule.make ~rule ~source:ctx.unit_.Src.path ~line ~symbol ~message
+        ~evidence
+      :: ctx.acc
+  end
+
+(* --- determinism: hazardous identifiers ------------------------------------- *)
+
+let wall_clock_paths =
+  [
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "time" ];
+    [ "Unix"; "times" ];
+    [ "Unix"; "sleep" ];
+    [ "Unix"; "sleepf" ];
+    [ "Unix"; "localtime" ];
+    [ "Unix"; "gmtime" ];
+    [ "Sys"; "time" ];
+  ]
+
+let random_rooted = function
+  | "Random" :: _ :: _ -> true
+  | "Stdlib" :: "Random" :: _ -> true
+  | _ -> false
+
+let check_ident ctx ~loc path =
+  let sym suffix = ctx.enclosing ^ ":" ^ suffix in
+  let p = path_str path in
+  if List.mem path wall_clock_paths
+     || List.exists (fun w -> path = "Stdlib" :: w) wall_clock_paths
+  then
+    emit ctx ~rule:"wall-clock" ~loc ~symbol:(sym p)
+      ~message:(p ^ " reads ambient time; use Sim_time via the engine")
+  else if random_rooted path then
+    emit ctx ~rule:"ambient-random" ~loc ~symbol:(sym p)
+      ~message:(p ^ " is the ambient stdlib PRNG; use Sim.Rng")
+  else if suffix_is [ "Obj"; "magic" ] path then
+    emit ctx ~rule:"obj-magic" ~loc ~symbol:(sym p)
+      ~message:"Obj.magic defeats the type system"
+  else if suffix_is [ "Hashtbl"; "iter" ] path || suffix_is [ "Hashtbl"; "fold" ] path
+  then
+    emit ctx ~rule:"hashtbl-order" ~loc ~symbol:(sym p)
+      ~message:
+        (p
+       ^ " iterates in hash order; sort the result (or baseline the site \
+          after review)")
+
+(* --- polymorphic comparison on mutable / clock values ------------------------ *)
+
+let clock_modules =
+  [ "Vector_clock"; "Matrix_clock"; "Sparse_matrix_clock"; "Group_clock" ]
+
+let clock_headed = function
+  | m :: _ when List.mem m clock_modules -> true
+  | "Repro_clocks" :: m :: _ when List.mem m clock_modules -> true
+  | _ -> false
+
+(* Clock-module functions whose result is a clock value; anything else
+   (get, size, leq, ...) returns a scalar and is not flagged. *)
+let clock_returning =
+  [ "create"; "copy"; "copy_tick"; "of_list"; "row_snapshot"; "make" ]
+
+let typ_mentions_clock ty =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      typ =
+        (fun self t ->
+          (match t.ptyp_desc with
+           | Ptyp_constr ({ txt; _ }, _) when clock_headed (flatten txt) ->
+             found := true
+           | _ -> ());
+          Ast_iterator.default_iterator.typ self t);
+    }
+  in
+  it.typ it ty;
+  !found
+
+let rec last = function [] -> "" | [ x ] -> x | _ :: tl -> last tl
+
+let rec clockish e =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, ty) -> typ_mentions_clock ty || clockish inner
+  | Pexp_ident { txt; _ } -> clock_headed (flatten txt)
+  | Pexp_apply (f, _) ->
+    let fp = path_of_expr f in
+    clock_headed fp && List.mem (last fp) clock_returning
+  | Pexp_field (inner, _) -> clockish inner
+  | _ -> false
+
+let rec mutableish e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "!"; _ }; _ }, [ (_, _) ])
+    -> true
+  | Pexp_field (_, { txt; _ }) when last (flatten txt) = "contents" -> true
+  | Pexp_ident { txt; _ } ->
+    (match flatten txt with
+     | "Hashtbl" :: _ | "Stdlib" :: "Hashtbl" :: _ -> true
+     | _ -> false)
+  | Pexp_apply (f, _) ->
+    (match path_of_expr f with
+     | "Hashtbl" :: _ | "Stdlib" :: "Hashtbl" :: _ -> true
+     | _ -> false)
+  | Pexp_constraint (inner, _) -> mutableish inner
+  | _ -> false
+
+let poly_compare_op = function
+  | [ "=" ] | [ "<>" ] | [ "compare" ] | [ "Stdlib"; "compare" ]
+  | [ "Stdlib"; "=" ] | [ "Stdlib"; "<>" ] ->
+    true
+  | _ -> false
+
+let check_apply ctx ~loc f args =
+  let fp = path_of_expr f in
+  if poly_compare_op fp && List.length args = 2 then begin
+    let op = path_str fp in
+    let arg_exprs = List.map snd args in
+    if List.exists clockish arg_exprs then
+      emit ctx ~rule:"clock-structural-eq" ~loc
+        ~symbol:(ctx.enclosing ^ ":" ^ op)
+        ~message:
+          ("structural " ^ op
+         ^ " on a clock value; interned rows compare by ==")
+    else if List.exists mutableish arg_exprs then
+      emit ctx ~rule:"poly-compare-mutable" ~loc
+        ~symbol:(ctx.enclosing ^ ":" ^ op)
+        ~message:
+          ("polymorphic " ^ op ^ " applied to mutable state")
+  end
+
+(* --- the expression iterator ------------------------------------------------- *)
+
+let iter_expr ctx root =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self x ->
+          with_allows ctx (allows_of_attributes x.pexp_attributes) (fun () ->
+              (match x.pexp_desc with
+               | Pexp_ident { txt; _ } ->
+                 check_ident ctx ~loc:x.pexp_loc (flatten txt)
+               | Pexp_apply (f, args) -> check_apply ctx ~loc:x.pexp_loc f args
+               | _ -> ());
+              Ast_iterator.default_iterator.expr self x));
+    }
+  in
+  it.expr it root
+
+(* --- aliasing inventory: module-level mutable state -------------------------- *)
+
+(* Does the top-level binding's right-hand side hold mutable state — a [ref]
+   or a [Hashtbl.create] reached without entering a function body? A
+   module-level [let q = ref []] is shared state; [let make () = ref []] is
+   a constructor and is not. *)
+(* Function bodies (Pexp_fun / Pexp_function — spelled differently across
+   4.x/5.1/5.2 parsetrees) fall into the final catch-all: a binding whose
+   RHS is a function *constructs* state per call rather than holding it. *)
+let rec state_holding e =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) ->
+    let fp = path_of_expr f in
+    let is_ref = fp = [ "ref" ] || fp = [ "Stdlib"; "ref" ] in
+    let is_tbl = suffix_is [ "Hashtbl"; "create" ] fp in
+    List.fold_left
+      (fun (r, t) (_, a) ->
+        let r', t' = state_holding a in
+        (r || r', t || t'))
+      (is_ref, is_tbl) args
+  | Pexp_record (fields, base) ->
+    let init =
+      match base with Some b -> state_holding b | None -> (false, false)
+    in
+    List.fold_left
+      (fun (r, t) (_, a) ->
+        let r', t' = state_holding a in
+        (r || r', t || t'))
+      init fields
+  | Pexp_tuple es | Pexp_array es ->
+    List.fold_left
+      (fun (r, t) a ->
+        let r', t' = state_holding a in
+        (r || r', t || t'))
+      (false, false) es
+  | Pexp_constraint (inner, _) | Pexp_open (_, inner) -> state_holding inner
+  | Pexp_construct (_, Some inner) | Pexp_variant (_, Some inner) ->
+    state_holding inner
+  | Pexp_let (_, _, body) | Pexp_sequence (_, body) -> state_holding body
+  | _ -> (false, false)
+
+let binding_name pat =
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> Some txt
+    | Ppat_constraint (inner, _) -> go inner
+    | _ -> None
+  in
+  Option.value (go pat) ~default:"_"
+
+let inventory_binding ctx ~qualified vb =
+  let r, t = state_holding vb.pvb_expr in
+  let loc = vb.pvb_pat.ppat_loc in
+  if r then
+    emit ctx ~rule:"toplevel-ref" ~loc ~symbol:qualified
+      ~message:"module-level ref cell (shared mutable state)";
+  if t then
+    emit ctx ~rule:"toplevel-hashtbl" ~loc ~symbol:qualified
+      ~message:"module-level hash table (shared mutable state)"
+
+let mutable_fields ctx ~module_path decl =
+  match decl.ptype_kind with
+  | Ptype_record labels ->
+    List.iter
+      (fun ld ->
+        if ld.pld_mutable = Asttypes.Mutable then
+          let symbol =
+            String.concat "."
+              (module_path
+              @ [ decl.ptype_name.Asttypes.txt ^ "." ^ ld.pld_name.Asttypes.txt ])
+          in
+          emit ctx ~rule:"mutable-field" ~loc:ld.pld_loc ~symbol
+            ~message:"mutable record field (shared-mutable surface)")
+      labels
+  | _ -> ()
+
+(* --- structure walk ----------------------------------------------------------- *)
+
+let rec walk_structure ctx ~module_path items =
+  List.iter (walk_item ctx ~module_path) items
+
+and walk_item ctx ~module_path item =
+  match item.pstr_desc with
+  | Pstr_value (_, vbs) ->
+    List.iter
+      (fun vb ->
+        let name = binding_name vb.pvb_pat in
+        let qualified = String.concat "." (module_path @ [ name ]) in
+        ctx.enclosing <- qualified;
+        with_allows ctx (allows_of_attributes vb.pvb_attributes) (fun () ->
+            inventory_binding ctx ~qualified vb;
+            iter_expr ctx vb.pvb_expr))
+      vbs
+  | Pstr_type (_, decls) -> List.iter (mutable_fields ctx ~module_path) decls
+  | Pstr_eval (e, attrs) ->
+    ctx.enclosing <- String.concat "." (module_path @ [ "_" ]);
+    with_allows ctx (allows_of_attributes attrs) (fun () -> iter_expr ctx e)
+  | Pstr_module mb ->
+    let seg =
+      match mb.pmb_name.Asttypes.txt with Some n -> n | None -> "_"
+    in
+    walk_module ctx ~module_path:(module_path @ [ seg ]) mb.pmb_expr
+  | Pstr_recmodule mbs ->
+    List.iter
+      (fun mb ->
+        let seg =
+          match mb.pmb_name.Asttypes.txt with Some n -> n | None -> "_"
+        in
+        walk_module ctx ~module_path:(module_path @ [ seg ]) mb.pmb_expr)
+      mbs
+  | Pstr_attribute attr ->
+    (* [@@@repro.lint.allow ...]: applies to the rest of the file *)
+    let allows = allows_of_attributes [ attr ] in
+    if allows <> [] then ctx.allow_stack <- allows :: ctx.allow_stack
+  | _ -> ()
+
+and walk_module ctx ~module_path me =
+  match me.pmod_desc with
+  | Pmod_structure items -> walk_structure ctx ~module_path items
+  | Pmod_constraint (inner, _) -> walk_module ctx ~module_path inner
+  | Pmod_functor (_, inner) -> walk_module ctx ~module_path inner
+  | _ -> ()
+
+(* --- entry point ---------------------------------------------------------------- *)
+
+let scan ?(exempt_determinism = false) (unit_ : Src.t) =
+  match (unit_.Src.structure, unit_.Src.parse_error) with
+  | None, Some err ->
+    [
+      Rule.make ~rule:"parse-error" ~source:unit_.Src.path ~line:1
+        ~symbol:"(file)" ~message:err ~evidence:[];
+    ]
+  | None, None -> []
+  | Some structure, _ ->
+    let ctx =
+      { unit_; exempt_determinism; enclosing = "_"; allow_stack = []; acc = [] }
+    in
+    walk_structure ctx ~module_path:[] structure;
+    List.sort Rule.compare ctx.acc

@@ -1,0 +1,92 @@
+module Json = Repro_analyze.Json
+
+type entry = { rule : string; source : string; symbol : string }
+
+type t = entry list
+
+let empty = []
+
+let entry_key e = String.concat "\t" [ e.rule; e.source; e.symbol ]
+
+let compare_entry a b = String.compare (entry_key a) (entry_key b)
+
+let of_findings findings =
+  List.sort_uniq compare_entry
+    (List.map
+       (fun (f : Rule.t) ->
+         { rule = f.Rule.rule; source = f.Rule.source; symbol = f.Rule.symbol })
+       findings)
+
+let to_json entries =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("tool", Json.Str "repro-lint");
+      ( "entries",
+        Json.Arr
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("rule", Json.Str e.rule);
+                   ("source", Json.Str e.source);
+                   ("symbol", Json.Str e.symbol);
+                 ])
+             (List.sort compare_entry entries)) );
+    ]
+
+let of_json json =
+  match Json.member "entries" json with
+  | None -> Error "baseline: missing \"entries\""
+  | Some entries ->
+    (match Json.to_list entries with
+     | None -> Error "baseline: \"entries\" is not an array"
+     | Some items ->
+       let parse item =
+         let str key = Option.bind (Json.member key item) Json.to_str in
+         match (str "rule", str "source", str "symbol") with
+         | Some rule, Some source, Some symbol -> Ok { rule; source; symbol }
+         | _ -> Error "baseline: entry missing rule/source/symbol"
+       in
+       List.fold_left
+         (fun acc item ->
+           match (acc, parse item) with
+           | Error e, _ -> Error e
+           | _, Error e -> Error e
+           | Ok xs, Ok x -> Ok (x :: xs))
+         (Ok []) items
+       |> Result.map List.rev)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Result.bind (Json.of_string text) of_json
+
+let save path entries =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string (to_json entries)))
+
+type applied = {
+  kept : Rule.t list;
+  suppressed : Rule.t list;
+  stale : entry list;
+}
+
+let apply baseline findings =
+  let keys = List.map entry_key baseline in
+  let kept, suppressed =
+    List.partition (fun f -> not (List.mem (Rule.key f) keys)) findings
+  in
+  let live = List.map Rule.key findings in
+  let stale =
+    List.filter (fun e -> not (List.mem (entry_key e) live)) baseline
+  in
+  { kept; suppressed; stale = List.sort compare_entry stale }

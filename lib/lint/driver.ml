@@ -1,0 +1,154 @@
+module Finding = Repro_analyze.Finding
+module Json = Repro_analyze.Json
+module Reference = Repro_analyze.Lint.Reference
+
+type impl = Ast | Reference_impl
+
+let impl_name = function Ast -> "ast" | Reference_impl -> "reference"
+
+let impl_of_name = function
+  | "ast" -> Some Ast
+  | "reference" -> Some Reference_impl
+  | _ -> None
+
+let default_roots = [ "lib"; "bin" ]
+
+(* lib/sim owns the simulated clock and the seeded PRNG: determinism rules
+   are exempt there (the aliasing inventory still applies — the engine's
+   state is exactly what a domain refactor must partition). *)
+let sim_exempt path =
+  let parts = String.split_on_char '/' path in
+  List.exists (( = ) "sim") (List.filteri (fun i _ -> i < 2) parts)
+
+type result = {
+  impl : impl;
+  roots : string list;
+  files : int;
+  kept : Rule.t list;
+  suppressed : Rule.t list;
+  stale : Baseline.entry list;
+}
+
+let scan_ast ~repo_root ~roots ~contracts baseline =
+  let root_units =
+    List.concat_map (fun root -> Src.load_tree ~repo_root root) roots
+  in
+  let per_file =
+    List.concat_map
+      (fun u -> Ast_rules.scan ~exempt_determinism:(sim_exempt u.Src.path) u)
+      root_units
+  in
+  let contract_findings =
+    if not contracts then []
+    else begin
+      (* the cross-checks need the whole contract surface, whatever the
+         per-file roots were: lib + bin for definitions and dispatch sites,
+         test for convictions, bench for the bench family *)
+      let tree rel = Src.load_tree ~repo_root rel in
+      let loaded = root_units in
+      let extra rel =
+        List.filter
+          (fun u -> not (List.exists (fun v -> v.Src.path = u.Src.path) loaded))
+          (tree rel)
+      in
+      Contracts.check
+        (loaded @ extra "lib" @ extra "bin" @ extra "test" @ extra "bench")
+    end
+  in
+  let all = List.sort Rule.compare (per_file @ contract_findings) in
+  let applied = Baseline.apply baseline all in
+  {
+    impl = Ast;
+    roots;
+    files = List.length root_units;
+    kept = applied.Baseline.kept;
+    suppressed = applied.Baseline.suppressed;
+    stale = applied.Baseline.stale;
+  }
+
+let scan_reference ~repo_root ~roots baseline =
+  let hits =
+    List.concat_map
+      (fun root -> Reference.scan_dir_hits (Filename.concat repo_root root))
+      roots
+  in
+  let findings =
+    List.map
+      (fun (h : Reference.hit) ->
+        {
+          Rule.rule = "reference-substring";
+          family = Rule.Determinism;
+          severity = Finding.Error;
+          source = h.Reference.path;
+          line = h.Reference.line;
+          symbol = h.Reference.rule.Reference.pattern;
+          message = h.Reference.rule.Reference.reason;
+          evidence = (if h.Reference.text = "" then [] else [ h.Reference.text ]);
+        })
+      hits
+  in
+  let applied = Baseline.apply baseline (List.sort Rule.compare findings) in
+  {
+    impl = Reference_impl;
+    roots;
+    files = 0;
+    kept = applied.Baseline.kept;
+    suppressed = applied.Baseline.suppressed;
+    stale = applied.Baseline.stale;
+  }
+
+let scan ?(impl = Ast) ?(baseline = Baseline.empty) ?(roots = default_roots)
+    ?(contracts = true) ~repo_root () =
+  match impl with
+  | Ast -> scan_ast ~repo_root ~roots ~contracts baseline
+  | Reference_impl -> scan_reference ~repo_root ~roots baseline
+
+let worst result =
+  List.fold_left
+    (fun acc (f : Rule.t) ->
+      match acc with
+      | None -> Some f.Rule.severity
+      | Some s ->
+        if Finding.compare_severity f.Rule.severity s > 0 then
+          Some f.Rule.severity
+        else acc)
+    None result.kept
+
+let count sev result =
+  List.length
+    (List.filter (fun (f : Rule.t) -> f.Rule.severity = sev) result.kept)
+
+let report_json result =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ("tool", Json.Str "repro-lint");
+      ("impl", Json.Str (impl_name result.impl));
+      ("roots", Json.Arr (List.map (fun r -> Json.Str r) result.roots));
+      ( "baseline",
+        Json.Obj
+          [
+            ("suppressed", Json.Int (List.length result.suppressed));
+            ( "stale",
+              Json.Arr
+                (List.map
+                   (fun (e : Baseline.entry) ->
+                     Json.Obj
+                       [
+                         ("rule", Json.Str e.Baseline.rule);
+                         ("source", Json.Str e.Baseline.source);
+                         ("symbol", Json.Str e.Baseline.symbol);
+                       ])
+                   result.stale) );
+          ] );
+      ( "findings",
+        Json.Arr (List.map (fun f -> Finding.to_json (Rule.to_finding f)) result.kept)
+      );
+      ( "counts",
+        Json.Obj
+          [
+            ("error", Json.Int (count Finding.Error result));
+            ("warning", Json.Int (count Finding.Warning result));
+            ("info", Json.Int (count Finding.Info result));
+          ] );
+    ]

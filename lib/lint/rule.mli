@@ -1,0 +1,55 @@
+(** repro-lint findings: a native record carrying the stable identity used
+    by the baseline ([rule], [source], [symbol] — deliberately without the
+    line number, which shifts on every edit), convertible to the analyzer's
+    {!Repro_analyze.Finding.t} for the shared JSON report form. *)
+
+module Finding = Repro_analyze.Finding
+
+type family = Determinism | Aliasing | Contract
+
+val family_name : family -> string
+
+type t = {
+  rule : string;  (** rule id from {!catalog} *)
+  family : family;
+  severity : Finding.severity;
+  source : string;  (** repo-root-relative path *)
+  line : int;  (** 1-based; 0 for repo-level contract findings *)
+  symbol : string;
+      (** stable within-file identity: enclosing top-level binding plus the
+          flagged path (call sites), the bound name (inventory), the hook or
+          variant name (contracts) *)
+  message : string;
+  evidence : string list;
+}
+
+type meta = {
+  id : string;
+  meta_family : family;
+  default_severity : Finding.severity;
+  kind : Finding.kind;
+  doc : string;
+}
+
+val catalog : meta list
+(** The rule catalog, in report order; documented in EXPERIMENTS.md. *)
+
+val meta : string -> meta option
+
+val make :
+  rule:string ->
+  source:string ->
+  line:int ->
+  symbol:string ->
+  message:string ->
+  evidence:string list ->
+  t
+(** Raises [Invalid_argument] on a rule id missing from {!catalog}. *)
+
+val key : t -> string
+(** Baseline identity: [rule]/[source]/[symbol], tab-joined. *)
+
+val compare : t -> t -> int
+(** Report order: source, line, rule, symbol. *)
+
+val to_finding : t -> Finding.t

@@ -1,0 +1,4 @@
+(* Fixture: clock-structural-eq must convict structural equality on clock
+   values, where interned rows make == the intended comparison. *)
+let same_snapshot a b = Vector_clock.copy a = Vector_clock.copy b
+let annotated a b = (a : Sparse_matrix_clock.t) = b

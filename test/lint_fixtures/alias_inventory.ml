@@ -1,0 +1,10 @@
+(* Fixture: the aliasing inventory — module-level ref cells, module-level
+   hash tables and mutable record fields are all shared-mutable surface. *)
+let counter = ref 0
+let registry : (string, int) Hashtbl.t = Hashtbl.create 16
+
+type cell = { mutable value : int; label : string }
+
+(* A constructor is not shared state: the ref lives per call, so this
+   binding must NOT appear in the inventory. *)
+let make_cell () = ref 0

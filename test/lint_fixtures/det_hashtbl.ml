@@ -1,0 +1,7 @@
+(* Fixture: the hashtbl-order rule must convict hash-order iteration. *)
+let keys tbl =
+  let acc = ref [] in
+  Hashtbl.iter (fun k _ -> acc := k :: !acc) tbl;
+  !acc
+
+let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

@@ -1,0 +1,2 @@
+(* Fixture: the obj-magic rule must convict any Obj.magic use. *)
+let coerce (x : int) : string = Obj.magic x

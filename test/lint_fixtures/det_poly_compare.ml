@@ -1,0 +1,4 @@
+(* Fixture: poly-compare-mutable must convict structural comparison that
+   reaches through mutable state. *)
+let stale r = !r = None
+let drained q = Hashtbl.length q = 0 && Hashtbl.copy q = q

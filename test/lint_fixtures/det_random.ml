@@ -1,0 +1,3 @@
+(* Fixture: the ambient-random rule must convict the stdlib global PRNG. *)
+let roll () = Random.int 6
+let qualified () = Stdlib.Random.float 1.0

@@ -1,0 +1,3 @@
+(* Fixture: the wall-clock rule must convict an ambient time read. *)
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

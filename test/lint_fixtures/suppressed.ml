@@ -1,0 +1,7 @@
+(* Fixture: suppression attributes. The first two bindings are allowed and
+   must produce no findings; the last is not and must still be convicted. *)
+let now () = (Unix.gettimeofday () [@repro.lint.allow "wall-clock"])
+
+let seeded = ref 0 [@@repro.lint.allow]
+
+let still_flagged () = Random.bits ()

@@ -9,7 +9,7 @@ module Recorder = Repro_analyze.Exec.Recorder
 module Hb = Repro_analyze.Hb
 module Finding = Repro_analyze.Finding
 module Analyzer = Repro_analyze.Analyzer
-module Lint = Repro_analyze.Lint
+module Lint = Repro_analyze.Lint.Reference
 module Config = Repro_catocs.Config
 module Delivery_queue = Repro_catocs.Delivery_queue
 module Runner = Repro_check.Runner
@@ -97,7 +97,18 @@ let test_lint_scan () =
   check_int "comment not flagged" 0
     (List.length
        (Lint.scan_string ~source:"fake.ml"
-          "(* Unix.gettimeofday would break replay *)\nlet s = \"Sys.time\"\n"))
+          "(* Unix.gettimeofday would break replay *)\nlet s = \"Sys.time\"\n"));
+  (* token boundaries: longer identifiers sharing a rule's spelling as a
+     substring are not hits, while a qualified use still is *)
+  check_int "Sys.times is not Sys.time" 0
+    (List.length
+       (Lint.scan_string ~source:"fake.ml" "let t = Sys.times ()\n"));
+  check_int "XRandom is not Random" 0
+    (List.length
+       (Lint.scan_string ~source:"fake.ml" "let r = XRandom.self_init ()\n"));
+  check_int "Stdlib.Random still flagged" 1
+    (List.length
+       (Lint.scan_string ~source:"fake.ml" "let r = Stdlib.Random.int 3\n"))
 
 (* --- happened-before graph -------------------------------------------------- *)
 
