@@ -6,18 +6,22 @@
    message transmission and reception" claim at the CPU level.
 
    With [--json] it instead produces BENCH_delivery.json: ns/op
-   micro-benchmarks of the delivery queue and the stability tracker
+   micro-benchmarks of the delivery queue, the stability tracker
    (optimized vs reference implementation, with and without a permanently
-   blocked/unstable backlog) plus two end-to-end curve families from the
-   Section 5 scaling experiment: the "queue" family (indexed vs reference
-   delivery queue, n = 4/16/64/256/512) and the "causal" family (BSS
-   vector timestamps vs PC-broadcast constant metadata vs hybrid
-   buffering — the per-delivery metadata curve that is linear for bss and
-   flat for pc/hybrid; bss runs the dense stability tracker to n = 1024,
-   pc and hybrid run the sparse tracker to n = 4096, with a measured
-   per-point peak-heap column). [--smoke] shrinks quotas and sizes for CI
-   (causal capped at n = 256 — the n = 1024 bss point needs ~20 GB for
-   the group's O(n^2) matrix clocks and lives in the committed full-mode
+   blocked/unstable backlog) and the wire codec (ns/encode, ns/decode and
+   real bytes/msg for bss vs pc frames), plus two end-to-end curve
+   families from the Section 5 scaling experiment: the "queue" family
+   (indexed vs reference delivery queue, n = 4/16/64/256/512) and the
+   "causal" family (BSS vector timestamps vs PC-broadcast constant
+   metadata vs hybrid buffering — the per-delivery metadata curve that is
+   linear for bss and flat for pc/hybrid; bss runs the dense stability
+   tracker to n = 1024, pc and hybrid run the sparse tracker to n = 4096,
+   with a measured per-point peak-heap column). Every end-to-end row
+   simulates at least 50 ms. [--domains N] runs the end-to-end sections
+   on the parallel engine with N worker domains (default: the sequential
+   reference engine). [--smoke] shrinks quotas and sizes for CI (causal
+   capped at n = 256 — the n = 1024 bss point needs ~20 GB for the
+   group's O(n^2) matrix clocks and lives in the committed full-mode
    baseline).
    [--out FILE] overrides the output path. [--validate FILE] checks the schema, pins the
    within-family delivery agreement and the pc/hybrid metadata flatness,
@@ -231,6 +235,105 @@ let stability_cycle_bench ~impl ~members ~backlog =
          if Stability.unstable_count st <> backlog then
            failwith "bench: stability steady state broken"))
 
+(* Wire-codec micro rows: the real cost of the Config.Encoded wire path —
+   ns to encode and decode one data frame, and the frame's actual size on
+   the wire. The bss frame carries a dense n-component vector timestamp,
+   so encode/decode time and bytes/msg grow with the group; the pc frame
+   ships only the vector size plus the origin sequence and stays flat.
+   Encode alternates between two identical-shape messages so the one-slot
+   timestamp memo never hits: the row prices the full serialization, not
+   the amortized multicast fan-out. *)
+let codec_micro_section ~smoke =
+  let open Bechamel in
+  let mk_frame ~impl_str ~n =
+    let rank = n / 2 in
+    let vt = Vector_clock.create n in
+    let meta =
+      match impl_str with
+      | "bss" ->
+        for i = 0 to n - 1 do
+          Vector_clock.set vt i (i * 3)
+        done;
+        Wire.Causal_meta
+      | _ ->
+        Vector_clock.set vt rank 7;
+        Wire.Pc_meta { origin_seq = 7 }
+    in
+    Wire.Proto
+      ( 1,
+        Wire.Data
+          { Wire.msg_id = 12345; origin = rank; sender_rank = rank;
+            view_id = 3; vt; meta; payload = 42; payload_bytes = 16;
+            sent_at = Sim_time.us 987_654; piggyback = [] } )
+  in
+  let sizes = if smoke then [ 4; 64 ] else [ 4; 64; 256 ] in
+  let specs =
+    List.concat_map
+      (fun impl_str ->
+        List.concat_map
+          (fun n ->
+            let codec = Repro_catocs.Wire_codec.create
+                Repro_catocs.Wire_codec.int_payload in
+            let a = mk_frame ~impl_str ~n and b = mk_frame ~impl_str ~n in
+            let bytes_per_msg =
+              String.length (Repro_catocs.Wire_codec.encode codec a)
+            in
+            let frame = Repro_catocs.Wire_codec.encode codec a in
+            let flip = ref false in
+            let enc_name = Printf.sprintf "codec-encode/%s/n%d" impl_str n in
+            let dec_name = Printf.sprintf "codec-decode/%s/n%d" impl_str n in
+            [ (enc_name, impl_str, n, bytes_per_msg,
+               Test.make ~name:enc_name
+                 (Staged.stage (fun () ->
+                      flip := not !flip;
+                      ignore
+                        (Repro_catocs.Wire_codec.encode codec
+                           (if !flip then a else b)))));
+              (dec_name, impl_str, n, bytes_per_msg,
+               Test.make ~name:dec_name
+                 (Staged.stage (fun () ->
+                      ignore (Repro_catocs.Wire_codec.decode codec frame)))) ])
+          sizes)
+      [ "bss"; "pc" ]
+  in
+  let tests =
+    Test.make_grouped ~name:"wire-codec"
+      (List.map (fun (_, _, _, _, t) -> t) specs)
+  in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:200 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let estimate_for suffix =
+    Hashtbl.fold
+      (fun key result acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let kl = String.length key and sl = String.length suffix in
+          if kl >= sl && String.sub key (kl - sl) sl = suffix then
+            match Bechamel.Analyze.OLS.estimates result with
+            | Some [ est ] -> Some est
+            | Some _ | None -> None
+          else None)
+      results None
+  in
+  List.map
+    (fun (name, impl_str, n, bytes_per_msg, _) ->
+      let ns = match estimate_for name with Some e -> e | None -> Float.nan in
+      Printf.printf "  micro %-48s %10s ns/op  %4d B/msg\n" name
+        (json_float ns) bytes_per_msg;
+      Printf.sprintf
+        "    { \"name\": %S, \"impl\": %S, \"senders\": %d, \"blocked\": 0, \
+         \"ns_per_op\": %s, \"bytes_per_msg\": %d }"
+        name impl_str n (json_float ns) bytes_per_msg)
+    specs
+
 let micro_section ~smoke =
   let open Bechamel in
   let dq_configs =
@@ -307,7 +410,7 @@ let micro_section ~smoke =
         name impl_str senders blocked (json_float ns))
     specs
 
-let e2e_section ~smoke =
+let e2e_section ~engine_impl ~smoke =
   let sizes = if smoke then [ 4; 16 ] else [ 4; 16; 64; 256; 512 ] in
   (* keep the event count roughly constant across sizes: the multicast
      fan-out makes delivered work ~ n^2 x duration *)
@@ -315,11 +418,14 @@ let e2e_section ~smoke =
      deliveries_per_cpu_second are directly comparable to a committed
      full-mode baseline (the --baseline regression gate relies on this);
      n <= 16 costs well under a CPU second *)
+  (* every row simulates at least 50 ms: shorter horizons are dominated by
+     stack setup and cut multicasts off mid-propagation, which overstates
+     per-delivery costs and understates throughput *)
   let duration_for n =
     if n <= 16 then Sim_time.seconds 1
     else if n <= 64 then Sim_time.ms 300
     else if n <= 256 then Sim_time.ms 60
-    else Sim_time.ms 20
+    else Sim_time.ms 50
   in
   let impls = [ Config.Indexed_queue; Config.Reference_queue ] in
   List.concat_map
@@ -335,7 +441,7 @@ let e2e_section ~smoke =
           let t0 = Sys.time () in
           let point =
             match
-              Scaling.sweep ~sizes:[ n ] ~seed:11L ~duration
+              Scaling.sweep ~sizes:[ n ] ~seed:11L ~duration ~engine_impl
                 ~queue_impl ~track_graph:false ()
             with
             | [ p ] -> p
@@ -426,7 +532,7 @@ let in_fresh_process f =
      | Unix.WEXITED 0 -> ()
      | _ -> failwith "bench: forked causal point failed");
     Buffer.contents buf
-let causal_e2e_section ~smoke =
+let causal_e2e_section ~engine_impl ~smoke =
   (* smoke stops at n = 256: the bss member stacks alone need ~20 GB at
      n = 1024. The 4..256 span already shows bss metadata growing ~65x
      over flat pc/hybrid. *)
@@ -435,11 +541,16 @@ let causal_e2e_section ~smoke =
     else if impl_str = "bss" then [ 4; 16; 64; 256; 1024 ]
     else [ 4; 16; 64; 256; 1024; 2048; 4096 ]
   in
+  (* no sub-50ms rows: at n >= 1024 a 20 ms horizon cuts the 8-ary tree
+     dissemination off mid-propagation, so most of the CPU charged to a
+     point was stack setup — the n = 1024 pc/hybrid rows sextuple their
+     deliveries-per-cpu-second once the horizon lets the multicasts
+     actually land *)
   let duration_for n =
     if n <= 16 then Sim_time.seconds 1
     else if n <= 64 then Sim_time.ms 300
     else if n <= 256 then Sim_time.ms 60
-    else Sim_time.ms 20
+    else Sim_time.ms 50
   in
   let gossip_for n =
     (* at n = 1024 a single full-mesh gossip round enqueues ~1M
@@ -471,7 +582,7 @@ let causal_e2e_section ~smoke =
           let t0 = Sys.time () in
           let point =
             match
-              Scaling.sweep ~sizes:[ n ] ~seed:11L ~duration
+              Scaling.sweep ~sizes:[ n ] ~seed:11L ~duration ~engine_impl
                 ?gossip_period:(gossip_for n) ~causal_impl ~stability_clock
                 ~pc_overlay:(Config.Pc_tree { fanout = 8 })
                 ~track_graph:false ()
@@ -598,19 +709,41 @@ let obs_section ~smoke =
     (json_float enabled) (json_float disabled_delta) (json_float enabled_delta)
     (json_float obs_gate_pct)
 
-let emit_json ~smoke ~out =
-  Printf.printf "delivery-path benchmark (%s mode)\n%!"
-    (if smoke then "smoke" else "full");
+let emit_json ~domains ~smoke ~out =
+  (* --domains N runs the end-to-end sections on the parallel engine
+     (N >= 1 including 1: Parallel {domains = 1} and {domains = 2} produce
+     identical simulations, which is what the CI matrix legs compare);
+     without the flag the sequential reference engine runs, keeping the
+     committed full-mode baseline's numbers comparable across PRs. The obs
+     section always runs sequentially — an attached log is group-shared
+     state the parallel engine rejects. *)
+  let engine_impl =
+    match domains with
+    | None -> Engine.Sequential
+    | Some d -> Engine.Parallel { domains = d }
+  in
+  Printf.printf "delivery-path benchmark (%s mode, %s engine)\n%!"
+    (if smoke then "smoke" else "full")
+    (match domains with
+     | None -> "sequential"
+     | Some d -> Printf.sprintf "parallel d=%d" d);
   (* obs first: its variant comparison needs the pristine small heap (see
      obs_section); the sections that only *read* their own child's heap or
      don't measure memory at all run after *)
   let obs = obs_section ~smoke in
-  let micro = micro_section ~smoke in
-  let e2e = e2e_section ~smoke @ causal_e2e_section ~smoke in
+  let micro = micro_section ~smoke @ codec_micro_section ~smoke in
+  let e2e =
+    e2e_section ~engine_impl ~smoke @ causal_e2e_section ~engine_impl ~smoke
+  in
   let oc = open_out out in
   output_string oc "{\n";
   output_string oc "  \"schema_version\": 1,\n";
   Printf.fprintf oc "  \"mode\": %S,\n" (if smoke then "smoke" else "full");
+  Printf.fprintf oc "  \"engine\": %S,\n"
+    (match domains with None -> "sequential" | Some _ -> "parallel");
+  (match domains with
+   | None -> ()
+   | Some d -> Printf.fprintf oc "  \"engine_domains\": %d,\n" d);
   output_string oc "  \"micro\": [\n";
   output_string oc (String.concat ",\n" micro);
   output_string oc "\n  ],\n";
@@ -690,6 +823,23 @@ let validate ?expect_mode ?baseline file =
   (match expect_mode with
    | Some m when m <> mode -> fail "mode is %S, expected %S" mode m
    | Some _ | None -> ());
+  (* engine/engine_domains were added with the parallel engine: absent
+     from older (sequential) files, and "engine_domains" only appears on
+     parallel runs *)
+  (match Json.member "engine" doc with
+   | Some v ->
+     (match Json.to_str v with
+      | Some ("sequential" | "parallel") -> ()
+      | Some e -> fail "unknown engine %S" e
+      | None -> fail "\"engine\" must be a string")
+   | None -> ());
+  (match Json.member "engine_domains" doc with
+   | Some v ->
+     (match Json.to_int v with
+      | Some d when d >= 1 -> ()
+      | Some d -> fail "engine_domains must be >= 1, got %d" d
+      | None -> fail "\"engine_domains\" must be an integer")
+   | None -> ());
   let micro = rows "micro" in
   List.iter
     (fun row ->
@@ -697,7 +847,11 @@ let validate ?expect_mode ?baseline file =
       ignore (str_field row "impl");
       ignore (int_field row "senders");
       ignore (int_field row "blocked");
-      number_or_null row "ns_per_op")
+      number_or_null row "ns_per_op";
+      (* wire-codec rows carry the encoded frame size *)
+      match Json.member "bytes_per_msg" row with
+      | Some _ -> ignore (int_field row "bytes_per_msg")
+      | None -> ())
     micro;
   let e2e = rows "end_to_end" in
   (* Within the queue family both implementations run the identical
@@ -920,19 +1074,27 @@ let validate ?expect_mode ?baseline file =
 let () =
   let json = ref false and smoke = ref false and out = ref "BENCH_delivery.json" in
   let validate_file = ref None and expect_mode = ref None in
-  let baseline = ref None in
+  let baseline = ref None and domains = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest -> json := true; parse rest
     | "--smoke" :: rest -> json := true; smoke := true; parse rest
     | "--out" :: file :: rest -> out := file; parse rest
+    | "--domains" :: d :: rest ->
+      (match int_of_string_opt d with
+       | Some d when d >= 1 -> domains := Some d
+       | Some _ | None ->
+         Printf.eprintf "--domains expects a positive integer, got %s\n" d;
+         exit 2);
+      parse rest
     | "--validate" :: file :: rest -> validate_file := Some file; parse rest
     | "--expect-mode" :: mode :: rest -> expect_mode := Some mode; parse rest
     | "--baseline" :: file :: rest -> baseline := Some file; parse rest
     | arg :: _ ->
       Printf.eprintf
-        "unknown argument %s (expected --json [--smoke] [--out FILE] | \
-         --validate FILE [--expect-mode MODE] [--baseline FILE])\n"
+        "unknown argument %s (expected --json [--smoke] [--domains N] \
+         [--out FILE] | --validate FILE [--expect-mode MODE] [--baseline \
+         FILE])\n"
         arg;
       exit 2
   in
@@ -940,7 +1102,7 @@ let () =
   match !validate_file with
   | Some file -> validate ?expect_mode:!expect_mode ?baseline:!baseline file
   | None ->
-    if !json then emit_json ~smoke:!smoke ~out:!out
+    if !json then emit_json ~domains:!domains ~smoke:!smoke ~out:!out
     else begin
       Registry.run_everything Format.std_formatter;
       microbenchmarks ()

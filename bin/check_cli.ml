@@ -36,8 +36,8 @@ let parse_causal_impl = function
       (Printf.sprintf "unknown causal impl %S (one of: bss, pc, hybrid)" s)
 
 let run_check seeds start_seed ordering_names causal_impl_name members
-    duration_ms root_sends max_faults no_shrink no_crashes no_partitions
-    no_loss no_joins verbose =
+    duration_ms root_sends max_faults domains fingerprints_file no_shrink
+    no_crashes no_partitions no_loss no_joins verbose =
   match
     (parse_orderings ordering_names, parse_causal_impl causal_impl_name)
   with
@@ -45,6 +45,10 @@ let run_check seeds start_seed ordering_names causal_impl_name members
     prerr_endline msg;
     2
   | Ok orderings, Ok causal_impl ->
+    let engine_impl =
+      if domains <= 0 then Engine.Sequential
+      else Engine.Parallel { domains }
+    in
     let profile =
       {
         Fault_plan.members;
@@ -70,7 +74,7 @@ let run_check seeds start_seed ordering_names causal_impl_name members
         start_seed;
       let r =
         Runner.sweep ~profile ~shrink:(not no_shrink) ~start_seed ?on_seed
-          ~causal_impl ~ordering ~seeds ()
+          ~engine_impl ~causal_impl ~ordering ~seeds ()
       in
       match r.Runner.failed with
       | None ->
@@ -82,7 +86,42 @@ let run_check seeds start_seed ordering_names causal_impl_name members
           (Format.asprintf "%a" Runner.pp_report report);
         false
     in
-    if List.for_all check_one orderings then 0 else 1
+    (* Fingerprint mode: one canonical verdict line per (ordering, seed),
+       written to FILE. The file is a pure function of (seeds, profile,
+       impls) — in particular it is identical for every --domains value,
+       which is how CI asserts cross-domain determinism: run twice with
+       different domain counts and diff the two files. *)
+    let fingerprint_one ordering =
+      let name = Config.ordering_name ordering in
+      let ok = ref true in
+      let lines =
+        List.init seeds (fun i ->
+            let seed = start_seed + i in
+            let v =
+              Runner.run_seed ~profile ~shrink:(not no_shrink) ~engine_impl
+                ~causal_impl ~ordering ~seed ()
+            in
+            (match v with Runner.Fail _ -> ok := false | Runner.Pass _ -> ());
+            Printf.sprintf "%s seed=%d %s" name seed (Runner.fingerprint v))
+      in
+      (lines, !ok)
+    in
+    (match fingerprints_file with
+     | None -> if List.for_all check_one orderings then 0 else 1
+     | Some file ->
+       let per_ordering = List.map fingerprint_one orderings in
+       let oc = open_out file in
+       List.iter
+         (fun (lines, _) ->
+           List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+         per_ordering;
+       close_out oc;
+       let all_ok = List.for_all snd per_ordering in
+       Printf.printf "wrote %d fingerprints to %s%s\n"
+         (List.length per_ordering * seeds)
+         file
+         (if all_ok then "" else " (with violations)");
+       if all_ok then 0 else 1)
 
 open Cmdliner
 
@@ -136,6 +175,25 @@ let cmd =
       value & opt int Fault_plan.default_profile.Fault_plan.max_faults
       & info [ "max-faults" ] ~docv:"N" ~doc:"Upper bound on faults per plan.")
   in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Run on the parallel engine with $(docv) worker domains (N >= \
+             1; verdicts and fingerprints are identical for every N). \
+             Default: the sequential reference engine.")
+  in
+  let fingerprints =
+    Arg.(
+      value & opt (some string) None
+      & info [ "fingerprints" ] ~docv:"FILE"
+          ~doc:
+            "Instead of the sweep summary, write one canonical verdict \
+             fingerprint per (ordering, seed) to $(docv); diffing two such \
+             files asserts cross-run determinism (e.g. --domains 1 vs \
+             --domains 2). Exits non-zero if any seed fails.")
+  in
   let no_shrink =
     Arg.(
       value & flag
@@ -166,7 +224,7 @@ let cmd =
     (Cmd.info "repro-check" ~doc)
     Term.(
       const run_check $ seeds $ start_seed $ ordering $ causal_impl $ members
-      $ duration_ms $ root_sends $ max_faults $ no_shrink $ no_crashes
-      $ no_partitions $ no_loss $ no_joins $ verbose)
+      $ duration_ms $ root_sends $ max_faults $ domains $ fingerprints
+      $ no_shrink $ no_crashes $ no_partitions $ no_loss $ no_joins $ verbose)
 
 let () = exit (Cmd.eval' cmd)

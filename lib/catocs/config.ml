@@ -19,6 +19,8 @@ type pc_overlay = Pc_full_mesh | Pc_tree of { fanout : int }
 
 type stability_clock = Dense_clock | Sparse_clock
 
+type wire_format = Structural | Encoded
+
 type t = {
   ordering : ordering;
   gossip_period : Sim_time.t;
@@ -32,6 +34,8 @@ type t = {
   causal_impl : causal_impl;
   pc_overlay : pc_overlay;
   stability_clock : stability_clock;
+  wire_format : wire_format;
+  batch_window : Sim_time.t;
 }
 
 let default =
@@ -39,7 +43,8 @@ let default =
     failure_detection = Oracle; piggyback_history = false;
     payload_bytes = 256; track_graph = true; queue_impl = Indexed_queue;
     stability_impl = Incremental_stability; causal_impl = Vector_causal;
-    pc_overlay = Pc_full_mesh; stability_clock = Dense_clock }
+    pc_overlay = Pc_full_mesh; stability_clock = Dense_clock;
+    wire_format = Structural; batch_window = Sim_time.zero }
 
 let ordering_name = function
   | Fifo -> "fifo"
@@ -55,6 +60,10 @@ let causal_impl_name = function
 let stability_clock_name = function
   | Dense_clock -> "dense"
   | Sparse_clock -> "sparse"
+
+let wire_format_name = function
+  | Structural -> "structural"
+  | Encoded -> "encoded"
 
 (* PC-broadcast and its hybrid-buffering refinement are causal-layer
    replacements: they only change how the [Causal] ordering is achieved.

@@ -94,6 +94,20 @@ type stability_clock =
           ({!Sparse_matrix_clock}) — what lets the scaling sweep reach
           n=4096 without the ~20 GB dense group-clock footprint *)
 
+type wire_format =
+  | Structural
+      (** ship OCaml message values through the simulated network directly;
+          byte accounting uses the {!Wire.header_bytes} estimates — the
+          fast default for ordering/stability experiments *)
+  | Encoded
+      (** run every multicast through {!Wire_codec}: length-prefixed binary
+          frames cross the (simulated) wire and are decoded at the
+          receiver, unstable-byte gauges charge real encoded sizes, and
+          same-link sends may be coalesced (see [batch_window]). Applies
+          to [Bare] and [Fifo_order] transports; a [Reliable] transport
+          keeps structural segments (its retransmit buffers hold values,
+          not frames). *)
+
 type t = {
   ordering : ordering;
   gossip_period : Sim_time.t;
@@ -119,6 +133,15 @@ type t = {
           [Hybrid_causal] *)
   stability_clock : stability_clock;
       (** matrix-clock representation used by stability tracking *)
+  wire_format : wire_format;
+      (** message representation on the simulated wire *)
+  batch_window : Sim_time.t;
+      (** transport-level coalescing window: frames bound for the same
+          destination within one window leave as a single batched packet
+          ([Sim_time.zero] — the default — sends each frame immediately).
+          Requires [wire_format = Encoded] and a non-[Reliable] transport;
+          trades up to one window of added latency for per-packet
+          overhead. *)
 }
 
 val default : t
@@ -133,6 +156,9 @@ val causal_impl_name : causal_impl -> string
 
 val stability_clock_name : stability_clock -> string
 (** ["dense"] or ["sparse"]. *)
+
+val wire_format_name : wire_format -> string
+(** ["structural"] or ["encoded"]. *)
 
 val pc_active : t -> bool
 (** True when this configuration runs a PC-style causal layer ([Pc_causal]

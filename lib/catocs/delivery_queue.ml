@@ -95,11 +95,11 @@ module Indexed = struct
     mutable next_arrival : int;
     mutable sole : ('a entry * 'a sender) option;
         (* the single buffered entry (and its sender record) when
-           [size = 1], None if unknown after a removal: lets the
-           uncontended add/take cycle check the delivery condition directly
-           instead of running the sync / recheck / heap machinery. While
-           set, the entry's recheck flag is deferred — it is raised the
-           moment a second entry forces the slow path. *)
+           [size = 1]. The entry is NOT in the ring: the empty->one->empty
+           add/take cycle touches no slots, no heap and no recheck state —
+           one condition check each way, like the reference list. It is
+           materialised into the ring (and its recheck raised) the moment a
+           second entry forces the slow path. *)
     mutable last_sender : 'a sender option;
         (* memoized last [add] lookup; valid as long as the record is in
            [senders] (records are only dropped by [drain]) *)
@@ -250,6 +250,15 @@ module Indexed = struct
 
   (* --- interface ----------------------------------------------------------- *)
 
+  let insert_entry t s (entry : 'a entry) =
+    let seq = Vector_clock.get entry.pending.data.Wire.vt s.rank in
+    ensure_slot s seq;
+    let i = slot_index s seq in
+    s.slots.(i) <- s.slots.(i) @ [ entry ];
+    s.count <- s.count + 1;
+    (* a later arrival can only create a candidate, never displace one *)
+    if s.cand = None then flag_recheck t s.rank
+
   let add t pending =
     let rank = pending.data.Wire.sender_rank in
     let s =
@@ -270,24 +279,21 @@ module Indexed = struct
         t.last_sender <- Some s;
         s
     in
-    let seq = Vector_clock.get pending.data.Wire.vt rank in
     let entry = { pending; arrival = t.next_arrival } in
     t.next_arrival <- t.next_arrival + 1;
-    ensure_slot s seq;
-    let i = slot_index s seq in
-    s.slots.(i) <- s.slots.(i) @ [ entry ];
-    s.count <- s.count + 1;
     t.size <- t.size + 1;
-    if t.size = 1 then t.sole <- Some (entry, s)
+    if t.size = 1 then
+      (* empty -> one: the entry stays out of the ring entirely *)
+      t.sole <- Some (entry, s)
     else begin
-      (* hand a previously sole entry (whose recheck was deferred) to the
-         slow-path machinery along with the new one *)
+      (* a previously sole entry enters the ring first: lower arrival, so
+         slot lists stay in arrival order *)
       (match t.sole with
-      | Some (_, prev) -> flag_recheck t prev.rank
+      | Some (prev, prev_s) ->
+        t.sole <- None;
+        insert_entry t prev_s prev
       | None -> ());
-      t.sole <- None;
-      (* a later arrival can only create a candidate, never displace one *)
-      if s.cand = None then flag_recheck t rank
+      insert_entry t s entry
     end
 
   let remove_entry t s entry =
@@ -298,23 +304,23 @@ module Indexed = struct
     | l -> s.slots.(i) <- List.filter (fun e -> e.arrival <> entry.arrival) l);
     s.count <- s.count - 1;
     t.size <- t.size - 1;
-    t.sole <- None;
     (* the sender record is kept even when empty: the uncontended add/take
        cycle would otherwise re-allocate the record and its slot ring on
        every message *)
     compact s
 
-  (* Single-entry fast path: check the condition directly and bypass the
-     sync / recheck / heap machinery. Skipping [sync] here leaves
-     [last_local] stale-low, which is safe — a later sync sees a larger
-     delta and re-checks at most too many senders, never too few. *)
+  (* Single-entry fast path: the sole entry was never inserted into the
+     ring, so a hit is one condition check and two field writes — no slot,
+     heap or recheck work at all. Skipping [sync] here leaves [last_local]
+     stale-low, which is safe — a later sync sees a larger delta and
+     re-checks at most too many senders, never too few. *)
   let rec take_deliverable t ~local =
     if t.size = 0 then None
     else
       match t.sole with
-      | Some (entry, s) when condition_holds t.mode ~local entry.pending ->
-        remove_entry t s entry;
-        s.cand <- None;  (* a stale heap key now points at nothing *)
+      | Some (entry, _) when condition_holds t.mode ~local entry.pending ->
+        t.sole <- None;
+        t.size <- 0;
         Some entry.pending
       | Some _ -> None  (* the one buffered entry is blocked *)
       | None -> take_slow t ~local
@@ -350,16 +356,22 @@ module Indexed = struct
     pop ()
 
   let all_entries t =
-    Hashtbl.fold
-      (fun _ s acc ->
-        let acc = ref acc in
-        for i = 0 to s.window - 1 do
-          acc :=
-            List.rev_append s.slots.((s.head + i) mod Array.length s.slots) !acc
-        done;
-        !acc)
-      t.senders []
-    |> List.sort (fun a b -> Int.compare a.arrival b.arrival)
+    let in_ring =
+      Hashtbl.fold
+        (fun _ s acc ->
+          let acc = ref acc in
+          for i = 0 to s.window - 1 do
+            acc :=
+              List.rev_append s.slots.((s.head + i) mod Array.length s.slots)
+                !acc
+          done;
+          !acc)
+        t.senders []
+    in
+    let all =
+      match t.sole with Some (e, _) -> e :: in_ring | None -> in_ring
+    in
+    List.sort (fun a b -> Int.compare a.arrival b.arrival) all
 
   let to_list t = List.map (fun e -> e.pending) (all_entries t)
 

@@ -6,7 +6,8 @@ type 'a t = {
   mutable on_direct : src:Engine.pid -> 'a -> unit;
 }
 
-let create ?obs ~engine ~self ~mode ?(on_direct = fun ~src:_ _ -> ()) () =
+let create ?obs ?framing ?batch_window ~engine ~self ~mode
+    ?(on_direct = fun ~src:_ _ -> ()) () =
   let endpoint =
     { self; engine; transport = None; groups = Hashtbl.create 4; on_direct }
   in
@@ -18,7 +19,10 @@ let create ?obs ~engine ~self ~mode ?(on_direct = fun ~src:_ _ -> ()) () =
        | None -> ())
     | Wire.Direct payload -> endpoint.on_direct ~src payload
   in
-  let transport = Transport.create ?obs ~engine ~self ~mode ~on_deliver:deliver () in
+  let transport =
+    Transport.create ?obs ?framing ?batch_window ~engine ~self ~mode
+      ~on_deliver:deliver ()
+  in
   endpoint.transport <- Some transport;
   Engine.set_handler engine self (fun _self env -> Transport.handle transport env);
   endpoint

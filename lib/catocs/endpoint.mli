@@ -11,14 +11,17 @@ type 'a t
 
 val create :
   ?obs:Repro_obs.Log.t ->
+  ?framing:'a Wire.t Transport.framing ->
+  ?batch_window:Sim_time.t ->
   engine:'a Wire.t Transport.packet Engine.t ->
   self:Engine.pid ->
   mode:Config.transport_mode ->
   ?on_direct:(src:Engine.pid -> 'a -> unit) ->
   unit ->
   'a t
-(** Installs itself as the engine handler for [self]. [obs] is handed to
-    the transport (retransmission telemetry). *)
+(** Installs itself as the engine handler for [self]. [obs], [framing] and
+    [batch_window] are handed to the transport (retransmission telemetry
+    and the {!Config.Encoded} wire path). *)
 
 val self : 'a t -> Engine.pid
 val engine : 'a t -> 'a Wire.t Transport.packet Engine.t

@@ -141,9 +141,9 @@ let origin_seq (data : 'a Wire.data) =
    [delivered] vector its pong carried: exactly the unstable buffer filtered
    by per-origin delivered counts. Anything the peer lacks cannot have
    stabilised (stability requires delivery by every member), so the
-   unstable buffer is a complete source. [unstable] is in msg-id order,
-   which the globally-sequenced stamping makes causally consistent — the
-   link stays FIFO-causal. *)
+   unstable buffer is a complete source. [unstable] is in stamping order
+   ([Wire.compare_stamping] — causally consistent under both msg-id
+   schemes), so the link stays FIFO-causal. *)
 let missing_for ~delivered unstable =
   List.filter
     (fun (d : 'a Wire.data) ->

@@ -1,8 +1,8 @@
 (* Releasing a stable message is identical bookkeeping in both
    implementations; only the strategy for *finding* newly stable messages
    differs. *)
-let release_message ~metrics ~graph ~obs ~now (data : 'a Wire.data) =
-  let bytes = Wire.buffered_bytes data in
+let release_message ~bytes_of ~metrics ~graph ~obs ~now (data : 'a Wire.data) =
+  let bytes = bytes_of data in
   Metrics.note_unstable_removed metrics ~bytes;
   Stats.Summary.add metrics.Metrics.stability_lag_us
     (float_of_int (Sim_time.to_us (Sim_time.sub now data.Wire.sent_at)));
@@ -24,6 +24,7 @@ module Reference = struct
   type 'a q = {
     matrix : Group_clock.t;
     buffer : (Wire.msg_id, 'a Wire.data) Hashtbl.t;
+    bytes_of : 'a Wire.data -> int;
     metrics : Metrics.t;
     graph : Causality.t option;
     obs : (Repro_obs.Log.t * int) option;
@@ -32,18 +33,32 @@ module Reference = struct
 
   type nonrec 'a t = 'a q
 
-  let create ?clock ?obs ~group_size ~metrics ~graph () =
+  let create ?clock ?(bytes_of = Wire.buffered_bytes) ?obs ~group_size
+      ~metrics ~graph () =
     { matrix = Group_clock.create ?impl:clock group_size;
-      buffer = Hashtbl.create 64; metrics; graph; obs; bytes = 0 }
+      buffer = Hashtbl.create 64; bytes_of; metrics; graph; obs; bytes = 0 }
 
   let note_sent_or_delivered t (data : 'a Wire.data) =
     if not (Hashtbl.mem t.buffer data.Wire.msg_id) then begin
       Hashtbl.add t.buffer data.Wire.msg_id data;
-      let bytes = Wire.buffered_bytes data in
+      let bytes = t.bytes_of data in
       t.bytes <- t.bytes + bytes;
       Metrics.note_unstable_added t.metrics ~bytes
     end;
     Group_clock.update_row t.matrix data.Wire.sender_rank data.Wire.vt
+
+  (* Fifo_gap-mode fast path: a PC/Hybrid stamp is nonzero only at the
+     sender's own component, so the sender-row merge is one diagonal cell. *)
+  let note_delivered_diag t (data : 'a Wire.data) =
+    if not (Hashtbl.mem t.buffer data.Wire.msg_id) then begin
+      Hashtbl.add t.buffer data.Wire.msg_id data;
+      let bytes = t.bytes_of data in
+      t.bytes <- t.bytes + bytes;
+      Metrics.note_unstable_added t.metrics ~bytes
+    end;
+    let sender = data.Wire.sender_rank in
+    Group_clock.update_cell t.matrix sender sender
+      ~seq:(Vector_clock.get data.Wire.vt sender)
 
   let release_stable t ~now =
     let stable_ids =
@@ -57,8 +72,9 @@ module Reference = struct
     in
     let release (id, data) =
       Hashtbl.remove t.buffer id;
-      t.bytes <- t.bytes - Wire.buffered_bytes data;
-      release_message ~metrics:t.metrics ~graph:t.graph ~obs:t.obs ~now data
+      t.bytes <- t.bytes - t.bytes_of data;
+      release_message ~bytes_of:t.bytes_of ~metrics:t.metrics ~graph:t.graph
+        ~obs:t.obs ~now data
     in
     List.iter release stable_ids
 
@@ -71,10 +87,15 @@ module Reference = struct
     Group_clock.update_row ~live:true t.matrix rank vc;
     release_stable t ~now
 
+  (* The caller's clock advanced only at [col] since its last observation:
+     merge that one cell, then the usual release pass. *)
+  let self_observe_cell t ~rank ~col ~seq ~now =
+    Group_clock.update_cell t.matrix rank col ~seq;
+    release_stable t ~now
+
   let unstable t =
     Hashtbl.fold (fun _ data acc -> data :: acc) t.buffer []
-    |> List.sort (fun (a : 'a Wire.data) b ->
-           Int.compare a.Wire.msg_id b.Wire.msg_id)
+    |> List.sort Wire.compare_stamping
 
   let unstable_count t = Hashtbl.length t.buffer
   let unstable_bytes t = t.bytes
@@ -104,6 +125,7 @@ module Incremental = struct
     highest : int array;  (* highest seq buffered per sender (dedup) *)
     mutable dirty : int list;  (* columns whose cached minimum advanced *)
     dirty_mark : bool array;
+    bytes_of : 'a Wire.data -> int;
     metrics : Metrics.t;
     graph : Causality.t option;
     obs : (Repro_obs.Log.t * int) option;
@@ -113,13 +135,14 @@ module Incremental = struct
 
   type nonrec 'a t = 'a q
 
-  let create ?clock ?obs ~group_size ~metrics ~graph () =
+  let create ?clock ?(bytes_of = Wire.buffered_bytes) ?obs ~group_size
+      ~metrics ~graph () =
     { matrix = Group_clock.create ?impl:clock group_size;
       pending = Array.init group_size (fun _ -> Queue.create ());
       highest = Array.make group_size 0;
       dirty = [];
       dirty_mark = Array.make group_size false;
-      metrics; graph; obs; count = 0; bytes = 0 }
+      bytes_of; metrics; graph; obs; count = 0; bytes = 0 }
 
   let mark_dirty t s =
     if not t.dirty_mark.(s) then begin
@@ -133,12 +156,29 @@ module Incremental = struct
     if seq > t.highest.(sender) then begin
       t.highest.(sender) <- seq;
       Queue.push data t.pending.(sender);
-      let bytes = Wire.buffered_bytes data in
+      let bytes = t.bytes_of data in
       t.bytes <- t.bytes + bytes;
       t.count <- t.count + 1;
       Metrics.note_unstable_added t.metrics ~bytes
     end;
     Group_clock.update_row_tracked t.matrix sender data.Wire.vt
+      ~advanced:(fun s -> mark_dirty t s)
+
+  (* Fifo_gap-mode fast path: a PC/Hybrid stamp is nonzero only at the
+     sender's own component, so the sender-row merge is one diagonal cell —
+     O(1) instead of the O(group) full-row classification pass. *)
+  let note_delivered_diag t (data : 'a Wire.data) =
+    let sender = data.Wire.sender_rank in
+    let seq = Vector_clock.get data.Wire.vt sender in
+    if seq > t.highest.(sender) then begin
+      t.highest.(sender) <- seq;
+      Queue.push data t.pending.(sender);
+      let bytes = t.bytes_of data in
+      t.bytes <- t.bytes + bytes;
+      t.count <- t.count + 1;
+      Metrics.note_unstable_added t.metrics ~bytes
+    end;
+    Group_clock.update_cell_tracked t.matrix sender sender ~seq
       ~advanced:(fun s -> mark_dirty t s)
 
   (* Pop every deque prefix covered by its column's (already advanced)
@@ -161,10 +201,10 @@ module Incremental = struct
             | Some (data : 'a Wire.data)
               when Vector_clock.get data.Wire.vt s <= min_seq ->
               ignore (Queue.pop q);
-              t.bytes <- t.bytes - Wire.buffered_bytes data;
+              t.bytes <- t.bytes - t.bytes_of data;
               t.count <- t.count - 1;
-              release_message ~metrics:t.metrics ~graph:t.graph ~obs:t.obs
-                ~now data
+              release_message ~bytes_of:t.bytes_of ~metrics:t.metrics
+                ~graph:t.graph ~obs:t.obs ~now data
             | Some _ | None -> go := false
           done)
         dirty
@@ -180,16 +220,25 @@ module Incremental = struct
       ~advanced:(fun s -> mark_dirty t s);
     release_dirty t ~now
 
-  (* k-way merge of the per-sender deques: each is ascending in msg_id
-     (per-sender send order), so no sort is needed. *)
+  (* The caller's clock advanced only at [col] since its last observation:
+     merge that one cell, then the usual release pass. *)
+  let self_observe_cell t ~rank ~col ~seq ~now =
+    Group_clock.update_cell_tracked t.matrix rank col ~seq
+      ~advanced:(fun s -> mark_dirty t s);
+    release_dirty t ~now
+
+  (* k-way merge of the per-sender deques: each is ascending in stamping
+     order (per-sender send order), so no sort is needed. *)
   let unstable t =
     let lists = Array.map (fun q -> List.of_seq (Queue.to_seq q)) t.pending in
-    let heap = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+    let heap =
+      Heap.create ~cmp:(fun (a, _) (b, _) -> Wire.compare_stamping a b)
+    in
     Array.iteri
       (fun r l ->
         match l with
         | [] -> ()
-        | (d : 'a Wire.data) :: _ -> Heap.push heap (d.Wire.msg_id, r))
+        | (d : 'a Wire.data) :: _ -> Heap.push heap (d, r))
       lists;
     let out = ref [] in
     let go = ref true in
@@ -202,7 +251,7 @@ module Incremental = struct
           out := d :: !out;
           lists.(r) <- rest;
           (match rest with
-           | (d' : 'a Wire.data) :: _ -> Heap.push heap (d'.Wire.msg_id, r)
+           | (d' : 'a Wire.data) :: _ -> Heap.push heap (d', r)
            | [] -> ())
         | [] -> ())
     done;
@@ -224,12 +273,15 @@ type 'a t =
   | Incremental_s of 'a Incremental.t
   | Reference_s of 'a Reference.t
 
-let create ?(impl = Incremental) ?clock ?obs ~group_size ~metrics ~graph () =
+let create ?(impl = Incremental) ?clock ?bytes_of ?obs ~group_size ~metrics
+    ~graph () =
   match impl with
   | Incremental ->
-    Incremental_s (Incremental.create ?clock ?obs ~group_size ~metrics ~graph ())
+    Incremental_s
+      (Incremental.create ?clock ?bytes_of ?obs ~group_size ~metrics ~graph ())
   | Reference ->
-    Reference_s (Reference.create ?clock ?obs ~group_size ~metrics ~graph ())
+    Reference_s
+      (Reference.create ?clock ?bytes_of ?obs ~group_size ~metrics ~graph ())
 
 let impl_of = function Incremental_s _ -> Incremental | Reference_s _ -> Reference
 
@@ -237,6 +289,11 @@ let note_sent_or_delivered t data =
   match t with
   | Incremental_s q -> Incremental.note_sent_or_delivered q data
   | Reference_s q -> Reference.note_sent_or_delivered q data
+
+let note_delivered_diag t data =
+  match t with
+  | Incremental_s q -> Incremental.note_delivered_diag q data
+  | Reference_s q -> Reference.note_delivered_diag q data
 
 let observe_vc t ~rank ~now vc =
   match t with
@@ -247,6 +304,11 @@ let self_observe t ~rank ~now vc =
   match t with
   | Incremental_s q -> Incremental.self_observe q ~rank ~now vc
   | Reference_s q -> Reference.self_observe q ~rank ~now vc
+
+let self_observe_cell t ~rank ~col ~seq ~now =
+  match t with
+  | Incremental_s q -> Incremental.self_observe_cell q ~rank ~col ~seq ~now
+  | Reference_s q -> Reference.self_observe_cell q ~rank ~col ~seq ~now
 
 let unstable = function
   | Incremental_s q -> Incremental.unstable q

@@ -30,6 +30,7 @@ type impl = Incremental | Reference
 val create :
   ?impl:impl ->
   ?clock:Group_clock.impl ->
+  ?bytes_of:('a Wire.data -> int) ->
   ?obs:Repro_obs.Log.t * int ->
   group_size:int ->
   metrics:Metrics.t ->
@@ -38,6 +39,11 @@ val create :
   'a t
 (** [impl] defaults to [Incremental]; [clock] selects the matrix-clock
     representation (default [Dense] — see {!Config.stability_clock}).
+    [bytes_of] is the per-message byte accounting used by the
+    unstable-bytes gauges — default {!Wire.buffered_bytes} (the header
+    estimate); the {!Config.Encoded} wire path passes
+    {!Wire_codec.data_bytes} so gauges charge real encoded sizes. It must
+    be a pure function of the message (it is re-applied on release).
     [obs] is the telemetry log plus the owning process id: every release
     then emits an [Obs.Event.Span_stable] record alongside the
     [Metrics.stability_lag_us] sample. *)
@@ -51,6 +57,13 @@ val note_sent_or_delivered : 'a t -> 'a Wire.data -> unit
     given sender must arrive in ascending sequence order — the causal/FIFO
     delivery condition guarantees this. *)
 
+val note_delivered_diag : 'a t -> 'a Wire.data -> unit
+(** {!note_sent_or_delivered} specialised to a Fifo_gap-mode message whose
+    timestamp is nonzero only at its sender's own component (PC/Hybrid
+    sparse stamps): the sender-row merge is a single diagonal cell, O(1)
+    instead of an O(group) row merge. Behavior is identical to
+    {!note_sent_or_delivered} on such messages. *)
+
 val observe_vc : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
 (** Merge a member's reported vector clock and release newly stable
     messages; each release records its send-to-stability lag ([now] minus
@@ -58,6 +71,14 @@ val observe_vc : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
 
 val self_observe : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
 (** Update our own row (rank = self). *)
+
+val self_observe_cell :
+  'a t -> rank:int -> col:int -> seq:int -> now:Sim_time.t -> unit
+(** {!self_observe} specialised to a clock that advanced only at component
+    [col] (to [seq]) since it was last observed — the per-delivery case,
+    where [causal_deliver] bumps exactly the sender's component. O(1) cell
+    merge plus the usual release pass; identical observable behavior to
+    passing the full clock. *)
 
 val unstable : 'a t -> 'a Wire.data list
 (** Current unstable messages, ordered by message id (deterministic). *)
@@ -74,6 +95,7 @@ module Reference : sig
 
   val create :
     ?clock:Group_clock.impl ->
+    ?bytes_of:('a Wire.data -> int) ->
     ?obs:Repro_obs.Log.t * int ->
     group_size:int ->
     metrics:Metrics.t ->
@@ -82,8 +104,12 @@ module Reference : sig
     'a t
 
   val note_sent_or_delivered : 'a t -> 'a Wire.data -> unit
+  val note_delivered_diag : 'a t -> 'a Wire.data -> unit
   val observe_vc : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
   val self_observe : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
+
+  val self_observe_cell :
+    'a t -> rank:int -> col:int -> seq:int -> now:Sim_time.t -> unit
   val unstable : 'a t -> 'a Wire.data list
   val unstable_count : 'a t -> int
   val unstable_bytes : 'a t -> int
@@ -95,6 +121,7 @@ module Incremental : sig
 
   val create :
     ?clock:Group_clock.impl ->
+    ?bytes_of:('a Wire.data -> int) ->
     ?obs:Repro_obs.Log.t * int ->
     group_size:int ->
     metrics:Metrics.t ->
@@ -103,8 +130,12 @@ module Incremental : sig
     'a t
 
   val note_sent_or_delivered : 'a t -> 'a Wire.data -> unit
+  val note_delivered_diag : 'a t -> 'a Wire.data -> unit
   val observe_vc : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
   val self_observe : 'a t -> rank:int -> now:Sim_time.t -> Vector_clock.t -> unit
+
+  val self_observe_cell :
+    'a t -> rank:int -> col:int -> seq:int -> now:Sim_time.t -> unit
   val unstable : 'a t -> 'a Wire.data list
   val unstable_count : 'a t -> int
   val unstable_bytes : 'a t -> int

@@ -22,13 +22,13 @@ type shared = {
       (* (view_id, rank, per-sender seq) -> msg_id, for graph arcs *)
 }
 
-let next_group_id = ref 0
+let next_group_id = Atomic.make 0
 
 let make_shared ?group_id ?obs (config : Config.t) =
   let group_id =
     match group_id with
     | Some id -> id
-    | None -> incr next_group_id; !next_group_id
+    | None -> Atomic.fetch_and_add next_group_id 1 + 1
   in
   { group_id; shared_config = config;
     graph = (if config.Config.track_graph then Some (Causality.create ()) else None);
@@ -65,6 +65,16 @@ type 'a t = {
   self : Engine.pid;
   mutable callbacks : 'a callbacks;
   metrics : Metrics.t;
+  bytes_of : ('a Wire.data -> int) option;
+      (* [Config.Encoded]: charge unstable-bytes gauges with real encoded
+         sizes ([Wire_codec.data_bytes]); [None] keeps the header
+         estimates *)
+  parallel_ids : bool;
+      (* parallel engine: msg_ids come from the per-stack counter below
+         (seq and pid packed into the integer) instead of the group-shared
+         counter, whose allocation order would depend on cross-lane
+         interleaving *)
+  mutable own_msg_seq : int;
   lamport : Lamport.t;
   delivered_ids : (Wire.msg_id, unit) Hashtbl.t;
   causal_seen : (Wire.msg_id, unit) Hashtbl.t;
@@ -162,9 +172,11 @@ let stability_clock (config : Config.t) =
   | Config.Dense_clock -> Group_clock.Dense
   | Config.Sparse_clock -> Group_clock.Sparse
 
-let make_stability ?obs (config : Config.t) ~group_size ~metrics ~graph =
+let make_stability ?obs ?bytes_of (config : Config.t) ~group_size ~metrics
+    ~graph =
   Stability.create ~impl:(stability_impl config)
-    ~clock:(stability_clock config) ?obs ~group_size ~metrics ~graph ()
+    ~clock:(stability_clock config) ?bytes_of ?obs ~group_size ~metrics ~graph
+    ()
 
 let self t = t.self
 let shared_of t = t.shared
@@ -375,9 +387,18 @@ let causal_deliver t (pending : 'a Delivery_queue.pending) =
      k <> sender); in Fifo_gap mode a full merge would overstate which
      messages from third parties we have delivered. *)
   let sender = data.Wire.sender_rank in
-  Vector_clock.set t.vc sender (Vector_clock.get data.Wire.vt sender);
-  Stability.note_sent_or_delivered t.stability data;
-  Stability.self_observe t.stability ~rank:t.rank ~now:(Engine.now t.engine) t.vc;
+  let sender_seq = Vector_clock.get data.Wire.vt sender in
+  Vector_clock.set t.vc sender sender_seq;
+  (* PC/Hybrid stamps are nonzero only at the sender's own component, so
+     both stability merges below collapse to single cells — the delivery
+     hot path stays O(1) in group size instead of O(n) per message. *)
+  (match data.Wire.meta with
+   | Wire.Pc_meta _ | Wire.Hybrid_meta _ ->
+     Stability.note_delivered_diag t.stability data
+   | Wire.Fifo_meta | Wire.Causal_meta | Wire.Seq_meta | Wire.Lamport_meta _ ->
+     Stability.note_sent_or_delivered t.stability data);
+  Stability.self_observe_cell t.stability ~rank:t.rank ~col:sender
+    ~seq:sender_seq ~now:(Engine.now t.engine);
   (* PC forward-on-first-delivery. This must run BEFORE the application
      callback below: a reaction multicast issued synchronously from the
      delivery would otherwise be sent ahead of this message's forwarded
@@ -550,9 +571,23 @@ let rec on_data t ?(src_rank = -1) (data : 'a Wire.data) =
 
 (* --- multicast ---------------------------------------------------------- *)
 
+(* parallel msg_id layout: seq * 2^20 + pid — globally unique for up to a
+   million processes, and independent of cross-member allocation order *)
+let msg_id_pid_limit = 1 lsl 20
+
 let make_data t payload =
-  let msg_id = t.shared.next_msg_id in
-  t.shared.next_msg_id <- msg_id + 1;
+  let msg_id =
+    if t.parallel_ids then begin
+      let seq = t.own_msg_seq in
+      t.own_msg_seq <- seq + 1;
+      (seq * msg_id_pid_limit) + t.self
+    end
+    else begin
+      let id = t.shared.next_msg_id in
+      t.shared.next_msg_id <- id + 1;
+      id
+    end
+  in
   (match t.shared.obs with
    | Some log ->
      Repro_obs.Log.span_send log ~at:(Engine.now t.engine) ~uid:msg_id
@@ -744,8 +779,8 @@ let install_view t flush =
   let leftover_seq = Total_order.Sequencer_queue.pending_data t.seq_queue in
   let leftover_lamport = Total_order.Lamport_queue.pending t.lamport_queue in
   (* Sequencer/Lamport leftovers were causally delivered but unordered;
-     every survivor holds the identical set, so deliver them in msg-id /
-     stamp order (deterministic and identical everywhere). *)
+     every survivor holds the identical set, so deliver them in stamping /
+     Lamport-stamp order (deterministic and identical everywhere). *)
   List.iter (final_deliver t) leftover_seq;
   List.iter (final_deliver t) leftover_lamport;
   Total_order.Sequencer_queue.clear t.seq_queue;
@@ -769,10 +804,10 @@ let install_view t flush =
      onto a later round before the intermediate New_view arrived. The new
      round's flush supplied every message the intermediate views' members
      delivered (nothing from those views can have stabilised, since this
-     member never acknowledged them), so delivering here — in msg-id order,
-     which this simulator's globally-sequenced stamping makes causality-
-     consistent — keeps delivery all-or-none across the group. Dropping
-     them instead would lose messages peers delivered in the skipped view. *)
+     member never acknowledged them), so delivering here — in stamping
+     order, which is causality-consistent under both msg-id schemes —
+     keeps delivery all-or-none across the group. Dropping them instead
+     would lose messages peers delivered in the skipped view. *)
   let skipped, remaining =
     List.partition (fun (vid, _) -> vid < flush.new_view_id) t.future_proto
   in
@@ -782,7 +817,7 @@ let install_view t flush =
        | _, Wire.Data d when not (Hashtbl.mem t.delivered_ids d.Wire.msg_id) ->
          Some d
        | _ -> None)
-  |> List.sort (fun (a : 'a Wire.data) b -> Int.compare a.Wire.msg_id b.Wire.msg_id)
+  |> List.sort Wire.compare_stamping
   |> List.iter (fun d ->
          final_deliver t
            { Delivery_queue.data = d; arrived_at = Engine.now t.engine });
@@ -797,8 +832,9 @@ let install_view t flush =
   t.lamport_queue <-
     Total_order.Lamport_queue.create ?obs ~group_size:(Group.size new_view) ();
   t.stability <-
-    make_stability ?obs t.config ~group_size:(Group.size new_view)
-      ~metrics:t.metrics ~graph:t.shared.graph;
+    make_stability ?obs ?bytes_of:t.bytes_of t.config
+      ~group_size:(Group.size new_view) ~metrics:t.metrics
+      ~graph:t.shared.graph;
   t.next_global_seq <- 0;
   t.deferred_lamport_gossip <- [];
   t.status <- Normal;
@@ -1007,8 +1043,9 @@ let install_join t join ~view_id ~members ~state =
   t.lamport_queue <-
     Total_order.Lamport_queue.create ?obs ~group_size:(Group.size new_view) ();
   t.stability <-
-    make_stability ?obs t.config ~group_size:(Group.size new_view)
-      ~metrics:t.metrics ~graph:t.shared.graph;
+    make_stability ?obs ?bytes_of:t.bytes_of t.config
+      ~group_size:(Group.size new_view) ~metrics:t.metrics
+      ~graph:t.shared.graph;
   t.next_global_seq <- 0;
   t.deferred_lamport_gossip <- [];
   t.status <- Normal;
@@ -1122,11 +1159,11 @@ let handle_proto t ~src (proto : 'a Wire.proto) =
            retransmitting anything *)
         if Pc_causal.link_open pc ~peer_rank:from_rank then begin
           (* Start the fresh link FIFO-causal: resend exactly the messages
-             the peer's delivered-counts say it lacks, in msg-id order
-             (causally consistent under globally-sequenced stamping). The
-             unstable buffer is a complete source — anything the peer is
-             missing cannot have stabilised, since stability requires
-             delivery by every member including the peer. *)
+             the peer's delivered-counts say it lacks, in stamping order
+             (causally consistent under both msg-id schemes). The unstable
+             buffer is a complete source — anything the peer is missing
+             cannot have stabilised, since stability requires delivery by
+             every member including the peer. *)
           let missing =
             match t.hybrid with
             | Some h ->
@@ -1165,12 +1202,36 @@ let handle_proto t ~src (proto : 'a Wire.proto) =
   | Wire.State_transfer { view_id; state } -> on_state_transfer t ~view_id ~state
   end
 
-let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callbacks () =
+let create ?endpoint:shared_endpoint ?payload_codec ~engine ~shared ~config
+    ~view ~self ~callbacks () =
   let rank = Group.rank_of_exn view self in
+  let parallel_ids =
+    match Engine.impl engine with
+    | Engine.Sequential -> false
+    | Engine.Parallel _ ->
+      (* cross-member mutable state the lanes would race on: the shared
+         causal graph (and its id index) and the group telemetry log *)
+      if config.Config.track_graph then
+        invalid_arg "Stack.create: track_graph needs the sequential engine";
+      if Option.is_some shared.obs then
+        invalid_arg "Stack.create: group telemetry needs the sequential engine";
+      if self >= msg_id_pid_limit then
+        invalid_arg "Stack.create: pid too large for parallel msg_ids";
+      true
+  in
   let metrics = Metrics.create () in
   let obs = obs_pair shared ~self in
+  let codec =
+    match (config.Config.wire_format, payload_codec) with
+    | Config.Structural, _ -> None
+    | Config.Encoded, Some pc -> Some (Wire_codec.create pc)
+    | Config.Encoded, None ->
+      invalid_arg "Stack.create: Encoded wire format needs ~payload_codec"
+  in
+  let bytes_of = Option.map (fun c -> Wire_codec.data_bytes c) codec in
   let t =
-    { engine; shared; config; self; callbacks; metrics;
+    { engine; shared; config; self; callbacks; metrics; bytes_of;
+      parallel_ids; own_msg_seq = 0;
       lamport = Lamport.create (); delivered_ids = Hashtbl.create 256;
       causal_seen = Hashtbl.create 256;
       endpoint = None; view; rank;
@@ -1182,8 +1243,8 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
       lamport_queue =
         Total_order.Lamport_queue.create ?obs ~group_size:(Group.size view) ();
       stability =
-        make_stability ?obs config ~group_size:(Group.size view) ~metrics
-          ~graph:shared.graph;
+        make_stability ?obs ?bytes_of config ~group_size:(Group.size view)
+          ~metrics ~graph:shared.graph;
       next_global_seq = 0; status = Normal; outbox = []; installing = false;
       failed_members = Pid_set.empty; deferred_lamport_gossip = [];
       future_proto = [];
@@ -1197,7 +1258,15 @@ let create ?endpoint:shared_endpoint ~engine ~shared ~config ~view ~self ~callba
     match shared_endpoint with
     | Some e -> e
     | None ->
-      Endpoint.create ?obs:shared.obs ~engine ~self
+      let framing =
+        Option.map
+          (fun c ->
+            { Transport.frame = Wire_codec.encode c;
+              unframe = Wire_codec.decode c })
+          codec
+      in
+      Endpoint.create ?obs:shared.obs ?framing
+        ~batch_window:config.Config.batch_window ~engine ~self
         ~mode:config.Config.transport
         ~on_direct:(fun ~src payload -> t.callbacks.direct ~src payload)
         ()
@@ -1263,11 +1332,12 @@ let set_state_handlers t ~get ~set =
   t.get_state <- get;
   t.set_state <- set
 
-let join ?endpoint:shared_endpoint ~engine ~shared ~config ~self ~contact ~callbacks () =
+let join ?endpoint:shared_endpoint ?payload_codec ~engine ~shared ~config
+    ~self ~contact ~callbacks () =
   let placeholder = Group.make_view ~view_id:(-1) [ self ] in
   let t =
-    create ?endpoint:shared_endpoint ~engine ~shared ~config ~view:placeholder
-      ~self ~callbacks ()
+    create ?endpoint:shared_endpoint ?payload_codec ~engine ~shared ~config
+      ~view:placeholder ~self ~callbacks ()
   in
   let join_state = { pending_view = None; pending_state = None } in
   t.status <- Joining join_state;
@@ -1290,7 +1360,7 @@ let shutdown t =
   t.cancel_gossip ();
   t.callbacks <- null_callbacks
 
-let create_group ?obs ~engine ~config ~names ~make_callbacks () =
+let create_group ?obs ?payload_codec ~engine ~config ~names ~make_callbacks () =
   let pids =
     List.map (fun n -> Engine.spawn engine ~name:n (fun _ _ -> ())) names
   in
@@ -1298,6 +1368,6 @@ let create_group ?obs ~engine ~config ~names ~make_callbacks () =
   let shared = make_shared ?obs config in
   List.map
     (fun pid ->
-      create ~engine ~shared ~config ~view ~self:pid
+      create ?payload_codec ~engine ~shared ~config ~view ~self:pid
         ~callbacks:(make_callbacks pid) ())
     pids

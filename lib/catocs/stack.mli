@@ -53,6 +53,7 @@ type 'a t
 
 val create :
   ?endpoint:'a Endpoint.t ->
+  ?payload_codec:'a Wire_codec.payload_codec ->
   engine:'a Wire.t Transport.packet Engine.t ->
   shared:shared ->
   config:Config.t ->
@@ -63,10 +64,20 @@ val create :
   'a t
 (** [endpoint] lets several stacks (one per group) share one process's
     endpoint — a process may belong to many groups; by default a fresh
-    endpoint is created and the stack is its only group. *)
+    endpoint is created and the stack is its only group.
+
+    [payload_codec] is required when [config.wire_format = Encoded] (and
+    the stack creates its own endpoint): the fresh endpoint then frames
+    every message through {!Wire_codec} — with
+    [config.batch_window > Sim_time.zero], coalescing same-link sends —
+    and unstable-bytes gauges charge real encoded sizes. Raises
+    [Invalid_argument] if [Encoded] is configured without a codec. A
+    caller-supplied shared [endpoint] keeps whatever framing it was
+    created with. *)
 
 val create_group :
   ?obs:Repro_obs.Log.t ->
+  ?payload_codec:'a Wire_codec.payload_codec ->
   engine:'a Wire.t Transport.packet Engine.t ->
   config:Config.t ->
   names:string list ->
@@ -140,6 +151,7 @@ val set_state_handlers :
 
 val join :
   ?endpoint:'a Endpoint.t ->
+  ?payload_codec:'a Wire_codec.payload_codec ->
   engine:'a Wire.t Transport.packet Engine.t ->
   shared:shared ->
   config:Config.t ->

@@ -48,8 +48,7 @@ module Sequencer_queue = struct
   let pending_data t =
     Hashtbl.fold (fun _ p acc -> p :: acc) t.data []
     |> List.sort (fun a b ->
-           Int.compare a.Delivery_queue.data.Wire.msg_id
-             b.Delivery_queue.data.Wire.msg_id)
+           Wire.compare_stamping a.Delivery_queue.data b.Delivery_queue.data)
 
   let clear t =
     Hashtbl.reset t.orders;

@@ -2,6 +2,13 @@ type 'w packet =
   | Seg of { seq : int; payload : 'w }
   | Raw of 'w
   | Ack of { upto : int }
+  | Enc of { seq : int; frame : string }
+      (* one encoded frame; [seq] sequences Fifo_order links, -1 on Bare *)
+  | Enc_batch of { first_seq : int; frames : string list }
+      (* same-link frames coalesced within one flush window; frame [i]
+         carries sequence [first_seq + i] (-1 again means unsequenced) *)
+
+type 'w framing = { frame : 'w -> string; unframe : string -> 'w }
 
 type 'w send_channel = {
   mutable next_seq : int;
@@ -14,6 +21,12 @@ type 'w recv_channel = {
   out_of_order : (int, 'w) Hashtbl.t;
 }
 
+type pending_batch = {
+  mutable first_seq : int;
+  mutable rev_frames : string list;
+  mutable armed : bool;
+}
+
 type 'w t = {
   engine : 'w packet Engine.t;
   self : Engine.pid;
@@ -22,16 +35,36 @@ type 'w t = {
   on_deliver : src:Engine.pid -> 'w -> unit;
   senders : (Engine.pid, 'w send_channel) Hashtbl.t;
   receivers : (Engine.pid, 'w recv_channel) Hashtbl.t;
+  framing : 'w framing option;
+  batch_window : Sim_time.t;
+  pending : (Engine.pid, pending_batch) Hashtbl.t;
   mutable packets_sent : int;
   mutable retransmissions : int;
+  mutable batches_sent : int;
+  mutable wire_bytes_sent : int;
 }
 
-let create ?obs ~engine ~self ~mode ~on_deliver () =
+let create ?obs ?framing ?(batch_window = Sim_time.zero) ~engine ~self ~mode
+    ~on_deliver () =
+  if batch_window > Sim_time.zero then begin
+    if Option.is_none framing then
+      invalid_arg "Transport.create: batching needs a framing codec";
+    match mode with
+    | Config.Reliable _ ->
+      (* retransmit bookkeeping is per-segment; re-batching on the resend
+         path would reorder across the ack horizon *)
+      invalid_arg "Transport.create: batching under Reliable transport"
+    | Config.Bare | Config.Fifo_order -> ()
+  end;
   { engine; self; mode; obs; on_deliver; senders = Hashtbl.create 8;
-    receivers = Hashtbl.create 8; packets_sent = 0; retransmissions = 0 }
+    receivers = Hashtbl.create 8; framing; batch_window;
+    pending = Hashtbl.create 8; packets_sent = 0; retransmissions = 0;
+    batches_sent = 0; wire_bytes_sent = 0 }
 
 let packets_sent t = t.packets_sent
 let retransmissions t = t.retransmissions
+let batches_sent t = t.batches_sent
+let wire_bytes_sent t = t.wire_bytes_sent
 
 let emit t ~dst packet =
   t.packets_sent <- t.packets_sent + 1;
@@ -82,7 +115,68 @@ let rec arm_retransmit t dst ch ~rto ~max_retries =
           arm_retransmit t dst ch ~rto ~max_retries)
   end
 
+(* --- encoded path: Bare / Fifo_order links with a framing codec ---------- *)
+
+let pending_batch t dst =
+  match Hashtbl.find_opt t.pending dst with
+  | Some b -> b
+  | None ->
+    let b = { first_seq = -1; rev_frames = []; armed = false } in
+    Hashtbl.add t.pending dst b;
+    b
+
+let flush_batch t dst b =
+  match b.rev_frames with
+  | [] -> ()
+  | [ frame ] ->
+    (* a lone frame skips the batch envelope *)
+    b.rev_frames <- [];
+    t.wire_bytes_sent <- t.wire_bytes_sent + String.length frame;
+    emit t ~dst (Enc { seq = b.first_seq; frame })
+  | rev ->
+    let frames = List.rev rev in
+    b.rev_frames <- [];
+    List.iter
+      (fun f -> t.wire_bytes_sent <- t.wire_bytes_sent + String.length f)
+      frames;
+    (* one event on the link, but each frame is still a logical packet:
+       [packets_sent] counts messages (emit already charged one for the
+       batch itself), [batches_sent] counts the coalescings *)
+    t.packets_sent <- t.packets_sent + (List.length frames - 1);
+    t.batches_sent <- t.batches_sent + 1;
+    emit t ~dst (Enc_batch { first_seq = b.first_seq; frames })
+
+let send_encoded t framing ~dst payload =
+  let frame = framing.frame payload in
+  let seq =
+    match t.mode with
+    | Config.Fifo_order ->
+      let ch = sender_channel t dst in
+      let seq = ch.next_seq in
+      ch.next_seq <- seq + 1;
+      seq
+    | Config.Bare | Config.Reliable _ -> -1
+  in
+  if t.batch_window = Sim_time.zero then begin
+    t.wire_bytes_sent <- t.wire_bytes_sent + String.length frame;
+    emit t ~dst (Enc { seq; frame })
+  end
+  else begin
+    let b = pending_batch t dst in
+    if b.rev_frames = [] then b.first_seq <- seq;
+    b.rev_frames <- frame :: b.rev_frames;
+    if not b.armed then begin
+      b.armed <- true;
+      Engine.after t.engine ~owner:t.self t.batch_window (fun () ->
+          b.armed <- false;
+          flush_batch t dst b)
+    end
+  end
+
 let send t ~dst payload =
+  match (t.framing, t.mode) with
+  | Some f, (Config.Bare | Config.Fifo_order) -> send_encoded t f ~dst payload
+  | (Some _ | None), _ ->
   match t.mode with
   | Config.Bare -> emit t ~dst (Raw payload)
   | Config.Fifo_order ->
@@ -112,32 +206,65 @@ let handle_ack t src upto =
 
 let handle_seg t src seq payload =
   let ch = receiver_channel t src in
-  if seq >= ch.next_expected && not (Hashtbl.mem ch.out_of_order seq) then
-    Hashtbl.add ch.out_of_order seq payload;
-  (* drain the contiguous prefix *)
-  let rec drain () =
-    match Hashtbl.find_opt ch.out_of_order ch.next_expected with
-    | None -> ()
-    | Some p ->
-      Hashtbl.remove ch.out_of_order ch.next_expected;
-      ch.next_expected <- ch.next_expected + 1;
-      t.on_deliver ~src p;
-      drain ()
-  in
-  drain ();
+  if Int.equal seq ch.next_expected && Hashtbl.length ch.out_of_order = 0
+  then begin
+    (* in-order arrival on an empty reassembly buffer — the common case on
+       a mildly-reordering network: deliver without touching the table *)
+    ch.next_expected <- seq + 1;
+    t.on_deliver ~src payload
+  end
+  else begin
+    if seq >= ch.next_expected && not (Hashtbl.mem ch.out_of_order seq) then
+      Hashtbl.add ch.out_of_order seq payload;
+    (* drain the contiguous prefix *)
+    let rec drain () =
+      match Hashtbl.find_opt ch.out_of_order ch.next_expected with
+      | None -> ()
+      | Some p ->
+        Hashtbl.remove ch.out_of_order ch.next_expected;
+        ch.next_expected <- ch.next_expected + 1;
+        t.on_deliver ~src p;
+        drain ()
+    in
+    drain ()
+  end;
   (* acks exist only for the retransmission mode; a Fifo_order receiver
      stays silent *)
   match t.mode with
   | Config.Reliable _ -> emit t ~dst:src (Ack { upto = ch.next_expected - 1 })
   | Config.Bare | Config.Fifo_order -> ()
 
+let require_framing t =
+  match t.framing with
+  | Some f -> f
+  | None ->
+    (* both link ends are built from the same Config, so an encoded packet
+       can only reach a framed transport *)
+    invalid_arg "Transport: encoded packet on a transport without framing"
+
+let handle_frame t src seq frame =
+  let f = require_framing t in
+  let payload = f.unframe frame in
+  if seq < 0 then t.on_deliver ~src payload else handle_seg t src seq payload
+
 let handle t (env : 'w packet Engine.envelope) =
   match env.payload with
   | Raw payload -> t.on_deliver ~src:env.src payload
   | Seg { seq; payload } -> handle_seg t env.src seq payload
   | Ack { upto } -> handle_ack t env.src upto
+  | Enc { seq; frame } -> handle_frame t env.src seq frame
+  | Enc_batch { first_seq; frames } ->
+    List.iteri
+      (fun i frame ->
+        let seq = if first_seq < 0 then -1 else first_seq + i in
+        handle_frame t env.src seq frame)
+      frames
 
 let pp_packet pp_payload ppf = function
   | Seg { seq; payload } -> Format.fprintf ppf "seg#%d(%a)" seq pp_payload payload
   | Raw payload -> Format.fprintf ppf "%a" pp_payload payload
   | Ack { upto } -> Format.fprintf ppf "ack<=%d" upto
+  | Enc { seq; frame } -> Format.fprintf ppf "enc#%d(%dB)" seq (String.length frame)
+  | Enc_batch { first_seq; frames } ->
+    Format.fprintf ppf "batch#%d(%d frames,%dB)" first_seq (List.length frames)
+      (List.fold_left (fun acc f -> acc + String.length f) 0 frames)

@@ -61,6 +61,19 @@ let rec wire_bytes data =
   buffered_bytes data
   + List.fold_left (fun acc d -> acc + wire_bytes d) 0 data.piggyback
 
+(* Stamping order — the causally consistent total order the recovery paths
+   (flush exchange, pong retransmission, skipped-view replay) sort by. With
+   the sequential engine's global msg-id counter, [msg_id] alone is monotone
+   in stamping time, but the parallel engine's per-sender strided ids are
+   not: [sent_at] is what is actually monotone along causal chains (a
+   successor is stamped strictly after its predecessor arrived), with
+   [msg_id] breaking ties among concurrent same-instant sends. Under the
+   sequential engine this comparator orders identically to raw [msg_id]. *)
+let compare_stamping (a : 'a data) (b : 'b data) =
+  match Sim_time.compare a.sent_at b.sent_at with
+  | 0 -> Int.compare a.msg_id b.msg_id
+  | c -> c
+
 let pp pp_payload ppf = function
   | Proto (_, Data d) ->
     Format.fprintf ppf "data#%d(from=%d,%a)" d.msg_id d.origin pp_payload d.payload

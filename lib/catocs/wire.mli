@@ -92,4 +92,13 @@ val buffered_bytes : 'a data -> int
 val wire_bytes : 'a data -> int
 (** Bytes on the wire including piggybacked predecessors. *)
 
+val compare_stamping : 'a data -> 'b data -> int
+(** Stamping order: [(sent_at, msg_id)] — the causally consistent total
+    order the recovery paths (flush unstable exchange, pong-triggered
+    retransmission, skipped-view replay) must transmit or deliver in.
+    [sent_at] is monotone along causal chains under {e both} msg-id
+    schemes; raw [msg_id] order is equivalent only under the sequential
+    engine's global counter, not the parallel engine's per-sender strided
+    ids. Ties (concurrent same-instant sends) break by [msg_id]. *)
+
 val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -18,10 +18,14 @@ type mem_event =
 type member_log = {
   pid : Engine.pid;
   name : string;
+  shard : int;  (* registration index; the uid namespace in sharded mode *)
   mutable events_rev : mem_event list;
   mutable delivered_rev : int list;
   mutable sent_rev : int list;
   mutable first_install_at : Sim_time.t option;
+  mutable own_next_seq : int;  (* sharded mode: per-member send counter *)
+  mutable own_sends_rev : send_info list;  (* sharded mode: own sends *)
+  mutable own_deliveries : int;
 }
 
 type t = {
@@ -31,7 +35,22 @@ type t = {
   mutable next_uid : int;
   next_seq : (Engine.pid, int) Hashtbl.t;
   mutable delivery_count : int;
+  sharded : bool;
+      (* parallel-engine mode: every during-run mutation is confined to the
+         acting member's own log — uids are allocated per-sender (seq and
+         depth packed into the integer), send records accumulate in
+         [own_sends_rev], and the shared [sends] index is only built by
+         {!seal} after the run. Members themselves are registered from
+         single-threaded contexts (setup, control lane), so the [members]
+         table is never resized while workers read it. *)
+  mutable sealed : bool;
 }
+
+(* sharded uid layout: (seq * shard_limit + shard) * 4 + min depth 3 —
+   globally unique, allocation-order independent, and self-describing
+   enough for the during-run reads ({!send_depth}) to avoid the shared
+   index *)
+let shard_limit = 1 lsl 16
 
 type violation = {
   oracle : string;
@@ -40,10 +59,10 @@ type violation = {
   uids : int list;
 }
 
-let create () =
+let create ?(sharded = false) () =
   { sends = Hashtbl.create 256; members = Hashtbl.create 16;
     member_order_rev = []; next_uid = 0; next_seq = Hashtbl.create 16;
-    delivery_count = 0 }
+    delivery_count = 0; sharded; sealed = false }
 
 let log_of t pid =
   match Hashtbl.find_opt t.members pid with
@@ -51,9 +70,13 @@ let log_of t pid =
   | None -> invalid_arg "Oracle: unregistered member"
 
 let register_member t ~pid ~name ~view =
+  let shard = List.length t.member_order_rev in
+  if t.sharded && shard >= shard_limit then
+    invalid_arg "Oracle: too many members for sharded uids";
   let log =
-    { pid; name; events_rev = []; delivered_rev = []; sent_rev = [];
-      first_install_at = None }
+    { pid; name; shard; events_rev = []; delivered_rev = []; sent_rev = [];
+      first_install_at = None; own_next_seq = 0; own_sends_rev = [];
+      own_deliveries = 0 }
   in
   (match view with
    | Some (view_id, members) ->
@@ -65,26 +88,63 @@ let register_member t ~pid ~name ~view =
 
 let member_pids t = List.rev t.member_order_rev
 let name_of t pid = (log_of t pid).name
-let send_count t = t.next_uid
-let delivery_count t = t.delivery_count
+
+let fold_logs t f init =
+  List.fold_left (fun acc pid -> f acc (log_of t pid)) init (member_pids t)
+
+let send_count t =
+  if t.sharded then fold_logs t (fun acc log -> acc + log.own_next_seq) 0
+  else t.next_uid
+
+let delivery_count t =
+  if t.sharded then fold_logs t (fun acc log -> acc + log.own_deliveries) 0
+  else t.delivery_count
+
 let has_install t pid = (log_of t pid).first_install_at <> None
 
 let note_send t ~sender ~at ~depth ~partial =
-  let uid = t.next_uid in
-  t.next_uid <- uid + 1;
-  let seq = Option.value ~default:0 (Hashtbl.find_opt t.next_seq sender) in
-  Hashtbl.replace t.next_seq sender (seq + 1);
   let log = log_of t sender in
+  let uid, seq =
+    if t.sharded then begin
+      let seq = log.own_next_seq in
+      log.own_next_seq <- seq + 1;
+      ((((seq * shard_limit) + log.shard) * 4) + min depth 3, seq)
+    end
+    else begin
+      let uid = t.next_uid in
+      t.next_uid <- uid + 1;
+      let seq = Option.value ~default:0 (Hashtbl.find_opt t.next_seq sender) in
+      Hashtbl.replace t.next_seq sender (seq + 1);
+      (uid, seq)
+    end
+  in
   let context =
     List.sort_uniq Int.compare (List.rev_append log.delivered_rev log.sent_rev)
   in
   log.sent_rev <- uid :: log.sent_rev;
-  Hashtbl.replace t.sends uid
-    { uid; sender; sender_seq = seq; sent_at = at; depth; partial; context };
+  let s = { uid; sender; sender_seq = seq; sent_at = at; depth; partial; context } in
+  if t.sharded then log.own_sends_rev <- s :: log.own_sends_rev
+  else Hashtbl.replace t.sends uid s;
   uid
 
+(* Build the shared uid index from the per-member journals, once the run is
+   over. Idempotent; a no-op outside sharded mode (where [sends] is
+   populated inline). *)
+let seal t =
+  if t.sharded && not t.sealed then begin
+    t.sealed <- true;
+    List.iter
+      (fun pid ->
+        List.iter
+          (fun s -> Hashtbl.replace t.sends s.uid s)
+          (List.rev (log_of t pid).own_sends_rev))
+      (member_pids t)
+  end
+
 let send_depth t uid =
-  match Hashtbl.find_opt t.sends uid with Some s -> s.depth | None -> 0
+  if t.sharded then uid land 3
+  else
+    match Hashtbl.find_opt t.sends uid with Some s -> s.depth | None -> 0
 
 let info t uid =
   match Hashtbl.find_opt t.sends uid with
@@ -95,7 +155,8 @@ let note_delivery t ~pid ~uid ~at =
   let log = log_of t pid in
   log.events_rev <- Deliver { uid; at } :: log.events_rev;
   log.delivered_rev <- uid :: log.delivered_rev;
-  t.delivery_count <- t.delivery_count + 1
+  log.own_deliveries <- log.own_deliveries + 1;
+  if not t.sharded then t.delivery_count <- t.delivery_count + 1
 
 let note_install t ~pid ~view_id ~members ~at =
   let log = log_of t pid in
@@ -465,6 +526,7 @@ let check_history t ~survivors =
 (* --- the per-mode oracle suite ------------------------------------------- *)
 
 let check t ~ordering ~survivors =
+  seal t;
   let common = [ check_duplicates; check_view_agreement; check_fifo ] in
   let causal = [ check_causal ] in
   let total = [ (fun t -> check_total t ~survivors) ] in
@@ -495,6 +557,7 @@ let ordering_discipline : Config.ordering -> Exec.ordering_discipline = function
   | Config.Total_sequencer | Config.Total_lamport -> Exec.Total_order
 
 let to_exec t ~ordering ~label =
+  seal t;
   let processes =
     List.map (fun pid -> (pid, (log_of t pid).name)) (member_pids t)
   in
@@ -597,6 +660,7 @@ let to_exec t ~ordering ~label =
 (* --- counterexample trace ------------------------------------------------- *)
 
 let pp_trace fmt t ~uids =
+  seal t;
   let uids = List.sort_uniq Int.compare uids in
   let uids = List.filteri (fun i _ -> i < 8) uids in
   List.iter

@@ -42,7 +42,15 @@ type violation = {
   uids : int list;  (** message uids involved, for the trace printer *)
 }
 
-val create : unit -> t
+val create : ?sharded:bool -> unit -> t
+(** [sharded] (default false) prepares the oracle for parallel-engine runs:
+    every during-run mutation touches only the acting member's own journal —
+    uids are allocated per-sender (send counter and reaction depth packed
+    into the integer, so they are independent of cross-member interleaving)
+    and the shared send index is built lazily once {!check}, {!to_exec} or
+    {!pp_trace} is first called. Members must still be registered from
+    single-threaded contexts (setup or the engine's control lane).
+    Non-sharded allocation (dense uids in global send order) is unchanged. *)
 
 val register_member :
   t -> pid:Engine.pid -> name:string -> view:(int * Engine.pid list) option -> unit

@@ -36,18 +36,24 @@ let reaction_budget = 240
 
 let max_reaction_depth = 3
 
-let execute ?(queue_impl = Config.Indexed_queue)
+let execute ?(engine_impl = Engine.Sequential)
+    ?(queue_impl = Config.Indexed_queue)
     ?(stability_impl = Config.Incremental_stability)
     ?(causal_impl = Config.Vector_causal)
     ?(stability_clock = Config.Dense_clock) ~seed ~ordering
     (plan : Fault_plan.t) =
+  let parallel =
+    match engine_impl with Engine.Sequential -> false | Engine.Parallel _ -> true
+  in
   let net =
     Net.create
       ~latency:(Net.Uniform (Sim_time.us 100, Sim_time.us 20_000))
       ()
   in
   let engine =
-    Engine.create ~seed:(Int64.of_int ((seed * 1_000_003) + 7919)) ~net ()
+    Engine.create ~impl:engine_impl
+      ~seed:(Int64.of_int ((seed * 1_000_003) + 7919))
+      ~net ()
   in
   let config =
     {
@@ -64,11 +70,29 @@ let execute ?(queue_impl = Config.Indexed_queue)
          the mesh keeps every member one forwarding hop away even when
          partitions sever the direct link *)
       pc_overlay = Config.Pc_full_mesh;
+      (* the shared causal graph and its id index are cross-member mutable
+         state; the checker's oracles never read them *)
+      track_graph = (if parallel then false else Config.default.Config.track_graph);
     }
   in
-  let oracle = Oracle.create () in
+  let oracle = Oracle.create ~sharded:parallel () in
   let stacks : (Engine.pid, stack) Hashtbl.t = Hashtbl.create 16 in
-  let budget = ref reaction_budget in
+  (* Reaction budget. Sequential keeps the historical global pool; parallel
+     runs split it into per-member allowances (each touched only by its
+     member's lane) so the reaction schedule cannot depend on cross-lane
+     decrement interleaving. Cells are created at registration — always a
+     single-threaded context — never lazily from delivery callbacks. *)
+  let budgets : (Engine.pid, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let per_member_budget =
+    max 1 (reaction_budget / max 1 plan.Fault_plan.n_members)
+  in
+  let global_budget = ref reaction_budget in
+  let add_budget pid =
+    if parallel then Hashtbl.replace budgets pid (ref per_member_budget)
+  in
+  let budget_cell pid =
+    if parallel then Hashtbl.find budgets pid else global_budget
+  in
   let usable pid =
     match Hashtbl.find_opt stacks pid with
     | Some st when Engine.is_alive engine pid && not (Stack.is_ejected st) ->
@@ -93,6 +117,7 @@ let execute ?(queue_impl = Config.Indexed_queue)
           (* deterministic reaction rule: roughly a third of deliveries
              provoke a follow-up multicast, giving the causal oracle real
              cross-sender dependencies to check *)
+          let budget = budget_cell pid in
           if
             !budget > 0
             && Oracle.send_depth oracle uid < max_reaction_depth
@@ -120,6 +145,7 @@ let execute ?(queue_impl = Config.Indexed_queue)
     (fun st ->
       let pid = Stack.self st in
       Hashtbl.replace stacks pid st;
+      add_budget pid;
       Oracle.register_member oracle ~pid ~name:(Engine.name engine pid)
         ~view:(Some (0, all_initial)))
     group;
@@ -174,6 +200,7 @@ let execute ?(queue_impl = Config.Indexed_queue)
             incr join_count;
             let name = Printf.sprintf "j%d" k in
             let pid = Engine.spawn engine ~name (fun _ _ -> ()) in
+            add_budget pid;
             Oracle.register_member oracle ~pid ~name ~view:None;
             let st =
               Stack.join ~engine ~shared ~config ~self:pid
@@ -201,9 +228,9 @@ let execute ?(queue_impl = Config.Indexed_queue)
   in
   (oracle, survivors)
 
-let violation_of ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan =
+let violation_of ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan =
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
+    execute ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
   in
   match Oracle.check oracle ~ordering ~survivors with
   | Some v -> Some (v, oracle)
@@ -213,10 +240,10 @@ let violation_of ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed
    fault list, then drop single faults (last first) while the plan still
    fails. Every candidate is a full deterministic re-execution, so the
    shrunk plan is guaranteed to still reproduce a violation. *)
-let shrink_plan ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
+let shrink_plan ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
     (v0, o0) =
   let fails faults =
-    violation_of ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering
+    violation_of ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering
       (Fault_plan.with_faults plan faults)
   in
   let faults = Array.of_list plan.Fault_plan.faults in
@@ -247,9 +274,9 @@ let make_report ~seed ~ordering ~shrunk plan (violation, oracle) =
   in
   { seed; ordering; plan; violation; trace; shrunk }
 
-let replay ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed plan =
+let replay ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed plan =
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
+    execute ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
   in
   match Oracle.check oracle ~ordering ~survivors with
   | None ->
@@ -262,10 +289,10 @@ let replay ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~
     Fail (make_report ~seed ~ordering ~shrunk:false plan (violation, oracle))
 
 let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true)
-    ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed () =
+    ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed () =
   let plan = Fault_plan.generate ~seed profile in
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
+    execute ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
   in
   match Oracle.check oracle ~ordering ~survivors with
   | None ->
@@ -277,7 +304,7 @@ let run_seed ?(profile = Fault_plan.default_profile) ?(shrink = true)
   | Some violation ->
     if shrink then
       let plan', best =
-        shrink_plan ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering
+        shrink_plan ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering
           plan (violation, oracle)
       in
       Fail (make_report ~seed ~ordering ~shrunk:true plan' best)
@@ -291,7 +318,7 @@ type sweep_result = {
 }
 
 let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
-    ?(start_seed = 0) ?on_seed ?queue_impl ?stability_impl ?causal_impl ?stability_clock
+    ?(start_seed = 0) ?on_seed ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock
     ~ordering ~seeds () =
   let rec go i acc_pass acc_s acc_d =
     if i >= seeds then
@@ -300,7 +327,7 @@ let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
     else
       let seed = start_seed + i in
       match
-        run_seed ~profile ~shrink ?queue_impl ?stability_impl ?causal_impl ?stability_clock
+        run_seed ~profile ~shrink ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock
           ~ordering ~seed ()
       with
       | Pass { sends; deliveries } ->
@@ -315,9 +342,9 @@ let sweep ?(profile = Fault_plan.default_profile) ?(shrink = true)
 
 (* --- execution export for the offline analyzer ----------------------------- *)
 
-let exec_of_plan ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed plan =
+let exec_of_plan ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed plan =
   let oracle, survivors =
-    execute ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
+    execute ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~seed ~ordering plan
   in
   let verdict =
     match Oracle.check oracle ~ordering ~survivors with
@@ -335,9 +362,9 @@ let exec_of_plan ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~orde
   in
   (Oracle.to_exec oracle ~ordering ~label, verdict)
 
-let exec_of_seed ?(profile = Fault_plan.default_profile) ?queue_impl
+let exec_of_seed ?(profile = Fault_plan.default_profile) ?engine_impl ?queue_impl
     ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed () =
-  exec_of_plan ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed
+  exec_of_plan ?engine_impl ?queue_impl ?stability_impl ?causal_impl ?stability_clock ~ordering ~seed
     (Fault_plan.generate ~seed profile)
 
 let pp_report fmt r =

@@ -30,6 +30,7 @@ val ordering_of_string : string -> Repro_catocs.Config.ordering option
 (** Accepts the names above plus "fifo" as an alias for fbcast. *)
 
 val replay :
+  ?engine_impl:Engine.impl ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
@@ -45,6 +46,7 @@ val replay :
 val run_seed :
   ?profile:Fault_plan.profile ->
   ?shrink:bool ->
+  ?engine_impl:Engine.impl ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
@@ -54,7 +56,11 @@ val run_seed :
   unit ->
   verdict
 (** Execute one seed. [shrink] (default true) minimises the fault plan of a
-    failing run before reporting. [queue_impl] (default [Indexed_queue])
+    failing run before reporting. [engine_impl] (default [Sequential])
+    selects the engine execution strategy: under [Parallel] the run uses a
+    sharded oracle (per-sender uid allocation) and per-member reaction
+    budgets, so its verdicts are deterministic in the domain count but not
+    comparable with [Sequential] verdicts for the same seed. [queue_impl] (default [Indexed_queue])
     selects the delivery-queue implementation the stacks run on, so the
     same seeds can differentially exercise the optimized and reference
     buffering paths; [stability_impl] (default [Incremental_stability]) does
@@ -75,6 +81,7 @@ val sweep :
   ?shrink:bool ->
   ?start_seed:int ->
   ?on_seed:(seed:int -> ok:bool -> unit) ->
+  ?engine_impl:Engine.impl ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
@@ -87,6 +94,7 @@ val sweep :
     failure. [on_seed] is a progress hook. *)
 
 val exec_of_plan :
+  ?engine_impl:Engine.impl ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
@@ -101,6 +109,7 @@ val exec_of_plan :
 
 val exec_of_seed :
   ?profile:Fault_plan.profile ->
+  ?engine_impl:Engine.impl ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->
   ?stability_impl:Repro_catocs.Config.stability_impl ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->

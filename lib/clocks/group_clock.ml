@@ -34,6 +34,18 @@ let update_row_tracked ?live t i vc ~advanced =
     Matrix_clock.update_row_tracked m i vc ~advanced
   | Sparse_c m -> Sparse_matrix_clock.update_row_tracked ?live m i vc ~advanced
 
+(* Single-cell merge: advance row [i]'s component [s] to [seq]. An integer
+   never aliases a snapshot, so there is no [live] flag. *)
+let update_cell_tracked t i s ~seq ~advanced =
+  match t with
+  | Dense_c m -> Matrix_clock.update_cell_tracked m i s ~seq ~advanced
+  | Sparse_c m -> Sparse_matrix_clock.update_cell_tracked m i s ~seq ~advanced
+
+let update_cell t i s ~seq =
+  match t with
+  | Dense_c m -> Matrix_clock.update_cell m i s ~seq
+  | Sparse_c m -> Sparse_matrix_clock.update_cell m i s ~seq
+
 let min_component t s =
   match t with
   | Dense_c m -> Matrix_clock.min_component m s

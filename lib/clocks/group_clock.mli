@@ -27,6 +27,15 @@ val update_row_tracked :
 (** Like {!update_row}, calling [advanced s] once per column [s] whose
     cached minimum increased (after the cache reflects the new minimum). *)
 
+val update_cell_tracked :
+  t -> int -> int -> seq:int -> advanced:(int -> unit) -> unit
+(** Advance row [i]'s component [s] to [seq] (if larger): the O(1)
+    per-delivery fast path, equivalent to {!update_row_tracked} with a
+    vector differing from the row only at [s]. No [live] flag — an integer
+    never aliases row storage. *)
+
+val update_cell : t -> int -> int -> seq:int -> unit
+
 val min_component : t -> int -> int
 (** O(1) cached per-column minimum (see {!Matrix_clock.min_component}). *)
 

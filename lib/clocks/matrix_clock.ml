@@ -54,6 +54,26 @@ let update_row_tracked t i vc ~advanced =
 
 let update_row t i vc = update_row_tracked t i vc ~advanced:(fun _ -> ())
 
+(* Single-cell merge: row [i]'s component [s] advances to [seq] if larger.
+   Equivalent to [update_row_tracked] with a vector equal to the row
+   everywhere but [s] — the per-delivery fast path, O(1) instead of a
+   full-row merge. *)
+let update_cell_tracked t i s ~seq ~advanced =
+  let r = t.rows.(i) in
+  let old = Vector_clock.get r s in
+  if seq > old then begin
+    Vector_clock.set r s seq;
+    if old = t.mins.(s) then begin
+      t.at_min.(s) <- t.at_min.(s) - 1;
+      if t.at_min.(s) = 0 then begin
+        rescan_column t s;
+        advanced s
+      end
+    end
+  end
+
+let update_cell t i s ~seq = update_cell_tracked t i s ~seq ~advanced:(fun _ -> ())
+
 let min_component t s = t.mins.(s)
 
 let stable t ~sender ~seq = t.mins.(sender) >= seq

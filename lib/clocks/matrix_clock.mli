@@ -32,6 +32,16 @@ val update_row_tracked :
     (after the cache reflects the new minimum). Stale or equal components
     never fire the callback. *)
 
+val update_cell_tracked :
+  t -> int -> int -> seq:int -> advanced:(int -> unit) -> unit
+(** [update_cell_tracked t i s ~seq ~advanced] advances row [i]'s component
+    [s] to [seq] (if larger) — equivalent to {!update_row_tracked} with a
+    vector equal to the row everywhere but [s], at O(1) instead of a
+    full-row merge. The per-delivery fast path when a delivery is known to
+    advance exactly one component. *)
+
+val update_cell : t -> int -> int -> seq:int -> unit
+
 val min_component : t -> int -> int
 (** [min_component t s] is the highest multicast index from sender [s] known
     to be received by *all* members: messages up to this index are stable.

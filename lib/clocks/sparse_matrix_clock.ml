@@ -184,6 +184,33 @@ let update_row_tracked ?(live = false) t i vc ~advanced =
 let update_row ?live t i vc =
   update_row_tracked ?live t i vc ~advanced:(fun _ -> ())
 
+(* Single-cell merge: row [i]'s component [s] advances to [seq] if larger.
+   Diagonal cells ([s = i]) are the PC data hot path and touch only the
+   [own] override; off-diagonal cells evict the row into private storage,
+   exactly as [update_row_tracked] would for a live vector differing from
+   the row only at [s]. A plain integer never aliases the row, so no [live]
+   flag is needed. *)
+let update_cell_tracked t i s ~seq ~advanced =
+  let r = t.rows.(i) in
+  if s = i then begin
+    if seq > r.own then begin
+      let old = r.own in
+      r.own <- seq;
+      if r.owned then Vector_clock.set r.base i seq;
+      cache_bump t i ~old ~advanced
+    end
+  end
+  else begin
+    let old = Vector_clock.get r.base s in
+    if seq > old then begin
+      materialize t i;
+      Vector_clock.set r.base s seq;
+      cache_bump t s ~old ~advanced
+    end
+  end
+
+let update_cell t i s ~seq = update_cell_tracked t i s ~seq ~advanced:(fun _ -> ())
+
 let min_component t s =
   if !chaos_overstate_minima then begin
     (* the mutation: report the column maximum as if it were the minimum *)

@@ -38,6 +38,17 @@ val update_row_tracked :
     identical order to {!Matrix_clock.update_row_tracked} on the same
     update sequence. *)
 
+val update_cell_tracked :
+  t -> int -> int -> seq:int -> advanced:(int -> unit) -> unit
+(** [update_cell_tracked t i s ~seq ~advanced] advances row [i]'s component
+    [s] to [seq] (if larger) — same observable behavior as
+    {!update_row_tracked} with a vector differing from the row only at [s].
+    Diagonal cells touch one integer; an off-diagonal advance evicts the
+    row into private storage (as the live full-vector merge would). An
+    integer never aliases the row, so there is no [live] flag. *)
+
+val update_cell : t -> int -> int -> seq:int -> unit
+
 val min_component : t -> int -> int
 (** O(1) — reads the maintained cache (see {!Matrix_clock.min_component}). *)
 

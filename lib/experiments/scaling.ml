@@ -19,7 +19,8 @@ type point = {
 
 (* the graph peaks need the shared causal graph: rebuild the group manually
    so we hold the shared context *)
-let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
+let measure_with_graph ?(engine_impl = Engine.Sequential) ?obs
+    ?(gauge_period = Sim_time.ms 10)
     ?(processing_time = Sim_time.zero)
     ?(duration = Sim_time.seconds 1) ?(send_period = Sim_time.ms 10)
     ?gossip_period
@@ -27,12 +28,23 @@ let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
     ?(stability_impl = Config.Incremental_stability)
     ?(causal_impl = Config.Vector_causal)
     ?(stability_clock = Config.Dense_clock)
-    ?(pc_overlay = Config.Pc_full_mesh) ?(track_graph = true)
+    ?(pc_overlay = Config.Pc_full_mesh) ?track_graph
     ~seed n =
+  let parallel =
+    match engine_impl with Engine.Sequential -> false | Engine.Parallel _ -> true
+  in
+  (* the graph peaks and telemetry gauges read group-shared state the
+     parallel lanes would race on; Stack.create rejects them, so default
+     them off under Parallel instead of making every caller do it *)
+  let track_graph =
+    match track_graph with Some b -> b | None -> not parallel
+  in
+  if parallel && Option.is_some obs then
+    invalid_arg "Scaling.measure_with_graph: telemetry needs Sequential";
   let net =
     Net.create ~latency:(Net.Uniform (500, 5_000)) ~processing_time ()
   in
-  let engine = Engine.create ~seed ~net () in
+  let engine = Engine.create ~impl:engine_impl ~seed ~net () in
   let config =
     (* PC-broadcast's structural causality argument needs FIFO links: the
        helper turns this reordering (but lossless) network into exactly
@@ -120,12 +132,13 @@ let measure_with_graph ?obs ?(gauge_period = Sim_time.ms 10)
     app_deliveries_total = !app_deliveries;
     header_bytes_total = !header_bytes }
 
-let sweep ?(sizes = [ 4; 8; 16; 32; 48 ]) ?(seed = 11L) ?processing_time
+let sweep ?(sizes = [ 4; 8; 16; 32; 48 ]) ?(seed = 11L) ?engine_impl
+    ?processing_time
     ?duration ?send_period ?gossip_period ?queue_impl ?stability_impl
     ?causal_impl ?stability_clock ?pc_overlay ?track_graph () =
   List.map
     (fun n ->
-      measure_with_graph ?processing_time ?duration ?send_period
+      measure_with_graph ?engine_impl ?processing_time ?duration ?send_period
         ?gossip_period ?queue_impl ?stability_impl ?causal_impl
         ?stability_clock ?pc_overlay ?track_graph ~seed n)
     sizes

@@ -30,6 +30,7 @@ type point = {
 }
 
 val measure_with_graph :
+  ?engine_impl:Engine.impl ->
   ?obs:Repro_obs.Log.t ->
   ?gauge_period:Sim_time.t ->
   ?processing_time:Sim_time.t ->
@@ -49,10 +50,14 @@ val measure_with_graph :
     lifecycle spans into it and every member's occupancy gauges (unstable
     msgs/bytes, queue depth, blocked count) are sampled every
     [gauge_period] (default 10 ms) — the source for the n=64 scaling trace
-    export. *)
+    export. [engine_impl] (default [Sequential]) selects the engine
+    strategy; under [Parallel], [track_graph] defaults to false and [obs]
+    is rejected (both are group-shared mutable state the lanes would race
+    on), and [processing_time] must stay zero. *)
 
 val sweep :
-  ?sizes:int list -> ?seed:int64 -> ?processing_time:Sim_time.t ->
+  ?sizes:int list -> ?seed:int64 -> ?engine_impl:Engine.impl ->
+  ?processing_time:Sim_time.t ->
   ?duration:Sim_time.t -> ?send_period:Sim_time.t ->
   ?gossip_period:Sim_time.t ->
   ?queue_impl:Repro_catocs.Config.queue_impl ->

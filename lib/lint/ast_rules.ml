@@ -55,6 +55,7 @@ let allows_of_attributes attrs =
 type ctx = {
   unit_ : Src.t;
   exempt_determinism : bool;
+  parallel_scope : bool;
   mutable enclosing : string;
   mutable allow_stack : string list list;
   mutable acc : Rule.t list;
@@ -293,7 +294,20 @@ let inventory_binding ctx ~qualified vb =
       ~message:"module-level ref cell (shared mutable state)";
   if t then
     emit ctx ~rule:"toplevel-hashtbl" ~loc ~symbol:qualified
-      ~message:"module-level hash table (shared mutable state)"
+      ~message:"module-level hash table (shared mutable state)";
+  (* In a parallel-engine scope the inventory escalates: worker domains
+     reach module-level state concurrently, so anything mutable that is
+     not an [Atomic.t] (which [state_holding] never matches) is a data
+     race waiting for a schedule. *)
+  if ctx.parallel_scope && (r || t) then
+    emit ctx ~rule:"domain-unready" ~loc ~symbol:qualified
+      ~message:
+        (if r then
+           "non-Atomic module-level ref in parallel-engine scope; use \
+            Atomic.t or per-lane state"
+         else
+           "module-level hash table in parallel-engine scope; worker \
+            domains mutate it unsynchronized")
 
 let mutable_fields ctx ~module_path decl =
   match decl.ptype_kind with
@@ -360,7 +374,8 @@ and walk_module ctx ~module_path me =
 
 (* --- entry point ---------------------------------------------------------------- *)
 
-let scan ?(exempt_determinism = false) (unit_ : Src.t) =
+let scan ?(exempt_determinism = false) ?(parallel_scope = false)
+    (unit_ : Src.t) =
   match (unit_.Src.structure, unit_.Src.parse_error) with
   | None, Some err ->
     [
@@ -370,7 +385,14 @@ let scan ?(exempt_determinism = false) (unit_ : Src.t) =
   | None, None -> []
   | Some structure, _ ->
     let ctx =
-      { unit_; exempt_determinism; enclosing = "_"; allow_stack = []; acc = [] }
+      {
+        unit_;
+        exempt_determinism;
+        parallel_scope;
+        enclosing = "_";
+        allow_stack = [];
+        acc = [];
+      }
     in
     walk_structure ctx ~module_path:[] structure;
     List.sort Rule.compare ctx.acc

@@ -10,8 +10,12 @@
 
 val allow_attr_name : string
 
-val scan : ?exempt_determinism:bool -> Src.t -> Rule.t list
+val scan :
+  ?exempt_determinism:bool -> ?parallel_scope:bool -> Src.t -> Rule.t list
 (** All per-file findings, in {!Rule.compare} order. [exempt_determinism]
     (used for [lib/sim], which owns the clock and the PRNG) skips the
-    determinism family but keeps the aliasing inventory. A file that fails
-    to parse yields a single [parse-error] finding. *)
+    determinism family but keeps the aliasing inventory. [parallel_scope]
+    (also [lib/sim]: the files the parallel engine's worker domains
+    execute) escalates that inventory — every non-[Atomic] module-level
+    ref or hash table additionally raises a [domain-unready] error. A
+    file that fails to parse yields a single [parse-error] finding. *)

@@ -15,7 +15,10 @@ let default_roots = [ "lib"; "bin" ]
 
 (* lib/sim owns the simulated clock and the seeded PRNG: determinism rules
    are exempt there (the aliasing inventory still applies — the engine's
-   state is exactly what a domain refactor must partition). *)
+   state is exactly what a domain refactor must partition). The same scope
+   is where the parallel engine's worker domains execute, so the inventory
+   escalates: non-Atomic module-level mutable state is a domain-unready
+   error, not an info-level note. *)
 let sim_exempt path =
   let parts = String.split_on_char '/' path in
   List.exists (( = ) "sim") (List.filteri (fun i _ -> i < 2) parts)
@@ -35,7 +38,9 @@ let scan_ast ~repo_root ~roots ~contracts baseline =
   in
   let per_file =
     List.concat_map
-      (fun u -> Ast_rules.scan ~exempt_determinism:(sim_exempt u.Src.path) u)
+      (fun u ->
+        let sim = sim_exempt u.Src.path in
+        Ast_rules.scan ~exempt_determinism:sim ~parallel_scope:sim u)
       root_units
   in
   let contract_findings =

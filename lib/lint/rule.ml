@@ -109,6 +109,17 @@ let catalog =
          shared mutable state, unsynchronized across domains.";
     };
     {
+      id = "domain-unready";
+      meta_family = Aliasing;
+      default_severity = Finding.Error;
+      kind = Finding.Shared_mutable;
+      doc =
+        "Non-Atomic module-level mutable state (ref cell or hash table) in \
+         a parallel-engine scope (lib/sim): worker domains share it \
+         unsynchronized. Make it Atomic, move it into per-lane state, or \
+         baseline the site after review.";
+    };
+    {
       id = "clock-structural-eq";
       meta_family = Aliasing;
       default_severity = Finding.Warning;

@@ -3,9 +3,35 @@
     An engine hosts a set of simulated processes exchanging messages of a
     single type ['msg] (protocol stacks define a wire variant and instantiate
     the engine at it). All scheduling is driven by one event queue ordered by
-    (time, insertion sequence), so runs are reproducible given the seed. *)
+    (time, insertion sequence), so runs are reproducible given the seed.
+
+    Two execution strategies share this interface (see {!impl}):
+
+    - [Sequential] — the classic single event loop above.
+    - [Parallel {domains}] — conservative parallel discrete-event execution
+      on OCaml domains. Each process gets its own event {e lane} (heap,
+      sequence counter, rng stream split off the seed in pid order); lanes
+      advance concurrently through epoch windows of width
+      [Net.min_latency] — the lookahead: a message sent inside a window
+      arrives, at the earliest, in the next one — and a barrier between
+      epochs exchanges cross-lane sends in (arrival time, source lane,
+      emission seq) order. Delivery schedules are therefore a function of
+      the seed alone: the same seed yields identical runs for every
+      [domains] value, including [domains = 1]. [Sequential] remains the
+      reference implementation; it draws from a single shared rng stream,
+      so its schedules are internally deterministic but not comparable
+      message-for-message with [Parallel] runs.
+
+    Parallel restrictions (checked at {!run}): positive [Net.min_latency],
+    zero [Net.processing_time] (the receiver-busy queue mutates receiver
+    state at send time), no [pp_msg] and no enabled trace (both funnel into
+    shared buffers); {!spawn}, {!crash} and {!recover} only from setup or
+    control-lane actions (timers with no [owner], failure observers), not
+    from process handlers. *)
 
 type pid = int
+
+type impl = Sequential | Parallel of { domains : int }
 
 type 'msg envelope = {
   src : pid;
@@ -18,16 +44,27 @@ type 'msg envelope = {
 type 'msg t
 
 val create :
+  ?impl:impl ->
   ?seed:int64 ->
   ?net:Net.t ->
   ?pp_msg:(Format.formatter -> 'msg -> unit) ->
   unit ->
   'msg t
-(** [pp_msg], when given, lets the engine label send/recv trace entries. *)
+(** [impl] selects the execution strategy (default [Sequential]).
+    [pp_msg], when given, lets the engine label send/recv trace entries
+    (sequential only). Raises [Invalid_argument] if [Parallel] is given
+    fewer than 1 domain. *)
+
+val impl : 'msg t -> impl
 
 val net : 'msg t -> Net.t
 val rng : 'msg t -> Rng.t
+
 val now : 'msg t -> Sim_time.t
+(** The current simulated time. Under [Parallel], the clock of the lane the
+    caller is executing on (lanes within one epoch window advance
+    independently); outside lane processing, the last barrier time. *)
+
 val trace : 'msg t -> Trace.t
 
 val spawn : 'msg t -> name:string -> (pid -> 'msg envelope -> unit) -> pid
@@ -75,7 +112,20 @@ val mark : 'msg t -> pid -> string -> unit
 val run : ?until:Sim_time.t -> ?max_events:int -> 'msg t -> unit
 (** Drain the event queue. [until] stops the clock at the given time
     (remaining events stay queued); [max_events] bounds work as a runaway
-    guard (default 50 million). *)
+    guard (default 50 million). Under [Parallel], validates the
+    restrictions listed above, spins up [domains - 1] worker domains for
+    the duration of the call, and advances epoch-by-epoch; empty windows
+    are skipped, and [until] cuts the final window short. *)
+
+val chaos_merge_share_order : bool Atomic.t
+(** Test hook: break the barrier merge's (time, lane, seq) sort by ordering
+    exchanged traffic by worker share first — the domain-count-dependent
+    merge a buggy implementation keyed off scheduling state would produce.
+    Harmless at [Parallel {domains = 1}] (every share coincides); at
+    [domains > 1] same-instant cross-lane arrivals interleave differently,
+    and the cross-domain fingerprint-identity tests must convict. (Atomic
+    because lib/sim is a parallel-engine scope — repro-lint's
+    [domain-unready] rule errors on bare module-level refs here.) *)
 
 val messages_sent : 'msg t -> int
 val messages_delivered : 'msg t -> int

@@ -30,6 +30,15 @@ let drops t rng = t.drop_probability > 0.0 && Rng.bool rng t.drop_probability
 let duplicates t rng =
   t.duplicate_probability > 0.0 && Rng.bool rng t.duplicate_probability
 
+let min_latency t =
+  match t.latency with
+  | Fixed d -> d
+  | Uniform (lo, _) -> lo
+  | Exponential { floor; _ } ->
+    (* of_float_us rounds up to at least 1us, so the shifted exponential
+       never samples below floor + 1us *)
+    Sim_time.add floor (Sim_time.us 1)
+
 let detection_delay t = t.detection_delay
 let processing_time t = t.processing_time
 

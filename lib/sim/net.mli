@@ -31,6 +31,15 @@ val create :
     system-wide propagation time is non-decreasing in system size). *)
 
 val sample_delay : t -> Rng.t -> Sim_time.t
+(** Draw one delivery delay from the latency model. *)
+
+val min_latency : t -> Sim_time.t
+(** Tight lower bound on {!sample_delay}: no sampled delay is ever smaller.
+    The parallel engine uses it as conservative lookahead — events less than
+    [min_latency] apart on different processes cannot affect each other — so
+    it must be positive for parallel runs. Re-checked at each [Engine.run],
+    so [set_latency] between runs is safe; changing latency mid-run is not. *)
+
 val drops : t -> Rng.t -> bool
 val duplicates : t -> Rng.t -> bool
 val detection_delay : t -> Sim_time.t

@@ -1,0 +1,12 @@
+(* Fixture: the domain-readiness escalation. Scanned with
+   [~parallel_scope:true] (the lib/sim treatment), every non-Atomic
+   module-level ref or hash table is a [domain-unready] error on top of
+   its inventory finding; Atomic state and per-call constructors pass. *)
+let epoch_hint = ref 0
+let lane_cache : (int, int) Hashtbl.t = Hashtbl.create 8
+
+(* Atomic module-level state is domain-ready and must NOT be flagged. *)
+let barrier_round = Atomic.make 0
+
+(* A constructor returning a fresh ref is per-call state, not shared. *)
+let make_lane () = ref []

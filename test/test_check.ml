@@ -239,6 +239,105 @@ let test_cross_clock_verdicts () =
         (List.init 5 Fun.id))
     [ ("pc", Config.Pc_causal); ("hybrid", Config.Hybrid_causal) ]
 
+(* --- parallel engine ------------------------------------------------------ *)
+
+let causal_impls =
+  [ ("bss", Config.Vector_causal); ("pc", Config.Pc_causal);
+    ("hybrid", Config.Hybrid_causal) ]
+
+let par_fp ~causal_impl ~domains seed =
+  Runner.fingerprint
+    (Runner.run_seed
+       ~engine_impl:(Engine.Parallel { domains })
+       ~causal_impl ~ordering:Config.Causal ~seed ())
+
+let test_cross_domain_fingerprints () =
+  (* The tentpole determinism contract: the same seed yields a byte-identical
+     verdict fingerprint (sends, deliveries, violation) for every domain
+     count, for all three causal implementations. [Parallel {domains = 1}]
+     is the anchor — domains=2 and 4 only repartition the same lanes. *)
+  List.iter
+    (fun (name, causal_impl) ->
+      List.iter
+        (fun seed ->
+          let f1 = par_fp ~causal_impl ~domains:1 seed in
+          let f2 = par_fp ~causal_impl ~domains:2 seed in
+          let f4 = par_fp ~causal_impl ~domains:4 seed in
+          check_string (Printf.sprintf "%s seed %d d1=d2" name seed) f1 f2;
+          check_string (Printf.sprintf "%s seed %d d1=d4" name seed) f1 f4)
+        [ 0; 1; 2; 3; 4 ])
+    causal_impls
+
+let test_parallel_sweep_clean () =
+  (* The full fault battery (loss and duplication bursts, partitions,
+     crashes, joins) under the parallel engine: the oracles must find
+     nothing, same as the sequential sweeps above. *)
+  List.iter
+    (fun (name, causal_impl) ->
+      let result =
+        Runner.sweep
+          ~engine_impl:(Engine.Parallel { domains = 2 })
+          ~causal_impl ~ordering:Config.Causal ~seeds:25 ()
+      in
+      match result.Runner.failed with
+      | None -> check_int (name ^ " seeds passed") 25 result.Runner.passed
+      | Some report ->
+        Alcotest.failf "parallel %s sweep found a violation:@.%a" name
+          Runner.pp_report report)
+    causal_impls
+
+(* Mutation: order the barrier merge by worker share instead of the
+   (time, lane, seq) sort — the domain-count-dependent interleaving a merge
+   keyed off scheduling state would produce. A star workload with a fixed
+   latency makes the receiver's delivery log literally equal to the merge
+   order of one barrier: seven lanes each send the sink one message at the
+   same instant, so all seven arrivals tie on time and only the sort
+   tie-break orders them. *)
+let merge_order_log ~domains =
+  let net = Net.create ~latency:(Net.Fixed (Sim_time.us 700)) () in
+  let engine =
+    Engine.create ~impl:(Engine.Parallel { domains }) ~seed:11L ~net ()
+  in
+  let log = Buffer.create 64 in
+  let sink =
+    Engine.spawn engine ~name:"sink" (fun _ env ->
+        Buffer.add_string log (Printf.sprintf "%d;" env.Engine.src))
+  in
+  let senders =
+    List.init 7 (fun i ->
+        Engine.spawn engine ~name:(Printf.sprintf "s%d" i) (fun _ _ -> ()))
+  in
+  List.iter
+    (fun p ->
+      Engine.at engine ~owner:p (Sim_time.us 1_000) (fun () ->
+          Engine.send engine ~src:p ~dst:sink p))
+    senders;
+  Engine.run ~until:(Sim_time.ms 5) engine;
+  Buffer.contents log
+
+let with_broken_merge_order f =
+  Atomic.set Engine.chaos_merge_share_order true;
+  Fun.protect
+    ~finally:(fun () -> Atomic.set Engine.chaos_merge_share_order false)
+    f
+
+let test_broken_merge_order_is_caught () =
+  let healthy = merge_order_log ~domains:1 in
+  check_string "healthy merge is (time, lane, seq) ordered" "1;2;3;4;5;6;7;"
+    healthy;
+  check_string "healthy d2 matches d1" healthy (merge_order_log ~domains:2);
+  with_broken_merge_order (fun () ->
+      (* at domains=1 every share coincides, so the mutation is invisible —
+         which is exactly why the identity tests compare against d1 *)
+      check_string "mutated d1 degenerates to healthy" healthy
+        (merge_order_log ~domains:1);
+      let mutated = merge_order_log ~domains:2 in
+      check_bool "share-ordered merge breaks cross-domain identity" true
+        (mutated <> healthy);
+      check_string "mutated d2 interleaves by share" "2;4;6;1;3;5;7;" mutated);
+  (* healed: identity restored *)
+  check_string "healed d2 matches d1 again" healthy (merge_order_log ~domains:2)
+
 let test_plan_generation_deterministic () =
   let profile = Fault_plan.default_profile in
   let show plan = Format.asprintf "%a" Fault_plan.pp plan in
@@ -502,6 +601,15 @@ let () =
             `Slow test_cross_stability_verdicts;
           Alcotest.test_case "plan generation" `Quick
             test_plan_generation_deterministic;
+        ] );
+      ( "parallel-engine",
+        [
+          Alcotest.test_case "fingerprints identical at domains 1/2/4" `Slow
+            test_cross_domain_fingerprints;
+          Alcotest.test_case "25 seeds clean at domains=2" `Slow
+            test_parallel_sweep_clean;
+          Alcotest.test_case "broken barrier merge order caught" `Quick
+            test_broken_merge_order_is_caught;
         ] );
       ( "mutation",
         [

@@ -81,6 +81,38 @@ let test_parse_error () =
   check_bool "parse-error" true
     (match findings with [ f ] -> f.Rule.rule = "parse-error" | _ -> false)
 
+(* Domain readiness: under [~parallel_scope:true] (the lib/sim treatment)
+   non-Atomic module-level mutable state escalates to a domain-unready
+   error; Atomic state and per-call constructors stay clean, and without
+   the flag the same file yields only the info-level inventory. *)
+let test_domain_readiness () =
+  let unit_ = fixture "alias_domain_unready.ml" in
+  let escalated = Ast_rules.scan ~parallel_scope:true unit_ in
+  check_int "two domain-unready errors" 2 (count "domain-unready" escalated);
+  check_bool "names the ref" true
+    (List.exists
+       (fun f ->
+         f.Rule.rule = "domain-unready" && f.Rule.symbol = "epoch_hint")
+       escalated);
+  check_bool "names the hashtbl" true
+    (List.exists
+       (fun f ->
+         f.Rule.rule = "domain-unready" && f.Rule.symbol = "lane_cache")
+       escalated);
+  check_bool "Atomic state not flagged" false
+    (List.exists (fun f -> f.Rule.symbol = "barrier_round") escalated);
+  check_bool "constructor not flagged" false
+    (List.exists (fun f -> f.Rule.symbol = "make_lane") escalated);
+  check_bool "errors, not inventory notes" true
+    (List.for_all
+       (fun f ->
+         f.Rule.rule <> "domain-unready"
+         || f.Rule.severity = Repro_analyze.Finding.Error)
+       escalated);
+  let plain = Ast_rules.scan unit_ in
+  check_int "no escalation without the flag" 0 (count "domain-unready" plain);
+  check_int "inventory still present" 1 (count "toplevel-ref" plain)
+
 let test_sim_exemption () =
   let wall = fixture "det_wall_clock.ml" in
   check_int "determinism skipped" 0
@@ -231,6 +263,7 @@ let () =
           Alcotest.test_case "fixture convictions" `Quick
             test_fixture_convictions;
           Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "domain readiness" `Quick test_domain_readiness;
           Alcotest.test_case "sim exemption" `Quick test_sim_exemption;
           Alcotest.test_case "suppression attributes" `Quick test_suppression;
         ] );
