@@ -154,7 +154,8 @@ let queue_cycle_bench ~impl ~senders ~blocked =
   let local = Vector_clock.create senders in
   let mk ~rank ~vt =
     { Delivery_queue.data =
-        { Wire.msg_id = 0; origin = rank; sender_rank = rank; view_id = 0;
+        { Wire.msg_id = 0; trace_id = 0; origin = rank; sender_rank = rank;
+          view_id = 0;
           vt; meta = Wire.Causal_meta; payload = 0; payload_bytes = 16;
           sent_at = Sim_time.zero; piggyback = [] };
       arrived_at = Sim_time.zero }
@@ -202,7 +203,8 @@ let stability_cycle_bench ~impl ~members ~backlog =
   let next_id = ref 0 in
   let mk ~rank ~vt =
     incr next_id;
-    { Wire.msg_id = !next_id; origin = rank; sender_rank = rank; view_id = 0;
+    { Wire.msg_id = !next_id; trace_id = !next_id; origin = rank;
+      sender_rank = rank; view_id = 0;
       vt; meta = Wire.Causal_meta; payload = 0; payload_bytes = 16;
       sent_at = Sim_time.zero; piggyback = [] }
   in
@@ -262,7 +264,8 @@ let codec_micro_section ~smoke =
     Wire.Proto
       ( 1,
         Wire.Data
-          { Wire.msg_id = 12345; origin = rank; sender_rank = rank;
+          { Wire.msg_id = 12345; trace_id = 12345; origin = rank;
+            sender_rank = rank;
             view_id = 3; vt; meta; payload = 42; payload_bytes = 16;
             sent_at = Sim_time.us 987_654; piggyback = [] } )
   in
@@ -581,11 +584,16 @@ let causal_e2e_section ~engine_impl ~smoke =
           let duration = duration_for n in
           let t0 = Sys.time () in
           let point =
+            (* [~metrics:true]: the copy counters and latency histograms
+               below come from the per-stack registries (counter bumps and
+               bucket increments — cheap enough to leave on for the
+               measured rows, and the whole family is regenerated together
+               so the baseline comparison stays apples-to-apples) *)
             match
               Scaling.sweep ~sizes:[ n ] ~seed:11L ~duration ~engine_impl
                 ?gossip_period:(gossip_for n) ~causal_impl ~stability_clock
                 ~pc_overlay:(Config.Pc_tree { fanout = 8 })
-                ~track_graph:false ()
+                ~track_graph:false ~metrics:true ()
             with
             | [ p ] -> p
             | _ -> assert false
@@ -609,10 +617,13 @@ let causal_e2e_section ~engine_impl ~smoke =
           in
           Printf.printf
             "  causal %-6s n=%-4d deliveries=%-8d cpu=%6.2fs  %10.0f msg/s  \
-             meta/delivery=%6.1f B  peak-buf=%d B  heap=%d MW\n%!"
+             meta/delivery=%6.1f B  peak-buf=%d B  heap=%d MW  \
+             fwd=%d supp=%d park=%d drain=%d\n%!"
             impl_str n point.Scaling.deliveries_total cpu rate mean_header
             point.Scaling.peak_node_unstable_bytes
-            (heap_words / 1_000_000);
+            (heap_words / 1_000_000)
+            point.Scaling.forward_copies point.Scaling.suppressed_copies
+            point.Scaling.parked_copies point.Scaling.drained_copies;
           Printf.sprintf
             "    { \"impl\": %S, \"family\": \"causal\", \"group_size\": %d, \
              \"stability_clock\": %S, \
@@ -626,7 +637,13 @@ let causal_e2e_section ~engine_impl ~smoke =
              \"app_deliveries\": %d, \
              \"header_bytes_total\": %d, \
              \"mean_header_bytes_per_delivery\": %s, \
-             \"peak_heap_words\": %d }"
+             \"peak_heap_words\": %d, \
+             \"forward_copies\": %d, \"suppressed_copies\": %d, \
+             \"parked_copies\": %d, \"drained_copies\": %d, \
+             \"delivery_p50_us\": %s, \"delivery_p99_us\": %s, \
+             \"delivery_p999_us\": %s, \
+             \"stability_lag_p50_us\": %s, \"stability_lag_p99_us\": %s, \
+             \"stability_lag_p999_us\": %s }"
             impl_str n clock_str
             (Sim_time.to_us duration / 1000)
             point.Scaling.messages_total point.Scaling.deliveries_total
@@ -637,9 +654,97 @@ let causal_e2e_section ~engine_impl ~smoke =
             (json_float point.Scaling.mean_delivery_delay_us)
             point.Scaling.app_deliveries_total
             point.Scaling.header_bytes_total (json_float mean_header)
-            heap_words)
+            heap_words
+            point.Scaling.forward_copies point.Scaling.suppressed_copies
+            point.Scaling.parked_copies point.Scaling.drained_copies
+            (json_float point.Scaling.delivery_p50_us)
+            (json_float point.Scaling.delivery_p99_us)
+            (json_float point.Scaling.delivery_p999_us)
+            (json_float point.Scaling.stability_lag_p50_us)
+            (json_float point.Scaling.stability_lag_p99_us)
+            (json_float point.Scaling.stability_lag_p999_us))
         (sizes_for impl_str))
     impls
+
+(* The wire family: the Section 5 workload with the [Encoded] wire format
+   — every multicast is framed through the length-prefixed codec, so the
+   wire-byte columns weigh real encoded frames rather than the structural
+   estimates — once without coalescing and once with a 1 ms transport
+   batch window. The headline columns are encoded bytes per frame and the
+   coalesce ratio (logical frames per physical link send): 1.0 without a
+   window, and rising with it as same-link frames share a packet. *)
+let wire_e2e_section ~engine_impl ~smoke =
+  let sizes = if smoke then [ 4; 16 ] else [ 4; 16; 64 ] in
+  let duration_for n =
+    if n <= 16 then Sim_time.seconds 1 else Sim_time.ms 300
+  in
+  let windows = [ (Sim_time.zero, "none"); (Sim_time.ms 1, "1ms") ] in
+  List.concat_map
+    (fun (batch_window, window_str) ->
+      List.map
+        (fun n ->
+          in_fresh_process @@ fun () ->
+          let duration = duration_for n in
+          let t0 = Sys.time () in
+          let point =
+            match
+              Scaling.sweep ~sizes:[ n ] ~seed:11L ~duration ~engine_impl
+                ~track_graph:false ~metrics:true ~wire_format:Config.Encoded
+                ~batch_window ()
+            with
+            | [ p ] -> p
+            | _ -> assert false
+          in
+          let cpu = Sys.time () -. t0 in
+          let rate =
+            if cpu > 0. then float_of_int point.Scaling.deliveries_total /. cpu
+            else Float.nan
+          in
+          let per_frame =
+            if point.Scaling.wire_packets > 0 then
+              float_of_int point.Scaling.encoded_wire_bytes
+              /. float_of_int point.Scaling.wire_packets
+            else Float.nan
+          in
+          let coalesce =
+            if point.Scaling.link_sends > 0 then
+              float_of_int point.Scaling.wire_packets
+              /. float_of_int point.Scaling.link_sends
+            else Float.nan
+          in
+          Printf.printf
+            "  wire  batch=%-4s n=%-3d deliveries=%-8d cpu=%6.2fs  %10.0f \
+             msg/s  %6.1f B/frame  coalesce=%.2f\n%!"
+            window_str n point.Scaling.deliveries_total cpu rate per_frame
+            coalesce;
+          Printf.sprintf
+            "    { \"impl\": \"encoded\", \"family\": \"wire\", \
+             \"group_size\": %d, \
+             \"batch_window\": %S, \"batch_window_us\": %d, \
+             \"sim_duration_ms\": %d, \
+             \"messages_sent\": %d, \"deliveries\": %d, \
+             \"cpu_seconds\": %s, \"deliveries_per_cpu_second\": %s, \
+             \"peak_node_unstable_msgs\": %d, \
+             \"peak_node_unstable_bytes\": %d, \
+             \"mean_delivery_delay_us\": %s, \
+             \"encoded_wire_bytes\": %d, \"wire_packets\": %d, \
+             \"wire_batches\": %d, \"link_sends\": %d, \
+             \"encoded_bytes_per_msg\": %s, \"coalesce_ratio\": %s }"
+            n window_str
+            (Sim_time.to_us batch_window)
+            (Sim_time.to_us duration / 1000)
+            point.Scaling.messages_total point.Scaling.deliveries_total
+            (json_float cpu) (json_float rate)
+            point.Scaling.peak_node_unstable_msgs
+            point.Scaling.peak_node_unstable_bytes
+            (json_float point.Scaling.mean_delivery_delay_us)
+            point.Scaling.encoded_wire_bytes point.Scaling.wire_packets
+            (Repro_obs.Registry.counter_total point.Scaling.registry_snapshot
+               ~layer:Repro_obs.Event.Transport ~name:"batches")
+            point.Scaling.link_sends (json_float per_frame)
+            (json_float coalesce))
+        sizes)
+    windows
 
 (* Telemetry overhead at the end-to-end level: the same n=64 scaling run
    with no log, with an attached-but-disabled log (the production default:
@@ -653,35 +758,43 @@ let obs_section ~smoke =
   (* forked AND ordered before the e2e sections (fork is copy-on-write, so
      a late fork would inherit the bloated post-e2e heap anyway): with the
      comparison run on a major heap inflated by earlier sections, the GC
-     tax on the inherited garbage lands unevenly across the three variants
-     — measured as a fake +4..12% on the disabled path that a small-heap
+     tax on the inherited garbage lands unevenly across the variants —
+     measured as a fake +4..12% on the disabled path that a small-heap
      process reproducibly puts back under 1% *)
   in_fresh_process @@ fun () ->
   let n = if smoke then 16 else 64 in
   let duration = if smoke then Sim_time.seconds 3 else Sim_time.ms 300 in
-  let runs = 5 in
+  let runs = 7 in
   let deliveries = ref 0 in
-  let run_once make_obs =
+  let run_once (make_obs, metrics) =
     let obs = make_obs () in
     let t0 = Sys.time () in
     let point =
-      Scaling.measure_with_graph ?obs ~duration ~seed:11L ~track_graph:false n
+      Scaling.measure_with_graph ?obs ~duration ~seed:11L ~track_graph:false
+        ~metrics n
     in
     let cpu = Sys.time () -. t0 in
     deliveries := point.Scaling.deliveries_total;
     if cpu > 0. then float_of_int point.Scaling.deliveries_total /. cpu
     else 0.0
   in
-  (* The three variants are interleaved round-robin (after one discarded
+  (* The variants are interleaved round-robin (after one discarded
      warm-up) rather than run in sequential blocks: slow drift in machine
      load then hits all variants about equally instead of landing on
      whichever block it overlaps, and best-of-[runs] per variant discards
-     the transient slowdowns that remain. *)
+     the transient slowdowns that remain.
+
+     Every metrics-off variant still executes the registry's scrap-cell
+     stores (the cells are unconditionally on the hot path), so the gated
+     disabled-path delta covers the metrics-disabled cost as well as the
+     disabled log's; the metrics-on variant prices the live counters and
+     histograms (informational, not gated). *)
   let variants =
     [|
-      (fun () -> None);
-      (fun () -> Some (Obs_log.create ~enabled:false ()));
-      (fun () -> Some (Obs_log.create ()));
+      ((fun () -> None), false);
+      ((fun () -> Some (Obs_log.create ~enabled:false ())), false);
+      ((fun () -> Some (Obs_log.create ())), false);
+      ((fun () -> None), true);
     |]
   in
   ignore (run_once variants.(0));
@@ -692,21 +805,26 @@ let obs_section ~smoke =
       variants
   done;
   let off = best.(0) and disabled = best.(1) and enabled = best.(2) in
+  let metrics_on = best.(3) in
   let delta base v = (base -. v) /. base *. 100.0 in
   let disabled_delta = delta off disabled and enabled_delta = delta off enabled in
+  let metrics_delta = delta off metrics_on in
   Printf.printf
     "  obs n=%-3d no-log %10.0f msg/s | disabled %10.0f (%+.2f%%) | enabled \
-     %10.0f (%+.2f%%)  gate %.1f%%\n%!"
-    n off disabled disabled_delta enabled enabled_delta obs_gate_pct;
+     %10.0f (%+.2f%%) | metrics %10.0f (%+.2f%%)  gate %.1f%%\n%!"
+    n off disabled disabled_delta enabled enabled_delta metrics_on
+    metrics_delta obs_gate_pct;
   Printf.sprintf
     "    { \"group_size\": %d, \"sim_duration_ms\": %d, \"runs\": %d, \
      \"deliveries\": %d, \"no_log_rate\": %s, \"disabled_rate\": %s, \
      \"enabled_rate\": %s, \"disabled_delta_pct\": %s, \
-     \"enabled_delta_pct\": %s, \"gate_pct\": %s }"
+     \"enabled_delta_pct\": %s, \"metrics_rate\": %s, \
+     \"metrics_delta_pct\": %s, \"gate_pct\": %s }"
     n
     (Sim_time.to_us duration / 1000)
     runs !deliveries (json_float off) (json_float disabled)
     (json_float enabled) (json_float disabled_delta) (json_float enabled_delta)
+    (json_float metrics_on) (json_float metrics_delta)
     (json_float obs_gate_pct)
 
 let emit_json ~domains ~smoke ~out =
@@ -733,7 +851,30 @@ let emit_json ~domains ~smoke ~out =
   let obs = obs_section ~smoke in
   let micro = micro_section ~smoke @ codec_micro_section ~smoke in
   let e2e =
-    e2e_section ~engine_impl ~smoke @ causal_e2e_section ~engine_impl ~smoke
+    e2e_section ~engine_impl ~smoke
+    @ causal_e2e_section ~engine_impl ~smoke
+    @ wire_e2e_section ~engine_impl ~smoke
+  in
+  (* a deterministic protocol-metrics snapshot next to the bench document:
+     the CI smoke job uploads both as artifacts, so every PR carries a
+     browsable registry dump (Prometheus text + JSON) of a known run *)
+  let () =
+    let point =
+      Scaling.measure_with_graph ~duration:(Sim_time.ms 300) ~seed:11L
+        ~track_graph:false ~metrics:true 16
+    in
+    let snap = point.Scaling.registry_snapshot in
+    let dir = Filename.dirname out in
+    let write name contents =
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "wrote %s (registry fingerprint %s)\n" path
+        (Repro_obs.Registry.fingerprint snap)
+    in
+    write "METRICS_snapshot.prom" (Repro_obs.Registry.to_prometheus snap);
+    write "METRICS_snapshot.json" (Repro_obs.Registry.to_json snap)
   in
   let oc = open_out out in
   output_string oc "{\n";
@@ -890,6 +1031,48 @@ let validate ?expect_mode ?baseline file =
       ignore (int_field row "peak_node_unstable_msgs");
       Hashtbl.replace peak_bytes (impl, size)
         (int_field row "peak_node_unstable_bytes");
+      (* registry-derived columns, added with the metrics registry: absent
+         from older files, checked when present (causal and wire families) *)
+      List.iter
+        (fun key ->
+          match Json.member key row with
+          | Some _ -> ignore (int_field row key)
+          | None -> ())
+        [ "forward_copies"; "suppressed_copies"; "parked_copies";
+          "drained_copies" ];
+      List.iter
+        (fun key ->
+          match Json.member key row with
+          | Some _ -> number_or_null row key
+          | None -> ())
+        [ "delivery_p50_us"; "delivery_p99_us"; "delivery_p999_us";
+          "stability_lag_p50_us"; "stability_lag_p99_us";
+          "stability_lag_p999_us" ];
+      if family = "wire" then begin
+        ignore (str_field row "batch_window");
+        ignore (int_field row "batch_window_us");
+        ignore (int_field row "encoded_wire_bytes");
+        ignore (int_field row "wire_packets");
+        ignore (int_field row "wire_batches");
+        ignore (int_field row "link_sends");
+        number_or_null row "encoded_bytes_per_msg";
+        number_or_null row "coalesce_ratio";
+        (* a physical link event carries at least one logical frame, so the
+           coalesce ratio is >= 1; without a batch window it is exactly 1 *)
+        match
+          ( Json.to_float (get ~from:row "coalesce_ratio"),
+            Json.to_int (get ~from:row "batch_window_us") )
+        with
+        | Some r, Some w ->
+          if r < 1.0 -. 1e-9 then
+            fail "wire n=%d: coalesce ratio %.3f below 1" size r;
+          if w = 0 && Float.abs (r -. 1.0) > 1e-9 then
+            fail
+              "wire n=%d: coalesce ratio %.3f without a batch window \
+               (expected exactly 1)"
+              size r
+        | _ -> ()
+      end;
       if family = "causal" then begin
         ignore (int_field row "app_deliveries");
         ignore (int_field row "header_bytes_total");
@@ -984,6 +1167,12 @@ let validate ?expect_mode ?baseline file =
       ignore (int_field row "deliveries");
       number_or_null row "no_log_rate";
       number_or_null row "enabled_delta_pct";
+      (* added with the metrics registry: the live-counters variant's
+         throughput delta (informational — only the disabled path is
+         gated, and it includes the registry's scrap-cell stores) *)
+      (match Json.member "metrics_delta_pct" row with
+       | Some _ -> number_or_null row "metrics_delta_pct"
+       | None -> ());
       match
         ( Json.to_float (get ~from:row "disabled_delta_pct"),
           Json.to_float (get ~from:row "gate_pct") )

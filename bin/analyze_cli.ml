@@ -145,6 +145,74 @@ let run_experiment name expects out fail_on =
       missing;
     if missing <> [] then 1 else status
 
+(* --- watch: runtime watchdogs over recorded telemetry ---------------------- *)
+
+module Telemetry = Repro_experiments.Telemetry
+module Watch = Repro_obs.Watch
+
+let finding_of_watch ~source (w : Watch.finding) : Finding.t =
+  let kind =
+    (* rule names are the finding kind spellings; anything unrecognised
+       (a future rule the schema has not caught up with) degrades to the
+       generic contract-violation kind rather than being dropped *)
+    match Finding.kind_of_name w.Watch.rule with
+    | Some k -> k
+    | None -> Finding.Contract_violation
+  in
+  let severity =
+    match w.Watch.severity with
+    | Watch.Info -> Finding.Info
+    | Watch.Warning -> Finding.Warning
+    | Watch.Error -> Finding.Error
+  in
+  {
+    Finding.kind;
+    severity;
+    source;
+    summary = w.Watch.summary;
+    uids = [];
+    pids = [];
+    evidence = w.Watch.evidence;
+  }
+
+let run_watch names out fail_on =
+  let names =
+    if names = [] then List.map (fun s -> s.Telemetry.name) Telemetry.all
+    else names
+  in
+  let unknown =
+    List.filter (fun n -> Telemetry.find n = None) names
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown scenario(s) %s (one of: %s)\n"
+      (String.concat ", " unknown)
+      (String.concat ", " (List.map (fun s -> s.Telemetry.name) Telemetry.all));
+    2
+  end
+  else begin
+    let per_scenario =
+      List.map
+        (fun name ->
+          let s = Option.get (Telemetry.find name) in
+          let log, _names, snapshot = s.Telemetry.run () in
+          let watch_findings =
+            match snapshot with
+            | [] -> Watch.run log
+            | _ -> Watch.run ~snapshot log
+          in
+          Printf.printf "%s: %d records, %d watchdog finding(s)\n" name
+            (Repro_obs.Log.length log)
+            (List.length watch_findings);
+          (name, List.map (finding_of_watch ~source:name) watch_findings))
+        names
+    in
+    let findings = List.concat_map snd per_scenario in
+    print_findings findings;
+    write_out ~out
+      (Analyzer.report_json ~mode:"watch" ~extra:per_scenario []);
+    if exceeds_fail_level ~fail_on findings then 1 else 0
+  end
+
 (* --- lint: source-level determinism scan (reference implementation; the
    AST-grounded analyzer lives in `repro-lint`, bin/lint_cli.ml) ----------- *)
 
@@ -250,8 +318,33 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run_lint $ dirs $ out_arg)
 
+let watch_cmd =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Telemetry scenarios to watch (default: all).")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt (enum (List.map (fun l -> (l, l)) fail_levels)) "error"
+      & info [ "fail-on" ] ~docv:"LEVEL"
+          ~doc:
+            "Exit non-zero when a watchdog finding at or above LEVEL exists: \
+             error, warning, info or never.")
+  in
+  let doc =
+    "Replay the runtime watchdogs (stability-stall, buffer-growth, \
+     ordering-outlier, copy-conservation, duplicate-copy-rate) over the \
+     registered telemetry scenarios and report findings as analyzer JSON."
+  in
+  Cmd.v (Cmd.info "watch" ~doc)
+    Term.(const run_watch $ names_arg $ out_arg $ fail_on)
+
 let cmd =
   let doc = "Causal sanitizer: happened-before analysis of recorded runs." in
-  Cmd.group (Cmd.info "repro-analyze" ~doc) [ check_cmd; experiment_cmd; lint_cmd ]
+  Cmd.group (Cmd.info "repro-analyze" ~doc)
+    [ check_cmd; experiment_cmd; watch_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -10,6 +10,7 @@ module Telemetry = Repro_experiments.Telemetry
 module Log = Repro_obs.Log
 module Export = Repro_obs.Export
 module Span = Repro_obs.Span
+module Trace_tree = Repro_obs.Trace_tree
 module Json = Repro_analyze.Json
 
 let with_scenario name f =
@@ -49,12 +50,42 @@ let default_out fmt name =
 
 let run_export name fmt out =
   with_scenario name (fun s ->
-      let (log, _) as r = s.Telemetry.run () in
+      let log, proc_names, _snapshot = s.Telemetry.run () in
+      let r = (log, proc_names) in
       let out = match out with Some o -> o | None -> default_out fmt s.Telemetry.name in
       write_file out (render fmt r);
       Printf.printf "%s: %d records (%d dropped) -> %s\n" s.Telemetry.name
         (Log.length log) (Log.dropped log) out;
       0)
+
+(* --- tree ------------------------------------------------------------------- *)
+
+let run_tree name msg perfetto =
+  with_scenario name (fun s ->
+      let log, proc_names, _snapshot = s.Telemetry.run () in
+      let rc =
+        match msg with
+        | Some uid -> (
+          match Trace_tree.of_log log ~uid with
+          | Some tree ->
+            print_string (Trace_tree.render ~names:proc_names tree);
+            0
+          | None ->
+            Printf.eprintf "%s: no message with uid %d (known: %s)\n"
+              s.Telemetry.name uid
+              (String.concat ", "
+                 (List.map string_of_int (Trace_tree.uids log)));
+            1)
+        | None ->
+          print_string (Trace_tree.render_log ~names:proc_names log);
+          0
+      in
+      (match perfetto with
+       | Some out ->
+         write_file out (Trace_tree.hops_chrome_trace ~names:proc_names log);
+         Printf.printf "hop spans -> %s\n" out
+       | None -> ());
+      rc)
 
 (* --- validate -------------------------------------------------------------- *)
 
@@ -158,7 +189,7 @@ let run_validate names =
       (fun rc name ->
         max rc
           (with_scenario name (fun s ->
-               let log, proc_names = s.Telemetry.run () in
+               let log, proc_names, _snapshot = s.Telemetry.run () in
                let c = validate_chrome name (Export.chrome_trace ~names:proc_names log) in
                let j = validate_jsonl name (Export.jsonl log) in
                let p = validate_spans name log in
@@ -202,6 +233,37 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Run a scenario and write its telemetry trace.")
     Term.(const run_export $ name_arg $ fmt_arg $ out_arg)
 
+let tree_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see list).")
+  in
+  let msg_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "msg"; "m" ] ~docv:"UID"
+          ~doc:"Render only the tree of this message uid (default: all).")
+  in
+  let perfetto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Also write the hop spans as chrome trace-event JSON (one X \
+             slice per copy in flight, loadable in Perfetto).")
+  in
+  Cmd.v
+    (Cmd.info "tree"
+       ~doc:
+         "Run a scenario and render each multicast's dissemination tree \
+          (origin fanout, forwards, suppressions, parks, drains) \
+          reconstructed from its hop records.")
+    Term.(const run_tree $ name_arg $ msg_arg $ perfetto_arg)
+
 let validate_cmd =
   let names_arg =
     Arg.(
@@ -217,6 +279,7 @@ let validate_cmd =
 
 let cmd =
   let doc = "Telemetry trace exporter for registered experiment runs." in
-  Cmd.group (Cmd.info "repro-trace" ~doc) [ list_cmd; export_cmd; validate_cmd ]
+  Cmd.group (Cmd.info "repro-trace" ~doc)
+    [ list_cmd; export_cmd; tree_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -9,6 +9,12 @@ type kind =
   | Shared_mutable
   | Aliasing_hazard
   | Contract_violation
+  (* runtime-watchdog findings (Obs.Watch rules replayed over telemetry) *)
+  | Stability_stall
+  | Buffer_growth
+  | Ordering_outlier
+  | Copy_conservation
+  | Duplicate_copy_rate
 
 type severity = Info | Warning | Error
 
@@ -33,6 +39,11 @@ let kind_name = function
   | Shared_mutable -> "shared-mutable"
   | Aliasing_hazard -> "aliasing-hazard"
   | Contract_violation -> "contract-violation"
+  | Stability_stall -> "stability-stall"
+  | Buffer_growth -> "buffer-growth"
+  | Ordering_outlier -> "ordering-outlier"
+  | Copy_conservation -> "copy-conservation"
+  | Duplicate_copy_rate -> "duplicate-copy-rate"
 
 let all_kinds =
   [
@@ -46,6 +57,11 @@ let all_kinds =
     Shared_mutable;
     Aliasing_hazard;
     Contract_violation;
+    Stability_stall;
+    Buffer_growth;
+    Ordering_outlier;
+    Copy_conservation;
+    Duplicate_copy_rate;
   ]
 
 let kind_of_name name =

@@ -26,6 +26,20 @@ type kind =
       (** a repo-level protocol contract is broken: a chaos hook with no
           test/ mutation conviction, or a [Config] dispatch variant missing
           from the checker, scaling or bench families *)
+  | Stability_stall
+      (** watchdog: delivered messages still unstable long after delivery —
+          gossip/minima propagation has stalled *)
+  | Buffer_growth
+      (** watchdog: the unstable-buffer gauge grows monotonically across
+          the configured window — Section 5's buffering cost as an alarm *)
+  | Ordering_outlier
+      (** watchdog: ordering-wait p999 is orders of magnitude above p50 *)
+  | Copy_conservation
+      (** watchdog: registry copy counters disagree with the hop census in
+          the telemetry log — an instrumentation point was dropped *)
+  | Duplicate_copy_rate
+      (** watchdog: duplicate dissemination copies exceed the configured
+          rate (PC full-mesh redundancy is reported at [Info]) *)
 
 type severity = Info | Warning | Error
 

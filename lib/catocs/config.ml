@@ -36,6 +36,10 @@ type t = {
   stability_clock : stability_clock;
   wire_format : wire_format;
   batch_window : Sim_time.t;
+  metrics : bool;
+      (* enable the per-stack [Repro_obs.Registry]; off by default so the
+         production path pays only scrap-cell stores (bench obs_overhead
+         gates the disabled path under 2%) *)
 }
 
 let default =
@@ -44,7 +48,7 @@ let default =
     payload_bytes = 256; track_graph = true; queue_impl = Indexed_queue;
     stability_impl = Incremental_stability; causal_impl = Vector_causal;
     pc_overlay = Pc_full_mesh; stability_clock = Dense_clock;
-    wire_format = Structural; batch_window = Sim_time.zero }
+    wire_format = Structural; batch_window = Sim_time.zero; metrics = false }
 
 let ordering_name = function
   | Fifo -> "fifo"

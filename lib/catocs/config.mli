@@ -142,6 +142,11 @@ type t = {
           Requires [wire_format = Encoded] and a non-[Reliable] transport;
           trades up to one window of added latency for per-packet
           overhead. *)
+  metrics : bool;
+      (** enable the per-stack {!Repro_obs.Registry} (protocol counters,
+          gauges and latency histograms). Off — the default — hands every
+          instrumentation point a scrap cell, keeping the hot path inside
+          the <2% disabled-observability envelope the bench gates. *)
 }
 
 val default : t

@@ -6,7 +6,7 @@ type 'a t = {
   mutable on_direct : src:Engine.pid -> 'a -> unit;
 }
 
-let create ?obs ?framing ?batch_window ~engine ~self ~mode
+let create ?obs ?registry ?framing ?batch_window ~engine ~self ~mode
     ?(on_direct = fun ~src:_ _ -> ()) () =
   let endpoint =
     { self; engine; transport = None; groups = Hashtbl.create 4; on_direct }
@@ -20,7 +20,7 @@ let create ?obs ?framing ?batch_window ~engine ~self ~mode
     | Wire.Direct payload -> endpoint.on_direct ~src payload
   in
   let transport =
-    Transport.create ?obs ?framing ?batch_window ~engine ~self ~mode
+    Transport.create ?obs ?registry ?framing ?batch_window ~engine ~self ~mode
       ~on_deliver:deliver ()
   in
   endpoint.transport <- Some transport;

@@ -11,6 +11,7 @@ type 'a t
 
 val create :
   ?obs:Repro_obs.Log.t ->
+  ?registry:Repro_obs.Registry.t ->
   ?framing:'a Wire.t Transport.framing ->
   ?batch_window:Sim_time.t ->
   engine:'a Wire.t Transport.packet Engine.t ->
@@ -19,9 +20,10 @@ val create :
   ?on_direct:(src:Engine.pid -> 'a -> unit) ->
   unit ->
   'a t
-(** Installs itself as the engine handler for [self]. [obs], [framing] and
-    [batch_window] are handed to the transport (retransmission telemetry
-    and the {!Config.Encoded} wire path). *)
+(** Installs itself as the engine handler for [self]. [obs], [registry],
+    [framing] and [batch_window] are handed to the transport
+    (retransmission telemetry, wire-byte metrics and the {!Config.Encoded}
+    wire path). *)
 
 val self : 'a t -> Engine.pid
 val engine : 'a t -> 'a Wire.t Transport.packet Engine.t

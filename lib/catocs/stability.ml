@@ -1,11 +1,15 @@
 (* Releasing a stable message is identical bookkeeping in both
    implementations; only the strategy for *finding* newly stable messages
    differs. *)
-let release_message ~bytes_of ~metrics ~graph ~obs ~now (data : 'a Wire.data) =
+let release_message ~bytes_of ~metrics ~graph ~obs ~lag_histo ~now
+    (data : 'a Wire.data) =
   let bytes = bytes_of data in
   Metrics.note_unstable_removed metrics ~bytes;
-  Stats.Summary.add metrics.Metrics.stability_lag_us
-    (float_of_int (Sim_time.to_us (Sim_time.sub now data.Wire.sent_at)));
+  let lag_us =
+    float_of_int (Sim_time.to_us (Sim_time.sub now data.Wire.sent_at))
+  in
+  Stats.Summary.add metrics.Metrics.stability_lag_us lag_us;
+  Repro_obs.Histo.add lag_histo lag_us;
   (match obs with
    | Some (log, pid) ->
      Repro_obs.Log.span_stable log ~at:now ~uid:data.Wire.msg_id ~pid
@@ -13,6 +17,19 @@ let release_message ~bytes_of ~metrics ~graph ~obs ~now (data : 'a Wire.data) =
   match graph with
   | Some graph -> Causality.remove_stable graph data.Wire.msg_id
   | None -> ()
+
+(* Shared registry cells: send-to-stable lag distribution, and a count of
+   cached matrix-minima advances (the incremental tracker's release driver;
+   the reference implementation rescans instead of tracking advances, so it
+   reports zero). *)
+let register_cells registry =
+  let registry =
+    match registry with Some r -> r | None -> Repro_obs.Registry.null ()
+  in
+  ( Repro_obs.Registry.histogram registry ~layer:Repro_obs.Event.Stability
+      ~name:"stability_lag_us" (),
+    Repro_obs.Registry.counter registry ~layer:Repro_obs.Event.Stability
+      ~name:"minima_advances" () )
 
 (* ------------------------------------------------------------------------- *)
 (* Reference implementation: one hashtable of buffered messages, rescanned in
@@ -28,15 +45,18 @@ module Reference = struct
     metrics : Metrics.t;
     graph : Causality.t option;
     obs : (Repro_obs.Log.t * int) option;
+    lag_histo : Repro_obs.Histo.t;
     mutable bytes : int;
   }
 
   type nonrec 'a t = 'a q
 
-  let create ?clock ?(bytes_of = Wire.buffered_bytes) ?obs ~group_size
-      ~metrics ~graph () =
+  let create ?clock ?(bytes_of = Wire.buffered_bytes) ?obs ?registry
+      ~group_size ~metrics ~graph () =
+    let lag_histo, _ = register_cells registry in
     { matrix = Group_clock.create ?impl:clock group_size;
-      buffer = Hashtbl.create 64; bytes_of; metrics; graph; obs; bytes = 0 }
+      buffer = Hashtbl.create 64; bytes_of; metrics; graph; obs; lag_histo;
+      bytes = 0 }
 
   let note_sent_or_delivered t (data : 'a Wire.data) =
     if not (Hashtbl.mem t.buffer data.Wire.msg_id) then begin
@@ -74,7 +94,7 @@ module Reference = struct
       Hashtbl.remove t.buffer id;
       t.bytes <- t.bytes - t.bytes_of data;
       release_message ~bytes_of:t.bytes_of ~metrics:t.metrics ~graph:t.graph
-        ~obs:t.obs ~now data
+        ~obs:t.obs ~lag_histo:t.lag_histo ~now data
     in
     List.iter release stable_ids
 
@@ -129,22 +149,27 @@ module Incremental = struct
     metrics : Metrics.t;
     graph : Causality.t option;
     obs : (Repro_obs.Log.t * int) option;
+    lag_histo : Repro_obs.Histo.t;
+    reg_minima : Repro_obs.Registry.counter;
     mutable count : int;
     mutable bytes : int;
   }
 
   type nonrec 'a t = 'a q
 
-  let create ?clock ?(bytes_of = Wire.buffered_bytes) ?obs ~group_size
-      ~metrics ~graph () =
+  let create ?clock ?(bytes_of = Wire.buffered_bytes) ?obs ?registry
+      ~group_size ~metrics ~graph () =
+    let lag_histo, reg_minima = register_cells registry in
     { matrix = Group_clock.create ?impl:clock group_size;
       pending = Array.init group_size (fun _ -> Queue.create ());
       highest = Array.make group_size 0;
       dirty = [];
       dirty_mark = Array.make group_size false;
-      bytes_of; metrics; graph; obs; count = 0; bytes = 0 }
+      bytes_of; metrics; graph; obs; lag_histo; reg_minima; count = 0;
+      bytes = 0 }
 
   let mark_dirty t s =
+    Repro_obs.Registry.incr t.reg_minima;
     if not t.dirty_mark.(s) then begin
       t.dirty_mark.(s) <- true;
       t.dirty <- s :: t.dirty
@@ -204,7 +229,7 @@ module Incremental = struct
               t.bytes <- t.bytes - t.bytes_of data;
               t.count <- t.count - 1;
               release_message ~bytes_of:t.bytes_of ~metrics:t.metrics
-                ~graph:t.graph ~obs:t.obs ~now data
+                ~graph:t.graph ~obs:t.obs ~lag_histo:t.lag_histo ~now data
             | Some _ | None -> go := false
           done)
         dirty
@@ -273,15 +298,17 @@ type 'a t =
   | Incremental_s of 'a Incremental.t
   | Reference_s of 'a Reference.t
 
-let create ?(impl = Incremental) ?clock ?bytes_of ?obs ~group_size ~metrics
-    ~graph () =
+let create ?(impl = Incremental) ?clock ?bytes_of ?obs ?registry ~group_size
+    ~metrics ~graph () =
   match impl with
   | Incremental ->
     Incremental_s
-      (Incremental.create ?clock ?bytes_of ?obs ~group_size ~metrics ~graph ())
+      (Incremental.create ?clock ?bytes_of ?obs ?registry ~group_size ~metrics
+         ~graph ())
   | Reference ->
     Reference_s
-      (Reference.create ?clock ?bytes_of ?obs ~group_size ~metrics ~graph ())
+      (Reference.create ?clock ?bytes_of ?obs ?registry ~group_size ~metrics
+         ~graph ())
 
 let impl_of = function Incremental_s _ -> Incremental | Reference_s _ -> Reference
 

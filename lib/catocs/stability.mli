@@ -32,6 +32,7 @@ val create :
   ?clock:Group_clock.impl ->
   ?bytes_of:('a Wire.data -> int) ->
   ?obs:Repro_obs.Log.t * int ->
+  ?registry:Repro_obs.Registry.t ->
   group_size:int ->
   metrics:Metrics.t ->
   graph:Causality.t option ->
@@ -46,7 +47,12 @@ val create :
     be a pure function of the message (it is re-applied on release).
     [obs] is the telemetry log plus the owning process id: every release
     then emits an [Obs.Event.Span_stable] record alongside the
-    [Metrics.stability_lag_us] sample. *)
+    [Metrics.stability_lag_us] sample. [registry] adds a
+    [stability/stability_lag_us] histogram fed on every release and a
+    [stability/minima_advances] counter bumped each time a cached matrix
+    minimum advances (the incremental tracker's release driver; the
+    reference implementation rescans instead, so it leaves the counter at
+    zero). *)
 
 val impl_of : 'a t -> impl
 
@@ -97,6 +103,7 @@ module Reference : sig
     ?clock:Group_clock.impl ->
     ?bytes_of:('a Wire.data -> int) ->
     ?obs:Repro_obs.Log.t * int ->
+    ?registry:Repro_obs.Registry.t ->
     group_size:int ->
     metrics:Metrics.t ->
     graph:Causality.t option ->
@@ -123,6 +130,7 @@ module Incremental : sig
     ?clock:Group_clock.impl ->
     ?bytes_of:('a Wire.data -> int) ->
     ?obs:Repro_obs.Log.t * int ->
+    ?registry:Repro_obs.Registry.t ->
     group_size:int ->
     metrics:Metrics.t ->
     graph:Causality.t option ->

@@ -11,6 +11,12 @@ let null_callbacks =
     member_failed = (fun _ -> ());
     direct = (fun ~src:_ _ -> ()) }
 
+(* Chaos hook: drop the [ordering/forward_copies] registry increment while
+   still sending the copy (and its hop event). The copy-conservation
+   watchdog must then flag the census/counter mismatch — the conviction
+   test for the metrics battery. *)
+let chaos_drop_forward_copy_metric = ref false
+
 type shared = {
   group_id : int;
   shared_config : Config.t;
@@ -58,6 +64,68 @@ type join_state = {
 
 type status = Normal | Flushing of flush_state | Joining of join_state
 
+(* Per-stack registry cells, registered once at stack creation so every
+   hot-path update is a single store ([Config.metrics] off hands back scrap
+   cells — same discipline as a disabled [Obs.Log]). The six copy counters
+   use the exact conservation vocabulary [Obs.Watch.copy_conservation]
+   audits against the hop census in the telemetry log. *)
+type reg_cells = {
+  registry : Repro_obs.Registry.t;
+  origin_copies : Repro_obs.Registry.counter;
+  forward_copies : Repro_obs.Registry.counter;
+  drain_copies : Repro_obs.Registry.counter;
+  resend_copies : Repro_obs.Registry.counter;
+  suppressed_copies : Repro_obs.Registry.counter;
+  parked_copies : Repro_obs.Registry.counter;
+  delivery_latency : Repro_obs.Histo.t;  (* ordering/delivery_latency_us *)
+  gossip_msgs : Repro_obs.Registry.counter;
+  c_flushes : Repro_obs.Registry.counter;
+  c_view_changes : Repro_obs.Registry.counter;
+  encoded_bytes : Repro_obs.Registry.counter;  (* real encoded copy bytes *)
+  modeled_bytes : Repro_obs.Registry.counter;  (* structural model, same copies *)
+  g_queue_depth : Repro_obs.Registry.gauge;
+  g_blocked_msgs : Repro_obs.Registry.gauge;
+  g_unstable_msgs : Repro_obs.Registry.gauge;
+  g_unstable_bytes : Repro_obs.Registry.gauge;
+}
+
+let make_reg_cells (config : Config.t) =
+  let registry =
+    Repro_obs.Registry.create ~enabled:config.Config.metrics ()
+  in
+  (* literal [~name]s at the [Registry.*] call sites: repro-lint's
+     metric-coverage contract inventories exactly these and requires each
+     spelling to be pinned by a test *)
+  let open Repro_obs in
+  let o = Event.Ordering in
+  { registry;
+    origin_copies = Registry.counter registry ~layer:o ~name:"origin_copies" ();
+    forward_copies =
+      Registry.counter registry ~layer:o ~name:"forward_copies" ();
+    drain_copies = Registry.counter registry ~layer:o ~name:"drain_copies" ();
+    resend_copies = Registry.counter registry ~layer:o ~name:"resend_copies" ();
+    suppressed_copies =
+      Registry.counter registry ~layer:o ~name:"suppressed_copies" ();
+    parked_copies = Registry.counter registry ~layer:o ~name:"parked_copies" ();
+    delivery_latency =
+      Registry.histogram registry ~layer:o ~name:"delivery_latency_us" ();
+    gossip_msgs =
+      Registry.counter registry ~layer:Event.Stability ~name:"gossip_msgs" ();
+    c_flushes =
+      Registry.counter registry ~layer:Event.View ~name:"flushes" ();
+    c_view_changes =
+      Registry.counter registry ~layer:Event.View ~name:"view_changes" ();
+    encoded_bytes =
+      Registry.counter registry ~layer:Event.Transport ~name:"encoded_bytes" ();
+    modeled_bytes =
+      Registry.counter registry ~layer:Event.Transport ~name:"modeled_bytes" ();
+    g_queue_depth = Registry.gauge registry ~layer:o ~name:"queue_depth" ();
+    g_blocked_msgs = Registry.gauge registry ~layer:o ~name:"blocked_msgs" ();
+    g_unstable_msgs =
+      Registry.gauge registry ~layer:Event.Stability ~name:"unstable_msgs" ();
+    g_unstable_bytes =
+      Registry.gauge registry ~layer:Event.Stability ~name:"unstable_bytes" () }
+
 type 'a t = {
   engine : 'a Wire.t Transport.packet Engine.t;
   shared : shared;
@@ -65,6 +133,7 @@ type 'a t = {
   self : Engine.pid;
   mutable callbacks : 'a callbacks;
   metrics : Metrics.t;
+  cells : reg_cells;
   bytes_of : ('a Wire.data -> int) option;
       (* [Config.Encoded]: charge unstable-bytes gauges with real encoded
          sizes ([Wire_codec.data_bytes]); [None] keeps the header
@@ -172,11 +241,11 @@ let stability_clock (config : Config.t) =
   | Config.Dense_clock -> Group_clock.Dense
   | Config.Sparse_clock -> Group_clock.Sparse
 
-let make_stability ?obs ?bytes_of (config : Config.t) ~group_size ~metrics
-    ~graph =
+let make_stability ?obs ?bytes_of ?registry (config : Config.t) ~group_size
+    ~metrics ~graph =
   Stability.create ~impl:(stability_impl config)
-    ~clock:(stability_clock config) ?bytes_of ?obs ~group_size ~metrics ~graph
-    ()
+    ~clock:(stability_clock config) ?bytes_of ?obs ?registry ~group_size
+    ~metrics ~graph ()
 
 let self t = t.self
 let shared_of t = t.shared
@@ -184,6 +253,7 @@ let config_of t = t.config
 let view t = t.view
 let rank t = t.rank
 let metrics t = t.metrics
+let registry t = t.cells.registry
 let vector_clock t = t.vc
 let unstable_count t = Stability.unstable_count t.stability
 let unstable_bytes t = Stability.unstable_bytes t.stability
@@ -199,6 +269,30 @@ let pending_count t =
 (* telemetry: (log, owner pid) pair handed to the per-stack queues *)
 let obs_pair shared ~self =
   match shared.obs with Some log -> Some (log, self) | None -> None
+
+(* Causal-path hop records: one event per physical copy decision, so the
+   full dissemination tree of a multicast is reconstructable from the log
+   (see [Obs.Trace_tree]). Callers also bump the matching conservation
+   counter; [Obs.Watch.copy_conservation] cross-checks the two. *)
+let note_hop_send t ~uid ~dst kind =
+  match t.shared.obs with
+  | Some log when Repro_obs.Log.enabled log ->
+    Repro_obs.Log.hop_send log ~at:(Engine.now t.engine) ~uid ~pid:t.self ~dst
+      kind
+  | _ -> ()
+
+let note_hop_suppress t ~uid ~dst =
+  match t.shared.obs with
+  | Some log when Repro_obs.Log.enabled log ->
+    Repro_obs.Log.hop_suppress log ~at:(Engine.now t.engine) ~uid ~pid:t.self
+      ~dst
+  | _ -> ()
+
+let note_hop_park t ~uid ~dst =
+  match t.shared.obs with
+  | Some log when Repro_obs.Log.enabled log ->
+    Repro_obs.Log.hop_park log ~at:(Engine.now t.engine) ~uid ~pid:t.self ~dst
+  | _ -> ()
 
 let note_flush_start t ~view_id =
   match t.shared.obs with
@@ -217,6 +311,15 @@ let note_flush_end t ~view_id =
    periodic time series the scaling experiments export. All four summands
    are maintained counters, so a sample is O(1). *)
 let record_gauges t =
+  if Repro_obs.Registry.enabled t.cells.registry then begin
+    Repro_obs.Registry.set t.cells.g_unstable_msgs
+      (Stability.unstable_count t.stability);
+    Repro_obs.Registry.set t.cells.g_unstable_bytes
+      (Stability.unstable_bytes t.stability);
+    Repro_obs.Registry.set t.cells.g_queue_depth
+      (Delivery_queue.length t.queue);
+    Repro_obs.Registry.set t.cells.g_blocked_msgs (pending_count t)
+  end;
   match t.shared.obs with
   | None -> ()
   | Some log ->
@@ -338,6 +441,9 @@ let final_deliver t (pending : 'a Delivery_queue.pending) =
     Stats.Summary.add t.metrics.Metrics.delivery_delay_us (float_of_int wait);
     Stats.Summary.add t.metrics.Metrics.transit_us
       (float_of_int (Sim_time.sub now data.Wire.sent_at));
+    if Repro_obs.Registry.enabled t.cells.registry then
+      Repro_obs.Histo.add t.cells.delivery_latency
+        (float_of_int (Sim_time.sub now data.Wire.sent_at));
     if wait > 0 then
       t.metrics.Metrics.delayed_messages <- t.metrics.Metrics.delayed_messages + 1;
     (* the label is formatted eagerly, so skip it entirely when tracing is
@@ -416,10 +522,15 @@ let causal_deliver t (pending : 'a Delivery_queue.pending) =
          let stats = Pc_causal.stats pc in
          let send_forward r =
            stats.Pc_causal.forwards <- stats.Pc_causal.forwards + 1;
+           if not !chaos_drop_forward_copy_metric then
+             Repro_obs.Registry.incr t.cells.forward_copies;
            t.metrics.Metrics.header_bytes <-
              t.metrics.Metrics.header_bytes + Wire.header_bytes data;
-           Endpoint.send_proto (endpoint t) ~group:t.shared.group_id
-             ~dst:(Group.member t.view r) (Wire.Data data)
+           let dst = Group.member t.view r in
+           note_hop_send t ~uid:data.Wire.msg_id ~dst
+             Repro_obs.Event.Forward_copy;
+           Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst
+             (Wire.Data data)
          in
          let targets =
            Pc_causal.forward_targets pc ~from_rank ~origin_rank:sender
@@ -435,15 +546,24 @@ let causal_deliver t (pending : 'a Delivery_queue.pending) =
               (fun r ->
                 if Hybrid_causal.needs_copy h ~peer:r ~origin:sender ~seq
                 then send_forward r
-                else Hybrid_causal.note_suppressed h)
+                else begin
+                  Hybrid_causal.note_suppressed h;
+                  Repro_obs.Registry.incr t.cells.suppressed_copies;
+                  note_hop_suppress t ~uid:data.Wire.msg_id
+                    ~dst:(Group.member t.view r)
+                end)
               targets;
             (* barrier-pending links are absent from [targets]: park their
                copies for the pong-triggered drain instead of falling back
                to the unstable-buffer rescan *)
             List.iter
               (fun r ->
-                if r <> from_rank && r <> sender then
-                  Hybrid_causal.park h ~peer:r data)
+                if r <> from_rank && r <> sender then begin
+                  Hybrid_causal.park h ~peer:r data;
+                  Repro_obs.Registry.incr t.cells.parked_copies;
+                  note_hop_park t ~uid:data.Wire.msg_id
+                    ~dst:(Group.member t.view r)
+                end)
               (Pc_causal.fresh_links pc))
        | Flushing _ | Joining _ ->
          (* the flush round itself disseminates the message set *)
@@ -632,7 +752,7 @@ let make_data t payload =
         (Stability.unstable t.stability)
     else []
   in
-  { Wire.msg_id; origin = t.self; sender_rank = t.rank;
+  { Wire.msg_id; trace_id = msg_id; origin = t.self; sender_rank = t.rank;
     view_id = t.view.Group.view_id; vt; meta; payload;
     payload_bytes = t.config.Config.payload_bytes;
     sent_at = Engine.now t.engine; piggyback }
@@ -644,12 +764,27 @@ let account_send t data ~recipient_count =
   in
   t.metrics.Metrics.header_bytes <-
     t.metrics.Metrics.header_bytes + (overhead_per_copy * recipient_count);
+  (* encoded-vs-modeled delta: charge both the real codec size and the
+     structural byte model for the same copies, so snapshot consumers can
+     read the model's error directly. The codec run is behind the enabled
+     check — a disabled registry must not pay an encode per multicast. *)
+  (match t.bytes_of with
+   | Some real_bytes when Repro_obs.Registry.enabled t.cells.registry ->
+     Repro_obs.Registry.add t.cells.encoded_bytes
+       (real_bytes data * recipient_count);
+     Repro_obs.Registry.add t.cells.modeled_bytes
+       (Wire.wire_bytes data * recipient_count)
+   | Some _ | None -> ());
   register_in_graph t data
 
 let transmit t data ~recipients =
   account_send t data ~recipient_count:(List.length recipients);
   List.iter
-    (fun dst -> Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst (Wire.Data data))
+    (fun dst ->
+      Repro_obs.Registry.incr t.cells.origin_copies;
+      note_hop_send t ~uid:data.Wire.msg_id ~dst Repro_obs.Event.Origin_copy;
+      Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst
+        (Wire.Data data))
     recipients;
   (* the local copy goes through the same receive path *)
   on_data t data
@@ -660,6 +795,9 @@ let do_multicast t payload =
    | None ->
      account_send t data ~recipient_count:(Group.size t.view - 1);
      iter_other_members t (fun dst ->
+         Repro_obs.Registry.incr t.cells.origin_copies;
+         note_hop_send t ~uid:data.Wire.msg_id ~dst
+           Repro_obs.Event.Origin_copy;
          Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst
            (Wire.Data data))
    | Some pc ->
@@ -673,15 +811,23 @@ let do_multicast t payload =
        (fun r ->
          if Pc_causal.link_open pc ~peer_rank:r then begin
            incr sent;
-           Endpoint.send_proto (endpoint t) ~group:t.shared.group_id
-             ~dst:(Group.member t.view r) (Wire.Data data)
+           let dst = Group.member t.view r in
+           Repro_obs.Registry.incr t.cells.origin_copies;
+           note_hop_send t ~uid:data.Wire.msg_id ~dst
+             Repro_obs.Event.Origin_copy;
+           Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst
+             (Wire.Data data)
          end
          else begin
            stats.Pc_causal.barrier_deferred <-
              stats.Pc_causal.barrier_deferred + 1;
            (* hybrid: park the copy for the pong-triggered drain *)
            match t.hybrid with
-           | Some h -> Hybrid_causal.park h ~peer:r data
+           | Some h ->
+             Hybrid_causal.park h ~peer:r data;
+             Repro_obs.Registry.incr t.cells.parked_copies;
+             note_hop_park t ~uid:data.Wire.msg_id
+               ~dst:(Group.member t.view r)
            | None -> ()
          end)
        (Pc_causal.neighbors pc);
@@ -725,6 +871,7 @@ let send_gossip t =
     in
     t.metrics.Metrics.control_messages <-
       t.metrics.Metrics.control_messages + Group.size t.view - 1;
+    Repro_obs.Registry.add t.cells.gossip_msgs (Group.size t.view - 1);
     broadcast_proto t proto;
     Stability.self_observe t.stability ~rank:t.rank ~now:(Engine.now t.engine) t.vc
 
@@ -832,8 +979,8 @@ let install_view t flush =
   t.lamport_queue <-
     Total_order.Lamport_queue.create ?obs ~group_size:(Group.size new_view) ();
   t.stability <-
-    make_stability ?obs ?bytes_of:t.bytes_of t.config
-      ~group_size:(Group.size new_view) ~metrics:t.metrics
+    make_stability ?obs ?bytes_of:t.bytes_of ~registry:t.cells.registry
+      t.config ~group_size:(Group.size new_view) ~metrics:t.metrics
       ~graph:t.shared.graph;
   t.next_global_seq <- 0;
   t.deferred_lamport_gossip <- [];
@@ -841,6 +988,7 @@ let install_view t flush =
   t.installing <- true;
   reset_pc t ~prev_members:(Pid_set.of_list old_members);
   t.metrics.Metrics.view_changes <- t.metrics.Metrics.view_changes + 1;
+  Repro_obs.Registry.incr t.cells.c_view_changes;
   t.metrics.Metrics.suppressed_us <-
     t.metrics.Metrics.suppressed_us
     + Sim_time.sub (Engine.now t.engine) flush.started_at;
@@ -871,6 +1019,7 @@ let begin_flush t ~new_view_id ~survivors ~new_members =
      note_flush_end t ~view_id:f.new_view_id
    | Flushing _ | Normal | Joining _ -> ());
   note_flush_start t ~view_id:new_view_id;
+  Repro_obs.Registry.incr t.cells.c_flushes;
   let survivor_set = Pid_set.of_list survivors in
   let flush =
     { new_view_id; survivors; survivor_set; new_members;
@@ -1043,8 +1192,8 @@ let install_join t join ~view_id ~members ~state =
   t.lamport_queue <-
     Total_order.Lamport_queue.create ?obs ~group_size:(Group.size new_view) ();
   t.stability <-
-    make_stability ?obs ?bytes_of:t.bytes_of t.config
-      ~group_size:(Group.size new_view) ~metrics:t.metrics
+    make_stability ?obs ?bytes_of:t.bytes_of ~registry:t.cells.registry
+      t.config ~group_size:(Group.size new_view) ~metrics:t.metrics
       ~graph:t.shared.graph;
   t.next_global_seq <- 0;
   t.deferred_lamport_gossip <- [];
@@ -1054,6 +1203,7 @@ let install_join t join ~view_id ~members ~state =
   reset_pc t ~prev_members:Pid_set.empty;
   t.set_state state;
   t.metrics.Metrics.view_changes <- t.metrics.Metrics.view_changes + 1;
+  Repro_obs.Registry.incr t.cells.c_view_changes;
   t.callbacks.view_change new_view;
   let ready, later =
     List.partition (fun (vid, _) -> vid = view_id) t.future_proto
@@ -1164,15 +1314,18 @@ let handle_proto t ~src (proto : 'a Wire.proto) =
              buffer is a complete source — anything the peer is missing
              cannot have stabilised, since stability requires delivery by
              every member including the peer. *)
-          let missing =
+          let missing, copy_counter, hop_kind =
             match t.hybrid with
             | Some h ->
               (* hybrid: the per-link park buffer holds exactly what this
                  link withheld, filtered by the pong's delivered vector —
                  no unstable-buffer rescan *)
-              Hybrid_causal.drain h ~peer:from_rank ~delivered
+              ( Hybrid_causal.drain h ~peer:from_rank ~delivered,
+                t.cells.drain_copies, Repro_obs.Event.Drain_copy )
             | None ->
-              Pc_causal.missing_for ~delivered (Stability.unstable t.stability)
+              ( Pc_causal.missing_for ~delivered
+                  (Stability.unstable t.stability),
+                t.cells.resend_copies, Repro_obs.Event.Resend_copy )
           in
           let stats = Pc_causal.stats pc in
           stats.Pc_causal.barrier_retransmits <-
@@ -1180,6 +1333,8 @@ let handle_proto t ~src (proto : 'a Wire.proto) =
           let dst = Group.member t.view from_rank in
           List.iter
             (fun d ->
+              Repro_obs.Registry.incr copy_counter;
+              note_hop_send t ~uid:d.Wire.msg_id ~dst hop_kind;
               Endpoint.send_proto (endpoint t) ~group:t.shared.group_id ~dst
                 (Wire.Data d))
             missing
@@ -1213,13 +1368,21 @@ let create ?endpoint:shared_endpoint ?payload_codec ~engine ~shared ~config
          causal graph (and its id index) and the group telemetry log *)
       if config.Config.track_graph then
         invalid_arg "Stack.create: track_graph needs the sequential engine";
-      if Option.is_some shared.obs then
-        invalid_arg "Stack.create: group telemetry needs the sequential engine";
+      (match shared.obs with
+       | Some log when not (Repro_obs.Log.synchronized log) ->
+         (* a mutex-guarded log is lane-safe: record order is scheduler-
+            dependent but the record set is not, so sorted consumers
+            (trace trees, watchdogs, fingerprints) stay deterministic *)
+         invalid_arg
+           "Stack.create: group telemetry under the parallel engine needs \
+            Log.create ~synchronized:true"
+       | Some _ | None -> ());
       if self >= msg_id_pid_limit then
         invalid_arg "Stack.create: pid too large for parallel msg_ids";
       true
   in
   let metrics = Metrics.create () in
+  let cells = make_reg_cells config in
   let obs = obs_pair shared ~self in
   let codec =
     match (config.Config.wire_format, payload_codec) with
@@ -1230,7 +1393,7 @@ let create ?endpoint:shared_endpoint ?payload_codec ~engine ~shared ~config
   in
   let bytes_of = Option.map (fun c -> Wire_codec.data_bytes c) codec in
   let t =
-    { engine; shared; config; self; callbacks; metrics; bytes_of;
+    { engine; shared; config; self; callbacks; metrics; cells; bytes_of;
       parallel_ids; own_msg_seq = 0;
       lamport = Lamport.create (); delivered_ids = Hashtbl.create 256;
       causal_seen = Hashtbl.create 256;
@@ -1243,8 +1406,8 @@ let create ?endpoint:shared_endpoint ?payload_codec ~engine ~shared ~config
       lamport_queue =
         Total_order.Lamport_queue.create ?obs ~group_size:(Group.size view) ();
       stability =
-        make_stability ?obs ?bytes_of config ~group_size:(Group.size view)
-          ~metrics ~graph:shared.graph;
+        make_stability ?obs ?bytes_of ~registry:cells.registry config
+          ~group_size:(Group.size view) ~metrics ~graph:shared.graph;
       next_global_seq = 0; status = Normal; outbox = []; installing = false;
       failed_members = Pid_set.empty; deferred_lamport_gossip = [];
       future_proto = [];
@@ -1265,7 +1428,7 @@ let create ?endpoint:shared_endpoint ?payload_codec ~engine ~shared ~config
               unframe = Wire_codec.decode c })
           codec
       in
-      Endpoint.create ?obs:shared.obs ?framing
+      Endpoint.create ?obs:shared.obs ~registry:cells.registry ?framing
         ~batch_window:config.Config.batch_window ~engine ~self
         ~mode:config.Config.transport
         ~on_direct:(fun ~src payload -> t.callbacks.direct ~src payload)

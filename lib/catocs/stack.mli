@@ -102,6 +102,18 @@ val config_of : 'a t -> Config.t
 val view : 'a t -> Group.view
 val rank : 'a t -> int
 val metrics : 'a t -> Metrics.t
+
+val registry : 'a t -> Repro_obs.Registry.t
+(** The stack's protocol-metrics registry; disabled (all-scrap) unless the
+    stack was created with [Config.metrics = true]. Per-stack instances
+    from one group [Registry.merge] into domain-count-independent totals. *)
+
+val chaos_drop_forward_copy_metric : bool ref
+(** Test-only fault injection: when set, PC forward copies are still sent
+    (and still logged as hops) but the [ordering/forward_copies] counter is
+    not bumped, so the copy-conservation watchdog must report the
+    discrepancy. Reset to [false] after use. *)
+
 val vector_clock : 'a t -> Vector_clock.t
 val unstable_count : 'a t -> int
 val unstable_bytes : 'a t -> int

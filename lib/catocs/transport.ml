@@ -38,14 +38,26 @@ type 'w t = {
   framing : 'w framing option;
   batch_window : Sim_time.t;
   pending : (Engine.pid, pending_batch) Hashtbl.t;
+  reg : Repro_obs.Registry.t;
+      (* a disabled registry when the owner passed none: counter cells are
+         then shared scrap and the charges below cost one store *)
+  reg_packets : Repro_obs.Registry.counter;
+  reg_batches : Repro_obs.Registry.counter;
+  reg_link_sends : Repro_obs.Registry.counter;
+  link_bytes : (Engine.pid, Repro_obs.Registry.counter) Hashtbl.t;
+      (* per-destination "wire_bytes" cells, registered lazily per link *)
   mutable packets_sent : int;
   mutable retransmissions : int;
   mutable batches_sent : int;
   mutable wire_bytes_sent : int;
+  mutable link_sends : int;
+      (* physical link events ([emit] calls); a batch counts once here but
+         once per frame in [packets_sent], so
+         [packets_sent / link_sends] is the coalescing ratio *)
 }
 
-let create ?obs ?framing ?(batch_window = Sim_time.zero) ~engine ~self ~mode
-    ~on_deliver () =
+let create ?obs ?registry ?framing ?(batch_window = Sim_time.zero) ~engine
+    ~self ~mode ~on_deliver () =
   if batch_window > Sim_time.zero then begin
     if Option.is_none framing then
       invalid_arg "Transport.create: batching needs a framing codec";
@@ -56,18 +68,56 @@ let create ?obs ?framing ?(batch_window = Sim_time.zero) ~engine ~self ~mode
       invalid_arg "Transport.create: batching under Reliable transport"
     | Config.Bare | Config.Fifo_order -> ()
   end;
+  let reg =
+    match registry with
+    | Some r -> r
+    | None -> Repro_obs.Registry.null ()
+  in
   { engine; self; mode; obs; on_deliver; senders = Hashtbl.create 8;
     receivers = Hashtbl.create 8; framing; batch_window;
-    pending = Hashtbl.create 8; packets_sent = 0; retransmissions = 0;
-    batches_sent = 0; wire_bytes_sent = 0 }
+    pending = Hashtbl.create 8; reg;
+    reg_packets =
+      Repro_obs.Registry.counter reg ~layer:Repro_obs.Event.Transport
+        ~name:"packets" ();
+    reg_batches =
+      Repro_obs.Registry.counter reg ~layer:Repro_obs.Event.Transport
+        ~name:"batches" ();
+    reg_link_sends =
+      Repro_obs.Registry.counter reg ~layer:Repro_obs.Event.Transport
+        ~name:"link_sends" ();
+    link_bytes = Hashtbl.create 8;
+    packets_sent = 0; retransmissions = 0;
+    batches_sent = 0; wire_bytes_sent = 0; link_sends = 0 }
 
 let packets_sent t = t.packets_sent
 let retransmissions t = t.retransmissions
 let batches_sent t = t.batches_sent
 let wire_bytes_sent t = t.wire_bytes_sent
+let link_sends t = t.link_sends
+
+let link_counter t dst =
+  match Hashtbl.find_opt t.link_bytes dst with
+  | Some c -> c
+  | None ->
+    let c =
+      Repro_obs.Registry.counter t.reg ~layer:Repro_obs.Event.Transport
+        ~name:"wire_bytes"
+        ~labels:[ ("dst", string_of_int dst) ]
+        ()
+    in
+    Hashtbl.add t.link_bytes dst c;
+    c
+
+let charge_wire t ~dst n =
+  t.wire_bytes_sent <- t.wire_bytes_sent + n;
+  if Repro_obs.Registry.enabled t.reg then
+    Repro_obs.Registry.add (link_counter t dst) n
 
 let emit t ~dst packet =
   t.packets_sent <- t.packets_sent + 1;
+  t.link_sends <- t.link_sends + 1;
+  Repro_obs.Registry.incr t.reg_packets;
+  Repro_obs.Registry.incr t.reg_link_sends;
   Engine.send t.engine ~src:t.self ~dst packet
 
 let sender_channel t dst =
@@ -131,19 +181,19 @@ let flush_batch t dst b =
   | [ frame ] ->
     (* a lone frame skips the batch envelope *)
     b.rev_frames <- [];
-    t.wire_bytes_sent <- t.wire_bytes_sent + String.length frame;
+    charge_wire t ~dst (String.length frame);
     emit t ~dst (Enc { seq = b.first_seq; frame })
   | rev ->
     let frames = List.rev rev in
     b.rev_frames <- [];
-    List.iter
-      (fun f -> t.wire_bytes_sent <- t.wire_bytes_sent + String.length f)
-      frames;
+    List.iter (fun f -> charge_wire t ~dst (String.length f)) frames;
     (* one event on the link, but each frame is still a logical packet:
        [packets_sent] counts messages (emit already charged one for the
        batch itself), [batches_sent] counts the coalescings *)
     t.packets_sent <- t.packets_sent + (List.length frames - 1);
+    Repro_obs.Registry.add t.reg_packets (List.length frames - 1);
     t.batches_sent <- t.batches_sent + 1;
+    Repro_obs.Registry.incr t.reg_batches;
     emit t ~dst (Enc_batch { first_seq = b.first_seq; frames })
 
 let send_encoded t framing ~dst payload =
@@ -158,7 +208,7 @@ let send_encoded t framing ~dst payload =
     | Config.Bare | Config.Reliable _ -> -1
   in
   if t.batch_window = Sim_time.zero then begin
-    t.wire_bytes_sent <- t.wire_bytes_sent + String.length frame;
+    charge_wire t ~dst (String.length frame);
     emit t ~dst (Enc { seq; frame })
   end
   else begin

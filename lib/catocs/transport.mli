@@ -29,6 +29,7 @@ type 'w t
 
 val create :
   ?obs:Repro_obs.Log.t ->
+  ?registry:Repro_obs.Registry.t ->
   ?framing:'w framing ->
   ?batch_window:Sim_time.t ->
   engine:'w packet Engine.t ->
@@ -39,7 +40,11 @@ val create :
   'w t
 (** The caller must route the engine envelopes of [self] to {!handle}.
     With [obs], every [Reliable]-mode retransmission emits an
-    [Obs.Event.Retransmit] record.
+    [Obs.Event.Retransmit] record. With [registry], the transport keeps
+    [transport/packets], [transport/batches] and [transport/link_sends]
+    counters plus per-link
+    [transport/wire_bytes{dst}] cells (encoded path only — the structural
+    path has no real frames to weigh).
 
     With [framing], sends on [Bare]/[Fifo_order] links are encoded to
     real frames ([Enc] packets); a [Reliable] transport ignores framing
@@ -67,6 +72,11 @@ val batches_sent : 'w t -> int
 val wire_bytes_sent : 'w t -> int
 (** Sum of encoded frame lengths sent on this transport; zero on the
     structural path. *)
+
+val link_sends : 'w t -> int
+(** Physical link events (packets put on the network); a batch counts once
+    here but once per frame in {!packets_sent}, so
+    [packets_sent /. link_sends] is the batching coalesce ratio. *)
 
 val pp_packet :
   (Format.formatter -> 'w -> unit) -> Format.formatter -> 'w packet -> unit

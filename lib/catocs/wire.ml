@@ -10,6 +10,11 @@ type order_meta =
 
 type 'a data = {
   msg_id : msg_id;
+  trace_id : int;
+      (* dissemination-trace correlation id, stamped once at the origin and
+         preserved across every forward/drain/resend of the copy; LEB128-
+         encoded on the Encoded wire, charged inside the fixed 8-byte id
+         envelope of the structural byte model *)
   origin : Engine.pid;
   sender_rank : int;
   view_id : int;

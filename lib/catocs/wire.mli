@@ -33,6 +33,13 @@ type order_meta =
 
 type 'a data = {
   msg_id : msg_id;
+  trace_id : msg_id;
+      (** causal-path trace identifier, stamped at the origin and carried
+          unchanged by every forwarded/resent copy so the full dissemination
+          tree can be reassembled from hop records. Normally equals
+          [msg_id]; the {!Config.Encoded} wire carries it as a one-byte
+          zigzag delta off [msg_id] in that common case. Not charged to the
+          structural {!header_bytes}/{!wire_bytes} models. *)
   origin : Engine.pid;
   sender_rank : int;  (** rank in the view the message was sent in *)
   view_id : int;

@@ -122,8 +122,8 @@ let read_vt b pos =
 (* ------------------------------------------------------------------------- *)
 (* Data records.
 
-   Field order: msg_id, origin, sender_rank, view_id, meta, timestamp,
-   payload_bytes, sent_at, payload, piggyback. The PC/hybrid constant-
+   Field order: msg_id, trace_id (delta), origin, sender_rank, view_id,
+   meta, timestamp, payload_bytes, sent_at, payload, piggyback. The PC/hybrid constant-
    metadata encodings ship only the group size in the timestamp slot: a
    conforming stamp is nonzero solely at the sender's own component, whose
    value the meta already carries as [origin_seq], so the receiver
@@ -142,6 +142,9 @@ let meta_tag = function
 
 let rec write_data t buf (d : _ Wire.data) =
   write_varint buf d.Wire.msg_id;
+  (* trace id as a zigzag delta off msg_id: the common stamp
+     [trace_id = msg_id] costs one byte *)
+  write_varint buf (d.Wire.trace_id - d.Wire.msg_id);
   write_varint buf d.Wire.origin;
   write_varint buf d.Wire.sender_rank;
   write_varint buf d.Wire.view_id;
@@ -167,6 +170,7 @@ let rec write_data t buf (d : _ Wire.data) =
 
 let rec read_data t b pos : _ Wire.data =
   let msg_id = read_varint b pos in
+  let trace_id = msg_id + read_varint b pos in
   let origin = read_varint b pos in
   let sender_rank = read_varint b pos in
   let view_id = read_varint b pos in
@@ -206,7 +210,7 @@ let rec read_data t b pos : _ Wire.data =
   let npiggy = read_uvarint b pos in
   if npiggy > 1 lsl 20 then raise (Corrupt "implausible piggyback count");
   let piggyback = List.init npiggy (fun _ -> read_data t b pos) in
-  { Wire.msg_id; origin; sender_rank; view_id; vt; meta; payload;
+  { Wire.msg_id; trace_id; origin; sender_rank; view_id; vt; meta; payload;
     payload_bytes; sent_at; piggyback }
 
 (* ------------------------------------------------------------------------- *)

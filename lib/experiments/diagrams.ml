@@ -12,20 +12,35 @@ module Recorder = Repro_analyze.Exec.Recorder
 type fig1_outcome = {
   diagram : string;
   deliveries : (int * string list) list;  (* member index, delivery order *)
+  registry_snapshot : Repro_obs.Registry.snapshot;
+      (* merged over the three stacks; empty unless ~metrics:true *)
 }
 
-let fig1_run ?obs ?recorder ?(causal_impl = Config.Vector_causal) () =
+let fig1_run ?(engine_impl = Engine.Sequential) ?obs ?recorder
+    ?(causal_impl = Config.Vector_causal) ?(metrics = false) () =
   let net = Net.create ~latency:(Net.Uniform (1_000, 3_000)) () in
-  let engine =
-    Engine.create ~seed:3L ~net
-      ~pp_msg:(Transport.pp_packet (Wire.pp Format.pp_print_string)) ()
+  (* the ASCII trace (and its pp_msg pretty-printer) and the shared causal
+     graph are sequential-only conveniences; the telemetry log (when
+     synchronized) carries everything the cross-domain consumers need *)
+  let parallel =
+    match engine_impl with
+    | Engine.Sequential -> false
+    | Engine.Parallel _ -> true
   in
-  Trace.set_enabled (Engine.trace engine) true;
+  let engine =
+    if parallel then Engine.create ~impl:engine_impl ~seed:3L ~net ()
+    else
+      Engine.create ~impl:engine_impl ~seed:3L ~net
+        ~pp_msg:(Transport.pp_packet (Wire.pp Format.pp_print_string)) ()
+  in
+  if not parallel then Trace.set_enabled (Engine.trace engine) true;
   let stacks =
     Stack.create_group ?obs ~engine
       ~config:
         (Config.with_causal_impl causal_impl
-           { Config.default with Config.ordering = Config.Causal })
+           { Config.default with
+             Config.ordering = Config.Causal;
+             track_graph = not parallel; metrics })
       ~names:[ "P"; "Q"; "R" ]
       ~make_callbacks:(fun _ -> Stack.null_callbacks) ()
     |> Array.of_list
@@ -75,8 +90,13 @@ let fig1_run ?obs ?recorder ?(causal_impl = Config.Vector_causal) () =
   { diagram =
       Trace.render_diagram ~exclude_substrings:[ "gossip"; "ack" ] ~limit:80
         (Engine.trace engine) ~names:[| "P"; "Q"; "R" |];
-    deliveries =
-      List.init 3 (fun i -> (i, List.rev deliveries.(i))) }
+    deliveries = List.init 3 (fun i -> (i, List.rev deliveries.(i)));
+    registry_snapshot =
+      Repro_obs.Registry.merge_all
+        (Array.to_list
+           (Array.map
+              (fun s -> Repro_obs.Registry.snapshot (Stack.registry s))
+              stacks)) }
 
 let fig1_causal_order () = (fig1_run ()).diagram
 

@@ -4,19 +4,28 @@
 type fig1_outcome = {
   diagram : string;
   deliveries : (int * string list) list;  (** member index, delivery order *)
+  registry_snapshot : Repro_obs.Registry.snapshot;
+      (** merged protocol-metrics snapshot over the three stacks; empty
+          unless the run was created with [~metrics:true] *)
 }
 
 val fig1_run :
+  ?engine_impl:Engine.impl ->
   ?obs:Repro_obs.Log.t ->
   ?recorder:Repro_analyze.Exec.Recorder.t ->
   ?causal_impl:Repro_catocs.Config.causal_impl ->
+  ?metrics:bool ->
   unit ->
   fig1_outcome
 (** The Figure 1 execution itself: m1 from Q, P reacting with m2, then the
     concurrent m3/m4. [obs] attaches a telemetry log to the group (the
     source for the exported Figure 1 trace); [recorder] feeds the causal
     sanitizer; [causal_impl] selects the causal layer (the figure's
-    delivery properties must hold under both). *)
+    delivery properties must hold under both); [metrics] enables the
+    per-stack registries. [engine_impl] defaults to [Sequential]; under
+    [Parallel] the ASCII trace and causal graph are skipped (the [obs] log,
+    which must then be [~synchronized:true], carries the cross-domain
+    determinism evidence). *)
 
 val fig1_causal_order : unit -> string
 (** Figure 1: the 3-process diagram — m1 causally precedes m2 and m4; m3

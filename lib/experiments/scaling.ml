@@ -15,6 +15,21 @@ type point = {
   deliveries_total : int;  (* engine-level deliveries, incl. control traffic *)
   app_deliveries_total : int;  (* application callbacks across the group *)
   header_bytes_total : int;  (* ordering metadata sent, summed over members *)
+  (* registry-derived columns; zero / nan / [] unless [~metrics:true] *)
+  forward_copies : int;
+  suppressed_copies : int;
+  parked_copies : int;
+  drained_copies : int;
+  encoded_wire_bytes : int;  (* real frame bytes (Encoded wire format only) *)
+  wire_packets : int;  (* logical packets, incl. frames inside batches *)
+  link_sends : int;  (* physical link events; packets/links = coalesce ratio *)
+  delivery_p50_us : float;
+  delivery_p99_us : float;
+  delivery_p999_us : float;
+  stability_lag_p50_us : float;
+  stability_lag_p99_us : float;
+  stability_lag_p999_us : float;
+  registry_snapshot : Repro_obs.Registry.snapshot;
 }
 
 (* the graph peaks need the shared causal graph: rebuild the group manually
@@ -29,6 +44,7 @@ let measure_with_graph ?(engine_impl = Engine.Sequential) ?obs
     ?(causal_impl = Config.Vector_causal)
     ?(stability_clock = Config.Dense_clock)
     ?(pc_overlay = Config.Pc_full_mesh) ?track_graph
+    ?(metrics = false) ?wire_format ?batch_window
     ~seed n =
   let parallel =
     match engine_impl with Engine.Sequential -> false | Engine.Parallel _ -> true
@@ -53,7 +69,12 @@ let measure_with_graph ?(engine_impl = Engine.Sequential) ?obs
     Config.with_causal_impl causal_impl
       { Config.default with
         Config.ordering = Config.Causal; queue_impl; stability_impl;
-        stability_clock; pc_overlay; track_graph;
+        stability_clock; pc_overlay; track_graph; metrics;
+        wire_format =
+          Option.value wire_format ~default:Config.default.Config.wire_format;
+        batch_window =
+          Option.value batch_window
+            ~default:Config.default.Config.batch_window;
         gossip_period =
           Option.value gossip_period
             ~default:Config.default.Config.gossip_period }
@@ -64,10 +85,17 @@ let measure_with_graph ?(engine_impl = Engine.Sequential) ?obs
   in
   let view = Repro_catocs.Group.make_view ~view_id:0 pids in
   let shared = Stack.make_shared ?obs config in
+  (* the Encoded wire format frames real bytes, so it needs a payload
+     codec; the sweep's payloads are the sender indices *)
+  let payload_codec =
+    match config.Config.wire_format with
+    | Config.Encoded -> Some Repro_catocs.Wire_codec.int_payload
+    | Config.Structural -> None
+  in
   let stacks =
     List.map
       (fun pid ->
-        Stack.create ~engine ~shared ~config ~view ~self:pid
+        Stack.create ?payload_codec ~engine ~shared ~config ~view ~self:pid
           ~callbacks:Stack.null_callbacks ())
       pids
     |> Array.of_list
@@ -119,6 +147,26 @@ let measure_with_graph ?(engine_impl = Engine.Sequential) ?obs
       let mean_transit = Stats.Summary.mean m.Metrics.transit_us in
       if not (Float.is_nan mean_transit) then Stats.Summary.add transit mean_transit)
     stacks;
+  (* per-stack registries are private to their lanes, so merging the
+     snapshots after the run is parallel-safe (and, being a sorted merge of
+     commutative samples, domain-count independent) *)
+  let snapshot =
+    if metrics then
+      Repro_obs.Registry.merge_all
+        (Array.to_list
+           (Array.map
+              (fun s -> Repro_obs.Registry.snapshot (Stack.registry s))
+              stacks))
+    else []
+  in
+  let counter layer name =
+    Repro_obs.Registry.counter_total snapshot ~layer ~name
+  in
+  let pct layer name q =
+    match Repro_obs.Registry.histo snapshot ~layer ~name with
+    | Some h -> Repro_obs.Histo.percentile h q
+    | None -> Float.nan
+  in
   { group_size = n;
     peak_node_unstable_msgs = !peak_msgs;
     peak_node_unstable_bytes = !peak_bytes;
@@ -130,17 +178,34 @@ let measure_with_graph ?(engine_impl = Engine.Sequential) ?obs
     messages_total = Engine.messages_sent engine;
     deliveries_total = Engine.messages_delivered engine;
     app_deliveries_total = !app_deliveries;
-    header_bytes_total = !header_bytes }
+    header_bytes_total = !header_bytes;
+    forward_copies = counter Repro_obs.Event.Ordering "forward_copies";
+    suppressed_copies = counter Repro_obs.Event.Ordering "suppressed_copies";
+    parked_copies = counter Repro_obs.Event.Ordering "parked_copies";
+    drained_copies = counter Repro_obs.Event.Ordering "drain_copies";
+    encoded_wire_bytes = counter Repro_obs.Event.Transport "wire_bytes";
+    wire_packets = counter Repro_obs.Event.Transport "packets";
+    link_sends = counter Repro_obs.Event.Transport "link_sends";
+    delivery_p50_us = pct Repro_obs.Event.Ordering "delivery_latency_us" 0.5;
+    delivery_p99_us = pct Repro_obs.Event.Ordering "delivery_latency_us" 0.99;
+    delivery_p999_us = pct Repro_obs.Event.Ordering "delivery_latency_us" 0.999;
+    stability_lag_p50_us = pct Repro_obs.Event.Stability "stability_lag_us" 0.5;
+    stability_lag_p99_us = pct Repro_obs.Event.Stability "stability_lag_us" 0.99;
+    stability_lag_p999_us =
+      pct Repro_obs.Event.Stability "stability_lag_us" 0.999;
+    registry_snapshot = snapshot }
 
 let sweep ?(sizes = [ 4; 8; 16; 32; 48 ]) ?(seed = 11L) ?engine_impl
     ?processing_time
     ?duration ?send_period ?gossip_period ?queue_impl ?stability_impl
-    ?causal_impl ?stability_clock ?pc_overlay ?track_graph () =
+    ?causal_impl ?stability_clock ?pc_overlay ?track_graph
+    ?metrics ?wire_format ?batch_window () =
   List.map
     (fun n ->
       measure_with_graph ?engine_impl ?processing_time ?duration ?send_period
         ?gossip_period ?queue_impl ?stability_impl ?causal_impl
-        ?stability_clock ?pc_overlay ?track_graph ~seed n)
+        ?stability_clock ?pc_overlay ?track_graph
+        ?metrics ?wire_format ?batch_window ~seed n)
     sizes
 
 let table points =

@@ -27,6 +27,34 @@ type point = {
       (** ordering metadata transmitted, summed over members: the quantity
           whose per-delivery mean is O(group) for BSS vector timestamps and
           O(1) for PC-broadcast *)
+  forward_copies : int;
+      (** PC-broadcast forward-on-first-delivery copies across the group
+          (zero, like every registry-derived field below, unless the run
+          was created with [~metrics:true]) *)
+  suppressed_copies : int;
+      (** duplicate copies the hybrid layer suppressed (expected ~0 on a
+          FIFO-reliable network: suppression only pays off under loss) *)
+  parked_copies : int;  (** copies parked for closed overlay links *)
+  drained_copies : int;  (** parked copies later drained by a Pc_pong *)
+  encoded_wire_bytes : int;
+      (** real frame bytes put on the wire — non-zero only under the
+          [Encoded] wire format *)
+  wire_packets : int;
+      (** logical packets sent, counting each frame inside a batch *)
+  link_sends : int;
+      (** physical link events; [wire_packets /. link_sends] is the
+          batching coalesce ratio (1.0 without a batch window) *)
+  delivery_p50_us : float;  (** send->deliver latency percentiles ... *)
+  delivery_p99_us : float;
+  delivery_p999_us : float;  (** ... over every application delivery *)
+  stability_lag_p50_us : float;
+      (** deliver->stable lag percentiles from the stability tracker's
+          registry histogram *)
+  stability_lag_p99_us : float;
+  stability_lag_p999_us : float;
+  registry_snapshot : Repro_obs.Registry.snapshot;
+      (** the merged per-stack protocol-metrics snapshot the fields above
+          are read from; empty without [~metrics:true] *)
 }
 
 val measure_with_graph :
@@ -43,6 +71,9 @@ val measure_with_graph :
   ?stability_clock:Repro_catocs.Config.stability_clock ->
   ?pc_overlay:Repro_catocs.Config.pc_overlay ->
   ?track_graph:bool ->
+  ?metrics:bool ->
+  ?wire_format:Repro_catocs.Config.wire_format ->
+  ?batch_window:Sim_time.t ->
   seed:int64 ->
   int ->
   point
@@ -53,7 +84,12 @@ val measure_with_graph :
     export. [engine_impl] (default [Sequential]) selects the engine
     strategy; under [Parallel], [track_graph] defaults to false and [obs]
     is rejected (both are group-shared mutable state the lanes would race
-    on), and [processing_time] must stay zero. *)
+    on), and [processing_time] must stay zero. [metrics] enables the
+    per-stack protocol registries that feed the point's copy counters,
+    wire totals and latency percentiles (registries are per-stack, so they
+    stay parallel-safe; the merged snapshot is domain-count independent).
+    [wire_format] and [batch_window] override the wire representation and
+    transport coalescing window (see {!Repro_catocs.Config}). *)
 
 val sweep :
   ?sizes:int list -> ?seed:int64 -> ?engine_impl:Engine.impl ->
@@ -65,7 +101,10 @@ val sweep :
   ?causal_impl:Repro_catocs.Config.causal_impl ->
   ?stability_clock:Repro_catocs.Config.stability_clock ->
   ?pc_overlay:Repro_catocs.Config.pc_overlay ->
-  ?track_graph:bool -> unit -> point list
+  ?track_graph:bool ->
+  ?metrics:bool ->
+  ?wire_format:Repro_catocs.Config.wire_format ->
+  ?batch_window:Sim_time.t -> unit -> point list
 (** [duration] bounds the send phase (default 1 simulated second);
     [send_period] is the per-process multicast period (default 10 ms);
     [gossip_period] overrides the stability-gossip period (large sweeps

@@ -5,7 +5,11 @@ module Trading = Repro_apps.Trading
 type scenario = {
   name : string;
   descr : string;
-  run : unit -> Repro_obs.Log.t * (int * string) list;
+  run :
+    unit ->
+    Repro_obs.Log.t * (int * string) list * Repro_obs.Registry.snapshot;
+      (* snapshot is the merged per-stack protocol-metrics registry; empty
+         for scenarios that do not enable [Config.metrics] *)
 }
 
 (* Group members are spawned first and in name order by
@@ -16,49 +20,51 @@ let numbered names = List.mapi (fun i n -> (i, n)) names
 
 let fig1 () =
   let log = Repro_obs.Log.create () in
-  ignore (Diagrams.fig1_run ~obs:log ());
-  (log, numbered [ "P"; "Q"; "R" ])
+  let outcome = Diagrams.fig1_run ~obs:log ~metrics:true () in
+  (log, numbered [ "P"; "Q"; "R" ], outcome.Diagrams.registry_snapshot)
 
 let fig1_pc () =
   let log = Repro_obs.Log.create () in
-  ignore
-    (Diagrams.fig1_run ~obs:log
-       ~causal_impl:Repro_catocs.Config.Pc_causal ());
-  (log, numbered [ "P"; "Q"; "R" ])
+  let outcome =
+    Diagrams.fig1_run ~obs:log ~causal_impl:Repro_catocs.Config.Pc_causal
+      ~metrics:true ()
+  in
+  (log, numbered [ "P"; "Q"; "R" ], outcome.Diagrams.registry_snapshot)
 
 let fig1_hybrid () =
   let log = Repro_obs.Log.create () in
-  ignore
-    (Diagrams.fig1_run ~obs:log
-       ~causal_impl:Repro_catocs.Config.Hybrid_causal ());
-  (log, numbered [ "P"; "Q"; "R" ])
+  let outcome =
+    Diagrams.fig1_run ~obs:log ~causal_impl:Repro_catocs.Config.Hybrid_causal
+      ~metrics:true ()
+  in
+  (log, numbered [ "P"; "Q"; "R" ], outcome.Diagrams.registry_snapshot)
 
 let fig2 () =
   let log = Repro_obs.Log.create () in
   ignore
     (Shop_floor.run ~obs:log
        { Shop_floor.default_config with Shop_floor.trials = 3 });
-  (log, numbered [ "sfc1"; "sfc2"; "observer" ])
+  (log, numbered [ "sfc1"; "sfc2"; "observer" ], [])
 
 let fig3 () =
   let log = Repro_obs.Log.create () in
   ignore
     (Fire_alarm.run ~obs:log
        { Fire_alarm.default_config with Fire_alarm.trials = 3 });
-  (log, numbered [ "furnace-P"; "observer-Q"; "monitor-R" ])
+  (log, numbered [ "furnace-P"; "observer-Q"; "monitor-R" ], [])
 
 let fig4 () =
   let log = Repro_obs.Log.create () in
   ignore
     (Trading.run ~obs:log { Trading.default_config with Trading.ticks = 40 });
-  (log, numbered [ "option-pricing"; "theoretic-pricing"; "monitor" ])
+  (log, numbered [ "option-pricing"; "theoretic-pricing"; "monitor" ], [])
 
 let scaling64 () =
   let log = Repro_obs.Log.create () in
   ignore
     (Scaling.measure_with_graph ~obs:log ~duration:(Sim_time.ms 200) ~seed:11L
        64);
-  (log, numbered (List.init 64 (Printf.sprintf "p%d")))
+  (log, numbered (List.init 64 (Printf.sprintf "p%d")), [])
 
 (* The same 64-member run over PC-broadcast: the unstable-bytes gauges in
    this trace carry O(1) per-message metadata instead of 64-entry vectors —
@@ -68,7 +74,7 @@ let scaling_metadata () =
   ignore
     (Scaling.measure_with_graph ~obs:log ~duration:(Sim_time.ms 200)
        ~causal_impl:Repro_catocs.Config.Pc_causal ~seed:11L 64);
-  (log, numbered (List.init 64 (Printf.sprintf "p%d")))
+  (log, numbered (List.init 64 (Printf.sprintf "p%d")), [])
 
 (* The scaling run that the n=4096 bench points rely on: hybrid buffering
    over the PC overlay with the sparse stability tracker. Delivery timing
@@ -80,7 +86,7 @@ let scaling_sparse () =
     (Scaling.measure_with_graph ~obs:log ~duration:(Sim_time.ms 200)
        ~causal_impl:Repro_catocs.Config.Hybrid_causal
        ~stability_clock:Repro_catocs.Config.Sparse_clock ~seed:11L 64);
-  (log, numbered (List.init 64 (Printf.sprintf "p%d")))
+  (log, numbered (List.init 64 (Printf.sprintf "p%d")), [])
 
 let all =
   [ { name = "fig1";

@@ -10,7 +10,13 @@
 type scenario = {
   name : string;  (** CLI identifier, e.g. ["fig2-shop-floor"] *)
   descr : string;
-  run : unit -> Repro_obs.Log.t * (int * string) list;
+  run :
+    unit ->
+    Repro_obs.Log.t * (int * string) list * Repro_obs.Registry.snapshot;
+      (** the filled log, the pid-to-name mapping, and the merged per-stack
+          protocol-metrics snapshot (empty for scenarios that do not enable
+          [Config.metrics]; the fig1 family does, so the watchdogs'
+          copy-conservation rule has counters to audit) *)
 }
 
 val all : scenario list

@@ -134,6 +134,68 @@ let chaos_hooks (u : Src.t) =
     go_items str;
     List.rev !acc
 
+(* [Registry.counter/gauge/histogram ... ~name:"literal" ...] registration
+   sites — the metric inventory the coverage check audits. Sites whose
+   [~name] is computed (not a literal) are skipped: they are wrappers, and
+   the literal flows in from a caller that is itself collected. *)
+let metric_registrations (u : Src.t) =
+  match u.Src.structure with
+  | None -> []
+  | Some str ->
+    let acc = ref [] in
+    let is_registration f =
+      match f.pexp_desc with
+      | Pexp_ident { txt; _ } ->
+        (match List.rev (flatten txt) with
+         | ("counter" | "gauge" | "histogram") :: "Registry" :: _ -> true
+         | _ -> false)
+      | _ -> false
+    in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self x ->
+            (match x.pexp_desc with
+             | Pexp_apply (f, args) when is_registration f ->
+               List.iter
+                 (fun (label, (arg : expression)) ->
+                   match (label, arg.pexp_desc) with
+                   | ( Asttypes.Labelled "name",
+                       Pexp_constant (Pconst_string (s, _, _)) ) ->
+                     acc :=
+                       (s, arg.pexp_loc.Location.loc_start.Lexing.pos_lnum)
+                       :: !acc
+                   | _ -> ())
+                 args
+             | _ -> ());
+            Ast_iterator.default_iterator.expr self x);
+      }
+    in
+    it.structure it str;
+    List.rev !acc
+
+(* Every string literal in a unit (metric names are referenced by tests as
+   plain strings, e.g. in counter_total lookups or golden exports). *)
+let string_literals (u : Src.t) =
+  match u.Src.structure with
+  | None -> []
+  | Some str ->
+    let acc = ref [] in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self x ->
+            (match x.pexp_desc with
+             | Pexp_constant (Pconst_string (s, _, _)) -> acc := s :: !acc
+             | _ -> ());
+            Ast_iterator.default_iterator.expr self x);
+      }
+    in
+    it.structure it str;
+    !acc
+
 (* The constructors of the dispatch types declared in Config. *)
 let dispatch_variants (config : Src.t) =
   match config.Src.structure with
@@ -189,7 +251,37 @@ let check units =
             ~evidence:[]
           :: !findings)
     hooks;
-  (* 2. every Config dispatch variant appears in each family *)
+  (* 2. every metric registered under lib/ is named by test/ (the hot-path
+     instrumentation contract: a silently dropped or renamed metric must
+     fail the lint, not just thin out the exported snapshots) *)
+  let registrations =
+    List.concat_map
+      (fun u ->
+        if has_prefix "lib/" u.Src.path then
+          List.map (fun (n, l) -> (u.Src.path, n, l)) (metric_registrations u)
+        else [])
+      units
+  in
+  let test_strings =
+    List.concat_map
+      (fun u ->
+        if has_prefix "test/" u.Src.path then string_literals u else [])
+      units
+  in
+  List.iter
+    (fun (path, name, line) ->
+      if not (List.mem name test_strings) then
+        findings :=
+          Rule.make ~rule:"metric-coverage" ~source:path ~line ~symbol:name
+            ~message:
+              (Printf.sprintf
+                 "metric %S is registered here but never named under test/ \
+                  — its spelling and presence are unpinned"
+                 name)
+            ~evidence:[]
+          :: !findings)
+    registrations;
+  (* 3. every Config dispatch variant appears in each family *)
   (match List.find_opt (fun u -> u.Src.path = config_path) units with
    | None -> ()
    | Some config ->

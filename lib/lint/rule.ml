@@ -149,6 +149,17 @@ let catalog =
          queue_impl, stability_clock) does not appear in one of the \
          checker, scaling or bench families.";
     };
+    {
+      id = "metric-coverage";
+      meta_family = Contract;
+      default_severity = Finding.Error;
+      kind = Finding.Contract_violation;
+      doc =
+        "A protocol metric registered under lib/ (a ~name literal passed \
+         to Registry.counter/gauge/histogram) is never named by test/: \
+         nothing pins its spelling or would notice the instrumentation \
+         point disappearing.";
+    };
   ]
 
 let meta id = List.find_opt (fun m -> m.id = id) catalog

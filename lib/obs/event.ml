@@ -19,6 +19,18 @@ let gauge_name = function
   | Queue_depth -> "queue_depth"
   | Blocked_msgs -> "blocked_msgs"
 
+(* How a copy of a multicast left a node: the origin's initial fanout, a
+   PC/hybrid forward after first delivery, a hybrid park-buffer drain, or a
+   barrier-gap resend. Together with [Hop_suppress]/[Hop_park] these events
+   reconstruct the full dissemination tree of a message from the log. *)
+type hop_kind = Origin_copy | Forward_copy | Drain_copy | Resend_copy
+
+let hop_kind_name = function
+  | Origin_copy -> "origin"
+  | Forward_copy -> "forward"
+  | Drain_copy -> "drain"
+  | Resend_copy -> "resend"
+
 type event =
   | Span_send of { uid : int; pid : int; bytes : int }
   | Span_recv of { uid : int; pid : int }
@@ -29,6 +41,9 @@ type event =
   | View_flush_end of { pid : int; view_id : int }
   | Retransmit of { pid : int; dst : int; seq : int; attempt : int }
   | Gauge_sample of { pid : int; gauge : gauge; value : int }
+  | Hop_send of { uid : int; pid : int; dst : int; kind : hop_kind }
+  | Hop_suppress of { uid : int; pid : int; dst : int }
+  | Hop_park of { uid : int; pid : int; dst : int }
 
 type record = { at : Sim_time.t; layer : layer; event : event }
 
@@ -40,6 +55,7 @@ let layer_of = function
   | View_flush_start _ | View_flush_end _ -> View
   | Gauge_sample { gauge = Unstable_msgs | Unstable_bytes; _ } -> Stability
   | Gauge_sample { gauge = Queue_depth | Blocked_msgs; _ } -> Ordering
+  | Hop_send _ | Hop_suppress _ | Hop_park _ -> Ordering
 
 let event_name = function
   | Span_send _ -> "span_send"
@@ -51,3 +67,6 @@ let event_name = function
   | View_flush_end _ -> "view_flush_end"
   | Retransmit _ -> "retransmit"
   | Gauge_sample _ -> "gauge_sample"
+  | Hop_send _ -> "hop_send"
+  | Hop_suppress _ -> "hop_suppress"
+  | Hop_park _ -> "hop_park"

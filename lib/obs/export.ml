@@ -224,6 +224,15 @@ let jsonl log =
        | Event.Gauge_sample { pid; gauge; value } ->
          Printf.bprintf b
            "{\"at\":%d,\"layer\":\"%s\",\"event\":\"%s\",\"pid\":%d,\"gauge\":\"%s\",\"value\":%d}"
-           at layer name pid (Event.gauge_name gauge) value);
+           at layer name pid (Event.gauge_name gauge) value
+       | Event.Hop_send { uid; pid; dst; kind } ->
+         Printf.bprintf b
+           "{\"at\":%d,\"layer\":\"%s\",\"event\":\"%s\",\"uid\":%d,\"pid\":%d,\"dst\":%d,\"kind\":\"%s\"}"
+           at layer name uid pid dst (Event.hop_kind_name kind)
+       | Event.Hop_suppress { uid; pid; dst } | Event.Hop_park { uid; pid; dst }
+         ->
+         Printf.bprintf b
+           "{\"at\":%d,\"layer\":\"%s\",\"event\":\"%s\",\"uid\":%d,\"pid\":%d,\"dst\":%d}"
+           at layer name uid pid dst);
       Buffer.add_char b '\n');
   Buffer.contents b

@@ -5,26 +5,29 @@ type t = {
   mutable start : int;  (* index of the oldest record once the ring wraps *)
   mutable len : int;
   mutable dropped : int;
+  lock : Mutex.t option;  (* Some _ when shared across engine domains *)
 }
 
 let dummy =
   { Event.at = Sim_time.zero; layer = Event.App;
     event = Event.Gauge_sample { pid = -1; gauge = Event.Queue_depth; value = 0 } }
 
-let create ?(cap = 1 lsl 20) ?(enabled = true) () =
+let create ?(cap = 1 lsl 20) ?(enabled = true) ?(synchronized = false) () =
   if cap <= 0 then invalid_arg "Obs.Log.create: cap must be positive";
   { enabled; cap; buf = Array.make (min cap 1024) dummy; start = 0; len = 0;
-    dropped = 0 }
+    dropped = 0;
+    lock = (if synchronized then Some (Mutex.create ()) else None) }
 
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
+let synchronized t = t.lock <> None
 let length t = t.len
 let dropped t = t.dropped
 
 (* [start] stays 0 until the first overwrite, so growth never has to unwrap
    a rotated ring: while there is room to grow we are still appending
    linearly. *)
-let push t at event =
+let push_unlocked t at event =
   let n = Array.length t.buf in
   if t.len < n then begin
     t.buf.((t.start + t.len) mod n) <-
@@ -43,6 +46,19 @@ let push t at event =
     t.start <- (t.start + 1) mod n;
     t.dropped <- t.dropped + 1
   end
+
+(* A [synchronized] log serializes pushes so stacks running on different
+   engine domains can share one log. Record *order* across pids is then
+   scheduler-dependent, but the record *set* (and every per-pid subsequence)
+   stays deterministic — consumers that sort, like [Trace_tree], produce
+   byte-identical output at every domain count. *)
+let push t at event =
+  match t.lock with
+  | None -> push_unlocked t at event
+  | Some m ->
+    Mutex.lock m;
+    push_unlocked t at event;
+    Mutex.unlock m
 
 let span_send t ~at ~uid ~pid ~bytes =
   if t.enabled then push t at (Event.Span_send { uid; pid; bytes })
@@ -70,6 +86,15 @@ let retransmit t ~at ~pid ~dst ~seq ~attempt =
 
 let gauge t ~at ~pid g value =
   if t.enabled then push t at (Event.Gauge_sample { pid; gauge = g; value })
+
+let hop_send t ~at ~uid ~pid ~dst kind =
+  if t.enabled then push t at (Event.Hop_send { uid; pid; dst; kind })
+
+let hop_suppress t ~at ~uid ~pid ~dst =
+  if t.enabled then push t at (Event.Hop_suppress { uid; pid; dst })
+
+let hop_park t ~at ~uid ~pid ~dst =
+  if t.enabled then push t at (Event.Hop_park { uid; pid; dst })
 
 let iter t f =
   let n = Array.length t.buf in

@@ -14,13 +14,21 @@
 
 type t
 
-val create : ?cap:int -> ?enabled:bool -> unit -> t
+val create : ?cap:int -> ?enabled:bool -> ?synchronized:bool -> unit -> t
 (** [enabled] defaults to [true] (an attached log is normally wanted); pass
     [~enabled:false] to pre-wire telemetry that a config flag turns on
-    later. [cap] must be positive. *)
+    later. [cap] must be positive. [synchronized] (default [false]) guards
+    every push with a mutex so the log may be shared by stacks running on
+    different engine domains; cross-pid record order then depends on the
+    scheduler, but the record set and all per-pid subsequences remain
+    deterministic. *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
+
+val synchronized : t -> bool
+(** [true] when created with [~synchronized:true] (safe to share across
+    [Engine.Parallel] domains). *)
 
 (** {2 Emitters} — one per event kind, scalar arguments only. *)
 
@@ -36,6 +44,12 @@ val retransmit :
   t -> at:Sim_time.t -> pid:int -> dst:int -> seq:int -> attempt:int -> unit
 
 val gauge : t -> at:Sim_time.t -> pid:int -> Event.gauge -> int -> unit
+
+val hop_send :
+  t -> at:Sim_time.t -> uid:int -> pid:int -> dst:int -> Event.hop_kind -> unit
+
+val hop_suppress : t -> at:Sim_time.t -> uid:int -> pid:int -> dst:int -> unit
+val hop_park : t -> at:Sim_time.t -> uid:int -> pid:int -> dst:int -> unit
 
 (** {2 Reading} *)
 

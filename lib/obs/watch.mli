@@ -1,0 +1,49 @@
+(** Runtime watchdogs over the obs log and metrics registry.
+
+    Four threshold rules, replayed over recorded telemetry:
+    - {b stability-stall}: delivered messages still unstable long after
+      delivery — gossip/minima propagation has stalled.
+    - {b buffer-growth}: the unstable-message gauge rising monotonically
+      across consecutive ticks — buffering is unbounded at current rates
+      (the paper's Section 5 buffering cost made into an alarm).
+    - {b ordering-outlier}: ordering-wait p999 orders of magnitude above
+      p50 — a few messages blocked far behind the rest.
+    - {b copy-conservation} / {b duplicate-copy-rate}: registry counters
+      must agree exactly with the hop records in the log; duplicate
+      dissemination copies are reported, and warn above a configurable
+      rate.
+
+    Findings are plain records; [bin/analyze_cli watch] converts them into
+    analyzer JSON so CI can [--fail-on] them. *)
+
+type severity = Info | Warning | Error
+
+val severity_name : severity -> string
+
+type finding = {
+  rule : string;
+  severity : severity;
+  summary : string;
+  evidence : string list;
+}
+
+type config = {
+  stall_after_us : int;
+  growth_window : int;
+  growth_min_value : int;
+  outlier_factor : float;
+  outlier_floor_us : float;
+  outlier_min_samples : int;
+  duplicate_rate : float;
+}
+
+val default : config
+(** 100ms stall, 8-tick growth window ending >= 64 msgs, p999 > 100x p50
+    and > 10ms, duplicate-rate threshold [infinity] (report-only — PC
+    full-mesh forwarding floods duplicates by design). *)
+
+val run :
+  ?config:config -> ?snapshot:Registry.snapshot -> Log.t -> finding list
+(** Evaluate every rule; findings come back in rule order. The
+    copy-conservation rule is skipped without a [snapshot] or when the log
+    ring dropped records. *)

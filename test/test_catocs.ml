@@ -805,7 +805,7 @@ let test_transport_retransmits_on_loss () =
 (* --- pure queue structures -------------------------------------------------- *)
 
 let mk_data ?(msg_id = 0) ?(origin = 0) ~sender_rank ~vt () =
-  { Wire.msg_id; origin; sender_rank; view_id = 0;
+  { Wire.msg_id; trace_id = msg_id; origin; sender_rank; view_id = 0;
     vt = Vector_clock.of_list vt; meta = Wire.Causal_meta; payload = msg_id;
     payload_bytes = 10; sent_at = 0; piggyback = [] }
 

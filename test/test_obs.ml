@@ -81,7 +81,7 @@ let span_partition_qcheck =
 (* The same invariant on a real protocol run. *)
 let test_span_partition_fig1 () =
   let scenario = Option.get (Telemetry.find "fig1") in
-  let log, _ = scenario.Telemetry.run () in
+  let log, _, _ = scenario.Telemetry.run () in
   let spans = Span.of_log log in
   Alcotest.(check bool) "spans found" true (spans <> []);
   List.iter
@@ -276,7 +276,7 @@ let test_metrics_merge_summaries () =
 
 let test_exec_of_log_fig1 () =
   let scenario = Option.get (Telemetry.find "fig1") in
-  let log, names = scenario.Telemetry.run () in
+  let log, names, _ = scenario.Telemetry.run () in
   let exec = Exec.of_log ~label:"fig1 obs" ~ordering:Exec.Causal_order ~names log in
   Alcotest.(check int) "four multicasts" 4 (List.length exec.Exec.sends);
   Alcotest.(check int) "all copies delivered" 12
@@ -324,7 +324,7 @@ let check_golden ~golden actual =
 let golden_case name =
   Alcotest.test_case name `Quick (fun () ->
       let scenario = Option.get (Telemetry.find name) in
-      let log, names = scenario.Telemetry.run () in
+      let log, names, _ = scenario.Telemetry.run () in
       check_golden
         ~golden:(Printf.sprintf "golden/%s_chrome.json" name)
         (Export.chrome_trace ~names log);

@@ -18,7 +18,8 @@ type op =
 
 let mk ~msg_id ~rank ~vt =
   { DQ.data =
-      { Wire.msg_id; origin = rank; sender_rank = rank; view_id = 0;
+      { Wire.msg_id; trace_id = msg_id; origin = rank; sender_rank = rank;
+        view_id = 0;
         vt = Vector_clock.of_list vt; meta = Wire.Causal_meta;
         payload = msg_id; payload_bytes = 8; sent_at = Sim_time.zero;
         piggyback = [] };

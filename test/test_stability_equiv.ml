@@ -81,7 +81,8 @@ let run_equiv n ops =
       let vt = Vector_clock.copy_tick dvc.(s) s in
       incr next_id;
       let data =
-        { Wire.msg_id = !next_id; origin = s; sender_rank = s; view_id = 0;
+        { Wire.msg_id = !next_id; trace_id = !next_id; origin = s;
+          sender_rank = s; view_id = 0;
           vt; meta = Wire.Causal_meta; payload = !next_id; payload_bytes = 8;
           sent_at = at; piggyback = [] }
       in

@@ -52,6 +52,10 @@ let rec gen_data depth =
   Gen.(
     gen_meta_and_vt >>= fun (meta, vt, forced_rank) ->
     int_range 0 (1 lsl 30) >>= fun msg_id ->
+    (* trace_id ships as a zigzag delta off msg_id; weight the common
+       equal case but exercise both signs of the delta *)
+    oneof [ return 0; int_range (-64) 64; int_range (-4096) 4096 ]
+    >>= fun trace_delta ->
     int_range (-1) 4095 >>= fun origin ->
     (match forced_rank with
      | Some r -> return r
@@ -64,8 +68,9 @@ let rec gen_data depth =
     (if depth = 0 then return []
      else list_size (int_range 0 2) (gen_data (depth - 1)))
     >|= fun piggyback ->
-    { Wire.msg_id; origin; sender_rank; view_id; vt; meta; payload;
-      payload_bytes; sent_at = Sim_time.us sent_us; piggyback })
+    { Wire.msg_id; trace_id = msg_id + trace_delta; origin; sender_rank;
+      view_id; vt; meta; payload; payload_bytes;
+      sent_at = Sim_time.us sent_us; piggyback })
 
 let gen_pid_list = Gen.(list_size (int_range 0 6) (int_range (-1) 4095))
 
@@ -128,6 +133,7 @@ let meta_equal (a : Wire.order_meta) (b : Wire.order_meta) =
 
 let rec data_equal (a : int Wire.data) (b : int Wire.data) =
   a.Wire.msg_id = b.Wire.msg_id
+  && a.Wire.trace_id = b.Wire.trace_id
   && a.Wire.origin = b.Wire.origin
   && a.Wire.sender_rank = b.Wire.sender_rank
   && a.Wire.view_id = b.Wire.view_id
@@ -296,9 +302,9 @@ let test_pc_constant_metadata () =
      a BSS causal record grows linearly. *)
   let t = codec () in
   let mk n meta vt =
-    { Wire.msg_id = 1; origin = 0; sender_rank = 0; view_id = 0; vt; meta;
-      payload = 42; payload_bytes = 8; sent_at = Sim_time.us 1_000;
-      piggyback = [] }
+    { Wire.msg_id = 1; trace_id = 1; origin = 0; sender_rank = 0;
+      view_id = 0; vt; meta; payload = 42; payload_bytes = 8;
+      sent_at = Sim_time.us 1_000; piggyback = [] }
     |> fun d -> ignore n; Wire_codec.data_bytes t d
   in
   let pc n =
